@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces the Figure 2 taxonomy quantitatively: where every
+ * PU-cycle goes — task start/end overhead, useful execution,
+ * inter-task data communication, intra-task dependence waits, fetch
+ * stalls, load imbalance, and the two misspeculation penalties — for
+ * data-dependence tasks at 4 and 8 PUs.
+ */
+
+#include "arch/stats.h"
+#include "bench_common.h"
+
+using namespace msc;
+using namespace msc::bench;
+using arch::CycleKind;
+
+int
+main()
+{
+    printHeader("Figure 2 cycle taxonomy: PU-cycle breakdown "
+                "(data-dependence tasks)");
+    static const CycleKind kinds[] = {
+        CycleKind::TaskStart,     CycleKind::Useful,
+        CycleKind::InterTaskComm, CycleKind::IntraTaskDep,
+        CycleKind::FetchStall,    CycleKind::LoadImbalance,
+        CycleKind::TaskEnd,       CycleKind::CtrlSquash,
+        CycleKind::MemSquash,
+    };
+
+    for (unsigned pus : {4u, 8u}) {
+        std::printf("\n%u PUs (%% of occupied PU-cycles)\n", pus);
+        std::printf("%-10s", "bench");
+        for (CycleKind k : kinds)
+            std::printf(" %9.9s", arch::cycleKindName(k));
+        std::printf(" %8s\n", "IPC");
+
+        auto suite = [&](const std::vector<std::string> &names) {
+            for (const auto &n : names) {
+                auto r = runOne(n, tasksel::Strategy::DataDependence,
+                                pus, true);
+                uint64_t tot = r.stats.buckets.total();
+                if (!tot)
+                    tot = 1;
+                std::printf("%-10s", n.c_str());
+                for (CycleKind k : kinds) {
+                    std::printf(" %8.1f%%",
+                                100.0 *
+                                    double(r.stats.buckets
+                                               .counts[size_t(k)]) /
+                                    double(tot));
+                }
+                std::printf(" %8.3f\n", r.stats.ipc());
+            }
+        };
+        suite(intBenchmarks());
+        suite(fpBenchmarks());
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The paper's §1 motivation: "unless key performance issues are
+ * understood, smaller distributed designs may not always perform
+ * better than larger centralized designs, despite clock speed
+ * advantages."
+ *
+ * Compares a centralized 8-wide superscalar (one PU, 64-entry ROB,
+ * 32-entry issue window, doubled FUs — no task speculation, no ring,
+ * no ARB squashes) against 4x2-wide and 8x2-wide Multiscalar
+ * organizations running data-dependence tasks. The centralized core's
+ * large structures would clock slower; we report raw cycles plus a
+ * 1.25x clock-penalty-adjusted column (the DEC 21264 two-cluster
+ * example of §1 implies wide bypass does not fit a cycle).
+ */
+
+#include "bench_common.h"
+
+using namespace msc;
+using namespace msc::bench;
+
+namespace {
+
+sim::RunResult
+runCentralized(const std::string &w)
+{
+    ir::Program p = workloads::buildWorkload(w, benchScale());
+    sim::RunOptions o;
+    // One big window: control-flow tasks on a single wide PU. Task
+    // boundaries still exist but there is no speculation across PUs.
+    o.sel.strategy = tasksel::Strategy::ControlFlow;
+    o.config = arch::SimConfig::paperConfig(1, true);
+    o.config.issueWidth = 8;
+    o.config.fetchWidth = 8;
+    o.config.robSize = 64;
+    o.config.issueListSize = 32;
+    o.config.numIntFU = 4;
+    o.config.numFpFU = 2;
+    o.config.numBrFU = 2;
+    o.config.numMemFU = 2;
+    // No task boundary costs for the superscalar stand-in. Note that
+    // the model still cannot overlap execution across task boundaries
+    // on one PU (it has no cross-task window), so the centralized IPC
+    // is a conservative lower bound; read the columns as a trend.
+    o.config.taskStartOverhead = 0;
+    o.config.taskEndOverhead = 0;
+    o.traceInsts = benchTraceInsts();
+    return sim::runPipeline(p, o);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    printHeader("Centralized 8-wide superscalar vs distributed "
+                "Multiscalar (§1)");
+    std::printf("%-10s %10s %12s %10s %10s %9s %9s\n", "bench",
+                "central", "central/1.25", "4x2 msc", "8x2 msc",
+                "msc4/ctr", "msc8/ctr");
+
+    auto suite = [&](const std::vector<std::string> &names) {
+        for (const auto &n : names) {
+            double c = runCentralized(n).stats.ipc();
+            double m4 = runOne(n, tasksel::Strategy::DataDependence, 4,
+                               true).stats.ipc();
+            double m8 = runOne(n, tasksel::Strategy::DataDependence, 8,
+                               true).stats.ipc();
+            // Clock-adjusted: the centralized core pays ~25% cycle
+            // time for its wide bypass and large window.
+            double cadj = c / 1.25;
+            std::printf("%-10s %10.3f %12.3f %10.3f %10.3f %8.2fx "
+                        "%8.2fx\n",
+                        n.c_str(), c, cadj, m4, m8, m4 / cadj,
+                        m8 / cadj);
+        }
+    };
+    suite(intBenchmarks());
+    suite(fpBenchmarks());
+    std::printf("\nColumns msc*/ctr compare against the clock-adjusted\n"
+                "centralized IPC. Caveat: the centralized stand-in\n"
+                "drains its pipeline at task boundaries (this model\n"
+                "has no cross-task window on one PU), so its IPC is a\n"
+                "lower bound — read the ratios as a trend, not a\n"
+                "measurement. The distributed organization wins where\n"
+                "tasks are predictable and independent — the paper's\n"
+                "point that task selection is pivotal.\n");
+    return 0;
+}

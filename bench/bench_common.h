@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared driver code for the paper-reproduction benchmark binaries.
+ *
+ * Every binary honours the MSC_SMALL environment variable: when set,
+ * workloads run at test scale (seconds instead of minutes) — the
+ * shapes survive, absolute numbers shift slightly.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+#include "tasksel/options.h"
+#include "workloads/workload.h"
+
+namespace msc {
+namespace bench {
+
+inline bool
+smallMode()
+{
+    const char *e = std::getenv("MSC_SMALL");
+    return e && *e && *e != '0';
+}
+
+inline workloads::Scale
+benchScale()
+{
+    return smallMode() ? workloads::Scale::Small : workloads::Scale::Full;
+}
+
+inline uint64_t
+benchTraceInsts()
+{
+    return smallMode() ? 60'000 : 250'000;
+}
+
+/** Runs one benchmark under one configuration. */
+inline sim::RunResult
+runOne(const std::string &workload, tasksel::Strategy strategy,
+       unsigned pus, bool out_of_order, bool size_heur = false,
+       unsigned max_targets = 4)
+{
+    ir::Program p = workloads::buildWorkload(workload, benchScale());
+    sim::RunOptions o;
+    o.sel.strategy = strategy;
+    o.sel.taskSizeHeuristic = size_heur;
+    o.sel.maxTargets = max_targets;
+    o.config = arch::SimConfig::paperConfig(pus, out_of_order);
+    o.config.maxTargets = max_targets;
+    o.traceInsts = benchTraceInsts();
+    return sim::runPipeline(p, o);
+}
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n=== %s%s ===\n", title,
+                smallMode() ? " (MSC_SMALL scale)" : "");
+}
+
+/** Integer benchmarks in paper order, then floating point. */
+inline std::vector<std::string>
+intBenchmarks()
+{
+    return {"go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl",
+            "vortex"};
+}
+
+inline std::vector<std::string>
+fpBenchmarks()
+{
+    return {"tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu",
+            "turb3d", "apsi", "fpppp", "wave5"};
+}
+
+} // namespace bench
+} // namespace msc

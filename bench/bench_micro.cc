@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): interpreter
+ * throughput, profiling, task selection, dynamic task cutting, the
+ * timing model, and the predictor/ARB primitives.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/arb.h"
+#include "arch/predictors.h"
+#include "arch/processor.h"
+#include "arch/taskstream.h"
+#include "profile/interpreter.h"
+#include "profile/profiler.h"
+#include "sim/runner.h"
+#include "tasksel/selector.h"
+#include "workloads/workload.h"
+
+using namespace msc;
+
+static void
+BM_Interpreter(benchmark::State &state)
+{
+    ir::Program p = workloads::buildWorkload("m88ksim",
+                                             workloads::Scale::Small);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        profile::Interpreter in(p);
+        insts += in.runQuiet(50'000);
+    }
+    state.SetItemsProcessed(int64_t(insts));
+}
+BENCHMARK(BM_Interpreter);
+
+static void
+BM_Profiler(benchmark::State &state)
+{
+    ir::Program p = workloads::buildWorkload("compress",
+                                             workloads::Scale::Small);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(profile::profileProgram(p, 50'000));
+}
+BENCHMARK(BM_Profiler);
+
+static void
+BM_TaskSelection(benchmark::State &state)
+{
+    ir::Program p = workloads::buildWorkload("go",
+                                             workloads::Scale::Small);
+    profile::Profile prof = profile::profileProgram(p, 50'000);
+    tasksel::SelectionOptions opts;
+    opts.strategy = tasksel::Strategy(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tasksel::selectTasks(p, prof, opts));
+}
+BENCHMARK(BM_TaskSelection)->Arg(0)->Arg(1)->Arg(2);
+
+static void
+BM_TaskCutting(benchmark::State &state)
+{
+    ir::Program p = workloads::buildWorkload("perl",
+                                             workloads::Scale::Small);
+    profile::Profile prof = profile::profileProgram(p, 50'000);
+    tasksel::SelectionOptions opts;
+    tasksel::TaskPartition part = tasksel::selectTasks(p, prof, opts);
+    profile::Interpreter in(p);
+    profile::Trace t = in.trace(50'000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arch::cutTasks(t, part));
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(t.size()));
+}
+BENCHMARK(BM_TaskCutting);
+
+static void
+BM_TimingSimulation(benchmark::State &state)
+{
+    ir::Program p = workloads::buildWorkload("ijpeg",
+                                             workloads::Scale::Small);
+    sim::RunOptions o;
+    o.traceInsts = 50'000;
+    o.config = arch::SimConfig::paperConfig(unsigned(state.range(0)));
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto r = sim::runPipeline(p, o);
+        insts += r.stats.retiredInsts;
+    }
+    state.SetItemsProcessed(int64_t(insts));
+}
+BENCHMARK(BM_TimingSimulation)->Arg(4)->Arg(8);
+
+static void
+BM_TaskPredictor(benchmark::State &state)
+{
+    arch::TaskPredictor tp(16, 64 * 1024, 4);
+    uint64_t addr = 0x1000;
+    unsigned i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tp.predict(addr));
+        tp.update(addr, i & 3);
+        addr = addr * 1664525 + 1013904223;
+        ++i;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_TaskPredictor);
+
+static void
+BM_Gshare(benchmark::State &state)
+{
+    arch::Gshare g(16, 64 * 1024);
+    uint64_t pc = 0x4000;
+    unsigned i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g.predict(pc));
+        g.update(pc, (i & 3) != 0);
+        pc += 4;
+        ++i;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_Gshare);
+
+static void
+BM_ArbTraffic(benchmark::State &state)
+{
+    arch::Arb arb(256);
+    uint64_t a = 0;
+    arch::TaskSeq t = 0;
+    for (auto _ : state) {
+        arb.recordLoad(t + 1, a & 1023, a);
+        benchmark::DoNotOptimize(arb.recordStore(t, (a + 7) & 1023));
+        if ((++a & 63) == 0)
+            arb.retireUpTo(t++);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2);
+}
+BENCHMARK(BM_ArbTraffic);
+
+BENCHMARK_MAIN();

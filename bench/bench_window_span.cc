@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Checks §4.3.4's window-span model: the paper computes
+ *   window span = sum_{i=0..N-1} TaskSize * Pred^i
+ * from average task size and inter-task prediction accuracy. We print
+ * the formula's value next to the measured time-average of dynamic
+ * instructions in flight, for basic-block and data-dependence tasks
+ * at 8 PUs, plus the branch-prediction-only baseline the paper argues
+ * against (window span of basic-block tasks is "considerably smaller").
+ */
+
+#include "bench_common.h"
+
+using namespace msc;
+using namespace msc::bench;
+using tasksel::Strategy;
+
+int
+main()
+{
+    printHeader("Window span: formula vs measurement (8 PUs)");
+    std::printf("%-10s | %9s %9s | %9s %9s | %7s\n", "bench",
+                "bb-formla", "bb-measrd", "dd-formla", "dd-measrd",
+                "ratio");
+
+    auto suite = [&](const std::vector<std::string> &names) {
+        for (const auto &n : names) {
+            auto bb = runOne(n, Strategy::BasicBlock, 8, true);
+            auto dd = runOne(n, Strategy::DataDependence, 8, true);
+            double bf = bb.stats.formulaWindowSpan(8);
+            double bm = bb.stats.measuredWindowSpan;
+            double df = dd.stats.formulaWindowSpan(8);
+            double dm = dd.stats.measuredWindowSpan;
+            std::printf("%-10s | %9.0f %9.0f | %9.0f %9.0f | %6.1fx\n",
+                        n.c_str(), bf, bm, df, dm,
+                        bm > 0 ? dm / bm : 0.0);
+        }
+    };
+    suite(intBenchmarks());
+    suite(fpBenchmarks());
+    std::printf("\nratio = measured dd span / measured bb span: "
+                "task-level speculation exposes a far wider window\n"
+                "than basic-block (branch-level) speculation (§4.3.4).\n");
+    return 0;
+}

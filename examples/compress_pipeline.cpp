@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Heuristic shoot-out on the 129.compress analog — the workload the
+ * paper's task-size discussion revolves around. Runs all four
+ * heuristic stacks on 4 and 8 PUs and prints the per-category cycle
+ * breakdown, showing how each heuristic moves cycles between
+ * overhead, communication and useful work.
+ *
+ *   ./compress_pipeline [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "arch/stats.h"
+#include "sim/runner.h"
+#include "workloads/workload.h"
+
+using namespace msc;
+
+namespace {
+
+void
+report(const char *label, const sim::RunResult &r)
+{
+    std::printf("\n%s: IPC %.3f, %llu cycles, %llu tasks "
+                "(avg %.1f insts), task mispredict %.1f%%, "
+                "mem violations %llu\n",
+                label, r.stats.ipc(),
+                (unsigned long long)r.stats.cycles,
+                (unsigned long long)r.stats.dynTasks,
+                r.stats.avgTaskSize(), r.stats.taskMispredictPct(),
+                (unsigned long long)r.stats.memViolations);
+    std::printf("%s", arch::formatBuckets(r.stats).c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "compress";
+    ir::Program p = workloads::buildWorkload(name,
+                                             workloads::Scale::Small);
+
+    for (unsigned pus : {4u, 8u}) {
+        std::printf("\n================ %s on %u PUs ================\n",
+                    name.c_str(), pus);
+        struct Cfg
+        {
+            const char *label;
+            tasksel::Strategy strategy;
+            bool size;
+        };
+        static const Cfg cfgs[] = {
+            {"basic-block tasks", tasksel::Strategy::BasicBlock, false},
+            {"control-flow tasks", tasksel::Strategy::ControlFlow,
+             false},
+            {"data-dependence tasks", tasksel::Strategy::DataDependence,
+             false},
+            {"data-dependence + task-size",
+             tasksel::Strategy::DataDependence, true},
+        };
+        for (const Cfg &c : cfgs) {
+            sim::RunOptions o;
+            o.sel.strategy = c.strategy;
+            o.sel.taskSizeHeuristic = c.size;
+            o.config = arch::SimConfig::paperConfig(pus);
+            o.traceInsts = 100'000;
+            report(c.label, sim::runPipeline(p, o));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quickstart: build a tiny program with the IR builder, partition it
+ * with the paper's heuristics, and run it through the Multiscalar
+ * timing model.
+ *
+ *   ./quickstart
+ */
+
+#include <cstdio>
+
+#include "arch/stats.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "sim/runner.h"
+#include "tasksel/selector.h"
+
+using namespace msc;
+
+int
+main()
+{
+    // 1. Author a program: sum of squares over an array, written in
+    //    the mini-IR through the fluent builder.
+    ir::IRBuilder b("sum-of-squares");
+    b.setEntry("main");
+    ir::FunctionBuilder &f = b.function("main");
+
+    const ir::RegId i = 16, n = 17, sum = 18, tmp = 8, v = 9;
+    ir::BlockId head = f.newBlock(), body = f.newBlock();
+    ir::BlockId latch = f.newBlock(), done = f.newBlock();
+
+    f.li(n, 500);
+    f.li(sum, 0);
+    f.li(i, 0);
+    f.fallthroughTo(head);
+
+    f.setBlock(head);
+    f.slt(tmp, i, n);
+    f.br(tmp, body, done);
+
+    f.setBlock(body);
+    f.addi(tmp, i, 1000);
+    f.store(i, tmp, 0);      // mem[1000+i] = i
+    f.load(v, tmp, 0);
+    f.mul(v, v, v);          // v = i^2
+    f.add(sum, sum, v);
+    f.fallthroughTo(latch);
+
+    f.setBlock(latch);
+    f.addi(i, i, 1);
+    f.jmp(head);
+
+    f.setBlock(done);
+    f.storeAbs(sum, 0);
+    f.halt();
+
+    ir::Program prog = b.build();
+    std::printf("--- program ---\n%s\n", ir::toString(prog).c_str());
+
+    // 2. Run the full pipeline: IV hoisting, profiling, task
+    //    selection with the data-dependence heuristic, and the cycle
+    //    timing model on a 4-PU Multiscalar processor.
+    sim::RunOptions opts;
+    opts.sel.strategy = tasksel::Strategy::DataDependence;
+    opts.config = arch::SimConfig::paperConfig(4);
+    sim::RunResult r = sim::runPipeline(prog, opts);
+
+    std::printf("--- tasks ---\n");
+    for (const auto &t : r.partition.tasks) {
+        std::printf("task %u: entry bb%u, %zu blocks, %u static insts, "
+                    "%zu targets\n",
+                    t.id, t.entry, t.blocks.size(), t.staticInsts,
+                    t.targets.size());
+    }
+
+    std::printf("\n--- simulation (4 out-of-order PUs) ---\n");
+    std::printf("retired %llu instructions in %llu cycles: IPC %.3f\n",
+                (unsigned long long)r.stats.retiredInsts,
+                (unsigned long long)r.stats.cycles, r.stats.ipc());
+    std::printf("dynamic tasks: %llu (avg %.1f insts)\n",
+                (unsigned long long)r.stats.dynTasks,
+                r.stats.avgTaskSize());
+    std::printf("task misprediction: %.2f%%\n",
+                r.stats.taskMispredictPct());
+    std::printf("window span: %.0f instructions\n",
+                r.stats.measuredWindowSpan);
+    std::printf("\ncycle breakdown:\n%s",
+                arch::formatBuckets(r.stats).c_str());
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PU-count scaling on the loop-parallel FP analogs — the paper's
+ * floating-point benchmarks are where task-level speculation shines
+ * (§4.3.1). Sweeps 1..8 PUs with data-dependence tasks and reports
+ * speedup over one PU, plus the window span the machine sustains.
+ *
+ *   ./stencil_scaling [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/runner.h"
+#include "workloads/workload.h"
+
+using namespace msc;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "tomcatv";
+    ir::Program p = workloads::buildWorkload(name,
+                                             workloads::Scale::Small);
+
+    std::printf("%s scaling with data-dependence tasks\n",
+                name.c_str());
+    std::printf("%4s %10s %8s %9s %10s %10s\n", "PUs", "cycles", "IPC",
+                "speedup", "win-span", "tpred%");
+
+    uint64_t base = 0;
+    for (unsigned pus : {1u, 2u, 4u, 8u}) {
+        sim::RunOptions o;
+        o.sel.strategy = tasksel::Strategy::DataDependence;
+        o.config = arch::SimConfig::paperConfig(pus);
+        o.traceInsts = 100'000;
+        sim::RunResult r = sim::runPipeline(p, o);
+        if (pus == 1)
+            base = r.stats.cycles;
+        std::printf("%4u %10llu %8.3f %8.2fx %10.0f %9.1f%%\n", pus,
+                    (unsigned long long)r.stats.cycles, r.stats.ipc(),
+                    double(base) / double(r.stats.cycles),
+                    r.stats.measuredWindowSpan,
+                    r.stats.taskMispredictPct());
+    }
+    std::printf("\nThe window span grows with PU count: the machine\n"
+                "speculates across many loop iterations at once —\n"
+                "far beyond a branch-predicted superscalar window\n"
+                "(§4.3.4).\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+#include "arch/arb.h"
+
+#include <algorithm>
+
+namespace msc {
+namespace arch {
+
+void
+Arb::recordLoad(TaskSeq task, uint64_t addr, uint64_t pc)
+{
+    auto &list = _entries[addr];
+
+    // The version observed: youngest store by a task <= this one.
+    TaskSeq src = NO_TASK;
+    for (const Access &a : list)
+        if (a.stored && a.task <= task &&
+            (src == NO_TASK || a.task > src)) {
+            src = a.task;
+        }
+
+    for (Access &a : list) {
+        if (a.task == task) {
+            if (!a.loaded && !a.stored) {
+                a.loaded = true;
+                a.loadSrc = src;
+                a.loadPc = pc;
+            } else if (!a.loaded) {
+                // First access was a store: the load reads the task's
+                // own value; no upstream exposure.
+                a.loaded = true;
+                a.loadSrc = task;
+                a.loadPc = pc;
+            }
+            return;
+        }
+    }
+    Access a;
+    a.task = task;
+    a.loaded = true;
+    a.loadSrc = src;
+    a.loadPc = pc;
+    list.push_back(a);
+}
+
+Arb::StoreResult
+Arb::recordStore(TaskSeq task, uint64_t addr)
+{
+    auto &list = _entries[addr];
+
+    StoreResult res;
+    for (const Access &a : list) {
+        // A younger task read a version older than this store: its
+        // load missed this store's value.
+        if (a.task > task && a.loaded &&
+            (a.loadSrc == NO_TASK || a.loadSrc < task)) {
+            if (res.victim == NO_TASK || a.task < res.victim) {
+                res.victim = a.task;
+                res.loadPc = a.loadPc;
+            }
+        }
+    }
+
+    for (Access &a : list) {
+        if (a.task == task) {
+            a.stored = true;
+            return res;
+        }
+    }
+    Access a;
+    a.task = task;
+    a.stored = true;
+    list.push_back(a);
+    return res;
+}
+
+void
+Arb::squashFrom(TaskSeq task)
+{
+    for (auto it = _entries.begin(); it != _entries.end();) {
+        auto &list = it->second;
+        list.erase(std::remove_if(list.begin(), list.end(),
+                                  [&](const Access &a) {
+                                      return a.task >= task;
+                                  }),
+                   list.end());
+        if (list.empty())
+            it = _entries.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Arb::retireUpTo(TaskSeq task)
+{
+    for (auto it = _entries.begin(); it != _entries.end();) {
+        auto &list = it->second;
+        list.erase(std::remove_if(list.begin(), list.end(),
+                                  [&](const Access &a) {
+                                      return a.task <= task;
+                                  }),
+                   list.end());
+        if (list.empty())
+            it = _entries.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace arch
+} // namespace msc

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The Address Resolution Buffer (ARB, Franklin & Sohi [7]) and the
+ * memory-dependence synchronization table (Moshovos et al. [11]).
+ *
+ * Tasks speculate that their loads do not depend on stores of earlier
+ * in-flight tasks. The ARB tracks the speculative memory accesses of
+ * every in-flight task; when a store from an older task hits an
+ * address that a younger task already loaded (and the younger task's
+ * load did not get its value from a task at least as young as the
+ * storer), a memory-dependence violation squashes the younger task and
+ * its successors. The sync table remembers offending (store PC, load
+ * PC) pairs so subsequent instances of the load wait instead of
+ * speculating (§3.4).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace msc {
+namespace arch {
+
+/** Sequence number of a dynamic task instance (program order). */
+using TaskSeq = uint64_t;
+constexpr TaskSeq NO_TASK = ~0ull;
+
+/** ARB model over word addresses. */
+class Arb
+{
+  public:
+    /**
+     * @param total_entries total tracked addresses (entries/PU x PUs).
+     */
+    explicit Arb(unsigned total_entries) : _capacity(total_entries) {}
+
+    /** True when no free entry remains for a new address. */
+    bool full() const { return _entries.size() >= _capacity; }
+
+    /** True when @p addr is already tracked (no new entry needed). */
+    bool tracked(uint64_t addr) const { return _entries.count(addr) != 0; }
+
+    /**
+     * Records a load by @p task to @p addr. The version the load
+     * observes is the youngest store to @p addr by a task <= @p task,
+     * or "architectural" when none is in flight. @p pc identifies the
+     * load instruction for sync-table training on violation.
+     */
+    void recordLoad(TaskSeq task, uint64_t addr, uint64_t pc);
+
+    /** Outcome of a store: the violating task (if any) and the PC of
+     *  its stale load. */
+    struct StoreResult
+    {
+        TaskSeq victim = NO_TASK;
+        uint64_t loadPc = 0;
+    };
+
+    /**
+     * Records a store by @p task to @p addr.
+     * @return the oldest younger task whose earlier load is now stale
+     *         (a violation), with the offending load's PC.
+     */
+    StoreResult recordStore(TaskSeq task, uint64_t addr);
+
+    /** Discards all accesses of tasks >= @p task (squash). */
+    void squashFrom(TaskSeq task);
+
+    /** Discards all accesses of tasks <= @p task (retire commit). */
+    void retireUpTo(TaskSeq task);
+
+    size_t entriesInUse() const { return _entries.size(); }
+
+  private:
+    struct Access
+    {
+        TaskSeq task;
+        bool loaded = false;
+        bool stored = false;
+        /** Version the first load observed: youngest storing task
+         *  <= task at load time; NO_TASK means architectural. */
+        TaskSeq loadSrc = NO_TASK;
+        /** PC of the first load (for sync-table training). */
+        uint64_t loadPc = 0;
+    };
+
+    /** Per-address access list, ordered by task sequence. */
+    std::unordered_map<uint64_t, std::vector<Access>> _entries;
+    unsigned _capacity;
+};
+
+/** Memory-dependence synchronization table. */
+class SyncTable
+{
+  public:
+    explicit SyncTable(unsigned capacity) : _capacity(capacity) {}
+
+    /** Records that the load at @p load_pc violated against the store
+     *  at @p store_pc. */
+    void
+    insert(uint64_t load_pc, uint64_t store_pc)
+    {
+        if (_map.size() >= _capacity && !_map.count(load_pc))
+            _map.erase(_map.begin());  // Capacity eviction.
+        _map[load_pc] = store_pc;
+    }
+
+    /** Store PC the load must synchronize with; 0 when unsynced. */
+    uint64_t
+    producerOf(uint64_t load_pc) const
+    {
+        auto it = _map.find(load_pc);
+        return it == _map.end() ? 0 : it->second;
+    }
+
+    size_t size() const { return _map.size(); }
+
+  private:
+    unsigned _capacity;
+    std::unordered_map<uint64_t, uint64_t> _map;
+};
+
+} // namespace arch
+} // namespace msc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Simulator configuration, defaulted to the paper's §4.2 parameters.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace msc {
+namespace arch {
+
+/** One cache level's geometry. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 2;
+    unsigned blockBytes = 32;
+    unsigned hitLatency = 1;
+    unsigned banks = 4;
+};
+
+/** Full Multiscalar processor configuration (§4.2). */
+struct SimConfig
+{
+    /// @name Processing units.
+    /// @{
+    unsigned numPUs = 4;
+    bool outOfOrder = true;     ///< Out-of-order vs in-order issue.
+    unsigned issueWidth = 2;    ///< 2-way issue.
+    unsigned fetchWidth = 2;
+    unsigned robSize = 16;      ///< 16-entry reorder buffer.
+    unsigned issueListSize = 8; ///< 8-entry issue list.
+    unsigned numIntFU = 2;
+    unsigned numFpFU = 1;
+    unsigned numBrFU = 1;
+    unsigned numMemFU = 1;
+    /// @}
+
+    /// @name Task management.
+    /// @{
+    unsigned maxTargets = 4;        ///< Successors tracked per task.
+    unsigned taskStartOverhead = 2; ///< Dispatch / pipe-fill cycles.
+    unsigned taskEndOverhead = 2;   ///< Commit cycles at retire.
+    /// @}
+
+    /// @name Prediction.
+    /// @{
+    unsigned taskPredHistBits = 16;     ///< Path-based scheme [9].
+    unsigned taskPredTableSize = 64 * 1024;
+    unsigned gshareHistBits = 16;
+    unsigned gshareTableSize = 64 * 1024;
+    unsigned rasDepth = 16;
+    /// @}
+
+    /// @name Register communication ring.
+    /// @{
+    unsigned ringBandwidth = 2;     ///< Values per cycle per link.
+    /// @}
+
+    /// @name Memory hierarchy.
+    /// @{
+    CacheConfig l1i{64 * 1024, 2, 32, 1, 4};
+    CacheConfig l1d{64 * 1024, 2, 32, 1, 4};
+    unsigned arbEntriesPerPU = 32;
+    unsigned arbHitLatency = 2;
+    unsigned syncTableSize = 256;
+    CacheConfig l2{4u * 1024 * 1024, 2, 32, 12, 1};
+    unsigned memLatency = 58;
+    /// @}
+
+    /** Hard stop for runaway simulations. */
+    uint64_t maxCycles = 2'000'000'000ull;
+
+    /**
+     * Returns the paper's configuration for @p pus processing units
+     * (L1 caches scale from 64KB at 4 PUs to 128KB at 8 PUs, and are
+     * interleaved with as many banks as PUs).
+     */
+    static SimConfig
+    paperConfig(unsigned pus, bool out_of_order = true)
+    {
+        SimConfig c;
+        c.numPUs = pus;
+        c.outOfOrder = out_of_order;
+        uint64_t l1 = (pus >= 8) ? 128 * 1024 : 64 * 1024;
+        c.l1i.sizeBytes = l1;
+        c.l1d.sizeBytes = l1;
+        c.l1i.banks = pus;
+        c.l1d.banks = pus;
+        return c;
+    }
+};
+
+} // namespace arch
+} // namespace msc

@@ -1,0 +1,807 @@
+#include "arch/processor.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "arch/arb.h"
+#include "arch/cache.h"
+#include "arch/predictors.h"
+#include "arch/ring.h"
+#include "cfg/liveness.h"
+
+namespace msc {
+namespace arch {
+
+namespace {
+
+using namespace ir;
+using namespace tasksel;
+using cfg::RegSet;
+
+constexpr uint64_t INF = ~0ull;
+
+/** One task instance occupying a PU. */
+struct Instance
+{
+    uint64_t seq = 0;           ///< Dispatch order (unique).
+    uint64_t dynIdx = 0;        ///< Index into the dynamic task stream.
+    unsigned pu = 0;
+    const DynTask *task = nullptr;  ///< Null for bogus instances.
+    bool bogus = false;
+
+    uint64_t assignCycle = 0;
+    uint64_t fetchStart = 0;
+
+    /// @name Pipeline state.
+    /// @{
+    uint32_t dispatched = 0;    ///< Instructions fetched so far.
+    uint32_t doneCount = 0;
+    uint32_t retPtr = 0;        ///< Contiguous done prefix (ROB free).
+    uint32_t firstUnissued = 0;
+    std::vector<uint8_t> issued, done;
+    std::vector<uint64_t> readyTime;
+    std::vector<int> deps;
+    std::vector<RegSet> extMask;
+    std::vector<uint64_t> doneCycle;
+    std::vector<std::vector<uint32_t>> waiters;
+    std::vector<uint32_t> inFlight;     ///< Issued, not yet done.
+    std::array<int, NUM_REGS> lastWriter;
+    std::array<uint64_t, NUM_REGS> regAvail;
+    std::array<std::vector<uint32_t>, NUM_REGS> extWaiters;
+    uint64_t icacheBlockedUntil = 0;
+    int branchBlockedOn = -1;
+    uint64_t curFetchLine = INF;
+    /// @}
+
+    /// @name Forwarding.
+    /// @{
+    RegSet createMask = 0;
+    RegSet forwardedRegs = 0;
+    RegSet pendingRelease = 0;
+    std::array<std::vector<uint64_t>, NUM_REGS> fwdArr;
+    std::array<std::vector<uint64_t>, NUM_REGS> subs;  ///< Consumer seqs.
+    /// @}
+
+    /// @name Status.
+    /// @{
+    bool completed = false;
+    uint64_t completionCycle = INF;
+    bool mispredictedSuccessor = false;
+    bool successorDecided = false;  ///< Prediction/known-path consumed.
+    bool rasDone = false;
+    bool predUpdated = false;
+    uint64_t retireStart = INF;
+    /// @}
+
+    CycleBuckets buckets;
+    std::unordered_map<uint64_t, int> pendingStorePc;
+
+    size_t numInsts() const { return task ? task->insts.size() : 0; }
+};
+
+/** A pending memory-dependence violation found during the cycle. */
+struct Violation
+{
+    uint64_t victimDynIdx;
+    uint64_t loadPc;
+    uint64_t storePc;
+};
+
+class Simulator
+{
+  public:
+    Simulator(const TaskPartition &part, const std::vector<DynTask> &tasks,
+              const SimConfig &cfg)
+        : _part(part), _tasks(tasks), _cfg(cfg),
+          _hier(cfg),
+          _arb(cfg.arbEntriesPerPU * cfg.numPUs),
+          _sync(cfg.syncTableSize),
+          _ring(cfg.numPUs, cfg.ringBandwidth),
+          _gshare(cfg.gshareHistBits, cfg.gshareTableSize),
+          _taskPred(cfg.taskPredHistBits, cfg.taskPredTableSize,
+                    cfg.maxTargets),
+          _ras(cfg.rasDepth),
+          _puBusy(cfg.numPUs, false)
+    {
+    }
+
+    SimStats run();
+
+  private:
+    uint64_t taskEntryAddr(TaskId t) const;
+    void trainTaskPredictor(Instance &pred);
+    void assignPhase();
+    void retirePhase();
+    void execPhase();
+    void execInstance(Instance &in);
+    void dispatchInsts(Instance &in);
+    bool tryIssue(Instance &in, uint32_t i,
+                  std::array<unsigned, 5> &fu_free, bool &ext_wait,
+                  bool &sync_wait);
+    void writebacks(Instance &in);
+    void broadcastReg(Instance &in, RegId r, uint64_t when);
+    void deliver(Instance &in, RegId r, uint64_t when);
+    void initRegAvail(Instance &in);
+    void squashFrom(uint64_t seq, CycleKind kind);
+    void resolveControl();
+    void processViolations();
+    Instance *bySeq(uint64_t seq);
+
+    const TaskPartition &_part;
+    const std::vector<DynTask> &_tasks;
+    const SimConfig &_cfg;
+
+    MemoryHierarchy _hier;
+    Arb _arb;
+    SyncTable _sync;
+    Ring _ring;
+    Gshare _gshare;
+    TaskPredictor _taskPred;
+    ReturnAddressStack _ras;
+
+    std::deque<std::unique_ptr<Instance>> _window;
+    std::vector<bool> _puBusy;
+    uint64_t _now = 0;
+    uint64_t _nextSeq = 0;
+    uint64_t _nextDyn = 0;      ///< Next dynamic task to dispatch.
+    std::vector<Violation> _violations;
+    std::vector<uint64_t> _violationLoadPcScratch;
+
+    SimStats _stats;
+    uint64_t _spanSum = 0;
+    uint64_t _spanCycles = 0;
+};
+
+uint64_t
+Simulator::taskEntryAddr(TaskId t) const
+{
+    const Task &st = _part.tasks[t];
+    return _part.prog->instAddr(st.func, st.entry, 0);
+}
+
+void
+Simulator::trainTaskPredictor(Instance &pred)
+{
+    // Trained exactly once per dynamic transition, at the moment the
+    // sequencer consumes it, so the path history rolls in program
+    // order and predict-time and train-time indices agree.
+    if (pred.predUpdated || pred.task->last)
+        return;
+    int actual = pred.task->actualTargetIdx;
+    _taskPred.update(taskEntryAddr(pred.task->staticTask),
+                     actual >= 0 ? unsigned(actual) : 0);
+    pred.predUpdated = true;
+}
+
+Instance *
+Simulator::bySeq(uint64_t seq)
+{
+    for (auto &up : _window)
+        if (up->seq == seq)
+            return up.get();
+    return nullptr;
+}
+
+void
+Simulator::initRegAvail(Instance &in)
+{
+    for (unsigned r = 0; r < NUM_REGS; ++r)
+        in.regAvail[r] = 0;
+    if (_window.empty())
+        return;
+    // Youngest older in-flight producer per register.
+    RegSet resolved = 0;
+    for (auto it = _window.rbegin(); it != _window.rend(); ++it) {
+        Instance &p = **it;
+        RegSet mask = p.createMask & ~resolved;
+        if (!mask)
+            continue;
+        for (unsigned r = 0; r < NUM_REGS; ++r) {
+            if (!(mask & cfg::regBit(RegId(r))))
+                continue;
+            if (!p.fwdArr[r].empty()) {
+                in.regAvail[r] = p.fwdArr[r][in.pu];
+            } else {
+                in.regAvail[r] = INF;
+                p.subs[r].push_back(in.seq);
+            }
+        }
+        resolved |= mask;
+    }
+}
+
+void
+Simulator::broadcastReg(Instance &in, RegId r, uint64_t when)
+{
+    if (in.forwardedRegs & cfg::regBit(r))
+        return;
+    in.forwardedRegs |= cfg::regBit(r);
+    std::vector<uint64_t> arrivals;
+    _ring.broadcast(in.pu, when, arrivals);
+    in.fwdArr[r].assign(arrivals.begin(), arrivals.end());
+    for (uint64_t cseq : in.subs[r]) {
+        Instance *c = bySeq(cseq);
+        if (c)
+            deliver(*c, r, arrivals[c->pu]);
+    }
+    in.subs[r].clear();
+}
+
+void
+Simulator::deliver(Instance &in, RegId r, uint64_t when)
+{
+    if (in.regAvail[r] != INF)
+        return;
+    in.regAvail[r] = when;
+    for (uint32_t idx : in.extWaiters[r]) {
+        if (!in.issued[idx]) {
+            in.readyTime[idx] = std::max(in.readyTime[idx], when);
+            in.extMask[idx] &= ~cfg::regBit(r);
+        }
+    }
+    in.extWaiters[r].clear();
+    // Chained release: a completed task passing the value through.
+    if ((in.pendingRelease & cfg::regBit(r)) && in.completed) {
+        in.pendingRelease &= ~cfg::regBit(r);
+        broadcastReg(in, r, std::max(when, in.completionCycle));
+    }
+}
+
+void
+Simulator::dispatchInsts(Instance &in)
+{
+    const DynTask &dt = *in.task;
+    unsigned fetched = 0;
+    while (fetched < _cfg.fetchWidth && in.dispatched < dt.insts.size()) {
+        if (_now < in.icacheBlockedUntil)
+            break;
+        if (in.branchBlockedOn >= 0 && !in.done[in.branchBlockedOn])
+            break;
+        // ROB capacity.
+        if (in.dispatched - in.retPtr >= _cfg.robSize)
+            break;
+
+        uint32_t i = in.dispatched;
+        const DynInst &di = dt.insts[i];
+        const Instruction &inst = _part.prog->inst(di.ref);
+
+        // I-cache: one line lookup per new line.
+        uint64_t line = di.pc / _cfg.l1i.blockBytes;
+        if (line != in.curFetchLine) {
+            uint64_t avail = _hier.fetchAccess(di.pc, _now);
+            if (avail > _now + _cfg.l1i.hitLatency) {
+                in.icacheBlockedUntil = avail;
+                break;
+            }
+            in.curFetchLine = line;
+        }
+
+        // Intra-task conditional branches consult gshare; a
+        // misprediction stalls fetch until the branch executes.
+        if (inst.isCondBranch()) {
+            bool pred = _gshare.predict(di.pc);
+            _stats.branchPredictions++;
+            if (pred != di.taken) {
+                _stats.branchMispredictions++;
+                in.branchBlockedOn = int(i);
+            }
+            _gshare.update(di.pc, di.taken);
+        }
+
+        // Dependence setup.
+        uint64_t ready = _now + 1;
+        std::vector<RegId> srcs = inst.uses();
+        for (RegId r : srcs) {
+            int w = in.lastWriter[r];
+            if (w >= 0) {
+                if (!in.done[w]) {
+                    in.waiters[w].push_back(i);
+                    in.deps[i]++;
+                } else {
+                    ready = std::max(ready, in.doneCycle[w]);
+                }
+            } else if (in.regAvail[r] == INF) {
+                in.extMask[i] |= cfg::regBit(r);
+                in.extWaiters[r].push_back(i);
+            } else {
+                ready = std::max(ready, in.regAvail[r]);
+            }
+        }
+        in.readyTime[i] = ready;
+
+        std::vector<RegId> dsts = inst.defs();
+        for (RegId r : dsts)
+            if (r != REG_ZERO)
+                in.lastWriter[r] = int(i);
+
+        in.dispatched++;
+        ++fetched;
+    }
+}
+
+bool
+Simulator::tryIssue(Instance &in, uint32_t i,
+                    std::array<unsigned, 5> &fu_free, bool &ext_wait,
+                    bool &sync_wait)
+{
+    const DynTask &dt = *in.task;
+    const DynInst &di = dt.insts[i];
+    const Instruction &inst = _part.prog->inst(di.ref);
+
+    if (in.extMask[i]) {
+        ext_wait = true;
+        return false;
+    }
+    if (in.deps[i] > 0 || in.readyTime[i] > _now)
+        return false;
+
+    unsigned fu = unsigned(inst.info().fu);
+    if (fu != unsigned(FuClass::None)) {
+        if (fu_free[fu] == 0)
+            return false;
+    }
+
+    bool is_head = (_window.front().get() == &in);
+    uint64_t wb;
+
+    if (inst.isLoad()) {
+        // Synchronization-table gating (Moshovos et al. [11]).
+        uint64_t producer_pc = _sync.producerOf(di.pc);
+        if (producer_pc && !is_head) {
+            for (auto &up : _window) {
+                Instance &older = *up;
+                if (&older == &in)
+                    break;
+                if (older.bogus || older.completed)
+                    continue;
+                auto it = older.pendingStorePc.find(producer_pc);
+                if (it != older.pendingStorePc.end() && it->second > 0) {
+                    sync_wait = true;
+                    _stats.syncStallCycles++;
+                    return false;
+                }
+            }
+        }
+        // ARB capacity: speculative accesses to untracked addresses
+        // stall when the ARB is full.
+        if (!is_head && _arb.full() && !_arb.tracked(di.addr)) {
+            _stats.arbOverflowStalls++;
+            return false;
+        }
+        uint64_t avail = _hier.dataAccess(di.addr * 8, _now);
+        wb = avail + _cfg.arbHitLatency;
+        _arb.recordLoad(in.dynIdx, di.addr, di.pc);
+    } else if (inst.isStore()) {
+        if (!is_head && _arb.full() && !_arb.tracked(di.addr)) {
+            _stats.arbOverflowStalls++;
+            return false;
+        }
+        wb = _now + 1 + _cfg.arbHitLatency;
+        auto hit = _arb.recordStore(in.dynIdx, di.addr);
+        if (hit.victim != NO_TASK) {
+            _stats.memViolations++;
+            _violations.push_back({hit.victim, hit.loadPc, di.pc});
+        }
+        auto it = in.pendingStorePc.find(di.pc);
+        if (it != in.pendingStorePc.end() && it->second > 0)
+            it->second--;
+    } else {
+        wb = _now + inst.info().latency;
+    }
+
+    if (fu != unsigned(FuClass::None))
+        fu_free[fu]--;
+    in.issued[i] = 1;
+    in.doneCycle[i] = wb;
+    in.inFlight.push_back(i);
+    return true;
+}
+
+void
+Simulator::writebacks(Instance &in)
+{
+    for (size_t k = 0; k < in.inFlight.size();) {
+        uint32_t i = in.inFlight[k];
+        if (in.doneCycle[i] > _now) {
+            ++k;
+            continue;
+        }
+        in.inFlight[k] = in.inFlight.back();
+        in.inFlight.pop_back();
+
+        in.done[i] = 1;
+        in.doneCount++;
+
+        // Wake local dependents.
+        for (uint32_t w : in.waiters[i]) {
+            in.deps[w]--;
+            in.readyTime[w] = std::max(in.readyTime[w], in.doneCycle[i]);
+        }
+        in.waiters[i].clear();
+
+        // Safe forward points: send on the ring.
+        const DynInst &di = in.task->insts[i];
+        RegSet fwd = di.fwdMask & in.createMask & ~in.forwardedRegs;
+        for (unsigned r = 0; fwd && r < NUM_REGS; ++r) {
+            if (fwd & cfg::regBit(RegId(r))) {
+                broadcastReg(in, RegId(r), in.doneCycle[i]);
+                fwd &= ~cfg::regBit(RegId(r));
+            }
+        }
+    }
+
+    while (in.retPtr < in.numInsts() && in.done[in.retPtr])
+        in.retPtr++;
+
+    // Completion.
+    if (!in.completed && in.dispatched == in.numInsts() &&
+        in.doneCount == in.numInsts()) {
+        in.completed = true;
+        in.completionCycle = _now;
+
+        // Release the remaining create-mask registers.
+        RegSet rel = in.createMask & ~in.forwardedRegs;
+        for (unsigned r = 0; rel && r < NUM_REGS; ++r) {
+            RegSet bit = cfg::regBit(RegId(r));
+            if (!(rel & bit))
+                continue;
+            rel &= ~bit;
+            if (in.lastWriter[r] >= 0) {
+                broadcastReg(in, RegId(r), _now);
+            } else if (in.regAvail[r] != INF) {
+                broadcastReg(in, RegId(r),
+                             std::max(_now, in.regAvail[r]));
+            } else {
+                in.pendingRelease |= bit;  // Chain: forward on arrival.
+            }
+        }
+    }
+}
+
+void
+Simulator::execInstance(Instance &in)
+{
+    if (in.bogus)
+        return;  // Wrong-path work: time accrues, nothing executes.
+
+    if (in.completed)
+        return;
+
+    if (_now < in.fetchStart) {
+        in.buckets.add(CycleKind::TaskStart);
+        return;
+    }
+
+    writebacks(in);
+    if (in.completed)
+        return;
+
+    // Issue.
+    std::array<unsigned, 5> fu_free{};
+    fu_free[unsigned(FuClass::IntAlu)] = _cfg.numIntFU;
+    fu_free[unsigned(FuClass::FpAlu)] = _cfg.numFpFU;
+    fu_free[unsigned(FuClass::Branch)] = _cfg.numBrFU;
+    fu_free[unsigned(FuClass::Mem)] = _cfg.numMemFU;
+
+    while (in.firstUnissued < in.dispatched &&
+           in.issued[in.firstUnissued]) {
+        in.firstUnissued++;
+    }
+
+    unsigned issued_now = 0;
+    bool ext_wait = false, sync_wait = false;
+
+    uint32_t lim = std::min<uint32_t>(
+        in.dispatched, in.firstUnissued + _cfg.issueListSize);
+    for (uint32_t i = in.firstUnissued;
+         i < lim && issued_now < _cfg.issueWidth; ++i) {
+        if (in.issued[i])
+            continue;
+        bool ok = tryIssue(in, i, fu_free, ext_wait, sync_wait);
+        if (ok) {
+            ++issued_now;
+        } else if (!_cfg.outOfOrder) {
+            break;  // In-order PUs stall at the oldest unissued op.
+        }
+    }
+
+    dispatchInsts(in);
+
+    // Cycle attribution (Figure 2).
+    if (issued_now > 0) {
+        in.buckets.add(CycleKind::Useful);
+    } else if (in.firstUnissued >= in.dispatched) {
+        in.buckets.add(CycleKind::FetchStall);
+    } else if (in.extMask[in.firstUnissued] || ext_wait || sync_wait) {
+        in.buckets.add(CycleKind::InterTaskComm);
+        RegSet m = in.extMask[in.firstUnissued];
+        if (m)
+            _stats.extWaitByReg[__builtin_ctzll(m)]++;
+    } else {
+        in.buckets.add(CycleKind::IntraTaskDep);
+    }
+}
+
+void
+Simulator::execPhase()
+{
+    uint64_t span = 0;
+    bool any = false;
+    for (auto &up : _window) {
+        execInstance(*up);
+        if (!up->bogus) {
+            span += up->task->insts.size();
+            any = true;
+        }
+    }
+    if (any) {
+        _spanSum += span;
+        _spanCycles++;
+    }
+    _stats.idlePuCycles += _cfg.numPUs - _window.size();
+}
+
+void
+Simulator::squashFrom(uint64_t seq, CycleKind kind)
+{
+    while (!_window.empty() && _window.back()->seq >= seq) {
+        Instance &in = *_window.back();
+        uint64_t t = in.buckets.collapse();
+        // A squashed instance's entire occupancy is penalty,
+        // including the cycles of the current (partial) cycle window.
+        uint64_t occupied = (_now >= in.assignCycle)
+            ? (_now - in.assignCycle) : 0;
+        _stats.buckets.add(kind, std::max(t, occupied));
+        if (kind == CycleKind::CtrlSquash)
+            _stats.tasksSquashedCtrl++;
+        else
+            _stats.tasksSquashedMem++;
+        if (!in.bogus)
+            _arb.squashFrom(in.dynIdx);
+        _puBusy[in.pu] = false;
+        _window.pop_back();
+    }
+    if (_window.empty())
+        _nextDyn = 0;  // Never happens: head is never squashed.
+}
+
+void
+Simulator::resolveControl()
+{
+    // The oldest completed task with a mispredicted successor squashes
+    // everything younger.
+    for (auto &up : _window) {
+        Instance &in = *up;
+        if (in.bogus || !in.completed)
+            continue;
+        if (in.successorDecided && in.mispredictedSuccessor) {
+            in.mispredictedSuccessor = false;
+            in.successorDecided = false;  // Sequencer re-dispatches.
+            squashFrom(in.seq + 1, CycleKind::CtrlSquash);
+            _nextDyn = in.dynIdx + 1;
+            break;
+        }
+    }
+}
+
+void
+Simulator::processViolations()
+{
+    if (_violations.empty())
+        return;
+    // Oldest victim wins.
+    uint64_t victim = INF;
+    uint64_t load_pc = 0, store_pc = 0;
+    for (const auto &v : _violations) {
+        if (v.victimDynIdx < victim) {
+            victim = v.victimDynIdx;
+            load_pc = v.loadPc;
+            store_pc = v.storePc;
+        }
+    }
+    _violations.clear();
+
+    _sync.insert(load_pc, store_pc);
+
+    for (auto &up : _window) {
+        if (!up->bogus && up->dynIdx == victim) {
+            // The predecessor must re-decide its successor dispatch.
+            squashFrom(up->seq, CycleKind::MemSquash);
+            _nextDyn = victim;
+            if (!_window.empty()) {
+                _window.back()->successorDecided = false;
+                _window.back()->mispredictedSuccessor = false;
+            }
+            return;
+        }
+    }
+}
+
+void
+Simulator::retirePhase()
+{
+    if (_window.empty())
+        return;
+    Instance &head = *_window.front();
+    if (head.bogus || !head.completed)
+        return;
+
+    if (head.retireStart == INF)
+        head.retireStart = std::max(_now, head.completionCycle);
+
+    if (_now < head.retireStart + _cfg.taskEndOverhead)
+        return;
+
+    // Commit.
+    head.buckets.add(CycleKind::LoadImbalance,
+                     head.retireStart - head.completionCycle);
+    head.buckets.add(CycleKind::TaskEnd, _cfg.taskEndOverhead);
+    _stats.buckets.merge(head.buckets);
+    _stats.retiredTasks++;
+    _stats.retiredInsts += head.task->insts.size();
+    _stats.dynTasks++;
+    _stats.dynTaskInsts += head.task->insts.size();
+    _stats.dynTaskCtlInsts += head.task->ctlInsts;
+
+    _arb.retireUpTo(head.dynIdx);
+    _puBusy[head.pu] = false;
+    _window.pop_front();
+}
+
+void
+Simulator::assignPhase()
+{
+    if (_window.size() >= _cfg.numPUs)
+        return;
+    if (_nextDyn >= _tasks.size() && _window.empty())
+        return;
+
+    unsigned pu = _window.empty()
+        ? 0 : (_window.back()->pu + 1) % _cfg.numPUs;
+    if (_puBusy[pu])
+        return;
+
+    bool bogus = false;
+    uint64_t dyn_idx = _nextDyn;
+
+    if (!_window.empty()) {
+        Instance &pred = *_window.back();
+        if (pred.bogus) {
+            // Cascaded wrong-path assignment.
+            bogus = true;
+        } else if (pred.task->last) {
+            return;  // Program ends after the current tail.
+        } else if (pred.completed || pred.successorDecided) {
+            // Known path (resolution already happened or the
+            // prediction for this transition was already consumed
+            // and was correct).
+            if (pred.completed && !pred.successorDecided) {
+                // Resolution before dispatch: decide RAS bookkeeping.
+                if (!pred.rasDone) {
+                    if (pred.task->actualKind == TargetKind::Return)
+                        _ras.pop();
+                    if (pred.task->endsInCall)
+                        _ras.push(pred.task->callReturnSite);
+                    pred.rasDone = true;
+                }
+                trainTaskPredictor(pred);
+                pred.successorDecided = true;
+            }
+        } else {
+            // Predict the successor of the (unresolved) tail task.
+            const Task &st = _part.tasks[pred.task->staticTask];
+            unsigned pidx = _taskPred.predict(
+                taskEntryAddr(pred.task->staticTask));
+            if (!st.targets.empty() && pidx >= st.targets.size())
+                pidx = unsigned(st.targets.size()) - 1;
+
+            int actual = pred.task->actualTargetIdx;
+            bool correct = actual >= 0 &&
+                unsigned(actual) < _cfg.maxTargets &&
+                pidx == unsigned(actual);
+
+            if (!pred.rasDone) {
+                if (pred.task->actualKind == TargetKind::Return) {
+                    BlockRef popped = _ras.pop();
+                    correct = correct && popped == pred.task->nextEntry;
+                }
+                if (pred.task->endsInCall)
+                    _ras.push(pred.task->callReturnSite);
+                pred.rasDone = true;
+            }
+
+            _stats.taskPredictions++;
+            if (!correct) {
+                _stats.taskMispredictions++;
+                pred.mispredictedSuccessor = true;
+                bogus = true;
+            }
+            trainTaskPredictor(pred);
+            pred.successorDecided = true;
+        }
+    }
+
+    if (!bogus && dyn_idx >= _tasks.size())
+        return;
+
+    auto in = std::make_unique<Instance>();
+    in->seq = _nextSeq++;
+    in->dynIdx = dyn_idx;
+    in->pu = pu;
+    in->bogus = bogus;
+    in->assignCycle = _now;
+    in->fetchStart = _now + _cfg.taskStartOverhead;
+    in->buckets.add(CycleKind::TaskStart, 0);
+
+    if (!bogus) {
+        in->task = &_tasks[dyn_idx];
+        const Task &st = _part.tasks[in->task->staticTask];
+        in->createMask = st.createMask;
+        size_t n = in->task->insts.size();
+        in->issued.assign(n, 0);
+        in->done.assign(n, 0);
+        in->readyTime.assign(n, 0);
+        in->deps.assign(n, 0);
+        in->extMask.assign(n, 0);
+        in->doneCycle.assign(n, 0);
+        in->waiters.assign(n, {});
+        in->lastWriter.fill(-1);
+        initRegAvail(*in);
+        // Pending store PCs for synchronization gating.
+        for (const DynInst &di : in->task->insts) {
+            const Instruction &inst = _part.prog->inst(di.ref);
+            if (inst.isStore())
+                in->pendingStorePc[di.pc]++;
+        }
+        _nextDyn = dyn_idx + 1;
+    }
+
+    _puBusy[pu] = true;
+    _window.push_back(std::move(in));
+}
+
+SimStats
+Simulator::run()
+{
+    if (_tasks.empty())
+        return _stats;
+
+    while (_now < _cfg.maxCycles) {
+        retirePhase();
+        if (_window.empty() && _nextDyn >= _tasks.size())
+            break;
+        assignPhase();
+        execPhase();
+        processViolations();
+        resolveControl();
+        ++_now;
+        if ((_now & 0xffff) == 0)
+            _ring.trimBefore(_now > 1024 ? _now - 1024 : 0);
+    }
+
+    _stats.cycles = _now;
+    _stats.measuredWindowSpan =
+        _spanCycles ? double(_spanSum) / double(_spanCycles) : 0.0;
+    _stats.l1iAccesses = _hier.l1i().accesses();
+    _stats.l1iMisses = _hier.l1i().misses();
+    _stats.l1dAccesses = _hier.l1d().accesses();
+    _stats.l1dMisses = _hier.l1d().misses();
+    return _stats;
+}
+
+} // anonymous namespace
+
+SimStats
+simulate(const TaskPartition &part, const std::vector<DynTask> &tasks,
+         const SimConfig &cfg)
+{
+    Simulator sim(part, tasks, cfg);
+    return sim.run();
+}
+
+} // namespace arch
+} // namespace msc

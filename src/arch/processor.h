@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The Multiscalar processor timing model.
+ *
+ * A ring of processing units (PUs) executes the dynamic task stream
+ * under the sequencer's control (§2.1):
+ *
+ *  - The sequencer assigns the predicted next task to the next PU in
+ *    ring order (one assignment per cycle). Predictions come from the
+ *    path-based inter-task predictor plus a return-address stack for
+ *    Return-kind targets. A misprediction leaves the PU executing
+ *    bogus work until the predecessor task resolves its successor (at
+ *    its completion — "late resolution", §2.4.2); all younger tasks
+ *    are then squashed and their accumulated cycles become control
+ *    misspeculation penalty.
+ *
+ *  - Each PU models a 2-way pipeline with a 16-entry ROB, 8-entry
+ *    issue list, 2 int / 1 fp / 1 branch / 1 mem FU, gshare-driven
+ *    fetch for intra-task branches, and L1I behaviour. PUs issue out
+ *    of order or in order per configuration.
+ *
+ *  - Inter-task register dependences ride the forwarding ring: a task
+ *    forwards a register at its safe forward point or releases it at
+ *    completion; consumers wait on the youngest older in-flight task
+ *    whose create mask covers the register.
+ *
+ *  - Loads and stores go through the ARB; a store hitting a younger
+ *    task's premature load squashes that task and its successors
+ *    (memory misspeculation penalty) and trains the synchronization
+ *    table, which gates future instances of the offending load.
+ *
+ *  - Tasks complete, then retire strictly in order (head first); the
+ *    gap between completion and retirement is load imbalance; fixed
+ *    per-task dispatch and commit costs are task start/end overhead
+ *    (Figure 2).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "arch/config.h"
+#include "arch/stats.h"
+#include "arch/taskstream.h"
+#include "tasksel/task.h"
+
+namespace msc {
+namespace arch {
+
+/**
+ * Runs the full timing simulation of @p tasks (the dynamic task
+ * stream of a program under some partition) and returns the
+ * statistics.
+ */
+SimStats simulate(const tasksel::TaskPartition &part,
+                  const std::vector<DynTask> &tasks,
+                  const SimConfig &cfg);
+
+} // namespace arch
+} // namespace msc

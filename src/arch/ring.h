@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The unidirectional register-communication ring (§4.2): each link
+ * carries a bounded number of values per cycle; a value forwarded by
+ * PU p reaches the adjacent PU p+1 in the same cycle (bypass) and each
+ * further hop adds one cycle, subject to per-link bandwidth.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace msc {
+namespace arch {
+
+/** Bandwidth-modeled forwarding ring. */
+class Ring
+{
+  public:
+    Ring(unsigned num_pus, unsigned bandwidth)
+        : _numPUs(num_pus), _bandwidth(bandwidth)
+    {}
+
+    /**
+     * Sends one value from PU @p from at cycle @p when and computes
+     * its arrival time at every PU (consuming link slots on the way
+     * around the ring).
+     *
+     * @param arrivals filled with the arrival cycle per PU; the
+     *        sender's own slot holds @p when.
+     */
+    void
+    broadcast(unsigned from, uint64_t when, std::vector<uint64_t> &arrivals)
+    {
+        arrivals.assign(_numPUs, 0);
+        arrivals[from] = when;
+        uint64_t t = when;
+        unsigned p = from;
+        for (unsigned hop = 1; hop < _numPUs; ++hop) {
+            // Slot on link p -> p+1, adjacent bypass in the same cycle.
+            t = claimSlot(p, t);
+            p = (p + 1) % _numPUs;
+            arrivals[p] = t;
+            ++t;  // Each further hop costs a cycle.
+        }
+    }
+
+    /** Clears bandwidth bookkeeping older than @p cycle (optional
+     *  memory hygiene for long runs). */
+    void
+    trimBefore(uint64_t cycle)
+    {
+        for (auto &link : _slots) {
+            for (auto it = link.begin(); it != link.end();) {
+                if (it->first < cycle)
+                    it = link.erase(it);
+                else
+                    ++it;
+            }
+        }
+    }
+
+  private:
+    /** Earliest cycle >= @p t with a free slot on link @p link. */
+    uint64_t
+    claimSlot(unsigned link, uint64_t t)
+    {
+        if (_slots.size() < _numPUs)
+            _slots.resize(_numPUs);
+        auto &used = _slots[link];
+        while (used[t] >= _bandwidth)
+            ++t;
+        used[t]++;
+        return t;
+    }
+
+    unsigned _numPUs;
+    unsigned _bandwidth;
+    std::vector<std::unordered_map<uint64_t, unsigned>> _slots;
+};
+
+} // namespace arch
+} // namespace msc

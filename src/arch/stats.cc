@@ -1,0 +1,75 @@
+#include "arch/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace msc {
+namespace arch {
+
+const char *
+cycleKindName(CycleKind k)
+{
+    switch (k) {
+      case CycleKind::TaskStart:     return "task-start-overhead";
+      case CycleKind::Useful:        return "useful";
+      case CycleKind::InterTaskComm: return "inter-task-comm";
+      case CycleKind::IntraTaskDep:  return "intra-task-dep";
+      case CycleKind::FetchStall:    return "fetch-stall";
+      case CycleKind::LoadImbalance: return "load-imbalance";
+      case CycleKind::TaskEnd:       return "task-end-overhead";
+      case CycleKind::CtrlSquash:    return "ctrl-misspec-penalty";
+      case CycleKind::MemSquash:     return "mem-misspec-penalty";
+      default:                       return "?";
+    }
+}
+
+double
+SimStats::perBranchMispredictPct() const
+{
+    double per_task_acc = taskPredictions
+        ? 1.0 - double(taskMispredictions) / double(taskPredictions)
+        : 1.0;
+    double b = avgTaskCtlInsts();
+    if (b < 1.0)
+        b = 1.0;
+    if (per_task_acc <= 0.0)
+        return 100.0;
+    // acc_task = acc_branch ^ b  =>  acc_branch = acc_task ^ (1/b).
+    return 100.0 * (1.0 - std::pow(per_task_acc, 1.0 / b));
+}
+
+double
+SimStats::formulaWindowSpan(unsigned num_pus) const
+{
+    double pred = taskPredictions
+        ? 1.0 - double(taskMispredictions) / double(taskPredictions)
+        : 1.0;
+    double span = 0;
+    double p = 1.0;
+    for (unsigned i = 0; i < num_pus; ++i) {
+        span += avgTaskSize() * p;
+        p *= pred;
+    }
+    return span;
+}
+
+std::string
+formatBuckets(const SimStats &s)
+{
+    std::ostringstream os;
+    uint64_t tot = s.buckets.total();
+    if (!tot)
+        tot = 1;
+    for (size_t i = 0; i < NUM_CYCLE_KINDS; ++i) {
+        char line[96];
+        std::snprintf(line, sizeof(line), "  %-22s %12llu  (%5.1f%%)\n",
+                      cycleKindName(CycleKind(i)),
+                      (unsigned long long)s.buckets.counts[i],
+                      100.0 * double(s.buckets.counts[i]) / double(tot));
+        os << line;
+    }
+    return os.str();
+}
+
+} // namespace arch
+} // namespace msc

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cycle accounting per the paper's task time line (Figure 2) and the
+ * evaluation metrics of §4 (IPC, task/branch prediction accuracy,
+ * window span).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace msc {
+namespace arch {
+
+/** Where a PU-cycle went (Figure 2 categories). */
+enum class CycleKind : uint8_t
+{
+    TaskStart,      ///< Task start overhead (dispatch, pipe fill).
+    Useful,         ///< At least one instruction issued.
+    InterTaskComm,  ///< Oldest unissued op waits on a forwarded value.
+    IntraTaskDep,   ///< Oldest unissued op waits on a local producer.
+    FetchStall,     ///< Pipeline empty: I-cache miss / branch stall.
+    LoadImbalance,  ///< Task complete, waiting to retire in order.
+    TaskEnd,        ///< Task end overhead (commit).
+    CtrlSquash,     ///< Control-flow misspeculation penalty.
+    MemSquash,      ///< Memory-dependence misspeculation penalty.
+    NUM_KINDS
+};
+
+constexpr size_t NUM_CYCLE_KINDS = size_t(CycleKind::NUM_KINDS);
+
+/** Returns a short label for @p k. */
+const char *cycleKindName(CycleKind k);
+
+/** Per-category cycle counters. */
+struct CycleBuckets
+{
+    std::array<uint64_t, NUM_CYCLE_KINDS> counts{};
+
+    void add(CycleKind k, uint64_t n = 1) { counts[size_t(k)] += n; }
+
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (uint64_t c : counts)
+            t += c;
+        return t;
+    }
+
+    void
+    merge(const CycleBuckets &o)
+    {
+        for (size_t i = 0; i < NUM_CYCLE_KINDS; ++i)
+            counts[i] += o.counts[i];
+    }
+
+    /** Collapses all counts into one squash-penalty category (applied
+     *  to a squashed task instance's accumulated cycles). */
+    uint64_t
+    collapse()
+    {
+        uint64_t t = total();
+        counts.fill(0);
+        return t;
+    }
+};
+
+/** Results of one simulation. */
+struct SimStats
+{
+    uint64_t cycles = 0;
+    uint64_t retiredInsts = 0;
+    uint64_t retiredTasks = 0;
+
+    CycleBuckets buckets;       ///< PU-cycle attribution.
+    uint64_t idlePuCycles = 0;  ///< PU had no task assigned.
+
+    /// @name Inter-task (task-level) prediction.
+    /// @{
+    uint64_t taskPredictions = 0;
+    uint64_t taskMispredictions = 0;
+    /// @}
+
+    /// @name Intra-task branches (gshare).
+    /// @{
+    uint64_t branchPredictions = 0;
+    uint64_t branchMispredictions = 0;
+    /// @}
+
+    /// @name Memory dependence speculation.
+    /// @{
+    uint64_t memViolations = 0;
+    uint64_t tasksSquashedCtrl = 0;
+    uint64_t tasksSquashedMem = 0;
+    uint64_t syncStallCycles = 0;
+    /// @}
+
+    /// @name Dynamic task statistics (Table 1).
+    /// @{
+    uint64_t dynTasks = 0;              ///< Committed dynamic tasks.
+    uint64_t dynTaskInsts = 0;          ///< Instructions in them.
+    uint64_t dynTaskCtlInsts = 0;       ///< Control transfers in them.
+    /// @}
+
+    /** Measured window span: time-average of the total dynamic
+     *  instructions across all in-flight (non-bogus) tasks. */
+    double measuredWindowSpan = 0;
+
+    /// @name Cache behaviour.
+    /// @{
+    uint64_t l1iAccesses = 0, l1iMisses = 0;
+    uint64_t l1dAccesses = 0, l1dMisses = 0;
+    uint64_t arbOverflowStalls = 0;
+    /// @}
+
+    /** Diagnostic: inter-task wait cycles attributed to the register
+     *  the oldest unissued instruction was blocked on. */
+    std::array<uint64_t, 64> extWaitByReg{};
+
+    double
+    ipc() const
+    {
+        return cycles ? double(retiredInsts) / double(cycles) : 0.0;
+    }
+
+    /** Task misprediction rate in percent ("task pred", Table 1). */
+    double
+    taskMispredictPct() const
+    {
+        return taskPredictions
+            ? 100.0 * double(taskMispredictions) / double(taskPredictions)
+            : 0.0;
+    }
+
+    /** Average dynamic instructions per committed task. */
+    double
+    avgTaskSize() const
+    {
+        return dynTasks ? double(dynTaskInsts) / double(dynTasks) : 0.0;
+    }
+
+    /** Average control-transfer instructions per committed task. */
+    double
+    avgTaskCtlInsts() const
+    {
+        return dynTasks ? double(dynTaskCtlInsts) / double(dynTasks) : 0.0;
+    }
+
+    /**
+     * Effective per-branch misprediction percentage ("br pred"):
+     * the task misprediction rate normalized to the average number of
+     * control transfers per task, i.e. the per-branch rate that would
+     * compound to the observed task rate (§4.3.3).
+     */
+    double perBranchMispredictPct() const;
+
+    /**
+     * Window span by the paper's formula (§4.3.4):
+     * sum_{i=0..N-1} TaskSize * Pred^i.
+     */
+    double formulaWindowSpan(unsigned num_pus) const;
+};
+
+/** Renders the bucket breakdown as an aligned multi-line string. */
+std::string formatBuckets(const SimStats &s);
+
+} // namespace arch
+} // namespace msc

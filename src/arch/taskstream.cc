@@ -1,0 +1,105 @@
+#include "arch/taskstream.h"
+
+#include <stdexcept>
+
+namespace msc {
+namespace arch {
+
+using namespace ir;
+using namespace tasksel;
+
+std::vector<DynTask>
+cutTasks(const profile::Trace &trace, const TaskPartition &part)
+{
+    const Program &prog = *part.prog;
+    std::vector<DynTask> out;
+    if (trace.entries.empty())
+        return out;
+
+    unsigned depth = 0;           // Included-call nesting depth.
+    DynTask *cur = nullptr;
+
+    auto openTask = [&](BlockRef entry) {
+        TaskId tid = part.taskIdOf(entry);
+        if (tid == INVALID_TASK)
+            throw std::runtime_error("trace block not in any task");
+        if (part.tasks[tid].entry != entry.block)
+            throw std::runtime_error("dynamic entry into task middle");
+        out.emplace_back();
+        cur = &out.back();
+        cur->staticTask = tid;
+    };
+
+    for (size_t i = 0; i < trace.entries.size(); ++i) {
+        const profile::TraceEntry &e = trace.entries[i];
+        BlockRef blk{e.ref.func, e.ref.block};
+
+        if (e.ref.index == 0 && depth == 0) {
+            TaskId tid = part.taskIdOf(blk);
+            bool cut = (cur == nullptr) || tid != cur->staticTask ||
+                part.tasks[tid].entry == blk.block;
+            // Entering a non-entry block of the current task is
+            // intra-task control flow: no cut.
+            if (cut) {
+                if (cur) {
+                    // Record the successor of the closing task.
+                    const Task &st = part.tasks[cur->staticTask];
+                    const DynInst &lastin = cur->insts.back();
+                    const Instruction &li = prog.inst(lastin.ref);
+                    TaskTarget actual;
+                    if (li.op == Opcode::Ret) {
+                        actual = {TargetKind::Return, {}};
+                    } else {
+                        actual = {TargetKind::Block,
+                                  {blk.func, part.tasks[tid].entry}};
+                    }
+                    cur->actualKind = actual.kind;
+                    cur->actualTargetIdx = st.targetIndex(actual);
+                    cur->nextEntry = blk;
+                    if (li.op == Opcode::Call) {
+                        cur->endsInCall = true;
+                        const BasicBlock &cb = prog.block(
+                            {lastin.ref.func, lastin.ref.block});
+                        cur->callReturnSite =
+                            {lastin.ref.func, cb.fallthrough};
+                    }
+                }
+                openTask(blk);
+            }
+        }
+
+        const Instruction &inst = prog.inst(e.ref);
+
+        DynInst di;
+        di.ref = e.ref;
+        di.addr = e.addr;
+        di.pc = prog.instAddr(e.ref);
+        di.taken = e.taken;
+        if (depth == 0) {
+            di.fwdMask =
+                part.fwdSafe[e.ref.func][e.ref.block][e.ref.index];
+        } else {
+            di.fwdMask = 0;  // Inside an included callee.
+        }
+        if (inst.isControl())
+            cur->ctlInsts++;
+        cur->insts.push_back(di);
+
+        if (inst.op == Opcode::Call) {
+            if (depth > 0) {
+                ++depth;  // Nested call within an included callee.
+            } else if (part.callIncluded(blk)) {
+                depth = 1;
+            }
+        } else if (inst.op == Opcode::Ret && depth > 0) {
+            --depth;
+        }
+    }
+
+    if (cur)
+        cur->last = true;
+    return out;
+}
+
+} // namespace arch
+} // namespace msc

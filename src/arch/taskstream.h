@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cuts a dynamic instruction trace into the stream of dynamic tasks a
+ * Multiscalar sequencer would dispatch (§2.2): a dynamic task is a
+ * contiguous trace fragment beginning at a task entry block; it ends
+ * when control reaches a block owned by a different task or re-enters
+ * a task entry. Calls marked for inclusion by the task-size heuristic
+ * keep the current task open through the entire callee execution.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/trace.h"
+#include "tasksel/task.h"
+
+namespace msc {
+namespace arch {
+
+/** One dynamic instruction, decorated for the timing model. */
+struct DynInst
+{
+    ir::InstRef ref;
+    uint64_t addr = 0;       ///< Effective word address (memory ops).
+    uint64_t pc = 0;         ///< Code byte address.
+    bool taken = false;      ///< Conditional-branch outcome.
+
+    /** Registers to forward on the ring right after execution
+     *  (fwdSafe of the owning static task; zero inside included
+     *  callees, whose values release at task end). */
+    uint64_t fwdMask = 0;
+};
+
+/** One dynamic task instance in program order. */
+struct DynTask
+{
+    tasksel::TaskId staticTask = tasksel::INVALID_TASK;
+
+    /** Instructions of this dynamic task. */
+    std::vector<DynInst> insts;
+
+    /** Number of control-transfer instructions (Table 1 "#ct inst"). */
+    uint32_t ctlInsts = 0;
+
+    /**
+     * Index of the actual successor in the static task's target list;
+     * -1 when the successor was not an exposed target (forced
+     * misprediction) or when this is the final task.
+     */
+    int actualTargetIdx = -1;
+
+    /** Kind of the actual successor target. */
+    tasksel::TargetKind actualKind = tasksel::TargetKind::Block;
+
+    /** Entry block of the successor dynamic task (invalid at end). */
+    ir::BlockRef nextEntry;
+
+    /** True when this task ends the program. */
+    bool last = false;
+
+    /** True when this task's final control transfer is a Call whose
+     *  callee begins the next task (push a return site). */
+    bool endsInCall = false;
+
+    /** Return site pushed when endsInCall (continuation entry). */
+    ir::BlockRef callReturnSite;
+
+    size_t size() const { return insts.size(); }
+};
+
+/**
+ * Builds the dynamic task stream for @p trace under @p part.
+ *
+ * The program must have a code layout (Program::layout()). Every
+ * block boundary in the trace is checked against the partition; a
+ * malformed partition (control entering the middle of a task) throws.
+ */
+std::vector<DynTask> cutTasks(const profile::Trace &trace,
+                              const tasksel::TaskPartition &part);
+
+} // namespace arch
+} // namespace msc

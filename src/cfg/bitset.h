@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A small dynamic bitset used by the dataflow analyses.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msc {
+namespace cfg {
+
+/**
+ * Fixed-capacity dynamic bitset with the set-algebra operations the
+ * iterative dataflow solvers need. All binary operations require both
+ * operands to have the same size.
+ */
+class DynBitset
+{
+  public:
+    DynBitset() = default;
+
+    explicit DynBitset(size_t nbits)
+        : _nbits(nbits), _words((nbits + 63) / 64, 0)
+    {}
+
+    size_t size() const { return _nbits; }
+
+    void
+    set(size_t i)
+    {
+        _words[i >> 6] |= (uint64_t(1) << (i & 63));
+    }
+
+    void
+    reset(size_t i)
+    {
+        _words[i >> 6] &= ~(uint64_t(1) << (i & 63));
+    }
+
+    bool
+    test(size_t i) const
+    {
+        return (_words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    clear()
+    {
+        for (auto &w : _words)
+            w = 0;
+    }
+
+    void
+    setAll()
+    {
+        for (auto &w : _words)
+            w = ~uint64_t(0);
+        trim();
+    }
+
+    bool
+    any() const
+    {
+        for (auto w : _words)
+            if (w)
+                return true;
+        return false;
+    }
+
+    bool none() const { return !any(); }
+
+    size_t
+    count() const
+    {
+        size_t n = 0;
+        for (auto w : _words)
+            n += size_t(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** this |= other; returns true when this changed. */
+    bool
+    unionWith(const DynBitset &other)
+    {
+        bool changed = false;
+        for (size_t i = 0; i < _words.size(); ++i) {
+            uint64_t nw = _words[i] | other._words[i];
+            changed |= (nw != _words[i]);
+            _words[i] = nw;
+        }
+        return changed;
+    }
+
+    /** this &= other. */
+    void
+    intersectWith(const DynBitset &other)
+    {
+        for (size_t i = 0; i < _words.size(); ++i)
+            _words[i] &= other._words[i];
+    }
+
+    /** this &= ~other. */
+    void
+    subtract(const DynBitset &other)
+    {
+        for (size_t i = 0; i < _words.size(); ++i)
+            _words[i] &= ~other._words[i];
+    }
+
+    friend bool
+    operator==(const DynBitset &a, const DynBitset &b)
+    {
+        return a._nbits == b._nbits && a._words == b._words;
+    }
+
+    /** Calls @p fn(i) for each set bit i, in increasing order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t wi = 0; wi < _words.size(); ++wi) {
+            uint64_t w = _words[wi];
+            while (w) {
+                unsigned b = unsigned(__builtin_ctzll(w));
+                fn(wi * 64 + b);
+                w &= w - 1;
+            }
+        }
+    }
+
+  private:
+    void
+    trim()
+    {
+        if (_nbits & 63)
+            _words.back() &= (uint64_t(1) << (_nbits & 63)) - 1;
+    }
+
+    size_t _nbits = 0;
+    std::vector<uint64_t> _words;
+};
+
+} // namespace cfg
+} // namespace msc

@@ -1,0 +1,116 @@
+#include "cfg/defuse.h"
+
+namespace msc {
+namespace cfg {
+
+DefUse::DefUse(const ir::Function &f)
+{
+    size_t nblocks = f.blocks.size();
+
+    // Enumerate definition sites and group them per register.
+    std::vector<std::vector<uint32_t>> defs_of_reg(ir::NUM_REGS);
+    std::vector<ir::RegId> scratch;
+    for (const auto &b : f.blocks) {
+        for (uint32_t i = 0; i < b.insts.size(); ++i) {
+            scratch.clear();
+            b.insts[i].defs(scratch);
+            for (ir::RegId r : scratch) {
+                uint32_t id = uint32_t(_defSites.size());
+                _defSites.push_back({{f.id, b.id, i}, r});
+                defs_of_reg[r].push_back(id);
+            }
+        }
+    }
+
+    size_t nd = _defSites.size();
+    std::vector<DynBitset> reg_kill(ir::NUM_REGS, DynBitset(nd));
+    for (unsigned r = 0; r < ir::NUM_REGS; ++r)
+        for (uint32_t id : defs_of_reg[r])
+            reg_kill[r].set(id);
+
+    // Per-block gen/kill.
+    std::vector<DynBitset> gen(nblocks, DynBitset(nd));
+    std::vector<DynBitset> kill(nblocks, DynBitset(nd));
+    {
+        uint32_t id = 0;
+        for (const auto &b : f.blocks) {
+            for (uint32_t i = 0; i < b.insts.size(); ++i) {
+                scratch.clear();
+                b.insts[i].defs(scratch);
+                for (ir::RegId r : scratch) {
+                    // This def kills all other defs of r and generates
+                    // itself.
+                    gen[b.id].subtract(reg_kill[r]);
+                    kill[b.id].unionWith(reg_kill[r]);
+                    gen[b.id].set(id);
+                    ++id;
+                }
+            }
+        }
+    }
+
+    // Iterate to fixpoint: reachIn[b] = U reachOut[p];
+    // reachOut[b] = gen[b] | (reachIn[b] - kill[b]).
+    _reachIn.assign(nblocks, DynBitset(nd));
+    std::vector<DynBitset> reach_out(nblocks, DynBitset(nd));
+    for (size_t b = 0; b < nblocks; ++b)
+        reach_out[b] = gen[b];
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &b : f.blocks) {
+            DynBitset in(nd);
+            for (ir::BlockId p : b.preds)
+                in.unionWith(reach_out[p]);
+            if (!(in == _reachIn[b.id])) {
+                _reachIn[b.id] = in;
+                DynBitset out = in;
+                out.subtract(kill[b.id]);
+                out.unionWith(gen[b.id]);
+                if (!(out == reach_out[b.id])) {
+                    reach_out[b.id] = out;
+                }
+                changed = true;
+            }
+        }
+    }
+
+    // Walk each block with the running reaching set to emit def-use
+    // edges.
+    for (const auto &b : f.blocks) {
+        DynBitset live = _reachIn[b.id];
+        for (uint32_t i = 0; i < b.insts.size(); ++i) {
+            const auto &in = b.insts[i];
+            scratch.clear();
+            in.uses(scratch);
+            for (ir::RegId u : scratch) {
+                // All reaching defs of register u feed this use.
+                DynBitset hits = live;
+                hits.intersectWith(reg_kill[u]);
+                hits.forEach([&](size_t d) {
+                    _edges.push_back({uint32_t(d),
+                                      {f.id, b.id, i}, u});
+                });
+            }
+            scratch.clear();
+            in.defs(scratch);
+            for (ir::RegId r : scratch)
+                live.subtract(reg_kill[r]);
+            // Re-set the ids of this instruction's own defs. We need
+            // their defsite ids; find them by scanning defs_of_reg.
+            for (ir::RegId r : scratch) {
+                for (uint32_t id : defs_of_reg[r]) {
+                    const DefSite &ds = _defSites[id];
+                    if (ds.ref.block == b.id && ds.ref.index == i) {
+                        live.set(id);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace cfg
+} // namespace msc

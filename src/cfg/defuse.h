@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reaching definitions and register def-use chains.
+ *
+ * The data-dependence heuristic (§3.4) consumes def-use chains: for
+ * each register dependence (producer instruction, consumer
+ * instruction) it tries to include the dependence — and its
+ * *codependent set* of blocks — inside one task. Register dependences
+ * are "identified and specified entirely by the compiler using
+ * traditional def-use dataflow equations".
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/bitset.h"
+#include "ir/function.h"
+
+namespace msc {
+namespace cfg {
+
+/** One definition site: instruction @p ref defines register @p reg. */
+struct DefSite
+{
+    ir::InstRef ref;
+    ir::RegId reg;
+};
+
+/** One def-use chain edge. */
+struct DefUseEdge
+{
+    uint32_t def;           ///< Index into DefUse::defSites().
+    ir::InstRef use;        ///< The consuming instruction.
+    ir::RegId reg;          ///< Register carrying the value.
+};
+
+/**
+ * Per-function reaching-definitions analysis and the induced def-use
+ * chains.
+ */
+class DefUse
+{
+  public:
+    explicit DefUse(const ir::Function &f);
+
+    const std::vector<DefSite> &defSites() const { return _defSites; }
+    const std::vector<DefUseEdge> &edges() const { return _edges; }
+
+    /** Reaching definitions at entry of block @p b (defsite bitset). */
+    const DynBitset &reachIn(ir::BlockId b) const { return _reachIn[b]; }
+
+  private:
+    std::vector<DefSite> _defSites;
+    std::vector<DefUseEdge> _edges;
+    std::vector<DynBitset> _reachIn;
+};
+
+} // namespace cfg
+} // namespace msc

@@ -1,0 +1,60 @@
+#include "cfg/dfs.h"
+
+#include <algorithm>
+
+namespace msc {
+namespace cfg {
+
+DfsInfo::DfsInfo(const ir::Function &f)
+{
+    size_t n = f.blocks.size();
+    _pre.assign(n, UNREACHED);
+    _post.assign(n, UNREACHED);
+    _preorder.reserve(n);
+
+    unsigned pre_ctr = 0, post_ctr = 0;
+
+    // Iterative DFS to avoid deep recursion on long chains.
+    struct Frame { ir::BlockId blk; size_t next_succ; };
+    std::vector<Frame> stack;
+    stack.push_back({f.entry, 0});
+    _pre[f.entry] = pre_ctr++;
+    _preorder.push_back(f.entry);
+
+    std::vector<ir::BlockId> postorder;
+    postorder.reserve(n);
+
+    while (!stack.empty()) {
+        Frame &fr = stack.back();
+        const auto &succs = f.blocks[fr.blk].succs;
+        if (fr.next_succ < succs.size()) {
+            ir::BlockId s = succs[fr.next_succ++];
+            if (_pre[s] == UNREACHED) {
+                _pre[s] = pre_ctr++;
+                _preorder.push_back(s);
+                stack.push_back({s, 0});
+            }
+        } else {
+            _post[fr.blk] = post_ctr++;
+            postorder.push_back(fr.blk);
+            stack.pop_back();
+        }
+    }
+
+    _rpo.assign(postorder.rbegin(), postorder.rend());
+}
+
+bool
+DfsInfo::isBackEdge(ir::BlockId from, ir::BlockId to) const
+{
+    if (!reachable(from) || !reachable(to))
+        return false;
+    // Retreating edge: target visited earlier (or equal, a self loop)
+    // in preorder and not yet finished when the source was entered,
+    // which for preorder/postorder pairs is: pre(to) <= pre(from) and
+    // post(to) >= post(from).
+    return _pre[to] <= _pre[from] && _post[to] >= _post[from];
+}
+
+} // namespace cfg
+} // namespace msc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Depth-first numbering of a function's CFG.
+ *
+ * The control-flow heuristic of the paper classifies an edge (b, ch)
+ * as *terminal* when it retreats in the depth-first order — i.e. a
+ * loop back edge — so that tasks never wrap around loops (§3.3,
+ * is_a_terminal_edge). This analysis provides the numbering.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace msc {
+namespace cfg {
+
+/** DFS preorder/postorder numbering of reachable blocks. */
+class DfsInfo
+{
+  public:
+    explicit DfsInfo(const ir::Function &f);
+
+    /** Preorder number; UNREACHED for unreachable blocks. */
+    unsigned preNum(ir::BlockId b) const { return _pre[b]; }
+    unsigned postNum(ir::BlockId b) const { return _post[b]; }
+
+    bool reachable(ir::BlockId b) const { return _pre[b] != UNREACHED; }
+
+    /** Blocks in reverse postorder (suitable for forward dataflow). */
+    const std::vector<ir::BlockId> &rpo() const { return _rpo; }
+
+    /** Blocks in DFS preorder. */
+    const std::vector<ir::BlockId> &preorder() const { return _preorder; }
+
+    /**
+     * True for retreating edges: the target was visited no later than
+     * the source and the source is a DFS descendant of the target.
+     * For reducible CFGs (all ours are) this is exactly the set of
+     * loop back edges; self-loops are included.
+     */
+    bool isBackEdge(ir::BlockId from, ir::BlockId to) const;
+
+    static constexpr unsigned UNREACHED = ~0u;
+
+  private:
+    std::vector<unsigned> _pre, _post;
+    std::vector<ir::BlockId> _rpo, _preorder;
+};
+
+} // namespace cfg
+} // namespace msc

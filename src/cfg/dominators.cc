@@ -1,0 +1,69 @@
+#include "cfg/dominators.h"
+
+namespace msc {
+namespace cfg {
+
+DominatorTree::DominatorTree(const ir::Function &f, const DfsInfo &dfs)
+    : _dfs(dfs)
+{
+    _idom.assign(f.blocks.size(), ir::INVALID_BLOCK);
+
+    const auto &rpo = dfs.rpo();
+    if (rpo.empty())
+        return;
+
+    _idom[f.entry] = f.entry;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ir::BlockId b : rpo) {
+            if (b == f.entry)
+                continue;
+            ir::BlockId new_idom = ir::INVALID_BLOCK;
+            for (ir::BlockId p : f.blocks[b].preds) {
+                if (_idom[p] == ir::INVALID_BLOCK)
+                    continue;  // Not yet processed / unreachable.
+                new_idom = (new_idom == ir::INVALID_BLOCK)
+                    ? p : intersect(p, new_idom);
+            }
+            if (new_idom != ir::INVALID_BLOCK && _idom[b] != new_idom) {
+                _idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    // Normalize: the entry has no immediate dominator.
+    _idom[f.entry] = ir::INVALID_BLOCK;
+}
+
+ir::BlockId
+DominatorTree::intersect(ir::BlockId a, ir::BlockId b) const
+{
+    while (a != b) {
+        while (_dfs.postNum(a) < _dfs.postNum(b))
+            a = _idom[a];
+        while (_dfs.postNum(b) < _dfs.postNum(a))
+            b = _idom[b];
+    }
+    return a;
+}
+
+bool
+DominatorTree::dominates(ir::BlockId a, ir::BlockId b) const
+{
+    if (!_dfs.reachable(a) || !_dfs.reachable(b))
+        return false;
+    while (true) {
+        if (b == a)
+            return true;
+        ir::BlockId up = _idom[b];
+        if (up == ir::INVALID_BLOCK || up == b)
+            return false;
+        b = up;
+    }
+}
+
+} // namespace cfg
+} // namespace msc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Dominator tree via the Cooper-Harvey-Kennedy algorithm.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cfg/dfs.h"
+#include "ir/function.h"
+
+namespace msc {
+namespace cfg {
+
+/**
+ * Immediate-dominator tree of a function's CFG. Only reachable blocks
+ * participate; queries on unreachable blocks return INVALID_BLOCK /
+ * false.
+ */
+class DominatorTree
+{
+  public:
+    DominatorTree(const ir::Function &f, const DfsInfo &dfs);
+
+    /** Immediate dominator; INVALID_BLOCK for the entry/unreachable. */
+    ir::BlockId idom(ir::BlockId b) const { return _idom[b]; }
+
+    /** True when @p a dominates @p b (reflexive). */
+    bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+  private:
+    const DfsInfo &_dfs;
+    std::vector<ir::BlockId> _idom;
+
+    ir::BlockId intersect(ir::BlockId a, ir::BlockId b) const;
+};
+
+} // namespace cfg
+} // namespace msc

@@ -1,0 +1,62 @@
+#include "cfg/liveness.h"
+
+namespace msc {
+namespace cfg {
+
+Liveness::Liveness(const ir::Function &f)
+{
+    size_t n = f.blocks.size();
+    _use.assign(n, 0);
+    _def.assign(n, 0);
+    _liveIn.assign(n, 0);
+    _liveOut.assign(n, 0);
+
+    std::vector<ir::RegId> scratch;
+    for (const auto &b : f.blocks) {
+        RegSet use = 0, def = 0;
+        for (const auto &in : b.insts) {
+            scratch.clear();
+            in.uses(scratch);
+            for (ir::RegId r : scratch)
+                if (!regTest(def, r))
+                    use |= regBit(r);
+            scratch.clear();
+            in.defs(scratch);
+            for (ir::RegId r : scratch)
+                def |= regBit(r);
+        }
+        _use[b.id] = use;
+        _def[b.id] = def;
+    }
+
+    // Conservative boundary: at Ret blocks, the return value and all
+    // callee-saved registers are live-out of the function (the caller
+    // may read them).
+    RegSet ret_live = regBit(ir::REG_RET) | regBit(ir::FREG_RET);
+    for (ir::RegId r = ir::REG_CALLEE_SAVED_FIRST; r < ir::FIRST_FP_REG; ++r)
+        ret_live |= regBit(r);
+    for (ir::RegId r = 48; r < ir::NUM_REGS; ++r)
+        ret_live |= regBit(r);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Backward analysis; iterate blocks in reverse id order as a
+        // cheap approximation of postorder.
+        for (size_t i = n; i-- > 0;) {
+            const auto &b = f.blocks[i];
+            RegSet out = b.isExit() ? ret_live : 0;
+            for (ir::BlockId s : b.succs)
+                out |= _liveIn[s];
+            RegSet in = _use[i] | (out & ~_def[i]);
+            if (out != _liveOut[i] || in != _liveIn[i]) {
+                _liveOut[i] = out;
+                _liveIn[i] = in;
+                changed = true;
+            }
+        }
+    }
+}
+
+} // namespace cfg
+} // namespace msc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-block register liveness.
+ *
+ * Used for dead-register analysis when building task create masks: a
+ * task need only forward registers that are live at its exits (§4.2
+ * mentions "dead register analysis for register communication" among
+ * the Multiscalar-specific compiler phases).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace msc {
+namespace cfg {
+
+/** A 64-register set, one bit per architectural register. */
+using RegSet = uint64_t;
+
+inline bool regTest(RegSet s, ir::RegId r) { return (s >> r) & 1; }
+inline RegSet regBit(ir::RegId r) { return RegSet(1) << r; }
+
+/** Backward liveness over the registers of one function. */
+class Liveness
+{
+  public:
+    explicit Liveness(const ir::Function &f);
+
+    RegSet liveIn(ir::BlockId b) const { return _liveIn[b]; }
+    RegSet liveOut(ir::BlockId b) const { return _liveOut[b]; }
+
+    /** Registers read before any write in block @p b. */
+    RegSet upwardExposed(ir::BlockId b) const { return _use[b]; }
+
+    /** Registers written anywhere in block @p b. */
+    RegSet defined(ir::BlockId b) const { return _def[b]; }
+
+  private:
+    std::vector<RegSet> _use, _def, _liveIn, _liveOut;
+};
+
+} // namespace cfg
+} // namespace msc

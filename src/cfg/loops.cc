@@ -1,0 +1,126 @@
+#include "cfg/loops.h"
+
+#include <algorithm>
+#include <map>
+
+namespace msc {
+namespace cfg {
+
+LoopForest::LoopForest(const ir::Function &f, const DfsInfo &dfs,
+                       const DominatorTree &dom)
+{
+    size_t n = f.blocks.size();
+    _innermost.assign(n, -1);
+    _headerLoop.assign(n, -1);
+    _isHeader.assign(n, false);
+
+    // Collect back edges b -> h where h dominates b; group by header.
+    std::map<ir::BlockId, std::vector<ir::BlockId>> latches_of;
+    for (const auto &b : f.blocks) {
+        if (!dfs.reachable(b.id))
+            continue;
+        for (ir::BlockId s : b.succs)
+            if (dom.dominates(s, b.id))
+                latches_of[s].push_back(b.id);
+    }
+
+    // Build each natural loop: header + all blocks that can reach a
+    // latch without passing through the header (classic worklist walk
+    // over predecessors).
+    for (auto &[header, latches] : latches_of) {
+        Loop loop;
+        loop.header = header;
+        loop.latches = latches;
+
+        std::vector<bool> in(n, false);
+        in[header] = true;
+        std::vector<ir::BlockId> work;
+        for (ir::BlockId l : latches) {
+            if (!in[l]) {
+                in[l] = true;
+                work.push_back(l);
+            }
+        }
+        while (!work.empty()) {
+            ir::BlockId b = work.back();
+            work.pop_back();
+            for (ir::BlockId p : f.blocks[b].preds) {
+                if (!dfs.reachable(p) || in[p])
+                    continue;
+                in[p] = true;
+                work.push_back(p);
+            }
+        }
+
+        loop.blocks.push_back(header);
+        for (ir::BlockId b = 0; b < n; ++b)
+            if (in[b] && b != header)
+                loop.blocks.push_back(b);
+
+        _loops.push_back(std::move(loop));
+    }
+
+    // Sort loops by size ascending so that, when assigning innermost
+    // membership, smaller (inner) loops win: assign from largest to
+    // smallest, letting later (smaller) assignments overwrite.
+    std::vector<size_t> order(_loops.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return _loops[a].blocks.size() > _loops[b].blocks.size();
+    });
+
+    for (size_t oi : order)
+        for (ir::BlockId b : _loops[oi].blocks)
+            _innermost[b] = int(oi);
+
+    for (size_t i = 0; i < _loops.size(); ++i) {
+        _isHeader[_loops[i].header] = true;
+        _headerLoop[_loops[i].header] = int(i);
+    }
+
+    // Parent links and depths: the parent of loop L is the smallest
+    // loop that strictly contains L's header besides L itself.
+    for (size_t i = 0; i < _loops.size(); ++i) {
+        int best = -1;
+        size_t best_size = ~size_t(0);
+        for (size_t j = 0; j < _loops.size(); ++j) {
+            if (i == j)
+                continue;
+            if (_loops[j].contains(_loops[i].header) &&
+                _loops[j].blocks.size() < best_size &&
+                _loops[j].blocks.size() > _loops[i].blocks.size()) {
+                best = int(j);
+                best_size = _loops[j].blocks.size();
+            }
+        }
+        _loops[i].parent = best;
+    }
+    for (auto &l : _loops) {
+        unsigned d = 1;
+        for (int p = l.parent; p >= 0; p = _loops[p].parent)
+            ++d;
+        l.depth = d;
+    }
+}
+
+bool
+LoopForest::isLoopEntryEdge(ir::BlockId from, ir::BlockId to) const
+{
+    int hl = _headerLoop[to];
+    if (hl < 0)
+        return false;
+    return !_loops[hl].contains(from);
+}
+
+bool
+LoopForest::isLoopExitEdge(ir::BlockId from, ir::BlockId to) const
+{
+    for (int li = _innermost[from]; li >= 0; li = _loops[li].parent)
+        if (!_loops[li].contains(to))
+            return true;
+    return false;
+}
+
+} // namespace cfg
+} // namespace msc

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Natural-loop detection and the loop forest.
+ *
+ * Task selection needs loop structure for three reasons (§3.2, §3.3):
+ * loop entry/exit edges and back edges terminate tasks; small loop
+ * bodies are unrolled up to LOOP_THRESH instructions; and induction
+ * variable updates are hoisted to loop headers.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cfg/dfs.h"
+#include "cfg/dominators.h"
+#include "ir/function.h"
+
+namespace msc {
+namespace cfg {
+
+/** One natural loop: header + body blocks (header included). */
+struct Loop
+{
+    ir::BlockId header = ir::INVALID_BLOCK;
+
+    /** All blocks in the loop, header first. */
+    std::vector<ir::BlockId> blocks;
+
+    /** Sources of back edges into the header (latch blocks). */
+    std::vector<ir::BlockId> latches;
+
+    /** Index of the innermost enclosing loop; -1 when top level. */
+    int parent = -1;
+
+    /** Nesting depth: 1 for outermost loops. */
+    unsigned depth = 1;
+
+    bool
+    contains(ir::BlockId b) const
+    {
+        for (ir::BlockId x : blocks)
+            if (x == b)
+                return true;
+        return false;
+    }
+
+    /** Static instruction count of the loop body. */
+    size_t
+    staticSize(const ir::Function &f) const
+    {
+        size_t n = 0;
+        for (ir::BlockId b : blocks)
+            n += f.blocks[b].insts.size();
+        return n;
+    }
+};
+
+/**
+ * The set of natural loops of a function, with membership queries.
+ * Loops with the same header are merged (as is conventional).
+ */
+class LoopForest
+{
+  public:
+    LoopForest(const ir::Function &f, const DfsInfo &dfs,
+               const DominatorTree &dom);
+
+    const std::vector<Loop> &loops() const { return _loops; }
+
+    /** Index of the innermost loop containing @p b; -1 when none. */
+    int innermost(ir::BlockId b) const { return _innermost[b]; }
+
+    /** True when @p b is some loop's header. */
+    bool isHeader(ir::BlockId b) const { return _isHeader[b]; }
+
+    /** Loop index of the loop headed by @p b; -1 when not a header. */
+    int headerLoop(ir::BlockId b) const { return _headerLoop[b]; }
+
+    /** True when @p b is inside any loop. */
+    bool inAnyLoop(ir::BlockId b) const { return _innermost[b] >= 0; }
+
+    /**
+     * True when edge (from, to) enters a loop from outside it: the
+     * target is a loop header and the source is not in that loop.
+     */
+    bool isLoopEntryEdge(ir::BlockId from, ir::BlockId to) const;
+
+    /**
+     * True when edge (from, to) leaves a loop: the source is in some
+     * loop that does not contain the target.
+     */
+    bool isLoopExitEdge(ir::BlockId from, ir::BlockId to) const;
+
+  private:
+    std::vector<Loop> _loops;
+    std::vector<int> _innermost;
+    std::vector<int> _headerLoop;
+    std::vector<bool> _isHeader;
+};
+
+} // namespace cfg
+} // namespace msc

@@ -1,0 +1,42 @@
+#include "cfg/reachability.h"
+
+#include <vector>
+
+namespace msc {
+namespace cfg {
+
+namespace {
+
+void
+bfs(const ir::Function &f, ir::BlockId start, bool forward, DynBitset &out)
+{
+    out.set(start);
+    std::vector<ir::BlockId> work{start};
+    while (!work.empty()) {
+        ir::BlockId b = work.back();
+        work.pop_back();
+        const auto &next = forward ? f.blocks[b].succs : f.blocks[b].preds;
+        for (ir::BlockId s : next) {
+            if (!out.test(s)) {
+                out.set(s);
+                work.push_back(s);
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+
+Reachability::Reachability(const ir::Function &f)
+{
+    size_t n = f.blocks.size();
+    _fwd.assign(n, DynBitset(n));
+    _bwd.assign(n, DynBitset(n));
+    for (ir::BlockId b = 0; b < n; ++b) {
+        bfs(f, b, true, _fwd[b]);
+        bfs(f, b, false, _bwd[b]);
+    }
+}
+
+} // namespace cfg
+} // namespace msc

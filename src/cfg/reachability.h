@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CFG reachability and codependent-set computation.
+ *
+ * The codependent set of a def-use dependence (u, v) is "the set of
+ * basic blocks in all the control flow paths from the producer to the
+ * consumer" (§3.4); the data-dependence heuristic steers exploration
+ * to exactly these blocks.
+ */
+
+#pragma once
+
+#include "cfg/bitset.h"
+#include "ir/function.h"
+
+namespace msc {
+namespace cfg {
+
+/** Forward/backward reachability over one function's CFG. */
+class Reachability
+{
+  public:
+    explicit Reachability(const ir::Function &f);
+
+    /** Blocks reachable from @p b by following successor edges
+     *  (includes @p b itself). */
+    const DynBitset &forward(ir::BlockId b) const { return _fwd[b]; }
+
+    /** Blocks from which @p b is reachable (includes @p b itself). */
+    const DynBitset &backward(ir::BlockId b) const { return _bwd[b]; }
+
+    /** True when a path exists from @p a to @p b (reflexive). */
+    bool
+    reaches(ir::BlockId a, ir::BlockId b) const
+    {
+        return _fwd[a].test(b);
+    }
+
+    /**
+     * The codependent set of a dependence from @p producer to
+     * @p consumer: blocks lying on any path producer -> consumer.
+     * Empty when no such path exists.
+     */
+    DynBitset
+    codependent(ir::BlockId producer, ir::BlockId consumer) const
+    {
+        DynBitset s = _fwd[producer];
+        s.intersectWith(_bwd[consumer]);
+        return s;
+    }
+
+  private:
+    std::vector<DynBitset> _fwd, _bwd;
+};
+
+} // namespace cfg
+} // namespace msc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Basic blocks of the mini-IR control-flow graph.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "ir/instruction.h"
+#include "ir/types.h"
+
+namespace msc {
+namespace ir {
+
+/**
+ * A basic block: a straight-line instruction sequence with a single
+ * entry (its first instruction) and a single exit (its last).
+ *
+ * Control leaves a block through its last instruction when that is a
+ * Br/BrZ/Jmp/Ret/Halt, or implicitly to `fallthrough`. A Call must be
+ * the last instruction of its block (the verifier enforces this); its
+ * intra-function successor is the fall-through continuation block.
+ */
+struct BasicBlock
+{
+    BlockId id = INVALID_BLOCK;
+    std::vector<Instruction> insts;
+
+    /** Implicit successor when the block does not end in Jmp/Ret/Halt. */
+    BlockId fallthrough = INVALID_BLOCK;
+
+    /** CFG edges, computed by Function::computeCfg(). */
+    std::vector<BlockId> succs;
+    std::vector<BlockId> preds;
+
+    bool empty() const { return insts.empty(); }
+    size_t size() const { return insts.size(); }
+
+    const Instruction &
+    last() const
+    {
+        return insts.back();
+    }
+
+    /** True when the block's last instruction is a Call. */
+    bool
+    endsInCall() const
+    {
+        return !insts.empty() && insts.back().op == Opcode::Call;
+    }
+
+    /** True when the block's last instruction is a Ret. */
+    bool
+    endsInRet() const
+    {
+        return !insts.empty() && insts.back().op == Opcode::Ret;
+    }
+
+    /**
+     * True when control cannot leave this block within the function
+     * (Ret or Halt terminated).
+     */
+    bool
+    isExit() const
+    {
+        if (insts.empty())
+            return false;
+        Opcode op = insts.back().op;
+        return op == Opcode::Ret || op == Opcode::Halt;
+    }
+
+    /** Recomputes `succs` from the terminator and fallthrough. */
+    void
+    computeSuccs()
+    {
+        succs.clear();
+        if (insts.empty()) {
+            if (fallthrough != INVALID_BLOCK)
+                succs.push_back(fallthrough);
+            return;
+        }
+        const Instruction &t = insts.back();
+        switch (t.op) {
+          case Opcode::Jmp:
+            succs.push_back(t.target);
+            break;
+          case Opcode::Br:
+          case Opcode::BrZ:
+            // Fall-through first (the "not taken" arc), then taken.
+            if (fallthrough != INVALID_BLOCK)
+                succs.push_back(fallthrough);
+            if (t.target != fallthrough)
+                succs.push_back(t.target);
+            break;
+          case Opcode::Ret:
+          case Opcode::Halt:
+            break;
+          default:
+            // Includes Call: intra-function control resumes at the
+            // fall-through continuation after the callee returns.
+            if (fallthrough != INVALID_BLOCK)
+                succs.push_back(fallthrough);
+            break;
+        }
+    }
+};
+
+} // namespace ir
+} // namespace msc

@@ -1,0 +1,334 @@
+#include "ir/builder.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "ir/verifier.h"
+
+namespace msc {
+namespace ir {
+
+Function &
+FunctionBuilder::fn()
+{
+    return _parent->_prog.functions[_func];
+}
+
+BlockId
+FunctionBuilder::newBlock()
+{
+    Function &f = fn();
+    BlockId id = BlockId(f.blocks.size());
+    f.blocks.emplace_back();
+    f.blocks.back().id = id;
+    return id;
+}
+
+std::vector<BlockId>
+FunctionBuilder::newBlocks(size_t n)
+{
+    std::vector<BlockId> ids;
+    ids.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        ids.push_back(newBlock());
+    return ids;
+}
+
+void
+FunctionBuilder::setBlock(BlockId b)
+{
+    if (b >= fn().blocks.size())
+        throw std::runtime_error("setBlock: no such block");
+    _cur = b;
+}
+
+void
+FunctionBuilder::emit(const Instruction &inst)
+{
+    Function &f = fn();
+    if (_cur >= f.blocks.size())
+        throw std::runtime_error("emit: no current block");
+    f.blocks[_cur].insts.push_back(inst);
+}
+
+void
+FunctionBuilder::rrr(Opcode op, RegId d, RegId a, RegId b)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d;
+    i.src1 = a;
+    i.src2 = b;
+    emit(i);
+}
+
+void
+FunctionBuilder::rri(Opcode op, RegId d, RegId a, int64_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d;
+    i.src1 = a;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+FunctionBuilder::li(RegId d, int64_t v)
+{
+    Instruction i;
+    i.op = Opcode::LoadImm;
+    i.dst = d;
+    i.imm = v;
+    emit(i);
+}
+
+void
+FunctionBuilder::mov(RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.dst = d;
+    i.src1 = a;
+    emit(i);
+}
+
+void
+FunctionBuilder::fmov(RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::FMov;
+    i.dst = d;
+    i.src1 = a;
+    emit(i);
+}
+
+void
+FunctionBuilder::fli(RegId d, double v)
+{
+    Instruction i;
+    i.op = Opcode::FLoadImm;
+    i.dst = d;
+    i.imm = std::bit_cast<int64_t>(v);
+    emit(i);
+}
+
+void
+FunctionBuilder::itof(RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::ItoF;
+    i.dst = d;
+    i.src1 = a;
+    emit(i);
+}
+
+void
+FunctionBuilder::ftoi(RegId d, RegId a)
+{
+    Instruction i;
+    i.op = Opcode::FtoI;
+    i.dst = d;
+    i.src1 = a;
+    emit(i);
+}
+
+void
+FunctionBuilder::load(RegId d, RegId base, int64_t off)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    i.dst = d;
+    i.src1 = base;
+    i.imm = off;
+    emit(i);
+}
+
+void
+FunctionBuilder::loadAbs(RegId d, int64_t addr)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    i.dst = d;
+    i.imm = addr;
+    emit(i);
+}
+
+void
+FunctionBuilder::store(RegId value, RegId base, int64_t off)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.src1 = value;
+    i.src2 = base;
+    i.imm = off;
+    emit(i);
+}
+
+void
+FunctionBuilder::storeAbs(RegId value, int64_t addr)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.src1 = value;
+    i.imm = addr;
+    emit(i);
+}
+
+void
+FunctionBuilder::fload(RegId d, RegId base, int64_t off)
+{
+    Instruction i;
+    i.op = Opcode::FLoad;
+    i.dst = d;
+    i.src1 = base;
+    i.imm = off;
+    emit(i);
+}
+
+void
+FunctionBuilder::fstore(RegId value, RegId base, int64_t off)
+{
+    Instruction i;
+    i.op = Opcode::FStore;
+    i.src1 = value;
+    i.src2 = base;
+    i.imm = off;
+    emit(i);
+}
+
+void
+FunctionBuilder::br(RegId cond, BlockId taken, BlockId fallthrough)
+{
+    Instruction i;
+    i.op = Opcode::Br;
+    i.src1 = cond;
+    i.target = taken;
+    emit(i);
+    fn().blocks[_cur].fallthrough = fallthrough;
+}
+
+void
+FunctionBuilder::brz(RegId cond, BlockId taken, BlockId fallthrough)
+{
+    Instruction i;
+    i.op = Opcode::BrZ;
+    i.src1 = cond;
+    i.target = taken;
+    emit(i);
+    fn().blocks[_cur].fallthrough = fallthrough;
+}
+
+void
+FunctionBuilder::jmp(BlockId target)
+{
+    Instruction i;
+    i.op = Opcode::Jmp;
+    i.target = target;
+    emit(i);
+}
+
+void
+FunctionBuilder::fallthroughTo(BlockId next)
+{
+    fn().blocks[_cur].fallthrough = next;
+}
+
+BlockId
+FunctionBuilder::call(FuncId callee, uint8_t nargs)
+{
+    Instruction i;
+    i.op = Opcode::Call;
+    i.callee = callee;
+    i.nargs = nargs;
+    emit(i);
+    BlockId cont = newBlock();
+    fn().blocks[_cur].fallthrough = cont;
+    _cur = cont;
+    return cont;
+}
+
+void
+FunctionBuilder::ret()
+{
+    Instruction i;
+    i.op = Opcode::Ret;
+    emit(i);
+}
+
+void
+FunctionBuilder::halt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    emit(i);
+}
+
+size_t
+FunctionBuilder::numInsts() const
+{
+    return const_cast<FunctionBuilder *>(this)->fn().numInsts();
+}
+
+IRBuilder::IRBuilder(std::string prog_name)
+{
+    _prog.name = std::move(prog_name);
+}
+
+FunctionBuilder &
+IRBuilder::function(const std::string &fname)
+{
+    FuncId id = functionId(fname);
+    return *_fbs[id];
+}
+
+FuncId
+IRBuilder::functionId(const std::string &fname)
+{
+    for (const auto &f : _prog.functions)
+        if (f.name == fname)
+            return f.id;
+    FuncId id = FuncId(_prog.functions.size());
+    _prog.functions.emplace_back();
+    _prog.functions.back().id = id;
+    _prog.functions.back().name = fname;
+    _fbs.emplace_back(std::unique_ptr<FunctionBuilder>(
+        new FunctionBuilder(this, id)));
+    // Every function starts with its entry block as the insertion point.
+    _fbs.back()->newBlock();
+    return id;
+}
+
+void
+IRBuilder::setEntry(const std::string &fname)
+{
+    _prog.entry = functionId(fname);
+}
+
+void
+IRBuilder::initWord(size_t addr, int64_t value)
+{
+    if (_prog.initData.size() <= addr)
+        _prog.initData.resize(addr + 1, 0);
+    _prog.initData[addr] = value;
+}
+
+void
+IRBuilder::initDouble(size_t addr, double value)
+{
+    initWord(addr, std::bit_cast<int64_t>(value));
+}
+
+Program
+IRBuilder::build()
+{
+    _prog.computeCfg();
+    std::string err;
+    if (!verify(_prog, &err))
+        throw std::runtime_error("IR verification failed: " + err);
+    _prog.layout();
+    return std::move(_prog);
+}
+
+} // namespace ir
+} // namespace msc

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Fluent construction API for mini-IR programs.
+ *
+ * Typical use:
+ * @code
+ *   IRBuilder b("vecsum");
+ *   FunctionBuilder &f = b.function("main");
+ *   BlockId head = f.newBlock(), body = f.newBlock(), done = f.newBlock();
+ *   f.li(2, 0);                  // i = 0
+ *   f.li(3, 100);                // n = 100
+ *   f.fallthroughTo(head);
+ *   f.setBlock(head);
+ *   f.slt(4, 2, 3);              // i < n ?
+ *   f.br(4, body, done);
+ *   f.setBlock(body);
+ *   ...
+ *   f.setBlock(done);
+ *   f.halt();
+ *   Program p = b.build();
+ * @endcode
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace msc {
+namespace ir {
+
+class IRBuilder;
+
+/**
+ * Builds one function. Obtained from IRBuilder::function(); keeps an
+ * insertion point (current block) that instruction emitters append to.
+ */
+class FunctionBuilder
+{
+  public:
+    /** The function id this builder populates. */
+    FuncId id() const { return _func; }
+
+    /** Creates a new, empty block and returns its id. */
+    BlockId newBlock();
+
+    /** Creates @p n new blocks and returns their ids. */
+    std::vector<BlockId> newBlocks(size_t n);
+
+    /** Sets the insertion point. */
+    void setBlock(BlockId b);
+
+    /** Returns the current insertion block. */
+    BlockId currentBlock() const { return _cur; }
+
+    /** Appends a raw instruction to the current block. */
+    void emit(const Instruction &inst);
+
+    /// @name Integer arithmetic emitters (reg and immediate forms).
+    /// @{
+    void add(RegId d, RegId a, RegId b) { rrr(Opcode::Add, d, a, b); }
+    void addi(RegId d, RegId a, int64_t i) { rri(Opcode::Add, d, a, i); }
+    void sub(RegId d, RegId a, RegId b) { rrr(Opcode::Sub, d, a, b); }
+    void subi(RegId d, RegId a, int64_t i) { rri(Opcode::Sub, d, a, i); }
+    void mul(RegId d, RegId a, RegId b) { rrr(Opcode::Mul, d, a, b); }
+    void muli(RegId d, RegId a, int64_t i) { rri(Opcode::Mul, d, a, i); }
+    void div(RegId d, RegId a, RegId b) { rrr(Opcode::Div, d, a, b); }
+    void divi(RegId d, RegId a, int64_t i) { rri(Opcode::Div, d, a, i); }
+    void rem(RegId d, RegId a, RegId b) { rrr(Opcode::Rem, d, a, b); }
+    void remi(RegId d, RegId a, int64_t i) { rri(Opcode::Rem, d, a, i); }
+    void and_(RegId d, RegId a, RegId b) { rrr(Opcode::And, d, a, b); }
+    void andi(RegId d, RegId a, int64_t i) { rri(Opcode::And, d, a, i); }
+    void or_(RegId d, RegId a, RegId b) { rrr(Opcode::Or, d, a, b); }
+    void ori(RegId d, RegId a, int64_t i) { rri(Opcode::Or, d, a, i); }
+    void xor_(RegId d, RegId a, RegId b) { rrr(Opcode::Xor, d, a, b); }
+    void xori(RegId d, RegId a, int64_t i) { rri(Opcode::Xor, d, a, i); }
+    void shl(RegId d, RegId a, RegId b) { rrr(Opcode::Shl, d, a, b); }
+    void shli(RegId d, RegId a, int64_t i) { rri(Opcode::Shl, d, a, i); }
+    void shr(RegId d, RegId a, RegId b) { rrr(Opcode::Shr, d, a, b); }
+    void shri(RegId d, RegId a, int64_t i) { rri(Opcode::Shr, d, a, i); }
+    void srai(RegId d, RegId a, int64_t i) { rri(Opcode::Sra, d, a, i); }
+    void slt(RegId d, RegId a, RegId b) { rrr(Opcode::Slt, d, a, b); }
+    void slti(RegId d, RegId a, int64_t i) { rri(Opcode::Slt, d, a, i); }
+    void sle(RegId d, RegId a, RegId b) { rrr(Opcode::Sle, d, a, b); }
+    void slei(RegId d, RegId a, int64_t i) { rri(Opcode::Sle, d, a, i); }
+    void seq(RegId d, RegId a, RegId b) { rrr(Opcode::Seq, d, a, b); }
+    void seqi(RegId d, RegId a, int64_t i) { rri(Opcode::Seq, d, a, i); }
+    void sne(RegId d, RegId a, RegId b) { rrr(Opcode::Sne, d, a, b); }
+    void snei(RegId d, RegId a, int64_t i) { rri(Opcode::Sne, d, a, i); }
+    void sra(RegId d, RegId a, RegId b) { rrr(Opcode::Sra, d, a, b); }
+    void li(RegId d, int64_t i);
+    void mov(RegId d, RegId a);
+    void nop() { emit(Instruction{}); }
+    /// @}
+
+    /// @name Floating-point emitters.
+    /// @{
+    void fadd(RegId d, RegId a, RegId b) { rrr(Opcode::FAdd, d, a, b); }
+    void fsub(RegId d, RegId a, RegId b) { rrr(Opcode::FSub, d, a, b); }
+    void fmul(RegId d, RegId a, RegId b) { rrr(Opcode::FMul, d, a, b); }
+    void fdiv(RegId d, RegId a, RegId b) { rrr(Opcode::FDiv, d, a, b); }
+    void fslt(RegId d, RegId a, RegId b) { rrr(Opcode::FSlt, d, a, b); }
+    void fsle(RegId d, RegId a, RegId b) { rrr(Opcode::FSle, d, a, b); }
+    void fseq(RegId d, RegId a, RegId b) { rrr(Opcode::FSeq, d, a, b); }
+    void fmov(RegId d, RegId a);
+    void fli(RegId d, double v);
+    void itof(RegId d, RegId a);
+    void ftoi(RegId d, RegId a);
+    /// @}
+
+    /// @name Memory emitters (word addressing: address = base + offset).
+    /// @{
+    void load(RegId d, RegId base, int64_t off = 0);
+    void loadAbs(RegId d, int64_t addr);
+    void store(RegId value, RegId base, int64_t off = 0);
+    void storeAbs(RegId value, int64_t addr);
+    void fload(RegId d, RegId base, int64_t off = 0);
+    void fstore(RegId value, RegId base, int64_t off = 0);
+    /// @}
+
+    /// @name Control-flow emitters.
+    /// @{
+
+    /** Branch to @p taken when @p cond != 0, else to @p fallthrough. */
+    void br(RegId cond, BlockId taken, BlockId fallthrough);
+
+    /** Branch to @p taken when @p cond == 0, else to @p fallthrough. */
+    void brz(RegId cond, BlockId taken, BlockId fallthrough);
+
+    /** Unconditional jump. */
+    void jmp(BlockId target);
+
+    /** Terminates the current block by falling through to @p next. */
+    void fallthroughTo(BlockId next);
+
+    /**
+     * Emits a call as the block terminator and starts a fresh
+     * continuation block, which becomes the insertion point.
+     * @return the continuation block id.
+     */
+    BlockId call(FuncId callee, uint8_t nargs = 0);
+
+    void ret();
+    void halt();
+    /// @}
+
+    /** Instruction count emitted so far. */
+    size_t numInsts() const;
+
+  private:
+    friend class IRBuilder;
+
+    FunctionBuilder(IRBuilder *parent, FuncId func)
+        : _parent(parent), _func(func)
+    {}
+
+    Function &fn();
+
+    void rrr(Opcode op, RegId d, RegId a, RegId b);
+    void rri(Opcode op, RegId d, RegId a, int64_t imm);
+
+    IRBuilder *_parent;
+    FuncId _func;
+    BlockId _cur = 0;
+};
+
+/**
+ * Builds a whole program. Functions are created (or retrieved) by
+ * name; forward references work by creating the callee's builder
+ * before emitting the call.
+ */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(std::string prog_name);
+
+    /** Creates or retrieves the builder for function @p fname. */
+    FunctionBuilder &function(const std::string &fname);
+
+    /** Id of a (possibly not yet populated) function, for calls. */
+    FuncId functionId(const std::string &fname);
+
+    /** Sets the program entry function. */
+    void setEntry(const std::string &fname);
+
+    /** Sets the data memory size in words. */
+    void setMemWords(size_t words) { _prog.memWords = words; }
+
+    /** Seeds initial memory: word @p addr = @p value. */
+    void initWord(size_t addr, int64_t value);
+
+    /** Seeds initial memory with a double at word @p addr. */
+    void initDouble(size_t addr, double value);
+
+    /**
+     * Finalizes the program: computes CFG edges, verifies
+     * well-formedness (throws std::runtime_error on malformed IR),
+     * and lays out code addresses.
+     */
+    Program build();
+
+  private:
+    friend class FunctionBuilder;
+
+    Program _prog;
+    std::vector<std::unique_ptr<FunctionBuilder>> _fbs;
+};
+
+} // namespace ir
+} // namespace msc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functions: CFGs of basic blocks.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/types.h"
+
+namespace msc {
+namespace ir {
+
+/**
+ * A function: a vector of basic blocks indexed by BlockId, with a
+ * designated entry block.
+ */
+struct Function
+{
+    FuncId id = INVALID_FUNC;
+    std::string name;
+    std::vector<BasicBlock> blocks;
+    BlockId entry = 0;
+
+    size_t numBlocks() const { return blocks.size(); }
+
+    BasicBlock &block(BlockId b) { return blocks[b]; }
+    const BasicBlock &block(BlockId b) const { return blocks[b]; }
+
+    /** Total static instruction count. */
+    size_t
+    numInsts() const
+    {
+        size_t n = 0;
+        for (const auto &b : blocks)
+            n += b.insts.size();
+        return n;
+    }
+
+    /**
+     * Recomputes succ/pred edge lists for every block. Out-of-range
+     * successors (malformed IR that the verifier will reject) are
+     * tolerated so verification can run after this.
+     */
+    void
+    computeCfg()
+    {
+        for (auto &b : blocks) {
+            b.computeSuccs();
+            b.preds.clear();
+        }
+        for (auto &b : blocks)
+            for (BlockId s : b.succs)
+                if (s < blocks.size())
+                    blocks[s].preds.push_back(b.id);
+    }
+};
+
+} // namespace ir
+} // namespace msc

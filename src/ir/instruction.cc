@@ -1,0 +1,151 @@
+#include "ir/instruction.h"
+
+#include <array>
+#include <cstdio>
+#include <unordered_map>
+
+namespace msc {
+namespace ir {
+
+namespace {
+
+constexpr size_t N_OPS = size_t(Opcode::NUM_OPCODES);
+
+// name, fu, latency, hasDst, readsSrc1, readsSrc2, isControl
+constexpr std::array<OpInfo, N_OPS> opTable = {{
+    {"nop",   FuClass::None,   1, false, false, false, false},
+    {"halt",  FuClass::None,   1, false, false, false, false},
+
+    {"add",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"sub",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"mul",   FuClass::IntAlu, 3, true,  true,  true,  false},
+    {"div",   FuClass::IntAlu, 12, true, true,  true,  false},
+    {"rem",   FuClass::IntAlu, 12, true, true,  true,  false},
+    {"and",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"or",    FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"xor",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"shl",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"shr",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"sra",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"slt",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"sle",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"seq",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"sne",   FuClass::IntAlu, 1, true,  true,  true,  false},
+    {"li",    FuClass::IntAlu, 1, true,  false, false, false},
+    {"mov",   FuClass::IntAlu, 1, true,  true,  false, false},
+
+    {"fadd",  FuClass::FpAlu,  3, true,  true,  true,  false},
+    {"fsub",  FuClass::FpAlu,  3, true,  true,  true,  false},
+    {"fmul",  FuClass::FpAlu,  3, true,  true,  true,  false},
+    {"fdiv",  FuClass::FpAlu,  12, true, true,  true,  false},
+    {"fslt",  FuClass::FpAlu,  3, true,  true,  true,  false},
+    {"fsle",  FuClass::FpAlu,  3, true,  true,  true,  false},
+    {"fseq",  FuClass::FpAlu,  3, true,  true,  true,  false},
+    {"fmov",  FuClass::FpAlu,  1, true,  true,  false, false},
+    {"fli",   FuClass::FpAlu,  1, true,  false, false, false},
+    {"itof",  FuClass::FpAlu,  3, true,  true,  false, false},
+    {"ftoi",  FuClass::FpAlu,  3, true,  true,  false, false},
+
+    {"ld",    FuClass::Mem,    1, true,  true,  false, false},
+    {"st",    FuClass::Mem,    1, false, true,  true,  false},
+    {"fld",   FuClass::Mem,    1, true,  true,  false, false},
+    {"fst",   FuClass::Mem,    1, false, true,  true,  false},
+
+    {"br",    FuClass::Branch, 1, false, true,  false, true},
+    {"brz",   FuClass::Branch, 1, false, true,  false, true},
+    {"jmp",   FuClass::Branch, 1, false, false, false, true},
+    {"call",  FuClass::Branch, 1, false, false, false, true},
+    {"ret",   FuClass::Branch, 1, false, false, false, true},
+}};
+
+} // anonymous namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    return opTable[size_t(op)];
+}
+
+Opcode
+opFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, Opcode> map = [] {
+        std::unordered_map<std::string, Opcode> m;
+        for (size_t i = 0; i < N_OPS; ++i)
+            m.emplace(opTable[i].name, Opcode(i));
+        return m;
+    }();
+    auto it = map.find(name);
+    return it == map.end() ? Opcode::NUM_OPCODES : it->second;
+}
+
+std::string
+regName(RegId r)
+{
+    if (r == NO_REG)
+        return "--";
+    char buf[8];
+    if (isFpReg(r))
+        std::snprintf(buf, sizeof(buf), "f%u", unsigned(r));
+    else
+        std::snprintf(buf, sizeof(buf), "r%u", unsigned(r));
+    return buf;
+}
+
+RegId
+regFromName(const std::string &name)
+{
+    if (name.size() < 2 || (name[0] != 'r' && name[0] != 'f'))
+        return NO_REG;
+    unsigned n = 0;
+    for (size_t i = 1; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9')
+            return NO_REG;
+        n = n * 10 + unsigned(name[i] - '0');
+    }
+    if (n >= NUM_REGS)
+        return NO_REG;
+    return RegId(n);
+}
+
+void
+Instruction::defs(std::vector<RegId> &out) const
+{
+    if (op == Opcode::Call) {
+        // Calls clobber the caller-saved sets and define return values.
+        out.push_back(REG_RET);
+        for (RegId r = REG_CALLER_SAVED_FIRST; r <= REG_CALLER_SAVED_LAST; ++r)
+            out.push_back(r);
+        out.push_back(FREG_RET);
+        for (RegId r = FREG_CALLER_SAVED_FIRST;
+             r <= FREG_CALLER_SAVED_LAST; ++r) {
+            out.push_back(r);
+        }
+        return;
+    }
+    if (writesReg())
+        out.push_back(dst);
+}
+
+void
+Instruction::uses(std::vector<RegId> &out) const
+{
+    if (op == Opcode::Call) {
+        for (uint8_t i = 0; i < nargs; ++i)
+            out.push_back(RegId(REG_ARG0 + i));
+        return;
+    }
+    if (op == Opcode::Ret) {
+        // The return value flows back to the caller through r1/f32.
+        out.push_back(REG_RET);
+        return;
+    }
+    const OpInfo &oi = info();
+    if (oi.readsSrc1 && src1 != NO_REG)
+        out.push_back(src1);
+    if (oi.readsSrc2 && src2 != NO_REG)
+        out.push_back(src2);
+}
+
+} // namespace ir
+} // namespace msc

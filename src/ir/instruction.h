@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The mini-IR instruction: a compact three-address record.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace msc {
+namespace ir {
+
+/**
+ * A single three-address instruction.
+ *
+ * Operand usage depends on the opcode (see Opcode documentation in
+ * types.h). Binary arithmetic uses the immediate in place of src2 when
+ * src2 == NO_REG, giving reg/imm forms without doubling the opcode set.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegId dst = NO_REG;
+    RegId src1 = NO_REG;
+    RegId src2 = NO_REG;
+    int64_t imm = 0;                    ///< Immediate / address offset.
+    BlockId target = INVALID_BLOCK;     ///< Br/BrZ/Jmp taken target.
+    FuncId callee = INVALID_FUNC;       ///< Call target function.
+    uint8_t nargs = 0;                  ///< Call: argument registers used.
+
+    /** Returns the static property record. */
+    const OpInfo &info() const { return opInfo(op); }
+
+    /** True for Br/BrZ/Jmp/Call/Ret. */
+    bool isControl() const { return info().isControl; }
+
+    /** True for conditional branches (Br/BrZ). */
+    bool isCondBranch() const { return op == Opcode::Br || op == Opcode::BrZ; }
+
+    /** True for any memory access. */
+    bool
+    isMemory() const
+    {
+        return op == Opcode::Load || op == Opcode::Store
+            || op == Opcode::FLoad || op == Opcode::FStore;
+    }
+
+    /** True for Load/FLoad. */
+    bool isLoad() const { return op == Opcode::Load || op == Opcode::FLoad; }
+
+    /** True for Store/FStore. */
+    bool isStore() const { return op == Opcode::Store || op == Opcode::FStore; }
+
+    /** True when this instruction writes a register. */
+    bool
+    writesReg() const
+    {
+        return info().hasDst && dst != NO_REG && dst != REG_ZERO;
+    }
+
+    /**
+     * Appends the registers this instruction defines to @p out.
+     *
+     * A Call defines the return-value registers and all caller-saved
+     * registers per the ABI (it clobbers them), which is how the
+     * dataflow analyses see through call sites without interprocedural
+     * analysis.
+     */
+    void defs(std::vector<RegId> &out) const;
+
+    /** Appends the registers this instruction reads to @p out. */
+    void uses(std::vector<RegId> &out) const;
+
+    /** Convenience wrappers returning fresh vectors. */
+    std::vector<RegId>
+    defs() const
+    {
+        std::vector<RegId> v;
+        defs(v);
+        return v;
+    }
+
+    std::vector<RegId>
+    uses() const
+    {
+        std::vector<RegId> v;
+        uses(v);
+        return v;
+    }
+};
+
+} // namespace ir
+} // namespace msc

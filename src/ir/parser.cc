@@ -1,0 +1,361 @@
+#include "ir/parser.h"
+
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/verifier.h"
+
+namespace msc {
+namespace ir {
+
+namespace {
+
+/** Cursor over one line's characters. */
+class LineLexer
+{
+  public:
+    LineLexer(const std::string &line, unsigned line_no)
+        : _s(line), _no(line_no)
+    {}
+
+    void
+    skipSpace()
+    {
+        while (_pos < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_pos]))) {
+            ++_pos;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return _pos >= _s.size() || _s[_pos] == ';';
+    }
+
+    /** Next token: an identifier, number, or single punctuation. */
+    std::string
+    next()
+    {
+        skipSpace();
+        if (atEnd())
+            fail("unexpected end of line");
+        char c = _s[_pos];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-' || c == '.' || c == '@') {
+            size_t start = _pos;
+            while (_pos < _s.size()) {
+                char d = _s[_pos];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '_' || d == '.' || d == '@' ||
+                    (d == '-' && _pos == start) ||
+                    ((d == '+' || d == '-') && _pos > start &&
+                     (_s[_pos - 1] == 'e' || _s[_pos - 1] == 'E'))) {
+                    ++_pos;
+                } else {
+                    break;
+                }
+            }
+            return _s.substr(start, _pos - start);
+        }
+        ++_pos;
+        return std::string(1, c);
+    }
+
+    void
+    expect(const std::string &tok)
+    {
+        std::string t = next();
+        if (t != tok)
+            fail("expected '" + tok + "', got '" + t + "'");
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw ParseError(_no, msg + " in: " + _s);
+    }
+
+  private:
+    const std::string &_s;
+    size_t _pos = 0;
+    unsigned _no;
+};
+
+int64_t
+parseInt(LineLexer &lx)
+{
+    std::string t = lx.next();
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(t.c_str(), &end, 10);
+    if (end == t.c_str() || *end != '\0')
+        lx.fail("expected integer, got '" + t + "'");
+    return int64_t(v);
+}
+
+double
+parseDouble(LineLexer &lx)
+{
+    std::string t = lx.next();
+    char *end = nullptr;
+    double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0')
+        lx.fail("expected number, got '" + t + "'");
+    return v;
+}
+
+RegId
+parseReg(LineLexer &lx)
+{
+    std::string t = lx.next();
+    RegId r = regFromName(t);
+    if (r == NO_REG)
+        lx.fail("expected register, got '" + t + "'");
+    return r;
+}
+
+BlockId
+parseBlockId(LineLexer &lx)
+{
+    std::string t = lx.next();
+    if (t.size() < 3 || t.compare(0, 2, "bb") != 0)
+        lx.fail("expected block label, got '" + t + "'");
+    return BlockId(std::strtoul(t.c_str() + 2, nullptr, 10));
+}
+
+} // anonymous namespace
+
+Program
+parseProgram(const std::string &text)
+{
+    Program prog;
+    std::unordered_map<std::string, FuncId> func_ids;
+    std::vector<std::pair<InstRef, std::string>> pending_callees;
+
+    auto funcIdOf = [&](const std::string &name) {
+        auto it = func_ids.find(name);
+        if (it != func_ids.end())
+            return it->second;
+        FuncId id = FuncId(prog.functions.size());
+        prog.functions.emplace_back();
+        prog.functions.back().id = id;
+        prog.functions.back().name = name;
+        func_ids.emplace(name, id);
+        return id;
+    };
+
+    // Indices, not pointers: creating callee shells during `call`
+    // parsing may reallocate prog.functions.
+    FuncId cur_fn = INVALID_FUNC;
+    BlockId cur_blk = INVALID_BLOCK;
+    std::string entry_name;
+
+    auto fn = [&]() -> Function & { return prog.functions[cur_fn]; };
+    auto blk = [&]() -> BasicBlock & {
+        return prog.functions[cur_fn].blocks[cur_blk];
+    };
+
+    std::istringstream is(text);
+    std::string line;
+    unsigned line_no = 0;
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        LineLexer lx(line, line_no);
+        if (lx.atEnd())
+            continue;
+        std::string tok = lx.next();
+
+        if (tok == "program") {
+            prog.name = lx.next();
+            lx.expect("entry");
+            std::string at = lx.next();
+            if (at.empty() || at[0] != '@')
+                lx.fail("expected @function after 'entry'");
+            entry_name = at.substr(1);
+            continue;
+        }
+        if (tok == "func") {
+            std::string at = lx.next();
+            if (at.empty() || at[0] != '@')
+                lx.fail("expected @name after 'func'");
+            lx.expect("{");
+            cur_fn = funcIdOf(at.substr(1));
+            cur_blk = INVALID_BLOCK;
+            continue;
+        }
+        if (tok == "}") {
+            cur_fn = INVALID_FUNC;
+            cur_blk = INVALID_BLOCK;
+            continue;
+        }
+        if (tok.size() > 2 && tok.compare(0, 2, "bb") == 0 &&
+            std::isdigit(static_cast<unsigned char>(tok[2]))) {
+            if (cur_fn == INVALID_FUNC)
+                lx.fail("block outside function");
+            BlockId id = BlockId(std::strtoul(tok.c_str() + 2,
+                                              nullptr, 10));
+            while (fn().blocks.size() <= id) {
+                fn().blocks.emplace_back();
+                fn().blocks.back().id =
+                    BlockId(fn().blocks.size() - 1);
+            }
+            cur_blk = id;
+            // Optional "(entry)" marker, then ":".
+            std::string t = lx.next();
+            if (t == "(") {
+                lx.expect("entry");
+                lx.expect(")");
+                fn().entry = id;
+                t = lx.next();
+            }
+            if (t != ":")
+                lx.fail("expected ':' after block label");
+            // Optional fall-through comment: "; ft -> bbN". The
+            // lexer treats ';' as end of line, so scan manually.
+            size_t ft = line.find("ft ->");
+            if (ft != std::string::npos) {
+                blk().fallthrough = BlockId(
+                    std::strtoul(line.c_str() + ft + 5 + 3, nullptr,
+                                 10));
+                // "+3" skips " bb".
+            }
+            continue;
+        }
+
+        // An instruction line.
+        if (cur_fn == INVALID_FUNC || cur_blk == INVALID_BLOCK)
+            lx.fail("instruction outside block");
+        Opcode op = opFromName(tok);
+        if (op == Opcode::NUM_OPCODES)
+            lx.fail("unknown mnemonic '" + tok + "'");
+
+        Instruction in;
+        in.op = op;
+        switch (op) {
+          case Opcode::Nop:
+          case Opcode::Halt:
+          case Opcode::Ret:
+            break;
+          case Opcode::LoadImm:
+            in.dst = parseReg(lx);
+            lx.expect(",");
+            in.imm = parseInt(lx);
+            break;
+          case Opcode::FLoadImm:
+            in.dst = parseReg(lx);
+            lx.expect(",");
+            in.imm = std::bit_cast<int64_t>(parseDouble(lx));
+            break;
+          case Opcode::Mov:
+          case Opcode::FMov:
+          case Opcode::ItoF:
+          case Opcode::FtoI:
+            in.dst = parseReg(lx);
+            lx.expect(",");
+            in.src1 = parseReg(lx);
+            break;
+          case Opcode::Load:
+          case Opcode::FLoad: {
+            in.dst = parseReg(lx);
+            lx.expect(",");
+            lx.expect("[");
+            std::string base = lx.next();
+            in.src1 = (base == "-") ? NO_REG : regFromName(base);
+            if (base == "-")
+                lx.expect("-");  // The printer writes "--".
+            lx.expect("+");
+            in.imm = parseInt(lx);
+            lx.expect("]");
+            break;
+          }
+          case Opcode::Store:
+          case Opcode::FStore: {
+            in.src1 = parseReg(lx);
+            lx.expect(",");
+            lx.expect("[");
+            std::string base = lx.next();
+            in.src2 = (base == "-") ? NO_REG : regFromName(base);
+            if (base == "-")
+                lx.expect("-");
+            lx.expect("+");
+            in.imm = parseInt(lx);
+            lx.expect("]");
+            break;
+          }
+          case Opcode::Br:
+          case Opcode::BrZ:
+            in.src1 = parseReg(lx);
+            lx.expect(",");
+            in.target = parseBlockId(lx);
+            break;
+          case Opcode::Jmp:
+            in.target = parseBlockId(lx);
+            break;
+          case Opcode::Call: {
+            std::string at = lx.next();
+            if (at.empty() || at[0] != '@')
+                lx.fail("expected @callee");
+            std::string callee = at.substr(1);
+            lx.expect(",");
+            in.nargs = uint8_t(parseInt(lx));
+            // Callee may be numeric (raw print) or a name.
+            if (!callee.empty() &&
+                std::isdigit(static_cast<unsigned char>(callee[0]))) {
+                in.callee = FuncId(std::strtoul(callee.c_str(), nullptr,
+                                                10));
+            } else {
+                in.callee = funcIdOf(callee);
+            }
+            break;
+          }
+          default: {
+            // Binary arithmetic: dst, src1, (reg | imm).
+            in.dst = parseReg(lx);
+            lx.expect(",");
+            in.src1 = parseReg(lx);
+            lx.expect(",");
+            std::string t = lx.next();
+            RegId r = regFromName(t);
+            if (r != NO_REG) {
+                in.src2 = r;
+            } else {
+                errno = 0;
+                char *end = nullptr;
+                long long v = std::strtoll(t.c_str(), &end, 10);
+                if (end == t.c_str() || *end != '\0')
+                    lx.fail("expected register or integer, got '" + t +
+                            "'");
+                in.imm = int64_t(v);
+            }
+            break;
+          }
+        }
+        blk().insts.push_back(in);
+    }
+
+    if (!entry_name.empty()) {
+        auto it = func_ids.find(entry_name);
+        if (it == func_ids.end())
+            throw ParseError(0, "entry function @" + entry_name +
+                             " not defined");
+        prog.entry = it->second;
+    }
+
+    prog.computeCfg();
+    std::string err;
+    if (!verify(prog, &err))
+        throw std::runtime_error("parsed program fails verification: " +
+                                 err);
+    prog.layout();
+    return prog;
+}
+
+} // namespace ir
+} // namespace msc

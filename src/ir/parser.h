@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Parser for the textual mini-IR format emitted by printer.h.
+ *
+ * Grammar (line oriented; `;` starts a comment):
+ *
+ *   program <name> entry @<func>
+ *   func @<name> {
+ *     bb<k>:            ; optional "(entry)" tag, optional "ft -> bbN"
+ *       <mnemonic> operands...
+ *   }
+ *
+ * Instruction operand syntax matches the printer exactly:
+ *   add r3, r4, r5       |  add r3, r4, 7
+ *   ld r5, [r6 + -2]     |  st r5, [r6 + 0]
+ *   br r7, bb3           |  jmp bb2
+ *   call @callee, 2      |  ret | halt | nop
+ *   li r3, 42            |  fli f40, 2.5
+ *
+ * Fall-through successors are declared with the `; ft -> bbN` comment
+ * the printer writes, so print -> parse -> print round-trips.
+ */
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/program.h"
+
+namespace msc {
+namespace ir {
+
+/** Error thrown on malformed textual IR, with a line number. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(unsigned line, const std::string &msg)
+        : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+          _line(line)
+    {}
+
+    unsigned line() const { return _line; }
+
+  private:
+    unsigned _line;
+};
+
+/**
+ * Parses a whole program from text. The result is CFG-computed,
+ * verified and laid out (ready to execute / partition).
+ * @throws ParseError on syntax errors, std::runtime_error when the
+ *         parsed program fails verification.
+ */
+Program parseProgram(const std::string &text);
+
+} // namespace ir
+} // namespace msc

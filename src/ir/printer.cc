@@ -1,0 +1,113 @@
+#include "ir/printer.h"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace msc {
+namespace ir {
+
+std::string
+toString(const Instruction &in)
+{
+    std::ostringstream os;
+    os << opName(in.op);
+    switch (in.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Ret:
+        break;
+      case Opcode::LoadImm:
+        os << " " << regName(in.dst) << ", " << in.imm;
+        break;
+      case Opcode::FLoadImm: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g",
+                      std::bit_cast<double>(in.imm));
+        os << " " << regName(in.dst) << ", " << buf;
+        break;
+      }
+      case Opcode::Mov:
+      case Opcode::FMov:
+      case Opcode::ItoF:
+      case Opcode::FtoI:
+        os << " " << regName(in.dst) << ", " << regName(in.src1);
+        break;
+      case Opcode::Load:
+      case Opcode::FLoad:
+        os << " " << regName(in.dst) << ", [" << regName(in.src1)
+           << " + " << in.imm << "]";
+        break;
+      case Opcode::Store:
+      case Opcode::FStore:
+        os << " " << regName(in.src1) << ", [" << regName(in.src2)
+           << " + " << in.imm << "]";
+        break;
+      case Opcode::Br:
+      case Opcode::BrZ:
+        os << " " << regName(in.src1) << ", bb" << in.target;
+        break;
+      case Opcode::Jmp:
+        os << " bb" << in.target;
+        break;
+      case Opcode::Call:
+        os << " @" << in.callee << ", " << unsigned(in.nargs);
+        break;
+      default:
+        // Binary arithmetic: reg/reg or reg/imm form.
+        os << " " << regName(in.dst) << ", " << regName(in.src1) << ", ";
+        if (in.src2 != NO_REG)
+            os << regName(in.src2);
+        else
+            os << in.imm;
+        break;
+    }
+    return os.str();
+}
+
+void
+print(std::ostream &os, const Function &f, const Program &prog)
+{
+    os << "func @" << f.name << " {\n";
+    for (const auto &b : f.blocks) {
+        os << "  bb" << b.id;
+        if (b.id == f.entry)
+            os << " (entry)";
+        os << ":";
+        if (b.fallthrough != INVALID_BLOCK)
+            os << "    ; ft -> bb" << b.fallthrough;
+        os << "\n";
+        for (const auto &in : b.insts) {
+            std::string s = toString(in);
+            if (in.op == Opcode::Call) {
+                // Replace the numeric callee with its name for clarity.
+                std::ostringstream c;
+                c << "call @" << prog.functions[in.callee].name << ", "
+                  << unsigned(in.nargs);
+                s = c.str();
+            }
+            os << "    " << s << "\n";
+        }
+    }
+    os << "}\n";
+}
+
+void
+print(std::ostream &os, const Program &prog)
+{
+    os << "program " << prog.name << " entry @"
+       << prog.functions[prog.entry].name << "\n";
+    for (const auto &f : prog.functions)
+        print(os, f, prog);
+}
+
+std::string
+toString(const Program &prog)
+{
+    std::ostringstream os;
+    print(os, prog);
+    return os.str();
+}
+
+} // namespace ir
+} // namespace msc

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Textual dump of mini-IR programs (round-trippable with the parser).
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "ir/program.h"
+
+namespace msc {
+namespace ir {
+
+/** Formats one instruction as text (no trailing newline). */
+std::string toString(const Instruction &inst);
+
+/** Prints a function in the textual IR format. */
+void print(std::ostream &os, const Function &f, const Program &prog);
+
+/** Prints a whole program in the textual IR format. */
+void print(std::ostream &os, const Program &prog);
+
+/** Returns the whole program as a string. */
+std::string toString(const Program &prog);
+
+} // namespace ir
+} // namespace msc

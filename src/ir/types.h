@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Core identifier types and the instruction opcode set for the mini-IR.
+ *
+ * The mini-IR is a small, RISC-like three-address intermediate
+ * representation used as the compilation substrate for Multiscalar
+ * task selection. Programs are collections of functions; functions are
+ * control-flow graphs of basic blocks; blocks are sequences of
+ * instructions over a flat file of 64 registers (32 integer + 32
+ * floating-point by convention) and a flat word-addressed memory.
+ *
+ * ABI convention (enforced by code generators, assumed by dataflow):
+ *  - r0        : always-zero register (writes ignored)
+ *  - r1        : integer return value
+ *  - r1..r6    : integer argument registers
+ *  - r8..r15   : caller-saved temporaries (clobbered by Call)
+ *  - r16..r31  : callee-saved (preserved across Call)
+ *  - f32       : FP return value
+ *  - f32..f38  : FP argument registers
+ *  - f40..f47  : caller-saved FP temporaries (clobbered by Call)
+ *  - f48..f63  : callee-saved FP
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msc {
+namespace ir {
+
+/** Register identifier: 0..63. 0..31 integer, 32..63 floating point. */
+using RegId = uint8_t;
+
+/** Number of architectural registers. */
+constexpr unsigned NUM_REGS = 64;
+
+/** First floating-point register index. */
+constexpr RegId FIRST_FP_REG = 32;
+
+/** Sentinel for "no register operand". */
+constexpr RegId NO_REG = 0xff;
+
+/** Well-known registers per the ABI convention. */
+constexpr RegId REG_ZERO = 0;
+constexpr RegId REG_RET = 1;
+constexpr RegId REG_ARG0 = 1;
+constexpr RegId REG_ARG_LAST = 6;
+constexpr RegId REG_CALLER_SAVED_FIRST = 8;
+constexpr RegId REG_CALLER_SAVED_LAST = 15;
+constexpr RegId REG_CALLEE_SAVED_FIRST = 16;
+constexpr RegId FREG_RET = 32;
+constexpr RegId FREG_CALLER_SAVED_FIRST = 40;
+constexpr RegId FREG_CALLER_SAVED_LAST = 47;
+
+/** Returns true if @p r names a floating-point register. */
+inline bool
+isFpReg(RegId r)
+{
+    return r != NO_REG && r >= FIRST_FP_REG;
+}
+
+/** Basic-block identifier, local to its enclosing function. */
+using BlockId = uint32_t;
+
+/** Function identifier, index into Program::functions. */
+using FuncId = uint32_t;
+
+/** Sentinel block / function ids. */
+constexpr BlockId INVALID_BLOCK = 0xffffffffu;
+constexpr FuncId INVALID_FUNC = 0xffffffffu;
+
+/** Globally unique reference to a basic block: (function, block). */
+struct BlockRef
+{
+    FuncId func = INVALID_FUNC;
+    BlockId block = INVALID_BLOCK;
+
+    bool valid() const { return func != INVALID_FUNC; }
+
+    friend bool
+    operator==(const BlockRef &a, const BlockRef &b)
+    {
+        return a.func == b.func && a.block == b.block;
+    }
+
+    friend auto operator<=>(const BlockRef &a, const BlockRef &b) = default;
+};
+
+/** Globally unique reference to an instruction: (function, block, index). */
+struct InstRef
+{
+    FuncId func = INVALID_FUNC;
+    BlockId block = INVALID_BLOCK;
+    uint32_t index = 0;
+
+    bool valid() const { return func != INVALID_FUNC; }
+
+    BlockRef blockRef() const { return {func, block}; }
+
+    friend bool
+    operator==(const InstRef &a, const InstRef &b)
+    {
+        return a.func == b.func && a.block == b.block && a.index == b.index;
+    }
+
+    friend auto operator<=>(const InstRef &a, const InstRef &b) = default;
+};
+
+/**
+ * Instruction opcodes.
+ *
+ * Binary integer/FP arithmetic reads src1 and, when src2 is a valid
+ * register, src2; otherwise the immediate field. Memory operations
+ * address a flat array of 64-bit words: the effective word address of
+ * Load/FLoad is src1 + imm (or just imm when src1 is NO_REG); Store
+ * and FStore write the value in src1 to word address src2 + imm.
+ * Br branches to `target` when src1 != 0; BrZ when src1 == 0; both
+ * fall through to the block's `fallthrough` otherwise.
+ */
+enum class Opcode : uint8_t
+{
+    Nop,
+    Halt,
+
+    // Integer arithmetic / logic.
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr, Sra,
+    Slt, Sle, Seq, Sne,
+    LoadImm, Mov,
+
+    // Floating point.
+    FAdd, FSub, FMul, FDiv,
+    FSlt, FSle, FSeq,
+    FMov, FLoadImm, ItoF, FtoI,
+
+    // Memory.
+    Load, Store, FLoad, FStore,
+
+    // Control.
+    Br, BrZ, Jmp, Call, Ret,
+
+    NUM_OPCODES
+};
+
+/** Functional-unit class an instruction executes on. */
+enum class FuClass : uint8_t
+{
+    None,       ///< Nop, Halt: consume an issue slot only.
+    IntAlu,     ///< Integer ALU operations (2 units per PU).
+    FpAlu,      ///< Floating-point operations (1 unit per PU).
+    Mem,        ///< Loads and stores (1 unit per PU).
+    Branch,     ///< Control transfers (1 unit per PU).
+};
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    const char *name;       ///< Mnemonic for printing / parsing.
+    FuClass fu;             ///< Functional-unit class.
+    uint8_t latency;        ///< Execution latency in cycles (mem: base).
+    bool hasDst;            ///< Writes the dst register.
+    bool readsSrc1;
+    bool readsSrc2;         ///< May read src2 (reg form of binary ops).
+    bool isControl;         ///< Transfers control (Br/BrZ/Jmp/Call/Ret).
+};
+
+/** Returns the static property record for @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Returns the mnemonic for @p op. */
+inline const char *opName(Opcode op) { return opInfo(op).name; }
+
+/** Parses a mnemonic; returns NUM_OPCODES when unrecognized. */
+Opcode opFromName(const std::string &name);
+
+/** Formats a register as "rN" / "fN" / "--". */
+std::string regName(RegId r);
+
+/** Parses "rN"/"fN"; returns NO_REG on failure. */
+RegId regFromName(const std::string &name);
+
+} // namespace ir
+} // namespace msc
+
+namespace std {
+
+template <>
+struct hash<msc::ir::BlockRef>
+{
+    size_t
+    operator()(const msc::ir::BlockRef &b) const noexcept
+    {
+        return (size_t(b.func) << 32) ^ b.block;
+    }
+};
+
+template <>
+struct hash<msc::ir::InstRef>
+{
+    size_t
+    operator()(const msc::ir::InstRef &i) const noexcept
+    {
+        return ((size_t(i.func) << 40) ^ (size_t(i.block) << 16)
+                ^ i.index) * 0x9e3779b97f4a7c15ull;
+    }
+};
+
+} // namespace std

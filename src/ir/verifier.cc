@@ -1,0 +1,114 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+
+namespace msc {
+namespace ir {
+
+namespace {
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+std::string
+where(const Function &f, BlockId b, size_t idx)
+{
+    std::ostringstream os;
+    os << "@" << f.name << " bb" << b << " #" << idx << ": ";
+    return os.str();
+}
+
+bool
+checkReg(RegId r)
+{
+    return r == NO_REG || r < NUM_REGS;
+}
+
+} // anonymous namespace
+
+bool
+verify(const Program &prog, std::string *err)
+{
+    if (prog.functions.empty())
+        return fail(err, "program has no functions");
+    if (prog.entry >= prog.functions.size())
+        return fail(err, "entry function out of range");
+
+    for (const auto &f : prog.functions) {
+        if (f.blocks.empty())
+            return fail(err, "@" + f.name + ": function has no blocks");
+        if (f.entry >= f.blocks.size())
+            return fail(err, "@" + f.name + ": entry block out of range");
+
+        for (const auto &b : f.blocks) {
+            if (b.insts.empty()) {
+                return fail(err, "@" + f.name + " bb" +
+                            std::to_string(b.id) + ": empty block");
+            }
+
+            for (size_t i = 0; i < b.insts.size(); ++i) {
+                const Instruction &in = b.insts[i];
+                if (size_t(in.op) >= size_t(Opcode::NUM_OPCODES))
+                    return fail(err, where(f, b.id, i) + "bad opcode");
+                if (!checkReg(in.dst) || !checkReg(in.src1) ||
+                    !checkReg(in.src2)) {
+                    return fail(err, where(f, b.id, i) +
+                                "register id out of range");
+                }
+                if (in.isControl() && i + 1 != b.insts.size()) {
+                    return fail(err, where(f, b.id, i) +
+                                "control instruction not at end of block");
+                }
+                if ((in.op == Opcode::Br || in.op == Opcode::BrZ ||
+                     in.op == Opcode::Jmp) &&
+                    in.target >= f.blocks.size()) {
+                    return fail(err, where(f, b.id, i) +
+                                "branch target out of range");
+                }
+                if (in.op == Opcode::Call) {
+                    if (in.callee >= prog.functions.size()) {
+                        return fail(err, where(f, b.id, i) +
+                                    "callee out of range");
+                    }
+                    if (b.fallthrough == INVALID_BLOCK) {
+                        return fail(err, where(f, b.id, i) +
+                                    "call block lacks continuation");
+                    }
+                    if (prog.functions[in.callee].blocks.empty() ||
+                        prog.functions[in.callee].numInsts() == 0) {
+                        return fail(err, where(f, b.id, i) +
+                                    "call to empty function");
+                    }
+                }
+                if (in.isCondBranch() && b.fallthrough == INVALID_BLOCK) {
+                    return fail(err, where(f, b.id, i) +
+                                "conditional branch lacks fall-through arc");
+                }
+            }
+
+            const Instruction &t = b.insts.back();
+            bool needs_ft = !(t.op == Opcode::Jmp || t.op == Opcode::Ret ||
+                              t.op == Opcode::Halt);
+            if (needs_ft && b.fallthrough == INVALID_BLOCK) {
+                return fail(err, "@" + f.name + " bb" +
+                            std::to_string(b.id) +
+                            ": block is not terminated (no fall-through)");
+            }
+            if (b.fallthrough != INVALID_BLOCK &&
+                b.fallthrough >= f.blocks.size()) {
+                return fail(err, "@" + f.name + " bb" +
+                            std::to_string(b.id) +
+                            ": fall-through out of range");
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace ir
+} // namespace msc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Structural well-formedness checks for mini-IR programs.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace msc {
+namespace ir {
+
+/**
+ * Verifies structural invariants of @p prog:
+ *  - the entry function exists and every function has an entry block;
+ *  - every non-exit block has a resolvable successor (valid terminator
+ *    target and/or fallthrough), and no block is empty;
+ *  - control instructions (Br/BrZ/Jmp/Call/Ret) appear only as the
+ *    last instruction of a block, and Call blocks have a continuation;
+ *  - all register ids are < NUM_REGS, all branch targets and callees
+ *    are in range;
+ *  - conditional branches have both arcs.
+ *
+ * @param err when non-null, receives a description of the first
+ *        violation found.
+ * @return true when the program is well-formed.
+ */
+bool verify(const Program &prog, std::string *err = nullptr);
+
+} // namespace ir
+} // namespace msc

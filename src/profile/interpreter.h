@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Functional interpreter for mini-IR programs.
+ *
+ * Executes a program instruction-at-a-time with architectural
+ * semantics only (no timing). Drives both profiling and dynamic trace
+ * generation; the template run() hands every retired instruction to a
+ * visitor so consumers avoid storing state they do not need.
+ */
+
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ir/program.h"
+#include "profile/trace.h"
+
+namespace msc {
+namespace profile {
+
+/**
+ * Interprets one program. The interpreter owns the register file and
+ * the data memory; both are inspectable after a run for functional
+ * assertions in tests.
+ */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const ir::Program &prog)
+        : _prog(prog), _mem(prog.memWords, 0)
+    {
+        for (size_t i = 0; i < prog.initData.size() && i < _mem.size(); ++i)
+            _mem[i] = prog.initData[i];
+        _regs.fill(0);
+    }
+
+    /** Register file access (FP values are bit-cast doubles). */
+    int64_t reg(ir::RegId r) const { return _regs[r]; }
+    double freg(ir::RegId r) const { return std::bit_cast<double>(_regs[r]); }
+    void setReg(ir::RegId r, int64_t v) { if (r) _regs[r] = v; }
+
+    /** Data memory access (word addressed). */
+    int64_t mem(uint64_t w) const { return _mem[w]; }
+    double
+    fmem(uint64_t w) const
+    {
+        return std::bit_cast<double>(_mem[w]);
+    }
+
+    /** True when the last run() reached Halt. */
+    bool halted() const { return _halted; }
+
+    /** Dynamic instructions retired by the last run(). */
+    uint64_t instCount() const { return _count; }
+
+    /**
+     * Runs the program from its entry function, invoking
+     * @p visit(ref, inst, addr, taken) for each retired instruction.
+     * Stops at Halt or after @p max_insts instructions.
+     * @return number of instructions executed.
+     */
+    template <typename Visitor>
+    uint64_t
+    run(Visitor &&visit, uint64_t max_insts = DEFAULT_MAX_INSTS)
+    {
+        const ir::Function *fn = &_prog.functions[_prog.entry];
+        ir::BlockId blk = fn->entry;
+        uint32_t idx = 0;
+        _halted = false;
+        _count = 0;
+
+        struct RetSite { ir::FuncId func; ir::BlockId block; };
+        std::vector<RetSite> stack;
+        stack.reserve(64);
+
+        while (_count < max_insts) {
+            const ir::BasicBlock &bb = fn->blocks[blk];
+            if (idx >= bb.insts.size())
+                throw std::runtime_error("interpreter ran off block end");
+            const ir::Instruction &in = bb.insts[idx];
+            ir::InstRef ref{fn->id, blk, idx};
+
+            uint64_t addr = 0;
+            bool taken = false;
+            ir::BlockId next_blk = blk;
+            uint32_t next_idx = idx + 1;
+            const ir::Function *next_fn = fn;
+            bool advanced = false;
+
+            switch (in.op) {
+              case ir::Opcode::Halt:
+                visit(ref, in, addr, taken);
+                ++_count;
+                _halted = true;
+                return _count;
+
+              case ir::Opcode::Br:
+                taken = (_regs[in.src1] != 0);
+                goto branch_common;
+              case ir::Opcode::BrZ:
+                taken = (_regs[in.src1] == 0);
+              branch_common:
+                next_blk = taken ? in.target : bb.fallthrough;
+                next_idx = 0;
+                advanced = true;
+                break;
+
+              case ir::Opcode::Jmp:
+                next_blk = in.target;
+                next_idx = 0;
+                advanced = true;
+                break;
+
+              case ir::Opcode::Call:
+                stack.push_back({fn->id, bb.fallthrough});
+                next_fn = &_prog.functions[in.callee];
+                next_blk = next_fn->entry;
+                next_idx = 0;
+                advanced = true;
+                break;
+
+              case ir::Opcode::Ret:
+                if (stack.empty()) {
+                    visit(ref, in, addr, taken);
+                    ++_count;
+                    _halted = true;  // Ret from entry terminates.
+                    return _count;
+                }
+                next_fn = &_prog.functions[stack.back().func];
+                next_blk = stack.back().block;
+                next_idx = 0;
+                stack.pop_back();
+                advanced = true;
+                break;
+
+              default:
+                execute(in, addr);
+                break;
+            }
+
+            visit(ref, in, addr, taken);
+            ++_count;
+
+            if (!advanced && idx + 1 >= bb.insts.size()) {
+                // Implicit fall-through at block end.
+                next_blk = bb.fallthrough;
+                next_idx = 0;
+            }
+            fn = next_fn;
+            blk = next_blk;
+            idx = next_idx;
+        }
+        return _count;
+    }
+
+    /** Runs and captures the full dynamic trace. */
+    Trace
+    trace(uint64_t max_insts = DEFAULT_MAX_INSTS)
+    {
+        Trace t;
+        t.entries.reserve(std::min<uint64_t>(max_insts, 1u << 22));
+        run([&](ir::InstRef ref, const ir::Instruction &, uint64_t addr,
+                bool taken) {
+            t.entries.push_back({ref, addr, taken});
+        }, max_insts);
+        t.completed = _halted;
+        return t;
+    }
+
+    /** Runs without observation; returns instructions executed. */
+    uint64_t
+    runQuiet(uint64_t max_insts = DEFAULT_MAX_INSTS)
+    {
+        return run([](ir::InstRef, const ir::Instruction &, uint64_t,
+                      bool) {}, max_insts);
+    }
+
+    static constexpr uint64_t DEFAULT_MAX_INSTS = 50'000'000;
+
+  private:
+    /** Executes a non-control instruction; fills @p addr for mem ops. */
+    void
+    execute(const ir::Instruction &in, uint64_t &addr)
+    {
+        using ir::Opcode;
+        auto s1 = [&] { return _regs[in.src1]; };
+        auto s2i = [&] {
+            return in.src2 != ir::NO_REG ? _regs[in.src2] : in.imm;
+        };
+        auto f1 = [&] { return std::bit_cast<double>(_regs[in.src1]); };
+        auto f2 = [&] {
+            return std::bit_cast<double>(
+                in.src2 != ir::NO_REG ? _regs[in.src2] : in.imm);
+        };
+        auto wr = [&](int64_t v) {
+            if (in.dst != ir::REG_ZERO)
+                _regs[in.dst] = v;
+        };
+        auto wf = [&](double v) { wr(std::bit_cast<int64_t>(v)); };
+
+        switch (in.op) {
+          case Opcode::Nop: break;
+          case Opcode::Add: wr(s1() + s2i()); break;
+          case Opcode::Sub: wr(s1() - s2i()); break;
+          case Opcode::Mul: wr(s1() * s2i()); break;
+          case Opcode::Div: { int64_t d = s2i(); wr(d ? s1() / d : 0); break; }
+          case Opcode::Rem: { int64_t d = s2i(); wr(d ? s1() % d : 0); break; }
+          case Opcode::And: wr(s1() & s2i()); break;
+          case Opcode::Or:  wr(s1() | s2i()); break;
+          case Opcode::Xor: wr(s1() ^ s2i()); break;
+          case Opcode::Shl: wr(s1() << (s2i() & 63)); break;
+          case Opcode::Shr:
+            wr(int64_t(uint64_t(s1()) >> (s2i() & 63)));
+            break;
+          case Opcode::Sra: wr(s1() >> (s2i() & 63)); break;
+          case Opcode::Slt: wr(s1() < s2i() ? 1 : 0); break;
+          case Opcode::Sle: wr(s1() <= s2i() ? 1 : 0); break;
+          case Opcode::Seq: wr(s1() == s2i() ? 1 : 0); break;
+          case Opcode::Sne: wr(s1() != s2i() ? 1 : 0); break;
+          case Opcode::LoadImm: wr(in.imm); break;
+          case Opcode::Mov: wr(s1()); break;
+
+          case Opcode::FAdd: wf(f1() + f2()); break;
+          case Opcode::FSub: wf(f1() - f2()); break;
+          case Opcode::FMul: wf(f1() * f2()); break;
+          case Opcode::FDiv: wf(f1() / f2()); break;
+          case Opcode::FSlt: wr(f1() < f2() ? 1 : 0); break;
+          case Opcode::FSle: wr(f1() <= f2() ? 1 : 0); break;
+          case Opcode::FSeq: wr(f1() == f2() ? 1 : 0); break;
+          case Opcode::FMov: wr(s1()); break;
+          case Opcode::FLoadImm: wr(in.imm); break;
+          case Opcode::ItoF: wf(double(s1())); break;
+          case Opcode::FtoI: wr(int64_t(f1())); break;
+
+          case Opcode::Load:
+          case Opcode::FLoad:
+            addr = effAddr(in.src1, in.imm);
+            wr(_mem[addr]);
+            break;
+          case Opcode::Store:
+          case Opcode::FStore:
+            addr = effAddr(in.src2, in.imm);
+            _mem[addr] = _regs[in.src1];
+            break;
+
+          default:
+            throw std::runtime_error("execute: unexpected opcode");
+        }
+    }
+
+    uint64_t
+    effAddr(ir::RegId base, int64_t off) const
+    {
+        int64_t a = (base != ir::NO_REG ? _regs[base] : 0) + off;
+        uint64_t w = uint64_t(a);
+        if (w >= _mem.size())
+            throw std::runtime_error("memory access out of bounds");
+        return w;
+    }
+
+    const ir::Program &_prog;
+    std::array<int64_t, ir::NUM_REGS> _regs;
+    std::vector<int64_t> _mem;
+    bool _halted = false;
+    uint64_t _count = 0;
+};
+
+} // namespace profile
+} // namespace msc

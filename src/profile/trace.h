@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Dynamic instruction traces.
+ *
+ * The functional interpreter emits one TraceEntry per retired
+ * instruction; the Multiscalar timing model replays the stream,
+ * cutting it into dynamic tasks per a TaskPartition.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/types.h"
+
+namespace msc {
+namespace profile {
+
+/** One dynamically executed instruction. */
+struct TraceEntry
+{
+    ir::InstRef ref;        ///< Static instruction identity.
+    uint64_t addr = 0;      ///< Effective word address for memory ops.
+    bool taken = false;     ///< Outcome for conditional branches.
+};
+
+/** A full dynamic trace. */
+struct Trace
+{
+    std::vector<TraceEntry> entries;
+
+    /** True when the program ran to Halt within the entry budget. */
+    bool completed = false;
+
+    size_t size() const { return entries.size(); }
+    const TraceEntry &operator[](size_t i) const { return entries[i]; }
+};
+
+} // namespace profile
+} // namespace msc

@@ -1,0 +1,69 @@
+#include "sim/runner.h"
+
+#include <stdexcept>
+
+#include "profile/interpreter.h"
+#include "tasksel/pverify.h"
+#include "tasksel/selector.h"
+#include "tasksel/transforms.h"
+
+namespace msc {
+namespace sim {
+
+namespace {
+
+RunResult
+preparePartition(const ir::Program &input, const RunOptions &opts)
+{
+    RunResult r;
+    r.prog = std::make_unique<ir::Program>(input);
+
+    // IR transforms first, so profiling and simulation see the final
+    // code. The induction-variable rotation runs before unrolling so
+    // every unrolled copy carries its increment at the top (§3.2);
+    // loop unrolling belongs to the task-size heuristic.
+    if (opts.sel.hoistInductionVars)
+        r.ivsHoisted = tasksel::hoistInductionVariables(*r.prog);
+    if (opts.sel.taskSizeHeuristic)
+        r.loopsUnrolled = tasksel::unrollSmallLoops(*r.prog,
+                                                    opts.sel.loopThresh);
+    r.prog->computeCfg();
+    r.prog->layout();
+
+    r.profile = profile::profileProgram(*r.prog, opts.profileInsts);
+    r.partition = tasksel::selectTasks(*r.prog, r.profile, opts.sel);
+
+    if (opts.verifyPartition) {
+        std::string err;
+        if (!tasksel::verifyPartition(r.partition, opts.sel, &err))
+            throw std::runtime_error("partition verification failed: "
+                                     + err);
+    }
+    return r;
+}
+
+} // anonymous namespace
+
+RunResult
+partitionOnly(const ir::Program &input, const RunOptions &opts)
+{
+    return preparePartition(input, opts);
+}
+
+RunResult
+runPipeline(const ir::Program &input, const RunOptions &opts)
+{
+    RunResult r = preparePartition(input, opts);
+
+    profile::Interpreter interp(*r.prog);
+    profile::Trace trace = interp.trace(opts.traceInsts);
+
+    std::vector<arch::DynTask> dyn = arch::cutTasks(trace, r.partition);
+    r.dynTaskCount = dyn.size();
+
+    r.stats = arch::simulate(r.partition, dyn, opts.config);
+    return r;
+}
+
+} // namespace sim
+} // namespace msc

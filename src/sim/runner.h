@@ -1,0 +1,71 @@
+/**
+ * @file
+ * One-call driver for the full pipeline the paper's evaluation uses:
+ *
+ *   program --(task-size / IV-hoist IR transforms)--> program'
+ *   program' --(profile run)--> Profile
+ *   (program', Profile, strategy) --(task selection)--> TaskPartition
+ *   program' --(functional trace)--> Trace --(cut)--> dynamic tasks
+ *   (partition, dynamic tasks, SimConfig) --(timing model)--> SimStats
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "arch/config.h"
+#include "arch/processor.h"
+#include "arch/taskstream.h"
+#include "profile/profiler.h"
+#include "tasksel/options.h"
+#include "tasksel/task.h"
+
+namespace msc {
+namespace sim {
+
+/** Everything a pipeline run needs to know. */
+struct RunOptions
+{
+    tasksel::SelectionOptions sel;
+    arch::SimConfig config;
+
+    /** Dynamic-instruction budget for the timing trace. */
+    uint64_t traceInsts = 400'000;
+
+    /** Dynamic-instruction budget for the profiling run. */
+    uint64_t profileInsts = 1'000'000;
+
+    /** Validate the partition and throw on violation (tests). */
+    bool verifyPartition = true;
+};
+
+/** Results of a pipeline run. The partition points into `prog`. */
+struct RunResult
+{
+    std::unique_ptr<ir::Program> prog;   ///< Post-transform program.
+    profile::Profile profile;
+    tasksel::TaskPartition partition;
+    arch::SimStats stats;
+
+    /** Number of dynamic tasks in the simulated stream. */
+    uint64_t dynTaskCount = 0;
+
+    /** Transform bookkeeping. */
+    unsigned loopsUnrolled = 0;
+    unsigned ivsHoisted = 0;
+};
+
+/**
+ * Runs the full pipeline on a copy of @p input.
+ * Throws std::runtime_error on malformed IR or partitions.
+ */
+RunResult runPipeline(const ir::Program &input, const RunOptions &opts);
+
+/**
+ * Convenience: partition only (transforms + profile + selection),
+ * without the timing simulation.
+ */
+RunResult partitionOnly(const ir::Program &input, const RunOptions &opts);
+
+} // namespace sim
+} // namespace msc

@@ -1,0 +1,264 @@
+#include "tasksel/grower.h"
+
+#include <algorithm>
+
+#include "cfg/dfs.h"
+#include "cfg/loops.h"
+
+namespace msc {
+namespace tasksel {
+
+using namespace ir;
+
+GrowthContext::GrowthContext(const Program &prog, const Function &func,
+                             const SelectionOptions &opts,
+                             const std::unordered_set<BlockRef> &included,
+                             const cfg::DfsInfo &dfs,
+                             const cfg::LoopForest &loops)
+    : _prog(prog), _func(func), _opts(opts), _includedCalls(included),
+      _dfs(dfs), _loops(loops), _owner(func.blocks.size(), -1)
+{
+}
+
+bool
+GrowthContext::isTerminalNode(BlockId b) const
+{
+    const BasicBlock &bb = _func.blocks[b];
+    if (bb.endsInRet())
+        return true;
+    if (bb.isExit())
+        return true;  // Halt.
+    if (bb.endsInCall() && !callIncluded(b))
+        return true;
+    return false;
+}
+
+bool
+GrowthContext::isTerminalEdge(BlockId from, BlockId to) const
+{
+    if (_dfs.isBackEdge(from, to))
+        return true;
+    if (_loops.isLoopEntryEdge(from, to))
+        return true;
+    if (_loops.isLoopExitEdge(from, to))
+        return true;
+    return false;
+}
+
+TaskGrower::TaskGrower(GrowthContext &ctx, int tag, BlockId seed)
+    : _ctx(ctx), _tag(tag), _seed(seed)
+{
+    _exploreQ.push_back(seed);
+}
+
+void
+TaskGrower::explore(const cfg::DynBitset *steer, ir::BlockId stop_at)
+{
+    // Steer-rejected children from earlier rounds become candidates
+    // again under the new steering set.
+    if (!_deferred.empty()) {
+        for (BlockId b : _deferred)
+            _exploreQ.push_back(b);
+        _deferred.clear();
+    }
+
+    const Function &f = _ctx.func();
+    unsigned budget = _ctx.opts().maxTaskBlocks;
+
+    while (!_exploreQ.empty()) {
+        if (_order.size() >= budget) {
+            // Blocks still queued cannot join; they seed other tasks.
+            while (!_exploreQ.empty()) {
+                BlockId b = _exploreQ.front();
+                _exploreQ.pop_front();
+                if (!_ctx.owned(b))
+                    _boundary.push_back(b);
+            }
+            break;
+        }
+
+        BlockId blk = _exploreQ.front();
+        _exploreQ.pop_front();
+
+        if (_ctx.owned(blk)) {
+            if (_ctx.ownerOf(blk) != _tag) {
+                // Another task claimed it first; the edge to it is
+                // simply an exposed target.
+            }
+            continue;
+        }
+
+        // The seed is always admitted; other blocks respect steering.
+        if (steer && blk != _seed && !steer->test(blk)) {
+            _deferred.push_back(blk);
+            continue;
+        }
+
+        _ctx.setOwner(blk, _tag);
+        _order.push_back(blk);
+
+        if (blk == stop_at) {
+            // Dependence included: stop here, preserving the frontier
+            // for later expansions of this task.
+            while (!_exploreQ.empty()) {
+                _deferred.push_back(_exploreQ.front());
+                _exploreQ.pop_front();
+            }
+            break;
+        }
+
+        if (_ctx.isTerminalNode(blk)) {
+            // Children of a terminal node are never part of this
+            // task; they seed new tasks (paper's add_to_task_q).
+            for (BlockId ch : f.blocks[blk].succs)
+                if (!_ctx.owned(ch))
+                    _boundary.push_back(ch);
+            continue;
+        }
+
+        for (BlockId ch : f.blocks[blk].succs) {
+            if (_ctx.isTerminalEdge(blk, ch)) {
+                if (!_ctx.owned(ch))
+                    _boundary.push_back(ch);
+                continue;
+            }
+            if (_ctx.owned(ch))
+                continue;
+            _exploreQ.push_back(ch);
+        }
+    }
+}
+
+std::vector<TaskTarget>
+TaskGrower::computeTargets(const GrowthContext &ctx, BlockId entry,
+                           const std::vector<BlockId> &blocks)
+{
+    const Function &f = ctx.func();
+    std::vector<bool> in(f.blocks.size(), false);
+    for (BlockId b : blocks)
+        in[b] = true;
+
+    std::vector<TaskTarget> targets;
+    auto addTarget = [&](const TaskTarget &t) {
+        for (const auto &x : targets)
+            if (x == t)
+                return;
+        targets.push_back(t);
+    };
+
+    for (BlockId b : blocks) {
+        const BasicBlock &bb = f.blocks[b];
+        if (bb.endsInRet()) {
+            addTarget({TargetKind::Return, {}});
+            continue;
+        }
+        if (!bb.insts.empty() && bb.insts.back().op == Opcode::Halt)
+            continue;  // Program end: no successor.
+        if (bb.endsInCall() && !ctx.callIncluded(b)) {
+            FuncId callee = bb.insts.back().callee;
+            addTarget({TargetKind::Block,
+                       {callee, ctx.prog().functions[callee].entry}});
+            continue;
+        }
+        for (BlockId s : bb.succs) {
+            if (!in[s] || s == entry)
+                addTarget({TargetKind::Block, {f.id, s}});
+        }
+    }
+    return targets;
+}
+
+std::vector<BlockId>
+TaskGrower::cleanup(size_t prefix_len) const
+{
+    const Function &f = _ctx.func();
+    std::vector<bool> in(f.blocks.size(), false);
+    for (size_t i = 0; i < prefix_len; ++i)
+        in[_order[i]] = true;
+
+    // Single-entry: repeatedly drop non-entry blocks with an external
+    // predecessor until fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < prefix_len; ++i) {
+            BlockId b = _order[i];
+            if (!in[b] || b == _seed)
+                continue;
+            for (BlockId p : f.blocks[b].preds) {
+                if (!in[p]) {
+                    in[b] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Connectivity: keep only blocks reachable from the entry within
+    // the set.
+    std::vector<bool> keep(f.blocks.size(), false);
+    std::vector<BlockId> work{_seed};
+    keep[_seed] = true;
+    while (!work.empty()) {
+        BlockId b = work.back();
+        work.pop_back();
+        for (BlockId s : f.blocks[b].succs) {
+            if (in[s] && !keep[s] && s != _seed) {
+                keep[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+
+    std::vector<BlockId> out;
+    for (size_t i = 0; i < prefix_len; ++i)
+        if (keep[_order[i]])
+            out.push_back(_order[i]);
+    return out;
+}
+
+std::vector<BlockId>
+TaskGrower::finalize(std::vector<BlockId> &dropped)
+{
+    unsigned n = _ctx.opts().maxTargets;
+
+    // Drain any still-queued or deferred blocks to the boundary.
+    while (!_exploreQ.empty()) {
+        BlockId b = _exploreQ.front();
+        _exploreQ.pop_front();
+        if (!_ctx.owned(b))
+            _boundary.push_back(b);
+    }
+    for (BlockId b : _deferred)
+        if (!_ctx.owned(b))
+            _boundary.push_back(b);
+    _deferred.clear();
+
+    // The largest feasible prefix wins; ties favor longer prefixes
+    // seen earlier (reconvergence can shrink targets back below N).
+    std::vector<BlockId> best{_seed};
+    for (size_t k = 1; k <= _order.size(); ++k) {
+        std::vector<BlockId> set = cleanup(k);
+        if (set.size() <= best.size())
+            continue;
+        auto targets = computeTargets(_ctx, _seed, set);
+        if (targets.size() <= n)
+            best = std::move(set);
+    }
+
+    // Release ownership of dropped blocks.
+    std::vector<bool> kept(_ctx.func().blocks.size(), false);
+    for (BlockId b : best)
+        kept[b] = true;
+    for (BlockId b : _order) {
+        if (!kept[b]) {
+            _ctx.setOwner(b, -1);
+            dropped.push_back(b);
+        }
+    }
+    return best;
+}
+
+} // namespace tasksel
+} // namespace msc

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Greedy task growth with feasible-prefix tracking — the mechanism
+ * shared by the control-flow and data-dependence heuristics (§3.3,
+ * §3.4, Figure 3).
+ *
+ * A TaskGrower explores the CFG outward from a seed block, one block
+ * per step, queueing children for further exploration exactly as the
+ * paper's dependence_task() does. Terminal nodes stop exploration of
+ * their children; terminal edges (loop back/entry/exit arcs) are never
+ * crossed. Exploration is greedy: it continues even when the number of
+ * exposed successor targets exceeds the hardware arity N, because
+ * reconverging control flow later in the traversal can bring the
+ * count back down. finalize() then demarcates the largest explored
+ * prefix that is a connected, single-entry subgraph with at most N
+ * targets — the paper's "feasible task".
+ */
+
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "cfg/bitset.h"
+#include "tasksel/options.h"
+#include "tasksel/task.h"
+
+namespace msc {
+namespace cfg {
+class DfsInfo;
+class LoopForest;
+} // namespace cfg
+
+namespace tasksel {
+
+/**
+ * Per-function context shared by all growers: terminal classification
+ * and ownership of blocks by committed or in-progress tasks.
+ */
+class GrowthContext
+{
+  public:
+    GrowthContext(const ir::Program &prog, const ir::Function &func,
+                  const SelectionOptions &opts,
+                  const std::unordered_set<ir::BlockRef> &included_calls,
+                  const cfg::DfsInfo &dfs,
+                  const cfg::LoopForest &loops);
+
+    const ir::Function &func() const { return _func; }
+    const ir::Program &prog() const { return _prog; }
+    const SelectionOptions &opts() const { return _opts; }
+
+    /** Paper's is_a_terminal_node(): exploration must not continue
+     *  past this block. */
+    bool isTerminalNode(ir::BlockId b) const;
+
+    /** Paper's is_a_terminal_edge(): loop back edges and edges that
+     *  enter or leave a loop. */
+    bool isTerminalEdge(ir::BlockId from, ir::BlockId to) const;
+
+    /** Block ownership (by any grower or committed task). */
+    bool owned(ir::BlockId b) const { return _owner[b] >= 0; }
+    int ownerOf(ir::BlockId b) const { return _owner[b]; }
+    void setOwner(ir::BlockId b, int owner) { _owner[b] = owner; }
+
+    bool
+    callIncluded(ir::BlockId b) const
+    {
+        return _includedCalls.count({_func.id, b}) != 0;
+    }
+
+  private:
+    const ir::Program &_prog;
+    const ir::Function &_func;
+    const SelectionOptions &_opts;
+    const std::unordered_set<ir::BlockRef> &_includedCalls;
+    const cfg::DfsInfo &_dfs;
+    const cfg::LoopForest &_loops;
+    std::vector<int> _owner;
+};
+
+/**
+ * Grows a single task. Growth may resume with different steering sets
+ * (the data-dependence heuristic expands a producer's task once per
+ * dependence), so the explore queue persists across explore() calls.
+ */
+class TaskGrower
+{
+  public:
+    /**
+     * @param ctx shared function context.
+     * @param tag ownership tag this grower marks blocks with
+     *        (a unique non-negative id).
+     * @param seed the task's entry block (must be unowned).
+     */
+    TaskGrower(GrowthContext &ctx, int tag, ir::BlockId seed);
+
+    /**
+     * Runs exploration until the queue drains or the block budget is
+     * exhausted. When @p steer is non-null, only children inside the
+     * steering set are explored (the codependent-set filter of the
+     * data-dependence heuristic); rejected children are remembered
+     * and re-considered on later explore() calls with other steers.
+     * When @p stop_at is a valid block, exploration halts as soon as
+     * that block joins the task — the paper's "terminate tasks as
+     * soon as a data dependence is included" (§4.3.2); still-queued
+     * blocks are kept for later expansions.
+     */
+    void explore(const cfg::DynBitset *steer,
+                 ir::BlockId stop_at = ir::INVALID_BLOCK);
+
+    /**
+     * Demarcates the feasible task: the largest prefix of the
+     * exploration order that is single-entry, connected, and exposes
+     * at most N targets. Releases ownership of dropped blocks.
+     *
+     * @param dropped receives blocks explored but not kept.
+     * @return the member blocks, entry first.
+     */
+    std::vector<ir::BlockId> finalize(std::vector<ir::BlockId> &dropped);
+
+    /** Blocks the growth frontier could not include (future seeds). */
+    const std::vector<ir::BlockId> &boundary() const { return _boundary; }
+
+    ir::BlockId entry() const { return _seed; }
+    bool started() const { return !_order.empty(); }
+
+    /** Blocks explored so far, in inclusion order. */
+    const std::vector<ir::BlockId> &order() const { return _order; }
+
+    /**
+     * Computes the exposed targets of @p blocks (assumed to contain
+     * the entry). Public because the selector also needs target lists
+     * for committed tasks.
+     */
+    static std::vector<TaskTarget>
+    computeTargets(const GrowthContext &ctx, ir::BlockId entry,
+                   const std::vector<ir::BlockId> &blocks);
+
+  private:
+    std::vector<ir::BlockId> cleanup(size_t prefix_len) const;
+
+    GrowthContext &_ctx;
+    int _tag;
+    ir::BlockId _seed;
+    std::vector<ir::BlockId> _order;      ///< Inclusion order.
+    std::deque<ir::BlockId> _exploreQ;
+    std::vector<ir::BlockId> _deferred;   ///< Steer-rejected children.
+    std::vector<ir::BlockId> _boundary;
+};
+
+} // namespace tasksel
+} // namespace msc

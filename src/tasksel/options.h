@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Task-selection strategy and tuning knobs.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace msc {
+namespace tasksel {
+
+/** Which heuristic stack partitions the program (§3, §4.1). */
+enum class Strategy : uint8_t
+{
+    /** One task per basic block (the paper's baseline). */
+    BasicBlock,
+
+    /** Control-flow heuristic: multi-block tasks with at most N
+     *  exposed targets, exploiting reconverging paths (§3.3). */
+    ControlFlow,
+
+    /** Data-dependence heuristic applied on top of the control-flow
+     *  heuristic: profiled def-use dependences steer exploration so
+     *  dependences land inside tasks (§3.4). */
+    DataDependence,
+};
+
+/** Returns a short printable name for @p s. */
+const char *strategyName(Strategy s);
+
+/** All knobs of the selection pipeline. */
+struct SelectionOptions
+{
+    Strategy strategy = Strategy::DataDependence;
+
+    /** Hardware successor-tracking arity (prediction table targets). */
+    unsigned maxTargets = 4;
+
+    /** Apply the task-size heuristic transforms (§3.2): loop
+     *  unrolling and call inclusion. */
+    bool taskSizeHeuristic = false;
+
+    /** Loops with bodies smaller than this many static instructions
+     *  are unrolled to roughly this size (§3.2, LOOP_THRESH). */
+    unsigned loopThresh = 30;
+
+    /** Calls to functions averaging fewer dynamic instructions than
+     *  this are included within tasks (§3.2, CALL_THRESH). */
+    unsigned callThresh = 30;
+
+    /** Hoist induction-variable updates to loop tops (§3.2) so later
+     *  iterations receive IV values without delay. */
+    bool hoistInductionVars = true;
+
+    /** Prune dead registers from create masks (dead-register
+     *  analysis, §4.2). */
+    bool deadRegElim = true;
+
+    /**
+     * Data-dependence strategy: terminate a task's growth as soon as
+     * a dependence's consumer joins (§4.3.2 observes DD tasks are
+     * smaller than CF tasks for this reason). Off by default: the
+     * aggressive cut helps codes the control-flow heuristic overgrows
+     * (e.g. worklist code) but fragments loop bodies; the ablation
+     * bench sweeps it.
+     */
+    bool ddTerminateAtDependence = false;
+
+    /** Safety bound on blocks explored per task. */
+    unsigned maxTaskBlocks = 64;
+
+    /** Cap on profiled def-use dependences considered per function
+     *  (highest frequency first). */
+    unsigned maxDepsPerFunction = 4096;
+};
+
+} // namespace tasksel
+} // namespace msc

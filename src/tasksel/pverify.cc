@@ -1,0 +1,134 @@
+#include "tasksel/pverify.h"
+
+#include <sstream>
+#include <vector>
+
+namespace msc {
+namespace tasksel {
+
+using namespace ir;
+
+namespace {
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+std::string
+taskDesc(const Task &t, const Program &prog)
+{
+    std::ostringstream os;
+    os << "task " << t.id << " (@" << prog.functions[t.func].name
+       << " entry bb" << t.entry << ")";
+    return os.str();
+}
+
+} // anonymous namespace
+
+bool
+verifyPartition(const TaskPartition &part, const SelectionOptions &opts,
+                std::string *err)
+{
+    const Program &prog = *part.prog;
+
+    // Coverage and uniqueness.
+    std::vector<std::vector<int>> seen(prog.functions.size());
+    for (const auto &f : prog.functions)
+        seen[f.id].assign(f.blocks.size(), 0);
+
+    for (const auto &t : part.tasks) {
+        if (t.blocks.empty() || t.blocks.front() != t.entry)
+            return fail(err, taskDesc(t, prog) + ": entry not first");
+        for (BlockId b : t.blocks) {
+            if (b >= prog.functions[t.func].blocks.size())
+                return fail(err, taskDesc(t, prog) + ": bad block id");
+            seen[t.func][b]++;
+            if (part.taskOf[t.func][b] != t.id) {
+                return fail(err, taskDesc(t, prog) +
+                            ": taskOf mismatch for bb" + std::to_string(b));
+            }
+        }
+    }
+    for (const auto &f : prog.functions) {
+        for (const auto &b : f.blocks) {
+            if (seen[f.id][b.id] != 1) {
+                return fail(err, "@" + f.name + " bb" +
+                            std::to_string(b.id) + " is in " +
+                            std::to_string(seen[f.id][b.id]) + " tasks");
+            }
+        }
+    }
+
+    for (const auto &t : part.tasks) {
+        const Function &f = prog.functions[t.func];
+        std::vector<bool> in(f.blocks.size(), false);
+        for (BlockId b : t.blocks)
+            in[b] = true;
+
+        // Single entry.
+        for (BlockId b : t.blocks) {
+            if (b == t.entry)
+                continue;
+            for (BlockId p : f.blocks[b].preds) {
+                if (!in[p]) {
+                    return fail(err, taskDesc(t, prog) + ": bb" +
+                                std::to_string(b) +
+                                " has external predecessor bb" +
+                                std::to_string(p));
+                }
+            }
+        }
+
+        // Connectivity from the entry.
+        std::vector<bool> reach(f.blocks.size(), false);
+        std::vector<BlockId> work{t.entry};
+        reach[t.entry] = true;
+        while (!work.empty()) {
+            BlockId b = work.back();
+            work.pop_back();
+            for (BlockId s : f.blocks[b].succs) {
+                if (in[s] && !reach[s]) {
+                    reach[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+        for (BlockId b : t.blocks) {
+            if (!reach[b]) {
+                return fail(err, taskDesc(t, prog) + ": bb" +
+                            std::to_string(b) + " unreachable from entry");
+            }
+        }
+
+        // Every Block target is the owning task's entry.
+        for (const auto &tg : t.targets) {
+            if (tg.kind != TargetKind::Block)
+                continue;
+            TaskId owner = part.taskOf[tg.block.func][tg.block.block];
+            if (owner == INVALID_TASK)
+                return fail(err, taskDesc(t, prog) + ": unowned target");
+            if (part.tasks[owner].entry != tg.block.block) {
+                return fail(err, taskDesc(t, prog) +
+                            ": target bb" + std::to_string(tg.block.block) +
+                            " is not the entry of its task");
+            }
+        }
+
+        // Target arity (multi-block tasks only; the basic-block
+        // baseline deliberately ignores N).
+        if (t.blocks.size() > 1 && t.targets.size() > opts.maxTargets) {
+            return fail(err, taskDesc(t, prog) + ": " +
+                        std::to_string(t.targets.size()) +
+                        " targets exceed N=" +
+                        std::to_string(opts.maxTargets));
+        }
+    }
+    return true;
+}
+
+} // namespace tasksel
+} // namespace msc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Structural verification of task partitions.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "tasksel/options.h"
+#include "tasksel/task.h"
+
+namespace msc {
+namespace tasksel {
+
+/**
+ * Checks the invariants every partition must satisfy (§2.2):
+ *  - every block of every function belongs to exactly one task;
+ *  - each task is a connected subgraph containing its entry;
+ *  - each task is single-entry: every predecessor of a non-entry
+ *    member lies inside the task;
+ *  - every exposed Block target is the entry of the task owning it;
+ *  - multi-block tasks expose at most opts.maxTargets targets
+ *    (basic-block tasks are exempt: the baseline ignores N).
+ *
+ * @param err when non-null receives a description of the first
+ *        violation.
+ * @return true when the partition is well-formed.
+ */
+bool verifyPartition(const TaskPartition &part,
+                     const SelectionOptions &opts,
+                     std::string *err = nullptr);
+
+} // namespace tasksel
+} // namespace msc

@@ -1,0 +1,136 @@
+#include "tasksel/regcomm.h"
+
+#include <vector>
+
+#include "cfg/liveness.h"
+
+namespace msc {
+namespace tasksel {
+
+using namespace ir;
+using cfg::RegSet;
+
+void
+computeRegisterCommunication(TaskPartition &part,
+                             const SelectionOptions &opts)
+{
+    const Program &prog = *part.prog;
+
+    // fwdSafe holds a register set per instruction: the defs of that
+    // instruction which may be forwarded as soon as it executes.
+    part.fwdSafe.resize(prog.functions.size());
+    for (const auto &f : prog.functions) {
+        part.fwdSafe[f.id].resize(f.blocks.size());
+        for (const auto &b : f.blocks)
+            part.fwdSafe[f.id][b.id].assign(b.insts.size(), 0);
+    }
+
+    // Per-function liveness for dead-register pruning.
+    std::vector<cfg::Liveness> live;
+    live.reserve(prog.functions.size());
+    for (const auto &f : prog.functions)
+        live.emplace_back(f);
+
+    std::vector<RegId> scratch;
+
+    for (auto &task : part.tasks) {
+        const Function &f = prog.functions[task.func];
+
+        // Per-block defined sets within this task.
+        std::vector<RegSet> def_in_block(f.blocks.size(), 0);
+        std::vector<bool> in_task(f.blocks.size(), false);
+        for (BlockId b : task.blocks)
+            in_task[b] = true;
+
+        RegSet create = 0;
+        for (BlockId b : task.blocks) {
+            RegSet d = 0;
+            for (const auto &inst : f.blocks[b].insts) {
+                if (inst.op == Opcode::Call &&
+                    !part.callIncluded({task.func, b})) {
+                    // A task ending in a non-included call does not
+                    // produce the ABI clobber values: the callee's own
+                    // tasks carry them in their create masks.
+                    continue;
+                }
+                scratch.clear();
+                inst.defs(scratch);
+                for (RegId r : scratch)
+                    d |= cfg::regBit(r);
+            }
+            def_in_block[b] = d;
+            create |= d;
+        }
+
+        // mayDefAfter[b]: registers possibly defined in blocks that
+        // can execute after b within the same dynamic task instance
+        // (successors inside the task, excluding re-entry at the task
+        // entry). Tasks are internally acyclic by construction, but a
+        // bounded fixpoint keeps this robust regardless.
+        std::vector<RegSet> may_after(f.blocks.size(), 0);
+        for (bool changed = true; changed;) {
+            changed = false;
+            for (BlockId b : task.blocks) {
+                RegSet v = 0;
+                for (BlockId s : f.blocks[b].succs) {
+                    if (in_task[s] && s != task.entry)
+                        v |= def_in_block[s] | may_after[s];
+                }
+                if (v != may_after[b]) {
+                    may_after[b] = v;
+                    changed = true;
+                }
+            }
+        }
+
+        // Safe forward points: walk each block backwards, tracking
+        // registers defined later in the block.
+        for (BlockId b : task.blocks) {
+            const BasicBlock &bb = f.blocks[b];
+            RegSet later = may_after[b];
+            for (size_t i = bb.insts.size(); i-- > 0;) {
+                const auto &inst = bb.insts[i];
+                if (inst.op == Opcode::Call) {
+                    // Included calls release their clobber values at
+                    // task end (the callee produces them piecemeal);
+                    // non-included calls produce nothing here at all.
+                    part.fwdSafe[task.func][b][i] = 0;
+                    if (part.callIncluded({task.func, b})) {
+                        scratch.clear();
+                        inst.defs(scratch);
+                        for (RegId r : scratch)
+                            later |= cfg::regBit(r);
+                    }
+                    continue;
+                }
+                scratch.clear();
+                inst.defs(scratch);
+                RegSet mine = 0;
+                for (RegId r : scratch)
+                    mine |= cfg::regBit(r);
+                part.fwdSafe[task.func][b][i] = mine & ~later;
+                later |= mine;
+            }
+        }
+
+        // Dead-register pruning: only registers live out of some
+        // member block can be consumed downstream.
+        if (opts.deadRegElim) {
+            RegSet live_union = 0;
+            for (BlockId b : task.blocks)
+                live_union |= live[task.func].liveOut(b);
+            create &= live_union;
+            // Forward bits for pruned registers are pointless but
+            // harmless; mask them for cleanliness.
+            for (BlockId b : task.blocks) {
+                for (auto &m : part.fwdSafe[task.func][b])
+                    m &= create;
+            }
+        }
+
+        task.createMask = create;
+    }
+}
+
+} // namespace tasksel
+} // namespace msc

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Register-communication metadata: create masks and safe forward
+ * points.
+ *
+ * In a Multiscalar processor, "in the case of inter-task register data
+ * dependences, a producer task communicates the required value to the
+ * consumer task when it has been computed" (§2.1, [3]). The hardware
+ * needs to know (a) which registers a task may produce — the *create
+ * mask* — so consumers know whom to wait for, and (b) when a value may
+ * be forwarded — at the last possible definition. A definition may
+ * forward immediately ("forward bit") only when no later definition of
+ * the same register is statically possible within the task; registers
+ * in the create mask that never hit a safe forward point are released
+ * when the task completes.
+ *
+ * Dead-register analysis (§4.2) prunes registers that no successor
+ * can read from the create mask, shrinking the wait sets.
+ */
+
+#pragma once
+
+#include "tasksel/options.h"
+#include "tasksel/task.h"
+
+namespace msc {
+namespace tasksel {
+
+/**
+ * Fills Task::createMask and TaskPartition::fwdSafe for every task of
+ * @p part.
+ */
+void computeRegisterCommunication(TaskPartition &part,
+                                  const SelectionOptions &opts);
+
+} // namespace tasksel
+} // namespace msc

@@ -1,0 +1,303 @@
+#include "tasksel/selector.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "cfg/defuse.h"
+#include "cfg/dfs.h"
+#include "cfg/dominators.h"
+#include "cfg/loops.h"
+#include "cfg/reachability.h"
+#include "tasksel/grower.h"
+#include "tasksel/regcomm.h"
+
+namespace msc {
+namespace tasksel {
+
+namespace {
+
+using namespace ir;
+
+const char *strategy_names[] = {"basic-block", "control-flow",
+                                "data-dependence"};
+
+/** Marks call sites whose callees are small enough to include. */
+std::unordered_set<BlockRef>
+markIncludedCalls(const Program &prog, const profile::Profile &prof,
+                  const SelectionOptions &opts)
+{
+    std::unordered_set<BlockRef> included;
+    if (!opts.taskSizeHeuristic)
+        return included;
+    for (const auto &f : prog.functions) {
+        for (const auto &b : f.blocks) {
+            if (!b.endsInCall())
+                continue;
+            FuncId callee = b.insts.back().callee;
+            if (prof.avgCallInsts(callee) < double(opts.callThresh))
+                included.insert({f.id, b.id});
+        }
+    }
+    return included;
+}
+
+/** Commits one task's member blocks into the partition. */
+void
+commitTask(TaskPartition &part, const GrowthContext &ctx, FuncId func,
+           BlockId entry, const std::vector<BlockId> &blocks)
+{
+    Task t;
+    t.id = TaskId(part.tasks.size());
+    t.func = func;
+    t.entry = entry;
+    t.blocks = blocks;
+    t.targets = TaskGrower::computeTargets(ctx, entry, blocks);
+    const Function &f = ctx.func();
+    for (BlockId b : blocks) {
+        t.staticInsts += uint32_t(f.blocks[b].insts.size());
+        part.taskOf[func][b] = t.id;
+    }
+    part.tasks.push_back(std::move(t));
+}
+
+/** Basic-block partition: every block is its own task. */
+void
+partitionBasicBlocks(TaskPartition &part, const GrowthContext &ctx,
+                     const Function &f)
+{
+    for (const auto &b : f.blocks)
+        commitTask(part, ctx, f.id, b.id, {b.id});
+}
+
+/**
+ * Control-flow partition of the blocks of @p f that are still
+ * unassigned, seeded from @p seeds (plus a sweep for stragglers).
+ */
+void
+partitionControlFlow(TaskPartition &part, GrowthContext &ctx,
+                     const Function &f, std::deque<BlockId> seeds)
+{
+    // Ownership tags for in-progress growers start beyond any task id
+    // that could be committed; we only ever have one live grower here,
+    // so a single sentinel tag suffices.
+    const int kGrowing = 1 << 30;
+
+    while (true) {
+        // Refill from the straggler sweep when the seed queue drains.
+        if (seeds.empty()) {
+            for (const auto &b : f.blocks) {
+                if (part.taskOf[f.id][b.id] == INVALID_TASK &&
+                    !ctx.owned(b.id)) {
+                    seeds.push_back(b.id);
+                    break;
+                }
+            }
+            if (seeds.empty())
+                break;
+        }
+
+        BlockId s = seeds.front();
+        seeds.pop_front();
+        if (ctx.owned(s))
+            continue;
+
+        TaskGrower g(ctx, kGrowing, s);
+        g.explore(nullptr);
+        std::vector<BlockId> dropped;
+        std::vector<BlockId> blocks = g.finalize(dropped);
+        commitTask(part, ctx, f.id, s, blocks);
+        // Committed blocks stay owned (tag reused as "assigned").
+
+        for (BlockId b : dropped)
+            seeds.push_back(b);
+        for (BlockId b : g.boundary())
+            if (!ctx.owned(b))
+                seeds.push_back(b);
+    }
+}
+
+/** One profiled register dependence, ready for sorting. */
+struct RankedDep
+{
+    uint64_t freq;
+    BlockId producer;
+    BlockId consumer;
+};
+
+/**
+ * Data-dependence partition (§3.4, Figure 3): tasks are grown from
+ * CFG-traversal seeds exactly like the control-flow heuristic, but
+ * exploration is *steered*: a child block is explored only when it
+ * lies in the codependent set of some profiled def-use dependence
+ * whose producer is already inside the task ("the data dependence
+ * heuristic ... includes a basic block only if it is dependent on
+ * other basic blocks included in the task"). Dependences are
+ * prioritized by profiled frequency; as blocks join the task, the
+ * steering set is re-derived from the dependences they produce
+ * (expand_task). Blocks on terminated paths seed further tasks, and
+ * anything not covered by a dependence falls back to the control-flow
+ * pass.
+ */
+void
+partitionDataDependence(TaskPartition &part, GrowthContext &ctx,
+                        const Function &f, const profile::Profile &prof,
+                        const SelectionOptions &opts)
+{
+    cfg::DefUse du(f);
+    cfg::Reachability reach(f);
+
+    // Rank static def-use edges by their dynamic frequency, grouped
+    // by producer block.
+    std::vector<RankedDep> deps;
+    for (const auto &e : du.edges()) {
+        const auto &def = du.defSites()[e.def];
+        auto it = prof.defUseCount.find({def.ref, e.use, e.reg});
+        if (it == prof.defUseCount.end() || it->second == 0)
+            continue;
+        if (def.ref.block == e.use.block)
+            continue;  // Same-block dependences are always internal.
+        deps.push_back({it->second, def.ref.block, e.use.block});
+    }
+    std::sort(deps.begin(), deps.end(), [](const auto &a, const auto &b) {
+        if (a.freq != b.freq)
+            return a.freq > b.freq;
+        if (a.producer != b.producer)
+            return a.producer < b.producer;
+        return a.consumer < b.consumer;
+    });
+    if (deps.size() > opts.maxDepsPerFunction)
+        deps.resize(opts.maxDepsPerFunction);
+
+    // Task entries are hoisted from producers to natural region heads:
+    // walk up while a block has exactly one non-terminal in-edge whose
+    // source can still extend a task. A producer inside a loop body
+    // thus roots its task at the loop header — the entry the hardware
+    // will actually dispatch.
+    auto walkUp = [&](BlockId b) {
+        for (int hops = 0; hops < 64; ++hops) {
+            BlockId up = INVALID_BLOCK;
+            unsigned live_in = 0;
+            for (BlockId p : f.blocks[b].preds) {
+                if (ctx.isTerminalEdge(p, b))
+                    continue;
+                ++live_in;
+                up = p;
+            }
+            if (live_in != 1 || ctx.owned(up) ||
+                ctx.isTerminalNode(up) || up == b) {
+                break;
+            }
+            b = up;
+        }
+        return b;
+    };
+
+    // Open growers, keyed by ownership tag (expand_task of Figure 3).
+    // Each remembers its accumulated dependence region so a final fill
+    // round can complete it — the task covers its dependences but is
+    // not grown past them (DD tasks come out smaller than CF tasks,
+    // §4.3.2).
+    std::vector<std::unique_ptr<TaskGrower>> growers;
+    std::vector<cfg::DynBitset> regions;
+
+    for (const auto &d : deps) {
+        int owner = ctx.ownerOf(d.producer);
+        if (owner >= 0) {
+            // expand_task(u, including-task-of-u, (u,v)): steer from
+            // the task's entry so the whole entry-to-consumer region
+            // may join.
+            cfg::DynBitset codep = reach.codependent(
+                growers[owner]->entry(), d.consumer);
+            codep.unionWith(
+                reach.codependent(d.producer, d.consumer));
+            if (codep.none())
+                continue;
+            growers[owner]->explore(&codep,
+                opts.ddTerminateAtDependence ? d.consumer
+                                             : INVALID_BLOCK);
+            regions[owner].unionWith(codep);
+        } else {
+            // expand_task(u, new_task(u), (u,v)).
+            BlockId entry = walkUp(d.producer);
+            cfg::DynBitset codep = reach.codependent(entry, d.consumer);
+            if (codep.none())
+                continue;
+            int tag = int(growers.size());
+            growers.push_back(std::make_unique<TaskGrower>(
+                ctx, tag, entry));
+            regions.push_back(codep);
+            growers.back()->explore(&codep,
+                opts.ddTerminateAtDependence ? d.consumer
+                                             : INVALID_BLOCK);
+        }
+    }
+
+    // Demarcate all dependence tasks, collecting future seeds.
+    std::deque<BlockId> seeds{f.entry};
+    for (size_t gi = 0; gi < growers.size(); ++gi) {
+        auto &g = growers[gi];
+        if (!g->started())
+            continue;
+        // Fill round: complete the dependence region (reconverging
+        // paths between producers and consumers) without exceeding it.
+        g->explore(&regions[gi]);
+        std::vector<BlockId> dropped;
+        std::vector<BlockId> blocks = g->finalize(dropped);
+        commitTask(part, ctx, f.id, g->entry(), blocks);
+        for (BlockId b : dropped)
+            seeds.push_back(b);
+        for (BlockId b : g->boundary())
+            seeds.push_back(b);
+    }
+
+    // Everything else: control-flow heuristic.
+    partitionControlFlow(part, ctx, f, std::move(seeds));
+}
+
+} // anonymous namespace
+
+const char *
+strategyName(Strategy s)
+{
+    return strategy_names[size_t(s)];
+}
+
+TaskPartition
+selectTasks(const Program &prog, const profile::Profile &prof,
+            const SelectionOptions &opts)
+{
+    TaskPartition part;
+    part.prog = &prog;
+    part.taskOf.resize(prog.functions.size());
+    for (const auto &f : prog.functions)
+        part.taskOf[f.id].assign(f.blocks.size(), INVALID_TASK);
+
+    part.includedCalls = markIncludedCalls(prog, prof, opts);
+
+    for (const auto &f : prog.functions) {
+        cfg::DfsInfo dfs(f);
+        cfg::DominatorTree dom(f, dfs);
+        cfg::LoopForest loops(f, dfs, dom);
+        GrowthContext ctx(prog, f, opts, part.includedCalls, dfs, loops);
+
+        switch (opts.strategy) {
+          case Strategy::BasicBlock:
+            partitionBasicBlocks(part, ctx, f);
+            break;
+          case Strategy::ControlFlow:
+            partitionControlFlow(part, ctx, f, {f.entry});
+            break;
+          case Strategy::DataDependence:
+            partitionDataDependence(part, ctx, f, prof, opts);
+            break;
+        }
+    }
+
+    computeRegisterCommunication(part, opts);
+    return part;
+}
+
+} // namespace tasksel
+} // namespace msc

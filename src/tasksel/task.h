@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tasks and task partitions — the central data structures of the
+ * paper's contribution.
+ *
+ * A task is a connected, single-entry subgraph of a function's CFG
+ * (§2.2). A TaskPartition assigns every basic block of a program to
+ * exactly one task and carries the per-task metadata the Multiscalar
+ * hardware consumes: the exposed successor-target list (bounded by the
+ * prediction hardware arity N), the register create mask, safe
+ * forward points for register communication, and call-inclusion marks
+ * from the task-size heuristic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "cfg/liveness.h"
+#include "ir/program.h"
+
+namespace msc {
+namespace tasksel {
+
+/** Identifier of a task within a TaskPartition. */
+using TaskId = uint32_t;
+constexpr TaskId INVALID_TASK = 0xffffffffu;
+
+/** Kind of an exposed successor target of a task. */
+enum class TargetKind : uint8_t
+{
+    Block,      ///< Control continues at a specific task entry block.
+    Return,     ///< Task ends in Ret; successor via return-address stack.
+};
+
+/** One exposed successor target. */
+struct TaskTarget
+{
+    TargetKind kind = TargetKind::Block;
+    ir::BlockRef block;     ///< Valid for kind == Block.
+
+    friend bool
+    operator==(const TaskTarget &a, const TaskTarget &b)
+    {
+        return a.kind == b.kind && a.block == b.block;
+    }
+};
+
+/** One static task. */
+struct Task
+{
+    TaskId id = INVALID_TASK;
+    ir::FuncId func = ir::INVALID_FUNC;
+    ir::BlockId entry = ir::INVALID_BLOCK;
+
+    /** All member blocks; entry first. */
+    std::vector<ir::BlockId> blocks;
+
+    /**
+     * Exposed successor targets, deduplicated, in discovery order.
+     * The inter-task predictor indexes into this list; when its size
+     * exceeds the hardware arity N, targets beyond the first N cannot
+     * be predicted and always mispredict (§2.4.2).
+     */
+    std::vector<TaskTarget> targets;
+
+    /** Registers this task may write (create mask), after
+     *  dead-register pruning. */
+    cfg::RegSet createMask = 0;
+
+    /** Static instruction count over member blocks. */
+    uint32_t staticInsts = 0;
+
+    bool
+    contains(ir::BlockId b) const
+    {
+        for (ir::BlockId x : blocks)
+            if (x == b)
+                return true;
+        return false;
+    }
+
+    /** Index of @p t in the target list; -1 when absent. */
+    int
+    targetIndex(const TaskTarget &t) const
+    {
+        for (size_t i = 0; i < targets.size(); ++i)
+            if (targets[i] == t)
+                return int(i);
+        return -1;
+    }
+};
+
+/**
+ * A complete partition of a program into tasks, plus the compiler
+ * metadata the simulator consumes.
+ */
+struct TaskPartition
+{
+    const ir::Program *prog = nullptr;
+
+    std::vector<Task> tasks;
+
+    /** taskOf[func][block]: owning task of every block. */
+    std::vector<std::vector<TaskId>> taskOf;
+
+    /**
+     * Call sites included within tasks by the task-size heuristic:
+     * blocks whose terminating Call does NOT end the dynamic task
+     * (the callee's instructions execute as part of the caller task).
+     */
+    std::unordered_set<ir::BlockRef> includedCalls;
+
+    /**
+     * fwdSafe[func][block][i]: register set instruction i may forward
+     * immediately after executing (no later def of those registers is
+     * statically possible within the task). Registers in the create
+     * mask without a safe forward point are released at task end.
+     */
+    std::vector<std::vector<std::vector<cfg::RegSet>>> fwdSafe;
+
+    TaskId
+    taskIdOf(ir::FuncId f, ir::BlockId b) const
+    {
+        return taskOf[f][b];
+    }
+
+    TaskId taskIdOf(ir::BlockRef r) const { return taskOf[r.func][r.block]; }
+
+    const Task &
+    taskOfBlock(ir::FuncId f, ir::BlockId b) const
+    {
+        return tasks[taskOf[f][b]];
+    }
+
+    bool
+    callIncluded(ir::BlockRef b) const
+    {
+        return includedCalls.count(b) != 0;
+    }
+
+    /** Number of tasks. */
+    size_t size() const { return tasks.size(); }
+
+    /** Average static instructions per task. */
+    double
+    avgStaticSize() const
+    {
+        if (tasks.empty())
+            return 0;
+        uint64_t n = 0;
+        for (const auto &t : tasks)
+            n += t.staticInsts;
+        return double(n) / double(tasks.size());
+    }
+};
+
+} // namespace tasksel
+} // namespace msc

@@ -1,0 +1,351 @@
+#include "tasksel/transforms.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cfg/dfs.h"
+#include "cfg/dominators.h"
+#include "cfg/liveness.h"
+#include "cfg/loops.h"
+#include "ir/verifier.h"
+
+namespace msc {
+namespace tasksel {
+
+namespace {
+
+using namespace ir;
+
+/** True when @p li has another loop nested inside it. */
+bool
+hasChildLoop(const cfg::LoopForest &forest, size_t li)
+{
+    for (size_t j = 0; j < forest.loops().size(); ++j)
+        if (j != li && forest.loops()[j].parent == int(li))
+            return true;
+    return false;
+}
+
+/**
+ * Unrolls one loop of @p f by factor @p k (k >= 2). Copies the loop
+ * body k-1 times; edges to the header from copy j retarget copy j+1's
+ * header, and the final copy's back edges return to the original
+ * header.
+ */
+void
+unrollLoop(Function &f, const cfg::Loop &loop, unsigned k)
+{
+    const std::vector<BlockId> &body = loop.blocks;
+    std::vector<bool> in_loop(f.blocks.size(), false);
+    for (BlockId b : body)
+        in_loop[b] = true;
+
+    // clone_id[j][i]: block id of copy j of body[i]; copy 0 = original.
+    std::vector<std::vector<BlockId>> clone_id(k);
+    clone_id[0] = body;
+    for (unsigned j = 1; j < k; ++j) {
+        clone_id[j].resize(body.size());
+        for (size_t i = 0; i < body.size(); ++i) {
+            BlockId nid = BlockId(f.blocks.size());
+            clone_id[j][i] = nid;
+            BasicBlock copy = f.blocks[body[i]];
+            copy.id = nid;
+            copy.succs.clear();
+            copy.preds.clear();
+            f.blocks.push_back(std::move(copy));
+        }
+    }
+
+    // Index of a block within `body`, for remapping.
+    std::vector<int> body_index(f.blocks.size(), -1);
+    for (size_t i = 0; i < body.size(); ++i)
+        body_index[body[i]] = int(i);
+
+    // Remap edges of copy j: in-loop targets go to copy j, except the
+    // header, which goes to copy (j+1) % k.
+    auto remap = [&](BlockId t, unsigned j) -> BlockId {
+        if (t == INVALID_BLOCK || t >= in_loop.size() || !in_loop[t])
+            return t;
+        unsigned tj = (t == loop.header) ? (j + 1) % k : j;
+        return clone_id[tj][body_index[t]];
+    };
+
+    for (unsigned j = 0; j < k; ++j) {
+        for (size_t i = 0; i < body.size(); ++i) {
+            BasicBlock &bb = f.blocks[clone_id[j][i]];
+            bb.fallthrough = remap(bb.fallthrough, j);
+            if (!bb.insts.empty()) {
+                Instruction &t = bb.insts.back();
+                if (t.op == Opcode::Br || t.op == Opcode::BrZ ||
+                    t.op == Opcode::Jmp) {
+                    t.target = remap(t.target, j);
+                }
+            }
+        }
+    }
+}
+
+/** Registers referenced anywhere in @p f (defs or uses). */
+std::vector<bool>
+regsReferenced(const Function &f)
+{
+    std::vector<bool> used(NUM_REGS, false);
+    std::vector<RegId> scratch;
+    for (const auto &b : f.blocks) {
+        for (const auto &in : b.insts) {
+            scratch.clear();
+            in.defs(scratch);
+            in.uses(scratch);
+            for (RegId r : scratch)
+                used[r] = true;
+            if (in.dst != NO_REG)
+                used[in.dst] = true;
+            if (in.src1 != NO_REG)
+                used[in.src1] = true;
+            if (in.src2 != NO_REG)
+                used[in.src2] = true;
+        }
+    }
+    return used;
+}
+
+/**
+ * Attempts to hoist one induction variable in @p loop of @p f.
+ * @return true when the transform was applied.
+ */
+bool
+hoistOneLoop(Function &f, const cfg::Loop &loop, const cfg::Liveness &live)
+{
+    if (loop.latches.size() != 1)
+        return false;
+    BlockId latch = loop.latches[0];
+    if (latch == loop.header)
+        return false;  // Self-loop rotation is not value-preserving.
+
+    BasicBlock &lb = f.blocks[latch];
+
+    // Find the increment: add/sub i, i, #imm with no other def of i
+    // anywhere in the loop.
+    int inc_pos = -1;
+    RegId iv = NO_REG;
+    for (size_t i = 0; i < lb.insts.size(); ++i) {
+        const Instruction &in = lb.insts[i];
+        if ((in.op == Opcode::Add || in.op == Opcode::Sub) &&
+            in.src2 == NO_REG && in.dst == in.src1 &&
+            in.dst != NO_REG && in.dst != REG_ZERO &&
+            !isFpReg(in.dst)) {
+            inc_pos = int(i);
+            iv = in.dst;
+            break;
+        }
+    }
+    if (inc_pos < 0)
+        return false;
+
+    // No other def of iv in the loop (including call clobbers).
+    std::vector<RegId> scratch;
+    for (BlockId b : loop.blocks) {
+        const auto &bb = f.blocks[b];
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            if (b == latch && int(i) == inc_pos)
+                continue;
+            scratch.clear();
+            bb.insts[i].defs(scratch);
+            for (RegId r : scratch)
+                if (r == iv)
+                    return false;
+        }
+    }
+
+    // iv must not be live into any latch-exit successor (the rotated
+    // value at a latch exit is one increment behind the original).
+    for (BlockId s : lb.succs) {
+        if (!loop.contains(s) && cfg::regTest(live.liveIn(s), iv))
+            return false;
+    }
+
+    Instruction inc = lb.insts[inc_pos];
+
+    // Rewrite latch uses of iv after the increment to a fresh temp.
+    bool uses_after = false;
+    for (size_t i = size_t(inc_pos) + 1; i < lb.insts.size(); ++i) {
+        const Instruction &in = lb.insts[i];
+        if ((in.info().readsSrc1 && in.src1 == iv) ||
+            (in.info().readsSrc2 && in.src2 == iv) ||
+            (in.op == Opcode::Ret || in.op == Opcode::Call)) {
+            uses_after = true;  // Treat call/ret conservatively.
+            break;
+        }
+    }
+
+    RegId temp = NO_REG;
+    if (uses_after) {
+        auto used = regsReferenced(f);
+        for (RegId r = 31; r >= 2; --r) {
+            if (!used[r]) {
+                temp = r;
+                break;
+            }
+        }
+        if (temp == NO_REG)
+            return false;  // No free register for the rotation temp.
+        // Calls/rets after the increment make the rewrite unsound
+        // (the temp would need to cross the ABI boundary); bail out.
+        for (size_t i = size_t(inc_pos) + 1; i < lb.insts.size(); ++i) {
+            Opcode op = lb.insts[i].op;
+            if (op == Opcode::Call || op == Opcode::Ret)
+                return false;
+        }
+    }
+
+    // 1. Replace/remove the latch increment.
+    if (uses_after) {
+        Instruction tmp_inc = inc;
+        tmp_inc.dst = temp;
+        lb.insts[inc_pos] = tmp_inc;
+        for (size_t i = size_t(inc_pos) + 1; i < lb.insts.size(); ++i) {
+            Instruction &in = lb.insts[i];
+            if (in.info().readsSrc1 && in.src1 == iv)
+                in.src1 = temp;
+            if (in.info().readsSrc2 && in.src2 == iv)
+                in.src2 = temp;
+        }
+    } else {
+        lb.insts.erase(lb.insts.begin() + inc_pos);
+        if (lb.insts.empty()) {
+            Instruction nop;
+            nop.op = Opcode::Nop;
+            lb.insts.push_back(nop);
+        }
+    }
+
+    // 2. Insert the increment at the top of the header.
+    BasicBlock &hb = f.blocks[loop.header];
+    hb.insts.insert(hb.insts.begin(), inc);
+
+    // 3. Compensate on every loop-entry edge: split the edge with a
+    //    block applying the inverse adjustment.
+    Instruction inv = inc;
+    inv.op = (inc.op == Opcode::Add) ? Opcode::Sub : Opcode::Add;
+
+    BlockId fixup = BlockId(f.blocks.size());
+    {
+        BasicBlock nb;
+        nb.id = fixup;
+        nb.insts.push_back(inv);
+        Instruction j;
+        j.op = Opcode::Jmp;
+        j.target = loop.header;
+        nb.insts.push_back(j);
+        f.blocks.push_back(std::move(nb));
+    }
+
+    bool used_fixup = false;
+    for (auto &b : f.blocks) {
+        if (b.id == fixup || loop.contains(b.id))
+            continue;
+        if (b.fallthrough == loop.header) {
+            b.fallthrough = fixup;
+            used_fixup = true;
+        }
+        if (!b.insts.empty()) {
+            Instruction &t = b.insts.back();
+            if ((t.op == Opcode::Br || t.op == Opcode::BrZ ||
+                 t.op == Opcode::Jmp) && t.target == loop.header) {
+                t.target = fixup;
+                used_fixup = true;
+            }
+        }
+    }
+    if (f.entry == loop.header) {
+        f.entry = fixup;
+        used_fixup = true;
+    }
+    if (!used_fixup) {
+        // No external entry found (unreachable loop); undo is complex,
+        // but the fixup block is simply dead and harmless.
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+unsigned
+unrollSmallLoops(ir::Program &prog, unsigned loop_thresh,
+                 unsigned max_factor)
+{
+    unsigned total = 0;
+    for (auto &f : prog.functions) {
+        // Iterate: unrolling may leave other small loops; recompute
+        // analyses until nothing changes (bounded for safety).
+        for (int pass = 0; pass < 8; ++pass) {
+            f.computeCfg();
+            cfg::DfsInfo dfs(f);
+            cfg::DominatorTree dom(f, dfs);
+            cfg::LoopForest forest(f, dfs, dom);
+
+            int pick = -1;
+            for (size_t li = 0; li < forest.loops().size(); ++li) {
+                const auto &l = forest.loops()[li];
+                if (hasChildLoop(forest, li))
+                    continue;  // Innermost first.
+                if (l.staticSize(f) < loop_thresh) {
+                    pick = int(li);
+                    break;
+                }
+            }
+            if (pick < 0)
+                break;
+
+            const auto &l = forest.loops()[pick];
+            size_t sz = l.staticSize(f);
+            unsigned k = unsigned((loop_thresh + sz - 1) / sz);
+            k = std::clamp(k, 2u, max_factor);
+            unrollLoop(f, l, k);
+            ++total;
+        }
+    }
+    prog.computeCfg();
+    std::string err;
+    if (!ir::verify(prog, &err))
+        throw std::runtime_error("unrollSmallLoops broke the IR: " + err);
+    prog.layout();
+    return total;
+}
+
+unsigned
+hoistInductionVariables(ir::Program &prog)
+{
+    unsigned total = 0;
+    for (auto &f : prog.functions) {
+        for (int pass = 0; pass < 16; ++pass) {
+            f.computeCfg();
+            cfg::DfsInfo dfs(f);
+            cfg::DominatorTree dom(f, dfs);
+            cfg::LoopForest forest(f, dfs, dom);
+            cfg::Liveness live(f);
+
+            bool did = false;
+            for (const auto &l : forest.loops()) {
+                if (hoistOneLoop(f, l, live)) {
+                    ++total;
+                    did = true;
+                    break;  // Analyses are stale; recompute.
+                }
+            }
+            if (!did)
+                break;
+        }
+    }
+    prog.computeCfg();
+    std::string err;
+    if (!ir::verify(prog, &err))
+        throw std::runtime_error("hoistInductionVariables broke the IR: "
+                                 + err);
+    prog.layout();
+    return total;
+}
+
+} // namespace tasksel
+} // namespace msc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Multiscalar-specific IR transforms (§3.2):
+ *
+ *  - Loop unrolling: loops whose bodies contain fewer than LOOP_THRESH
+ *    static instructions are unrolled so that "multiple iterations of
+ *    short loops can be included to increase the size of short
+ *    loop-body tasks". Unrolling is pure duplication (every copy keeps
+ *    its exit tests), so program semantics are untouched.
+ *
+ *  - Induction-variable hoisting: "we move the induction variable
+ *    increments to the top of the loops so that later iterations get
+ *    the values of the induction variables from earlier iterations
+ *    without any delay". The transform rotates the increment into the
+ *    loop header (compensating in a preheader) so the loop-carried
+ *    register is produced at the very start of each task.
+ *
+ * Both transforms mutate the function in place; callers must recompute
+ * CFG-derived analyses afterwards (Program::computeCfg() is invoked
+ * internally).
+ */
+
+#pragma once
+
+#include "ir/program.h"
+
+namespace msc {
+namespace tasksel {
+
+/**
+ * Unrolls every loop of @p prog whose static body size is below
+ * @p loop_thresh instructions until its size reaches the threshold
+ * (unroll factor capped at @p max_factor).
+ *
+ * @return number of loops unrolled.
+ */
+unsigned unrollSmallLoops(ir::Program &prog, unsigned loop_thresh,
+                          unsigned max_factor = 16);
+
+/**
+ * Hoists induction-variable updates to loop headers where the rotation
+ * is provably semantics-preserving (single latch increment, register
+ * not live into latch-exit successors, loop header distinct from the
+ * latch).
+ *
+ * @return number of induction variables hoisted.
+ */
+unsigned hoistInductionVariables(ir::Program &prog);
+
+} // namespace tasksel
+} // namespace msc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared code-generation helpers for the workload builders.
+ */
+
+#pragma once
+
+#include "ir/builder.h"
+#include "workloads/workload.h"
+
+namespace msc {
+namespace workloads {
+
+/** Register naming shorthands (ABI of ir/types.h). */
+constexpr ir::RegId A0 = 1, A1 = 2, A2 = 3, A3 = 4;       // Args/ret.
+constexpr ir::RegId T0 = 8, T1 = 9, T2 = 10, T3 = 11;     // Caller-saved.
+constexpr ir::RegId T4 = 12, T5 = 13, T6 = 14, T7 = 15;
+constexpr ir::RegId S0 = 16, S1 = 17, S2 = 18, S3 = 19;   // Callee-saved.
+constexpr ir::RegId S4 = 20, S5 = 21, S6 = 22, S7 = 23;
+constexpr ir::RegId S8 = 24, S9 = 25, S10 = 26, S11 = 27;
+constexpr ir::RegId S12 = 28, S13 = 29, S14 = 30, S15 = 31;
+constexpr ir::RegId F0 = 32, F1 = 33, F2 = 34, F3 = 35;   // FP.
+constexpr ir::RegId F4 = 36, F5 = 37, F6 = 38, F7 = 39;
+constexpr ir::RegId F8 = 40, F9 = 41, F10 = 42, F11 = 43;
+constexpr ir::RegId F12 = 44, F13 = 45, F14 = 46, F15 = 47;
+constexpr ir::RegId FS0 = 48, FS1 = 49, FS2 = 50, FS3 = 51;
+constexpr ir::RegId FS4 = 52, FS5 = 53, FS6 = 54, FS7 = 55;
+
+/**
+ * Emits a 64-bit LCG step: seed = seed * 6364136223846793005 +
+ * 1442695040888963407, leaving the new seed in @p seed_reg.
+ */
+inline void
+emitLcg(ir::FunctionBuilder &f, ir::RegId seed_reg)
+{
+    f.muli(seed_reg, seed_reg, 6364136223846793005LL);
+    f.addi(seed_reg, seed_reg, 1442695040888963407LL);
+}
+
+/**
+ * Emits extraction of a pseudo-random value in [0, modulus) from the
+ * top bits of @p seed_reg into @p dst (modulus must be a power of 2).
+ */
+inline void
+emitRandBits(ir::FunctionBuilder &f, ir::RegId dst, ir::RegId seed_reg,
+             int64_t modulus)
+{
+    f.shri(dst, seed_reg, 33);
+    f.andi(dst, dst, modulus - 1);
+}
+
+/**
+ * Emits a counted-loop skeleton: initializes @p ivreg to 0, then
+ * builds header/body/exit blocks. The caller fills the body (current
+ * insertion point on return) and must finish it by falling through or
+ * jumping to @p back (the latch), which increments and loops.
+ *
+ * Returns {header, body, latch, exit}.
+ */
+struct CountedLoop
+{
+    ir::BlockId header, body, latch, exit;
+};
+
+inline CountedLoop
+emitCountedLoop(ir::FunctionBuilder &f, ir::RegId ivreg, ir::RegId bound,
+                ir::RegId scratch)
+{
+    CountedLoop l;
+    l.header = f.newBlock();
+    l.body = f.newBlock();
+    l.latch = f.newBlock();
+    l.exit = f.newBlock();
+
+    f.li(ivreg, 0);
+    f.fallthroughTo(l.header);
+
+    f.setBlock(l.header);
+    f.slt(scratch, ivreg, bound);
+    f.br(scratch, l.body, l.exit);
+
+    f.setBlock(l.latch);
+    f.addi(ivreg, ivreg, 1);
+    f.jmp(l.header);
+
+    f.setBlock(l.body);
+    return l;
+}
+
+} // namespace workloads
+} // namespace msc

@@ -1,0 +1,1274 @@
+/**
+ * @file
+ * Floating-point SPEC95 analogs: regular counted loops, stencils,
+ * recurrences, and loop-level parallelism — the profile the paper's
+ * heuristics exploit best (§4.3.1).
+ */
+
+#include "workloads/common.h"
+
+namespace msc {
+namespace workloads {
+
+using namespace ir;
+
+namespace {
+
+int64_t
+factor(Scale s, int64_t small_v, int64_t full_v)
+{
+    return s == Scale::Small ? small_v : full_v;
+}
+
+/** Emits: dst_f = double(i & mask) * scale, via itof. */
+void
+emitSeedDouble(FunctionBuilder &f, RegId dst_f, RegId i, int64_t mask,
+               double scale, RegId t_int, RegId t_fp)
+{
+    f.andi(t_int, i, mask);
+    f.itof(dst_f, t_int);
+    f.fli(t_fp, scale);
+    f.fmul(dst_f, dst_f, t_fp);
+}
+
+/** Emits the checksum epilogue: store ftoi(sum_f * 1000) and halt. */
+void
+emitFpChecksum(FunctionBuilder &f, RegId sum_f, RegId t_fp, RegId t_int)
+{
+    f.fli(t_fp, 1000.0);
+    f.fmul(sum_f, sum_f, t_fp);
+    f.ftoi(t_int, sum_f);
+    f.storeAbs(t_int, CHECKSUM_ADDR);
+    f.halt();
+}
+
+} // anonymous namespace
+
+// 101.tomcatv analog: 2D mesh relaxation over two grids with 5-point
+// stencils and a residual reduction.
+Program
+buildTomcatv(Scale s)
+{
+    const int64_t N = 32;
+    const int64_t X = 20000, Y = 22000, XN = 24000, YN = 26000;
+    const int64_t iters = factor(s, 1, 8);
+
+    IRBuilder b("tomcatv");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId i = S0, lim = S1, tmp = T0, it = S2, itlim = S3;
+    const RegId row = S4, col = S5, idx = S6;
+    const RegId fx = F0, racc = F1, f4 = F2, fq = F3, sum = FS0;
+    const RegId fy = F4;
+
+    f.li(lim, N * N);
+    auto init = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, fx, i, 63, 0.125, T1, F5);
+        f.addi(tmp, i, X);
+        f.fstore(fx, tmp, 0);
+        emitSeedDouble(f, fy, i, 127, 0.0625, T1, F5);
+        f.addi(tmp, i, Y);
+        f.fstore(fy, tmp, 0);
+        f.jmp(init.latch);
+    }
+    f.setBlock(init.exit);
+
+    f.fli(sum, 0.0);
+    f.li(itlim, iters);
+    auto outer = emitCountedLoop(f, it, itlim, tmp);
+    {
+        BlockId rh = f.newBlock(), rb = f.newBlock();
+        BlockId ch = f.newBlock(), cb = f.newBlock();
+        BlockId cx = f.newBlock(), rx = f.newBlock();
+        BlockId copyh = f.newBlock(), copyb = f.newBlock();
+        BlockId oend = f.newBlock();
+
+        f.li(row, 1);
+        f.fallthroughTo(rh);
+
+        f.setBlock(rh);
+        f.slti(tmp, row, N - 1);
+        f.br(tmp, rb, rx);
+
+        f.setBlock(rb);
+        f.li(col, 1);
+        f.fallthroughTo(ch);
+
+        f.setBlock(ch);
+        f.slti(tmp, col, N - 1);
+        f.br(tmp, cb, cx);
+
+        f.setBlock(cb);
+        f.muli(idx, row, N);
+        f.add(idx, idx, col);
+        // X stencil.
+        f.addi(tmp, idx, X);
+        f.fload(fx, tmp, 0);
+        f.fload(racc, tmp, 1);
+        f.fload(fq, tmp, -1);
+        f.fadd(racc, racc, fq);
+        f.fload(fq, tmp, N);
+        f.fadd(racc, racc, fq);
+        f.fload(fq, tmp, -N);
+        f.fadd(racc, racc, fq);
+        f.fli(f4, 4.0);
+        f.fmul(fq, fx, f4);
+        f.fsub(racc, racc, fq);
+        f.fli(f4, 0.25);
+        f.fmul(racc, racc, f4);
+        f.fadd(fq, fx, racc);
+        f.addi(tmp, idx, XN);
+        f.fstore(fq, tmp, 0);
+        f.fadd(sum, sum, racc);
+        // Y stencil.
+        f.addi(tmp, idx, Y);
+        f.fload(fy, tmp, 0);
+        f.fload(racc, tmp, 1);
+        f.fload(fq, tmp, -1);
+        f.fadd(racc, racc, fq);
+        f.fload(fq, tmp, N);
+        f.fadd(racc, racc, fq);
+        f.fload(fq, tmp, -N);
+        f.fadd(racc, racc, fq);
+        f.fli(f4, 4.0);
+        f.fmul(fq, fy, f4);
+        f.fsub(racc, racc, fq);
+        f.fli(f4, 0.25);
+        f.fmul(racc, racc, f4);
+        f.fadd(fq, fy, racc);
+        f.addi(tmp, idx, YN);
+        f.fstore(fq, tmp, 0);
+        f.addi(col, col, 1);
+        f.jmp(ch);
+
+        f.setBlock(cx);
+        f.addi(row, row, 1);
+        f.jmp(rh);
+
+        f.setBlock(rx);
+        // Copy the new grids back.
+        f.li(i, 0);
+        f.fallthroughTo(copyh);
+
+        f.setBlock(copyh);
+        f.slt(tmp, i, lim);
+        f.br(tmp, copyb, oend);
+
+        f.setBlock(copyb);
+        f.addi(tmp, i, XN);
+        f.fload(fx, tmp, 0);
+        f.addi(tmp, i, X);
+        f.fstore(fx, tmp, 0);
+        f.addi(tmp, i, YN);
+        f.fload(fy, tmp, 0);
+        f.addi(tmp, i, Y);
+        f.fstore(fy, tmp, 0);
+        f.addi(i, i, 1);
+        f.jmp(copyh);
+
+        f.setBlock(oend);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    emitFpChecksum(f, sum, F5, T1);
+
+    return b.build();
+}
+
+// 102.swim analog: shallow-water update, three grids, three separate
+// interior sweeps per timestep.
+Program
+buildSwim(Scale s)
+{
+    const int64_t N = 32;
+    const int64_t U = 30000, V = 32000, P = 34000;
+    const int64_t UN = 36000, VN = 38000, PN = 40000;
+    const int64_t iters = factor(s, 1, 9);
+
+    IRBuilder b("swim");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId i = S0, lim = S1, tmp = T0, it = S2, itlim = S3;
+    const RegId fa = F0, fb = F1, fc = F2, sum = FS0;
+
+    f.li(lim, N * N);
+    auto init = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, fa, i, 63, 0.1, T1, F5);
+        f.addi(tmp, i, U);
+        f.fstore(fa, tmp, 0);
+        emitSeedDouble(f, fb, i, 31, 0.2, T1, F5);
+        f.addi(tmp, i, V);
+        f.fstore(fb, tmp, 0);
+        emitSeedDouble(f, fc, i, 15, 0.5, T1, F5);
+        f.addi(tmp, i, P);
+        f.fstore(fc, tmp, 0);
+        f.jmp(init.latch);
+    }
+    f.setBlock(init.exit);
+
+    f.fli(sum, 0.0);
+    f.li(itlim, iters);
+    auto outer = emitCountedLoop(f, it, itlim, tmp);
+    {
+        // Three separate interior sweeps (u, v, p), then copy-back.
+        BlockId uh = f.newBlock(), ub = f.newBlock();
+        BlockId vh = f.newBlock(), vb = f.newBlock();
+        BlockId ph = f.newBlock(), pb = f.newBlock();
+        BlockId kh = f.newBlock(), kb = f.newBlock();
+        BlockId oend = f.newBlock();
+
+        const int64_t LO = N + 1, HI = N * N - N - 1;
+
+        f.li(i, LO);
+        f.fallthroughTo(uh);
+
+        f.setBlock(uh);
+        f.slti(tmp, i, HI);
+        f.br(tmp, ub, vh);
+
+        f.setBlock(ub);
+        f.addi(tmp, i, P);
+        f.fload(fa, tmp, 1);
+        f.fload(fb, tmp, 0);
+        f.fsub(fa, fa, fb);
+        f.fli(fc, 0.05);
+        f.fmul(fa, fa, fc);
+        f.addi(tmp, i, U);
+        f.fload(fb, tmp, 0);
+        f.fadd(fa, fa, fb);
+        f.addi(tmp, i, UN);
+        f.fstore(fa, tmp, 0);
+        f.addi(i, i, 1);
+        f.jmp(uh);
+
+        f.setBlock(vh);
+        // (Entered with i == HI; reset for the v sweep.)
+        f.li(i, LO);
+        f.fallthroughTo(ph);
+
+        f.setBlock(ph);
+        f.slti(tmp, i, HI);
+        f.br(tmp, vb, kh);
+
+        f.setBlock(vb);
+        f.addi(tmp, i, P);
+        f.fload(fa, tmp, N);
+        f.fload(fb, tmp, 0);
+        f.fsub(fa, fa, fb);
+        f.fli(fc, 0.05);
+        f.fmul(fa, fa, fc);
+        f.addi(tmp, i, V);
+        f.fload(fb, tmp, 0);
+        f.fadd(fa, fa, fb);
+        f.addi(tmp, i, VN);
+        f.fstore(fa, tmp, 0);
+        // p update folded into the same sweep position.
+        f.addi(tmp, i, UN);
+        f.fload(fa, tmp, 0);
+        f.fload(fb, tmp, -1);
+        f.fsub(fa, fa, fb);
+        f.addi(tmp, i, VN);
+        f.fload(fb, tmp, 0);
+        f.fload(fc, tmp, -N);
+        f.fsub(fb, fb, fc);
+        f.fadd(fa, fa, fb);
+        f.fli(fc, 0.03);
+        f.fmul(fa, fa, fc);
+        f.addi(tmp, i, P);
+        f.fload(fb, tmp, 0);
+        f.fsub(fb, fb, fa);
+        f.addi(tmp, i, PN);
+        f.fstore(fb, tmp, 0);
+        f.fadd(sum, sum, fa);
+        f.addi(i, i, 1);
+        f.jmp(ph);
+
+        f.setBlock(pb);  // Unused (p folded above); keep valid.
+        f.nop();
+        f.jmp(kh);
+
+        // Copy back.
+        f.setBlock(kh);
+        f.li(i, LO);
+        f.fallthroughTo(kb);
+
+        f.setBlock(kb);
+        BlockId kb2 = f.newBlock();
+        f.slti(tmp, i, HI);
+        f.br(tmp, kb2, oend);
+
+        f.setBlock(kb2);
+        f.addi(tmp, i, UN);
+        f.fload(fa, tmp, 0);
+        f.addi(tmp, i, U);
+        f.fstore(fa, tmp, 0);
+        f.addi(tmp, i, VN);
+        f.fload(fa, tmp, 0);
+        f.addi(tmp, i, V);
+        f.fstore(fa, tmp, 0);
+        f.addi(tmp, i, PN);
+        f.fload(fa, tmp, 0);
+        f.addi(tmp, i, P);
+        f.fstore(fa, tmp, 0);
+        f.addi(i, i, 1);
+        f.jmp(kb);
+
+        f.setBlock(oend);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    emitFpChecksum(f, sum, F5, T1);
+
+    return b.build();
+}
+
+// 103.su2cor analog: repeated complex matrix-vector products with
+// inner-product reductions.
+Program
+buildSu2cor(Scale s)
+{
+    const int64_t M = 24;
+    const int64_t A = 50000;            // M*M complex (2 words each).
+    const int64_t VV = 56000, W = 58000; // M complex each.
+    const int64_t reps = factor(s, 3, 24);
+
+    IRBuilder b("su2cor");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId i = S0, lim = S1, tmp = T0, rep = S2, rlim = S3;
+    const RegId row = S4, k = S5, addr = S6;
+    const RegId are = F0, aim = F1, vre = F2, vim = F3;
+    const RegId accre = F4, accim = F5, t1 = F8, t2 = F9;
+    const RegId sum = FS0;
+
+    f.li(lim, M * M);
+    auto inita = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, are, i, 31, 0.03, T1, F10);
+        f.shli(tmp, i, 1);
+        f.addi(tmp, tmp, A);
+        f.fstore(are, tmp, 0);
+        emitSeedDouble(f, aim, i, 15, 0.02, T1, F10);
+        f.fstore(aim, tmp, 1);
+        f.jmp(inita.latch);
+    }
+    f.setBlock(inita.exit);
+
+    f.li(lim, M);
+    auto initv = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, vre, i, 7, 0.25, T1, F10);
+        f.shli(tmp, i, 1);
+        f.addi(tmp, tmp, VV);
+        f.fstore(vre, tmp, 0);
+        emitSeedDouble(f, vim, i, 3, 0.5, T1, F10);
+        f.fstore(vim, tmp, 1);
+        f.jmp(initv.latch);
+    }
+    f.setBlock(initv.exit);
+
+    f.fli(sum, 0.0);
+    f.li(rlim, reps);
+    auto outer = emitCountedLoop(f, rep, rlim, tmp);
+    {
+        BlockId rh = f.newBlock(), rb = f.newBlock();
+        BlockId kh = f.newBlock(), kb = f.newBlock();
+        BlockId kx = f.newBlock(), rx = f.newBlock();
+        BlockId ch = f.newBlock(), cb = f.newBlock();
+        BlockId oend = f.newBlock();
+
+        f.li(row, 0);
+        f.fallthroughTo(rh);
+
+        f.setBlock(rh);
+        f.slti(tmp, row, M);
+        f.br(tmp, rb, rx);
+
+        f.setBlock(rb);
+        f.fli(accre, 0.0);
+        f.fli(accim, 0.0);
+        f.li(k, 0);
+        f.fallthroughTo(kh);
+
+        f.setBlock(kh);
+        f.slti(tmp, k, M);
+        f.br(tmp, kb, kx);
+
+        f.setBlock(kb);
+        f.muli(addr, row, M);
+        f.add(addr, addr, k);
+        f.shli(addr, addr, 1);
+        f.addi(addr, addr, A);
+        f.fload(are, addr, 0);
+        f.fload(aim, addr, 1);
+        f.shli(addr, k, 1);
+        f.addi(addr, addr, VV);
+        f.fload(vre, addr, 0);
+        f.fload(vim, addr, 1);
+        f.fmul(t1, are, vre);
+        f.fmul(t2, aim, vim);
+        f.fsub(t1, t1, t2);
+        f.fadd(accre, accre, t1);
+        f.fmul(t1, are, vim);
+        f.fmul(t2, aim, vre);
+        f.fadd(t1, t1, t2);
+        f.fadd(accim, accim, t1);
+        f.addi(k, k, 1);
+        f.jmp(kh);
+
+        f.setBlock(kx);
+        f.shli(addr, row, 1);
+        f.addi(addr, addr, W);
+        f.fstore(accre, addr, 0);
+        f.fstore(accim, addr, 1);
+        f.fadd(sum, sum, accre);
+        f.addi(row, row, 1);
+        f.jmp(rh);
+
+        // v = w * 0.05 (keeps magnitudes bounded).
+        f.setBlock(rx);
+        f.li(i, 0);
+        f.fallthroughTo(ch);
+
+        f.setBlock(ch);
+        f.slti(tmp, i, M);
+        f.br(tmp, cb, oend);
+
+        f.setBlock(cb);
+        f.shli(addr, i, 1);
+        f.addi(addr, addr, W);
+        f.fload(vre, addr, 0);
+        f.fload(vim, addr, 1);
+        f.fli(t1, 0.05);
+        f.fmul(vre, vre, t1);
+        f.fmul(vim, vim, t1);
+        f.shli(addr, i, 1);
+        f.addi(addr, addr, VV);
+        f.fstore(vre, addr, 0);
+        f.fstore(vim, addr, 1);
+        f.addi(i, i, 1);
+        f.jmp(ch);
+
+        f.setBlock(oend);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    emitFpChecksum(f, sum, F10, T1);
+
+    return b.build();
+}
+
+// 104.hydro2d analog: many separate sweeps with very small bodies —
+// the paper notes hydro2d's basic blocks are unusually small for an
+// FP code.
+Program
+buildHydro2d(Scale s)
+{
+    const int64_t N = 2048;
+    const int64_t AA = 60000, BB = 63000, CC = 66000, DD = 69000;
+    const int64_t iters = factor(s, 1, 11);
+
+    IRBuilder b("hydro2d");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId i = S0, lim = S1, tmp = T0, it = S2, itlim = S3;
+    const RegId fa = F0, fb = F1, sum = FS0;
+
+    f.li(lim, N);
+    auto init = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, fa, i, 255, 0.01, T1, F5);
+        f.addi(tmp, i, AA);
+        f.fstore(fa, tmp, 0);
+        emitSeedDouble(f, fb, i, 127, 0.02, T1, F5);
+        f.addi(tmp, i, BB);
+        f.fstore(fb, tmp, 0);
+        f.jmp(init.latch);
+    }
+    f.setBlock(init.exit);
+
+    f.fli(sum, 0.0);
+    f.li(itlim, iters);
+    auto outer = emitCountedLoop(f, it, itlim, tmp);
+    {
+        BlockId h1 = f.newBlock(), b1 = f.newBlock();
+        BlockId h2 = f.newBlock(), b2 = f.newBlock();
+        BlockId h3 = f.newBlock(), b3 = f.newBlock();
+        BlockId h4 = f.newBlock(), b4 = f.newBlock();
+        BlockId oend = f.newBlock();
+
+        // Sweep 1: c = a + b.
+        f.li(i, 0);
+        f.fallthroughTo(h1);
+        f.setBlock(h1);
+        f.slt(tmp, i, lim);
+        f.br(tmp, b1, h2);
+        f.setBlock(b1);
+        f.addi(tmp, i, AA);
+        f.fload(fa, tmp, 0);
+        f.addi(tmp, i, BB);
+        f.fload(fb, tmp, 0);
+        f.fadd(fa, fa, fb);
+        f.addi(tmp, i, CC);
+        f.fstore(fa, tmp, 0);
+        f.addi(i, i, 1);
+        f.jmp(h1);
+
+        // Sweep 2: d = c * 0.5.
+        f.setBlock(h2);
+        f.li(i, 0);
+        f.fallthroughTo(h3);
+        f.setBlock(h3);
+        f.slt(tmp, i, lim);
+        f.br(tmp, b2, h4);
+        f.setBlock(b2);
+        f.addi(tmp, i, CC);
+        f.fload(fa, tmp, 0);
+        f.fli(fb, 0.5);
+        f.fmul(fa, fa, fb);
+        f.addi(tmp, i, DD);
+        f.fstore(fa, tmp, 0);
+        f.addi(i, i, 1);
+        f.jmp(h3);
+
+        // Sweep 3: a = d - 0.25 * a; accumulate.
+        f.setBlock(h4);
+        f.li(i, 0);
+        BlockId h5 = f.newBlock();
+        f.fallthroughTo(h5);
+        f.setBlock(h5);
+        f.slt(tmp, i, lim);
+        f.br(tmp, b3, oend);
+        f.setBlock(b3);
+        f.addi(tmp, i, AA);
+        f.fload(fa, tmp, 0);
+        f.fli(fb, 0.25);
+        f.fmul(fa, fa, fb);
+        f.addi(tmp, i, DD);
+        f.fload(fb, tmp, 0);
+        f.fsub(fb, fb, fa);
+        f.addi(tmp, i, AA);
+        f.fstore(fb, tmp, 0);
+        f.fadd(sum, sum, fb);
+        f.addi(i, i, 1);
+        f.jmp(h5);
+
+        f.setBlock(b4);  // Unused; keep valid.
+        f.nop();
+        f.jmp(oend);
+
+        f.setBlock(oend);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    emitFpChecksum(f, sum, F5, T1);
+
+    return b.build();
+}
+
+// 107.mgrid analog: a V-cycle over 1D levels with Gauss-Seidel
+// relaxation (serial recurrence), restriction and prolongation as
+// separate functions.
+Program
+buildMgrid(Scale s)
+{
+    const int64_t L0 = 70000, L1 = 72000, L2 = 73000;  // 512/256/128.
+    const int64_t N0 = 512, N1 = 256, N2 = 128;
+    const int64_t cycles = factor(s, 1, 11);
+
+    IRBuilder b("mgrid");
+    b.setEntry("main");
+
+    // relax(base, n): Gauss-Seidel smoothing pass.
+    FuncId relax_id = b.functionId("relax");
+    {
+        FunctionBuilder &g = b.function("relax");
+        const RegId base = A0, n = A1, i = T0, tmp = T1;
+        const RegId fa = F8, fb = F9, fc = F10;
+        BlockId h = g.newBlock(), body = g.newBlock(), x = g.newBlock();
+        g.li(i, 1);
+        g.fallthroughTo(h);
+        g.setBlock(h);
+        g.subi(tmp, n, 1);
+        g.slt(tmp, i, tmp);
+        g.br(tmp, body, x);
+        g.setBlock(body);
+        g.add(tmp, base, i);
+        g.fload(fa, tmp, -1);
+        g.fload(fb, tmp, 0);
+        g.fload(fc, tmp, 1);
+        g.fadd(fa, fa, fc);
+        g.fadd(fa, fa, fb);
+        g.fadd(fa, fa, fb);
+        g.fli(fc, 0.25);
+        g.fmul(fa, fa, fc);
+        g.fstore(fa, tmp, 0);
+        g.addi(i, i, 1);
+        g.jmp(h);
+        g.setBlock(x);
+        g.ret();
+    }
+
+    // restrict(fine, coarse, n_coarse): c[i] = f[2i].
+    FuncId restrict_id = b.functionId("restrictLvl");
+    {
+        FunctionBuilder &g = b.function("restrictLvl");
+        const RegId fine = A0, coarse = A1, n = A2, i = T0, tmp = T1;
+        const RegId fa = F8;
+        BlockId h = g.newBlock(), body = g.newBlock(), x = g.newBlock();
+        g.li(i, 0);
+        g.fallthroughTo(h);
+        g.setBlock(h);
+        g.slt(tmp, i, n);
+        g.br(tmp, body, x);
+        g.setBlock(body);
+        g.shli(tmp, i, 1);
+        g.add(tmp, tmp, fine);
+        g.fload(fa, tmp, 0);
+        g.add(tmp, coarse, i);
+        g.fstore(fa, tmp, 0);
+        g.addi(i, i, 1);
+        g.jmp(h);
+        g.setBlock(x);
+        g.ret();
+    }
+
+    // prolong(fine, coarse, n_coarse): f[2i] += 0.5 * c[i].
+    FuncId prolong_id = b.functionId("prolong");
+    {
+        FunctionBuilder &g = b.function("prolong");
+        const RegId fine = A0, coarse = A1, n = A2, i = T0, tmp = T1;
+        const RegId fa = F8, fb = F9;
+        BlockId h = g.newBlock(), body = g.newBlock(), x = g.newBlock();
+        g.li(i, 0);
+        g.fallthroughTo(h);
+        g.setBlock(h);
+        g.slt(tmp, i, n);
+        g.br(tmp, body, x);
+        g.setBlock(body);
+        g.add(tmp, coarse, i);
+        g.fload(fa, tmp, 0);
+        g.fli(fb, 0.5);
+        g.fmul(fa, fa, fb);
+        g.shli(tmp, i, 1);
+        g.add(tmp, tmp, fine);
+        g.fload(fb, tmp, 0);
+        g.fadd(fb, fb, fa);
+        g.fstore(fb, tmp, 0);
+        g.addi(i, i, 1);
+        g.jmp(h);
+        g.setBlock(x);
+        g.ret();
+    }
+
+    FunctionBuilder &f = b.function("main");
+    const RegId i = S0, lim = S1, tmp = T0, cy = S2, clim = S3;
+    const RegId fa = F0, sum = FS0;
+
+    f.li(lim, N0);
+    auto init = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, fa, i, 255, 0.004, T1, F5);
+        f.addi(tmp, i, L0);
+        f.fstore(fa, tmp, 0);
+        f.jmp(init.latch);
+    }
+    f.setBlock(init.exit);
+
+    f.fli(sum, 0.0);
+    f.li(clim, cycles);
+    auto outer = emitCountedLoop(f, cy, clim, tmp);
+    {
+        // Down.
+        f.li(A0, L0);
+        f.li(A1, N0);
+        f.call(relax_id, 2);
+        f.li(A0, L0);
+        f.li(A1, L1);
+        f.li(A2, N1);
+        f.call(restrict_id, 3);
+        f.li(A0, L1);
+        f.li(A1, N1);
+        f.call(relax_id, 2);
+        f.li(A0, L1);
+        f.li(A1, L2);
+        f.li(A2, N2);
+        f.call(restrict_id, 3);
+        f.li(A0, L2);
+        f.li(A1, N2);
+        f.call(relax_id, 2);
+        // Up.
+        f.li(A0, L1);
+        f.li(A1, L2);
+        f.li(A2, N2);
+        f.call(prolong_id, 3);
+        f.li(A0, L1);
+        f.li(A1, N1);
+        f.call(relax_id, 2);
+        f.li(A0, L0);
+        f.li(A1, L1);
+        f.li(A2, N1);
+        f.call(prolong_id, 3);
+        f.li(A0, L0);
+        f.li(A1, N0);
+        f.call(relax_id, 2);
+        // Accumulate a mid-grid probe value.
+        f.li(tmp, L0 + N0 / 2);
+        f.fload(fa, tmp, 0);
+        f.fadd(sum, sum, fa);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    emitFpChecksum(f, sum, F5, T1);
+
+    return b.build();
+}
+
+// 110.applu analog: forward/backward banded substitutions — strong
+// loop-carried recurrences (cross-task data dependence stress).
+Program
+buildApplu(Scale s)
+{
+    const int64_t N = 2048;
+    const int64_t RHS = 80000, BV = 83000;
+    const int64_t sweeps = factor(s, 1, 5);
+
+    IRBuilder b("applu");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId i = S0, lim = S1, tmp = T0, sw = S2, slim = S3;
+    const RegId fa = F0, fb = F1, prev = FS1, sum = FS0;
+
+    f.li(lim, N);
+    auto init = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, fa, i, 511, 0.002, T1, F5);
+        f.addi(tmp, i, RHS);
+        f.fstore(fa, tmp, 0);
+        f.jmp(init.latch);
+    }
+    f.setBlock(init.exit);
+
+    f.fli(sum, 0.0);
+    f.li(slim, sweeps);
+    auto outer = emitCountedLoop(f, sw, slim, tmp);
+    {
+        BlockId fh = f.newBlock(), fb1 = f.newBlock();
+        BlockId bh = f.newBlock(), bb = f.newBlock();
+        BlockId uh = f.newBlock(), ub = f.newBlock();
+        BlockId oend = f.newBlock();
+
+        // Forward: b[i] = (rhs[i] - 0.3*b[i-1]) * 0.7.
+        f.fli(prev, 0.0);
+        f.li(i, 0);
+        f.fallthroughTo(fh);
+
+        f.setBlock(fh);
+        f.slt(tmp, i, lim);
+        f.br(tmp, fb1, bh);
+
+        f.setBlock(fb1);
+        f.addi(tmp, i, RHS);
+        f.fload(fa, tmp, 0);
+        f.fli(fb, 0.3);
+        f.fmul(fb, fb, prev);
+        f.fsub(fa, fa, fb);
+        f.fli(fb, 0.7);
+        f.fmul(fa, fa, fb);
+        f.addi(tmp, i, BV);
+        f.fstore(fa, tmp, 0);
+        f.fmov(prev, fa);
+        f.addi(i, i, 1);
+        f.jmp(fh);
+
+        // Backward: b[i] = (b[i] - 0.2*b[i+1]) * 0.9.
+        f.setBlock(bh);
+        f.fli(prev, 0.0);
+        f.subi(i, lim, 1);
+        f.fallthroughTo(bb);
+
+        f.setBlock(bb);
+        BlockId bb2 = f.newBlock();
+        f.slti(tmp, i, 0);
+        f.brz(tmp, bb2, uh);
+
+        f.setBlock(bb2);
+        f.addi(tmp, i, BV);
+        f.fload(fa, tmp, 0);
+        f.fli(fb, 0.2);
+        f.fmul(fb, fb, prev);
+        f.fsub(fa, fa, fb);
+        f.fli(fb, 0.9);
+        f.fmul(fa, fa, fb);
+        f.fstore(fa, tmp, 0);
+        f.fmov(prev, fa);
+        f.subi(i, i, 1);
+        f.jmp(bb);
+
+        // Update: rhs[i] = b[i] + 0.1 * rhs[i] (parallel sweep).
+        f.setBlock(uh);
+        f.li(i, 0);
+        BlockId uh2 = f.newBlock();
+        f.fallthroughTo(uh2);
+
+        f.setBlock(uh2);
+        f.slt(tmp, i, lim);
+        f.br(tmp, ub, oend);
+
+        f.setBlock(ub);
+        f.addi(tmp, i, RHS);
+        f.fload(fa, tmp, 0);
+        f.fli(fb, 0.1);
+        f.fmul(fa, fa, fb);
+        f.addi(tmp, i, BV);
+        f.fload(fb, tmp, 0);
+        f.fadd(fa, fa, fb);
+        f.addi(tmp, i, RHS);
+        f.fstore(fa, tmp, 0);
+        f.fadd(sum, sum, fa);
+        f.addi(i, i, 1);
+        f.jmp(uh2);
+
+        f.setBlock(oend);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    emitFpChecksum(f, sum, F5, T1);
+
+    return b.build();
+}
+
+// 145.fpppp analog: a driver loop over many *small* FP term functions
+// — the call-inclusion target (the paper: fpppp responds to the
+// task-size heuristic).
+Program
+buildFpppp(Scale s)
+{
+    const int64_t TBL = 90000, TS = 1024;
+    const int64_t quartets = factor(s, 400, 3600);
+
+    IRBuilder b("fpppp");
+    b.setEntry("main");
+
+    auto make_term = [&](const char *name, double c1, double c2) {
+        FuncId id = b.functionId(name);
+        FunctionBuilder &g = b.function(name);
+        const RegId idx = A0, tmp = T0;
+        const RegId fa = F8, fb = F9, fc = F10;
+        g.andi(tmp, idx, TS - 1);
+        g.addi(tmp, tmp, TBL);
+        g.fload(fa, tmp, 0);
+        g.fload(fb, tmp, 1);
+        g.fli(fc, c1);
+        g.fmul(fa, fa, fc);
+        g.fli(fc, c2);
+        g.fmul(fb, fb, fc);
+        g.fadd(FREG_RET, fa, fb);
+        g.ret();
+        return id;
+    };
+    FuncId t1 = make_term("term1", 0.11, 0.31);
+    FuncId t2 = make_term("term2", 0.17, 0.23);
+    FuncId t3 = make_term("term3", 0.05, 0.43);
+
+    FunctionBuilder &f = b.function("main");
+    const RegId i = S0, lim = S1, tmp = T0, seed = S2, cnt = S4;
+    const RegId sum = FS0, fa = FS2, damp = FS3;
+
+    f.li(lim, TS * 2);
+    auto init = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, fa, i, 127, 0.01, T1, F5);
+        f.addi(tmp, i, TBL);
+        f.fstore(fa, tmp, 0);
+        f.jmp(init.latch);
+    }
+    f.setBlock(init.exit);
+
+    f.fli(sum, 0.0);
+    f.fli(damp, 0.25);
+    f.li(seed, 0x31415926);
+    f.li(cnt, 0);
+    f.li(lim, quartets);
+    auto outer = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitLcg(f, seed);
+        emitRandBits(f, A0, seed, TS);
+        f.call(t1, 1);
+        f.fmul(fa, FREG_RET, damp);
+        f.fadd(sum, sum, fa);
+        emitLcg(f, seed);
+        emitRandBits(f, A0, seed, TS);
+        f.call(t2, 1);
+        f.fmul(fa, FREG_RET, damp);
+        f.fadd(sum, sum, fa);
+        emitLcg(f, seed);
+        emitRandBits(f, A0, seed, TS);
+        f.call(t3, 1);
+        f.fmul(fa, FREG_RET, damp);
+        f.fadd(sum, sum, fa);
+        // Keep the accumulator bounded; track quartets processed.
+        f.fli(fa, 0.9999);
+        f.fmul(sum, sum, fa);
+        f.addi(cnt, cnt, 3);
+        f.andi(tmp, cnt, 1023);
+        f.addi(tmp, tmp, TBL);
+        f.store(cnt, tmp, 2 * TS);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    emitFpChecksum(f, sum, F5, T1);
+
+    return b.build();
+}
+
+// 125.turb3d analog: batched butterfly (FFT-like) passes over a
+// complex array — strided regular loops whose stride halves each
+// stage, plus a pointwise nonlinear damping pass.
+Program
+buildTurb3d(Scale s)
+{
+    const int64_t N = 256;              // Complex elements (2 words).
+    const int64_t DATA = 110000;
+    const int64_t steps = factor(s, 1, 12);
+
+    IRBuilder b("turb3d");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId i = S0, lim = S1, tmp = T0, st = S2, stlim = S3;
+    const RegId stride = S4, j = S5, k = S6, a1 = S7, a2 = S8;
+    const RegId xr = F0, xi = F1, yr = F2, yi = F3;
+    const RegId tr = F4, ti = F5, w = F8, sum = FS0;
+
+    f.li(lim, N);
+    auto init = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, xr, i, 127, 0.03, T1, F9);
+        f.shli(tmp, i, 1);
+        f.addi(tmp, tmp, DATA);
+        f.fstore(xr, tmp, 0);
+        emitSeedDouble(f, xi, i, 63, 0.02, T1, F9);
+        f.fstore(xi, tmp, 1);
+        f.jmp(init.latch);
+    }
+    f.setBlock(init.exit);
+
+    f.fli(sum, 0.0);
+    f.li(stlim, steps);
+    auto outer = emitCountedLoop(f, st, stlim, tmp);
+    {
+        BlockId sh = f.newBlock(), sb = f.newBlock();
+        BlockId jh = f.newBlock(), jb = f.newBlock();
+        BlockId jx = f.newBlock(), dh = f.newBlock();
+        BlockId db = f.newBlock(), oend = f.newBlock();
+
+        // Butterfly stages: stride = N/2, N/4, ..., 1.
+        f.li(stride, N / 2);
+        f.fallthroughTo(sh);
+
+        f.setBlock(sh);
+        f.slti(tmp, stride, 1);
+        f.brz(tmp, sb, dh);
+
+        f.setBlock(sb);
+        f.li(j, 0);
+        f.fallthroughTo(jh);
+
+        f.setBlock(jh);
+        // Process pairs (j, j+stride) for j whose stride bit is 0.
+        f.slt(tmp, j, lim);
+        f.br(tmp, jb, jx);
+
+        f.setBlock(jb);
+        BlockId skip = f.newBlock(), work = f.newBlock();
+        f.and_(tmp, j, stride);
+        f.br(tmp, skip, work);
+
+        f.setBlock(work);
+        f.add(k, j, stride);
+        f.shli(a1, j, 1);
+        f.addi(a1, a1, DATA);
+        f.shli(a2, k, 1);
+        f.addi(a2, a2, DATA);
+        f.fload(xr, a1, 0);
+        f.fload(xi, a1, 1);
+        f.fload(yr, a2, 0);
+        f.fload(yi, a2, 1);
+        f.fadd(tr, xr, yr);
+        f.fadd(ti, xi, yi);
+        f.fsub(yr, xr, yr);
+        f.fsub(yi, xi, yi);
+        f.fli(w, 0.5);
+        f.fmul(tr, tr, w);
+        f.fmul(ti, ti, w);
+        f.fmul(yr, yr, w);
+        f.fmul(yi, yi, w);
+        f.fstore(tr, a1, 0);
+        f.fstore(ti, a1, 1);
+        f.fstore(yr, a2, 0);
+        f.fstore(yi, a2, 1);
+        f.fallthroughTo(skip);
+
+        f.setBlock(skip);
+        f.addi(j, j, 1);
+        f.jmp(jh);
+
+        f.setBlock(jx);
+        f.shri(stride, stride, 1);
+        f.jmp(sh);
+
+        // Pointwise damping + probe reduction.
+        f.setBlock(dh);
+        f.li(i, 0);
+        f.fallthroughTo(db);
+
+        f.setBlock(db);
+        BlockId db2 = f.newBlock();
+        f.slt(tmp, i, lim);
+        f.br(tmp, db2, oend);
+
+        f.setBlock(db2);
+        f.shli(tmp, i, 1);
+        f.addi(tmp, tmp, DATA);
+        f.fload(xr, tmp, 0);
+        f.fli(w, 0.999);
+        f.fmul(xr, xr, w);
+        f.fstore(xr, tmp, 0);
+        f.fadd(sum, sum, xr);
+        f.addi(i, i, 1);
+        f.jmp(db);
+
+        f.setBlock(oend);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    emitFpChecksum(f, sum, F9, T1);
+
+    return b.build();
+}
+
+// 141.apsi analog: pollution transport — vertical column recurrences
+// (tridiagonal-style sweeps per column) interleaved with horizontal
+// advection stencils across columns.
+Program
+buildApsi(Scale s)
+{
+    const int64_t NX = 48, NZ = 24;     // Columns x levels.
+    const int64_t CONC = 120000;        // NX*NZ concentrations.
+    const int64_t WIND = 122000;        // NX horizontal wind.
+    const int64_t steps = factor(s, 1, 10);
+
+    IRBuilder b("apsi");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId i = S0, lim = S1, tmp = T0, st = S2, stlim = S3;
+    const RegId col = S4, lev = S5, idx = S6;
+    const RegId c = F0, prev = F1, wnd = F2, adv = F3, k1 = F8;
+    const RegId sum = FS0;
+
+    f.li(lim, NX * NZ);
+    auto init = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, c, i, 255, 0.01, T1, F9);
+        f.addi(tmp, i, CONC);
+        f.fstore(c, tmp, 0);
+        f.jmp(init.latch);
+    }
+    f.setBlock(init.exit);
+
+    f.li(lim, NX);
+    auto winit = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, wnd, i, 15, 0.05, T1, F9);
+        f.addi(tmp, i, WIND);
+        f.fstore(wnd, tmp, 0);
+        f.jmp(winit.latch);
+    }
+    f.setBlock(winit.exit);
+
+    f.fli(sum, 0.0);
+    f.li(stlim, steps);
+    auto outer = emitCountedLoop(f, st, stlim, tmp);
+    {
+        BlockId ch = f.newBlock(), cb = f.newBlock();
+        BlockId lh = f.newBlock(), lb = f.newBlock();
+        BlockId lx = f.newBlock(), ah = f.newBlock();
+        BlockId ab = f.newBlock(), oend = f.newBlock();
+
+        // Vertical diffusion: per column, downward recurrence.
+        f.li(col, 0);
+        f.fallthroughTo(ch);
+
+        f.setBlock(ch);
+        f.slti(tmp, col, NX);
+        f.br(tmp, cb, ah);
+
+        f.setBlock(cb);
+        f.fli(prev, 0.0);
+        f.li(lev, 0);
+        f.fallthroughTo(lh);
+
+        f.setBlock(lh);
+        f.slti(tmp, lev, NZ);
+        f.br(tmp, lb, lx);
+
+        f.setBlock(lb);
+        f.muli(idx, lev, NX);
+        f.add(idx, idx, col);
+        f.addi(tmp, idx, CONC);
+        f.fload(c, tmp, 0);
+        f.fli(k1, 0.2);
+        f.fmul(prev, prev, k1);
+        f.fadd(c, c, prev);
+        f.fli(k1, 0.8);
+        f.fmul(c, c, k1);
+        f.fstore(c, tmp, 0);
+        f.fmov(prev, c);
+        f.addi(lev, lev, 1);
+        f.jmp(lh);
+
+        f.setBlock(lx);
+        f.addi(col, col, 1);
+        f.jmp(ch);
+
+        // Horizontal advection at the surface level.
+        f.setBlock(ah);
+        f.li(col, 1);
+        f.fallthroughTo(ab);
+
+        f.setBlock(ab);
+        BlockId ab2 = f.newBlock();
+        f.slti(tmp, col, NX - 1);
+        f.br(tmp, ab2, oend);
+
+        f.setBlock(ab2);
+        f.addi(tmp, col, WIND);
+        f.fload(wnd, tmp, 0);
+        f.addi(tmp, col, CONC);
+        f.fload(c, tmp, 0);
+        f.fload(adv, tmp, -1);
+        f.fsub(adv, adv, c);
+        f.fmul(adv, adv, wnd);
+        f.fadd(c, c, adv);
+        f.fstore(c, tmp, 0);
+        f.fadd(sum, sum, c);
+        f.addi(col, col, 1);
+        f.jmp(ab);
+
+        f.setBlock(oend);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    emitFpChecksum(f, sum, F9, T1);
+
+    return b.build();
+}
+
+// 146.wave5 analog: particle push with field gather/scatter — indexed
+// memory traffic that provokes cross-task memory dependences.
+Program
+buildWave5(Scale s)
+{
+    const int64_t NP = 1024, NF = 1024;
+    const int64_t PX = 100000, PV = 102000, FLD = 104000;
+    const int64_t steps = factor(s, 1, 10);
+
+    IRBuilder b("wave5");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId i = S0, lim = S1, tmp = T0, st = S2, stlim = S3;
+    const RegId idx = S4;
+    const RegId px = F0, pv = F1, e = F2, fc = F3, sum = FS0;
+
+    f.li(lim, NP);
+    auto init = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, px, i, 1023, 1.0, T1, F5);
+        f.addi(tmp, i, PX);
+        f.fstore(px, tmp, 0);
+        emitSeedDouble(f, pv, i, 63, 0.05, T1, F5);
+        f.addi(tmp, i, PV);
+        f.fstore(pv, tmp, 0);
+        f.jmp(init.latch);
+    }
+    f.setBlock(init.exit);
+
+    f.li(lim, NF);
+    auto finit = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitSeedDouble(f, e, i, 255, 0.02, T1, F5);
+        f.addi(tmp, i, FLD);
+        f.fstore(e, tmp, 0);
+        f.jmp(finit.latch);
+    }
+    f.setBlock(finit.exit);
+
+    f.fli(sum, 0.0);
+    f.li(stlim, steps);
+    auto outer = emitCountedLoop(f, st, stlim, tmp);
+    {
+        BlockId ph = f.newBlock(), pb = f.newBlock();
+        BlockId oend = f.newBlock();
+
+        f.li(i, 0);
+        f.li(lim, NP);
+        f.fallthroughTo(ph);
+
+        f.setBlock(ph);
+        f.slt(tmp, i, lim);
+        f.br(tmp, pb, oend);
+
+        f.setBlock(pb);
+        // Gather.
+        f.addi(tmp, i, PX);
+        f.fload(px, tmp, 0);
+        f.ftoi(idx, px);
+        f.andi(idx, idx, NF - 1);
+        f.addi(tmp, idx, FLD);
+        f.fload(e, tmp, 0);
+        // Push.
+        f.addi(tmp, i, PV);
+        f.fload(pv, tmp, 0);
+        f.fli(fc, 0.99);
+        f.fmul(pv, pv, fc);
+        f.fli(fc, 0.01);
+        f.fmul(e, e, fc);
+        f.fadd(pv, pv, e);
+        f.addi(tmp, i, PV);
+        f.fstore(pv, tmp, 0);
+        f.addi(tmp, i, PX);
+        f.fload(px, tmp, 0);
+        f.fadd(px, px, pv);
+        f.fstore(px, tmp, 0);
+        // Scatter back into the field (cross-task mem dependence).
+        f.fli(fc, 0.001);
+        f.fmul(e, pv, fc);
+        f.addi(tmp, idx, FLD);
+        f.fload(fc, tmp, 0);
+        f.fadd(fc, fc, e);
+        f.fstore(fc, tmp, 0);
+        f.fadd(sum, sum, pv);
+        f.addi(i, i, 1);
+        f.jmp(ph);
+
+        f.setBlock(oend);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    emitFpChecksum(f, sum, F5, T1);
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace msc

@@ -1,0 +1,1183 @@
+/**
+ * @file
+ * Integer SPEC95 analogs: irregular control flow, small basic blocks,
+ * hash-table and pointer memory traffic, frequent small calls.
+ */
+
+#include "workloads/common.h"
+
+namespace msc {
+namespace workloads {
+
+using namespace ir;
+
+namespace {
+
+/** Scale-dependent iteration factor. */
+int64_t
+factor(Scale s, int64_t small_v, int64_t full_v)
+{
+    return s == Scale::Small ? small_v : full_v;
+}
+
+} // anonymous namespace
+
+// 129.compress analog: LZW-style dictionary compression with an
+// open-addressed hash table. Small loops everywhere (probe loops,
+// input scan), serial memory dependence through the table. Responds
+// to the task-size heuristic, like the original (§4.3.2).
+Program
+buildCompress(Scale s)
+{
+    const int64_t n = factor(s, 3000, 40000);
+    const int64_t INPUT = 1000;
+    const int64_t TABLE = 100000;       // 8192 entries x 2 words.
+    const int64_t HS = 8192;
+
+    IRBuilder b("compress");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId seed = S0, i = S1, nreg = S2, tmp = T0, ch = S10;
+    f.li(seed, 0x1234567);
+    f.li(nreg, n);
+
+    // Phase 1: generate input bytes over a small alphabet.
+    auto gen = emitCountedLoop(f, i, nreg, tmp);
+    {
+        emitLcg(f, seed);
+        emitRandBits(f, ch, seed, 8);
+        f.addi(tmp, i, INPUT);
+        f.store(ch, tmp, 0);
+        f.jmp(gen.latch);
+    }
+    f.setBlock(gen.exit);
+
+    // Phase 2: LZW scan.
+    const RegId prefix = S3, nextcode = S4, sum = S5, key = S6, h = S7;
+    const RegId slot = S8, k = S9, addr = T3;
+
+    BlockId head = f.newBlock(), body = f.newBlock();
+    BlockId probe = f.newBlock(), hit = f.newBlock();
+    BlockId check_empty = f.newBlock(), do_insert = f.newBlock();
+    BlockId bump = f.newBlock();
+    BlockId next = f.newBlock(), done = f.newBlock();
+
+    f.loadAbs(prefix, INPUT);               // prefix = input[0].
+    f.li(nextcode, 256);
+    f.li(sum, 0);
+    f.li(i, 1);
+    f.fallthroughTo(head);
+
+    f.setBlock(head);
+    f.slt(tmp, i, nreg);
+    f.br(tmp, body, done);
+
+    f.setBlock(body);
+    f.addi(addr, i, INPUT);
+    f.load(ch, addr, 0);
+    f.muli(key, prefix, 256);
+    f.add(key, key, ch);
+    f.addi(key, key, 1);
+    f.muli(h, key, 2654435761LL);
+    f.shri(h, h, 16);
+    f.andi(h, h, HS - 1);
+    f.fallthroughTo(probe);
+
+    f.setBlock(probe);
+    f.shli(slot, h, 1);
+    f.addi(slot, slot, TABLE);
+    f.load(k, slot, 0);
+    f.seq(tmp, k, key);
+    f.br(tmp, hit, check_empty);
+
+    f.setBlock(hit);
+    f.load(prefix, slot, 1);                // prefix = dictionary code.
+    f.jmp(next);
+
+    f.setBlock(check_empty);
+    f.brz(k, do_insert, bump);
+
+    f.setBlock(do_insert);
+    f.store(key, slot, 0);
+    f.store(nextcode, slot, 1);
+    f.addi(nextcode, nextcode, 1);
+    f.add(sum, sum, prefix);
+    f.mov(prefix, ch);
+    f.jmp(next);
+
+    f.setBlock(bump);
+    f.addi(h, h, 1);
+    f.andi(h, h, HS - 1);
+    f.jmp(probe);
+
+    f.setBlock(next);
+    f.addi(i, i, 1);
+    f.jmp(head);
+
+    f.setBlock(done);
+    f.storeAbs(sum, CHECKSUM_ADDR);
+    f.halt();
+
+    return b.build();
+}
+
+// 099.go analog: board evaluation with data-dependent branch chains
+// and a small liberty-counting helper called per stone.
+Program
+buildGo(Scale s)
+{
+    const int64_t DIM = 32;
+    const int64_t CELLS = DIM * DIM;
+    const int64_t BOARD = 1000;
+    const int64_t INFL = 5000;
+    const int64_t passes = factor(s, 1, 8);
+
+    IRBuilder b("go");
+    b.setEntry("main");
+
+    // liberties(idx): count empty orthogonal neighbours of BOARD[idx].
+    FuncId lib_id = b.functionId("liberties");
+    {
+        FunctionBuilder &g = b.function("liberties");
+        const RegId idx = A0, cnt = T0, nb = T1, base = T2;
+        BlockId join[4];
+        BlockId chk[4], inc[4];
+        for (int j = 0; j < 4; ++j) {
+            chk[j] = g.newBlock();
+            inc[j] = g.newBlock();
+            join[j] = g.newBlock();
+        }
+        g.li(cnt, 0);
+        g.addi(base, idx, BOARD);
+        g.fallthroughTo(chk[0]);
+        const int64_t offs[4] = {-1, 1, -DIM, DIM};
+        for (int j = 0; j < 4; ++j) {
+            g.setBlock(chk[j]);
+            g.load(nb, base, offs[j]);
+            g.brz(nb, inc[j], join[j]);
+            g.setBlock(inc[j]);
+            g.addi(cnt, cnt, 1);
+            g.fallthroughTo(join[j]);
+            g.setBlock(join[j]);
+            if (j < 3) {
+                g.nop();
+                g.fallthroughTo(chk[j + 1]);
+            }
+        }
+        g.mov(REG_RET, cnt);
+        g.ret();
+    }
+
+    FunctionBuilder &f = b.function("main");
+    const RegId seed = S0, i = S1, lim = S2, tmp = T0, c = S10;
+    const RegId sum = S3, p = S4, plim = S5, addr = S6, infl = S7;
+
+    f.li(seed, 0x9e3779b9);
+    f.li(lim, CELLS);
+
+    // Board generation: cells 0 (empty), 1 (black), 2 (white), with a
+    // branchy remap (3 -> 0).
+    auto gen = emitCountedLoop(f, i, lim, tmp);
+    {
+        BlockId fix = f.newBlock(), put = f.newBlock();
+        emitLcg(f, seed);
+        emitRandBits(f, c, seed, 4);
+        f.seqi(tmp, c, 3);
+        f.br(tmp, fix, put);
+        f.setBlock(fix);
+        f.li(c, 0);
+        f.fallthroughTo(put);
+        f.setBlock(put);
+        f.addi(tmp, i, BOARD);
+        f.store(c, tmp, 0);
+        f.jmp(gen.latch);
+    }
+    f.setBlock(gen.exit);
+
+    // Evaluation passes over the interior.
+    f.li(sum, 0);
+    f.li(plim, passes);
+    auto outer = emitCountedLoop(f, p, plim, tmp);
+    {
+        BlockId ihead = f.newBlock(), ibody = f.newBlock();
+        BlockId ilatch = f.newBlock(), iexit = f.newBlock();
+        BlockId is_empty = f.newBlock(), is_black = f.newBlock();
+        BlockId is_white = f.newBlock(), chk1 = f.newBlock();
+        BlockId big = f.newBlock(), small_b = f.newBlock();
+        BlockId inext = f.newBlock();
+
+        f.li(i, DIM);
+        f.fallthroughTo(ihead);
+
+        f.setBlock(ihead);
+        f.slti(tmp, i, CELLS - DIM);
+        f.br(tmp, ibody, iexit);
+
+        f.setBlock(ibody);
+        f.addi(addr, i, BOARD);
+        f.load(c, addr, 0);
+        f.brz(c, is_empty, chk1);
+
+        f.setBlock(chk1);
+        f.seqi(tmp, c, 1);
+        f.br(tmp, is_black, is_white);
+
+        f.setBlock(is_empty);
+        f.load(infl, addr, -1);
+        f.load(tmp, addr, 1);
+        f.add(infl, infl, tmp);
+        f.load(tmp, addr, -DIM);
+        f.add(infl, infl, tmp);
+        f.load(tmp, addr, DIM);
+        f.add(infl, infl, tmp);
+        f.slti(tmp, infl, 3);
+        f.br(tmp, small_b, big);
+
+        f.setBlock(big);
+        f.addi(sum, sum, 1);
+        f.addi(tmp, i, INFL);
+        f.store(infl, tmp, 0);
+        f.jmp(inext);
+
+        f.setBlock(small_b);
+        f.add(sum, sum, infl);
+        f.jmp(inext);
+
+        f.setBlock(is_black);
+        f.mov(A0, i);
+        f.call(lib_id, 1);
+        f.shli(tmp, REG_RET, 1);
+        f.add(sum, sum, tmp);
+        f.jmp(inext);
+
+        f.setBlock(is_white);
+        f.subi(sum, sum, 1);
+        f.jmp(inext);
+
+        f.setBlock(inext);
+        f.addi(i, i, 1);
+        f.jmp(ihead);
+
+        f.setBlock(ilatch);  // Unused structure symmetry.
+        f.jmp(ihead);
+
+        f.setBlock(iexit);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    f.storeAbs(sum, CHECKSUM_ADDR);
+    f.halt();
+
+    return b.build();
+}
+
+// 124.m88ksim analog: an interpreter for a tiny synthetic ISA with a
+// branchy decode tree — the classic dispatch-loop control profile.
+Program
+buildM88ksim(Scale s)
+{
+    const int64_t PROG = 2000, PSIZE = 4096;
+    const int64_t VREG = 500;           // 16 virtual registers.
+    const int64_t DATA = 10000, DSIZE = 1024;
+    const int64_t steps = factor(s, 1500, 13000);
+
+    IRBuilder b("m88ksim");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId seed = S0, i = S1, lim = S2, tmp = T0;
+    const RegId w = S3, op = S4, d = S5, a = S6, imm = S7;
+    const RegId vpc = S8, sum = S9, va = S10, vd = S11, t2 = T1;
+
+    f.li(seed, 0xdeadbeef);
+    f.li(lim, PSIZE);
+
+    // Generate the synthetic program image.
+    auto gen = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitLcg(f, seed);
+        f.shri(w, seed, 13);
+        f.addi(tmp, i, PROG);
+        f.store(w, tmp, 0);
+        f.jmp(gen.latch);
+    }
+    f.setBlock(gen.exit);
+
+    // Interpreter loop.
+    BlockId head = f.newBlock(), body = f.newBlock();
+    BlockId lo = f.newBlock(), hi = f.newBlock();
+    BlockId op01 = f.newBlock(), op23 = f.newBlock();
+    BlockId op45 = f.newBlock(), op67 = f.newBlock();
+    BlockId do0 = f.newBlock(), do1 = f.newBlock();
+    BlockId do2 = f.newBlock(), do3 = f.newBlock();
+    BlockId do4 = f.newBlock(), do4t = f.newBlock();
+    BlockId do5 = f.newBlock(), do6 = f.newBlock(), do7 = f.newBlock();
+    BlockId next = f.newBlock(), done = f.newBlock();
+    BlockId suml_h = f.newBlock(), suml_b = f.newBlock();
+
+    f.li(vpc, 0);
+    f.li(sum, 0);
+    f.li(i, 0);
+    f.li(lim, steps);
+    f.fallthroughTo(head);
+
+    f.setBlock(head);
+    f.slt(tmp, i, lim);
+    f.br(tmp, body, done);
+
+    f.setBlock(body);
+    f.andi(tmp, vpc, PSIZE - 1);
+    f.addi(tmp, tmp, PROG);
+    f.load(w, tmp, 0);
+    f.addi(vpc, vpc, 1);
+    f.andi(op, w, 7);
+    f.shri(d, w, 3);
+    f.andi(d, d, 15);
+    f.shri(a, w, 7);
+    f.andi(a, a, 15);
+    f.shri(imm, w, 11);
+    f.andi(imm, imm, 1023);
+    f.slti(tmp, op, 4);
+    f.br(tmp, lo, hi);
+
+    f.setBlock(lo);
+    f.slti(tmp, op, 2);
+    f.br(tmp, op01, op23);
+    f.setBlock(hi);
+    f.slti(tmp, op, 6);
+    f.br(tmp, op45, op67);
+
+    f.setBlock(op01);
+    f.seqi(tmp, op, 0);
+    f.br(tmp, do0, do1);
+    f.setBlock(op23);
+    f.seqi(tmp, op, 2);
+    f.br(tmp, do2, do3);
+    f.setBlock(op45);
+    f.seqi(tmp, op, 4);
+    f.br(tmp, do4, do5);
+    f.setBlock(op67);
+    f.seqi(tmp, op, 6);
+    f.br(tmp, do6, do7);
+
+    // op 0: vr[d] = vr[a] + imm.
+    f.setBlock(do0);
+    f.addi(tmp, a, VREG);
+    f.load(va, tmp, 0);
+    f.add(va, va, imm);
+    f.addi(tmp, d, VREG);
+    f.store(va, tmp, 0);
+    f.jmp(next);
+
+    // op 1: vr[d] = vr[a] - vr[d].
+    f.setBlock(do1);
+    f.addi(tmp, a, VREG);
+    f.load(va, tmp, 0);
+    f.addi(tmp, d, VREG);
+    f.load(vd, tmp, 0);
+    f.sub(va, va, vd);
+    f.store(va, tmp, 0);
+    f.jmp(next);
+
+    // op 2: vr[d] = data[imm].
+    f.setBlock(do2);
+    f.andi(t2, imm, DSIZE - 1);
+    f.addi(t2, t2, DATA);
+    f.load(va, t2, 0);
+    f.addi(tmp, d, VREG);
+    f.store(va, tmp, 0);
+    f.jmp(next);
+
+    // op 3: data[imm] = vr[a].
+    f.setBlock(do3);
+    f.addi(tmp, a, VREG);
+    f.load(va, tmp, 0);
+    f.andi(t2, imm, DSIZE - 1);
+    f.addi(t2, t2, DATA);
+    f.store(va, t2, 0);
+    f.jmp(next);
+
+    // op 4: conditional relative branch on vr[a].
+    f.setBlock(do4);
+    f.addi(tmp, a, VREG);
+    f.load(va, tmp, 0);
+    f.br(va, do4t, next);
+    f.setBlock(do4t);
+    f.andi(t2, imm, 31);
+    f.subi(t2, t2, 16);
+    f.add(vpc, vpc, t2);
+    f.jmp(next);
+
+    // op 5: vr[d] = vr[a] * 3.
+    f.setBlock(do5);
+    f.addi(tmp, a, VREG);
+    f.load(va, tmp, 0);
+    f.muli(va, va, 3);
+    f.addi(tmp, d, VREG);
+    f.store(va, tmp, 0);
+    f.jmp(next);
+
+    // op 6: vr[d] = vr[a] ^ w.
+    f.setBlock(do6);
+    f.addi(tmp, a, VREG);
+    f.load(va, tmp, 0);
+    f.xor_(va, va, w);
+    f.addi(tmp, d, VREG);
+    f.store(va, tmp, 0);
+    f.jmp(next);
+
+    // op 7: absolute jump.
+    f.setBlock(do7);
+    f.mov(vpc, imm);
+    f.jmp(next);
+
+    f.setBlock(next);
+    f.addi(i, i, 1);
+    f.jmp(head);
+
+    // Sum the virtual register file into the checksum.
+    BlockId fin = f.newBlock();
+
+    f.setBlock(done);
+    f.li(i, 0);
+    f.li(sum, 0);
+    f.fallthroughTo(suml_h);
+
+    f.setBlock(suml_h);
+    f.slti(tmp, i, 16);
+    f.br(tmp, suml_b, fin);
+
+    f.setBlock(suml_b);
+    f.addi(tmp, i, VREG);
+    f.load(va, tmp, 0);
+    f.add(sum, sum, va);
+    f.addi(i, i, 1);
+    f.jmp(suml_h);
+
+    f.setBlock(fin);
+    f.storeAbs(sum, CHECKSUM_ADDR);
+    f.halt();
+
+    return b.build();
+}
+
+// 126.gcc analog: iterative dataflow over a random graph with a
+// worklist — pointer-style loads, short branchy blocks.
+Program
+buildGcc(Scale s)
+{
+    const int64_t N = 256;
+    const int64_t SUCC0 = 1000, SUCC1 = 2000;
+    const int64_t GEN = 3000, KILL = 4000;
+    const int64_t IN = 5000, OUT = 6000, INQ = 7000;
+    const int64_t WL = 8000, WLMASK = 2047;
+    const int64_t rounds = factor(s, 2, 16);
+
+    IRBuilder b("gcc");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId seed = S0, i = S1, lim = S2, tmp = T0;
+    const RegId r = S3, node = S4, nw = S5, ow = S6;
+    const RegId head = S7, tail = S8, sum = S9, t2 = S10, succ = S11;
+
+    f.li(seed, 0xabcdef12);
+    f.li(lim, N);
+
+    // Graph generation.
+    auto gen = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitLcg(f, seed);
+        emitRandBits(f, r, seed, N);
+        f.addi(tmp, i, SUCC0);
+        f.store(r, tmp, 0);
+        emitLcg(f, seed);
+        emitRandBits(f, r, seed, N);
+        f.addi(tmp, i, SUCC1);
+        f.store(r, tmp, 0);
+        emitLcg(f, seed);
+        f.shri(r, seed, 20);
+        f.addi(tmp, i, GEN);
+        f.store(r, tmp, 0);
+        emitLcg(f, seed);
+        f.shri(r, seed, 24);
+        f.addi(tmp, i, KILL);
+        f.store(r, tmp, 0);
+        f.jmp(gen.latch);
+    }
+    f.setBlock(gen.exit);
+
+    const RegId round = S12, rlim = S13;
+    f.li(sum, 0);
+    f.li(rlim, rounds);
+    auto outer = emitCountedLoop(f, round, rlim, tmp);
+    {
+        BlockId fill = f.newBlock(), fhead = f.newBlock();
+        BlockId whead = f.newBlock(), wbody = f.newBlock();
+        BlockId changed = f.newBlock(), push0 = f.newBlock();
+        BlockId skip0 = f.newBlock(), push1 = f.newBlock();
+        BlockId skip1 = f.newBlock(), oexit = f.newBlock();
+
+        // Refill the worklist with every node; clear IN/OUT/INQ.
+        f.li(i, 0);
+        f.li(head, 0);
+        f.li(tail, 0);
+        f.fallthroughTo(fhead);
+
+        f.setBlock(fhead);
+        f.slt(tmp, i, lim);
+        f.br(tmp, fill, whead);
+
+        f.setBlock(fill);
+        f.andi(tmp, tail, WLMASK);
+        f.addi(tmp, tmp, WL);
+        f.store(i, tmp, 0);
+        f.addi(tail, tail, 1);
+        f.addi(tmp, i, INQ);
+        f.li(t2, 1);
+        f.store(t2, tmp, 0);
+        f.addi(tmp, i, IN);
+        f.store(REG_ZERO, tmp, 0);
+        f.addi(tmp, i, OUT);
+        f.store(REG_ZERO, tmp, 0);
+        f.addi(i, i, 1);
+        f.jmp(fhead);
+
+        // Worklist iteration.
+        f.setBlock(whead);
+        f.slt(tmp, head, tail);
+        f.br(tmp, wbody, oexit);
+
+        f.setBlock(wbody);
+        f.andi(tmp, head, WLMASK);
+        f.addi(tmp, tmp, WL);
+        f.load(node, tmp, 0);
+        f.addi(head, head, 1);
+        f.addi(tmp, node, INQ);
+        f.store(REG_ZERO, tmp, 0);
+        // out_new = gen | (in & ~kill).
+        f.addi(tmp, node, IN);
+        f.load(nw, tmp, 0);
+        f.addi(tmp, node, KILL);
+        f.load(t2, tmp, 0);
+        f.xori(t2, t2, -1);
+        f.and_(nw, nw, t2);
+        f.addi(tmp, node, GEN);
+        f.load(t2, tmp, 0);
+        f.or_(nw, nw, t2);
+        f.addi(tmp, node, OUT);
+        f.load(ow, tmp, 0);
+        f.sne(t2, nw, ow);
+        f.br(t2, changed, whead);
+
+        f.setBlock(changed);
+        f.addi(tmp, node, OUT);
+        f.store(nw, tmp, 0);
+        f.addi(sum, sum, 1);
+        // Propagate to both successors; push if not queued.
+        f.addi(tmp, node, SUCC0);
+        f.load(succ, tmp, 0);
+        f.addi(tmp, succ, IN);
+        f.load(t2, tmp, 0);
+        f.or_(t2, t2, nw);
+        f.store(t2, tmp, 0);
+        f.addi(tmp, succ, INQ);
+        f.load(t2, tmp, 0);
+        f.brz(t2, push0, skip0);
+
+        f.setBlock(push0);
+        f.andi(tmp, tail, WLMASK);
+        f.addi(tmp, tmp, WL);
+        f.store(succ, tmp, 0);
+        f.addi(tail, tail, 1);
+        f.addi(tmp, succ, INQ);
+        f.li(t2, 1);
+        f.store(t2, tmp, 0);
+        f.fallthroughTo(skip0);
+
+        f.setBlock(skip0);
+        f.addi(tmp, node, SUCC1);
+        f.load(succ, tmp, 0);
+        f.addi(tmp, succ, IN);
+        f.load(t2, tmp, 0);
+        f.or_(t2, t2, nw);
+        f.store(t2, tmp, 0);
+        f.addi(tmp, succ, INQ);
+        f.load(t2, tmp, 0);
+        f.brz(t2, push1, skip1);
+
+        f.setBlock(push1);
+        f.andi(tmp, tail, WLMASK);
+        f.addi(tmp, tmp, WL);
+        f.store(succ, tmp, 0);
+        f.addi(tail, tail, 1);
+        f.addi(tmp, succ, INQ);
+        f.li(t2, 1);
+        f.store(t2, tmp, 0);
+        f.fallthroughTo(skip1);
+
+        f.setBlock(skip1);
+        f.nop();
+        f.jmp(whead);
+
+        f.setBlock(oexit);
+        // Perturb the graph so the next round has work to do.
+        emitLcg(f, seed);
+        emitRandBits(f, i, seed, N);
+        f.addi(tmp, i, GEN);
+        f.load(t2, tmp, 0);
+        f.xori(t2, t2, 0x5a5a);
+        f.store(t2, tmp, 0);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    f.storeAbs(sum, CHECKSUM_ADDR);
+    f.halt();
+
+    return b.build();
+}
+
+// 130.li analog: cons-cell list building (small allocator calls),
+// pointer-chasing sweeps and in-place reversal.
+Program
+buildLi(Scale s)
+{
+    const int64_t FREE_PTR = 400;       // Bump-allocator cursor word.
+    const int64_t HEAP = 200000;
+    const int64_t nodes = factor(s, 250, 1500);
+    const int64_t passes = factor(s, 4, 14);
+
+    IRBuilder b("li");
+    b.setEntry("main");
+
+    // cons(car, cdr) -> cell address.
+    FuncId cons_id = b.functionId("cons");
+    {
+        FunctionBuilder &g = b.function("cons");
+        const RegId car = A0, cdr = A1, cell = T0;
+        g.loadAbs(cell, FREE_PTR);
+        g.store(car, cell, 0);
+        g.store(cdr, cell, 1);
+        g.addi(T1, cell, 2);
+        g.storeAbs(T1, FREE_PTR);
+        g.mov(REG_RET, cell);
+        g.ret();
+    }
+
+    FunctionBuilder &f = b.function("main");
+    const RegId seed = S0, i = S1, lim = S2, tmp = T0;
+    const RegId head = S3, q = S4, sum = S5, nxt = S6, prev = S7;
+    const RegId p = S8, plim = S9;
+
+    f.li(tmp, HEAP);
+    f.storeAbs(tmp, FREE_PTR);
+    f.li(seed, 0x13572468);
+    f.li(head, 0);
+    f.li(lim, nodes);
+
+    // Build the list: head = cons(rand, head).
+    auto build = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitLcg(f, seed);
+        emitRandBits(f, A0, seed, 256);
+        f.mov(A1, head);
+        f.call(cons_id, 2);
+        f.mov(head, REG_RET);
+        f.jmp(build.latch);
+    }
+    f.setBlock(build.exit);
+
+    f.li(sum, 0);
+    f.li(plim, passes);
+    auto outer = emitCountedLoop(f, p, plim, tmp);
+    {
+        BlockId shead = f.newBlock(), sbody = f.newBlock();
+        BlockId rhead = f.newBlock(), rbody = f.newBlock();
+        BlockId oexit = f.newBlock();
+
+        // Sum sweep.
+        f.mov(q, head);
+        f.fallthroughTo(shead);
+
+        f.setBlock(shead);
+        f.br(q, sbody, rhead);
+
+        f.setBlock(sbody);
+        f.load(tmp, q, 0);
+        f.add(sum, sum, tmp);
+        f.load(q, q, 1);
+        f.jmp(shead);
+
+        // In-place reversal.
+        f.setBlock(rhead);
+        f.li(prev, 0);
+        f.mov(q, head);
+        f.fallthroughTo(rbody);
+
+        f.setBlock(rbody);
+        BlockId rstep = f.newBlock(), rdone = f.newBlock();
+        f.br(q, rstep, rdone);
+
+        f.setBlock(rstep);
+        f.load(nxt, q, 1);
+        f.store(prev, q, 1);
+        f.mov(prev, q);
+        f.mov(q, nxt);
+        f.jmp(rbody);
+
+        f.setBlock(rdone);
+        f.mov(head, prev);
+        f.fallthroughTo(oexit);
+
+        f.setBlock(oexit);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    f.storeAbs(sum, CHECKSUM_ADDR);
+    f.halt();
+
+    return b.build();
+}
+
+// 132.ijpeg analog: blocked 8-point transforms plus quantization —
+// regular short loops, the unrolling heuristic's target shape.
+Program
+buildIjpeg(Scale s)
+{
+    const int64_t W = 64;
+    const int64_t IMG = 1000, OUTB = 6000, COEF = 12000;
+    const int64_t passes = factor(s, 1, 8);
+
+    IRBuilder b("ijpeg");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    const RegId seed = S0, i = S1, lim = S2, tmp = T0;
+    const RegId blk = S3, row = S4, kk = S5, j = S6;
+    const RegId acc = S7, base = S8, sum = S9, v = S10, co = S11;
+    const RegId pass = S12, plim = S13;
+
+    f.li(seed, 0x77777777);
+    f.li(lim, W * W);
+
+    // Image generation.
+    auto gen = emitCountedLoop(f, i, lim, tmp);
+    {
+        emitLcg(f, seed);
+        emitRandBits(f, v, seed, 256);
+        f.addi(tmp, i, IMG);
+        f.store(v, tmp, 0);
+        f.jmp(gen.latch);
+    }
+    f.setBlock(gen.exit);
+
+    // Coefficient table: 8x8 small integers.
+    f.li(lim, 64);
+    auto cgen = emitCountedLoop(f, i, lim, tmp);
+    {
+        f.andi(v, i, 7);
+        f.subi(v, v, 3);
+        f.addi(tmp, i, COEF);
+        f.store(v, tmp, 0);
+        f.jmp(cgen.latch);
+    }
+    f.setBlock(cgen.exit);
+
+    f.li(sum, 0);
+    f.li(plim, passes);
+    auto outer = emitCountedLoop(f, pass, plim, tmp);
+    {
+        const int64_t NBLK = (W / 8) * (W / 8);
+        const RegId blim = T1;
+
+        BlockId bh = f.newBlock(), bb = f.newBlock();
+        BlockId rh = f.newBlock(), rb = f.newBlock();
+        BlockId kh = f.newBlock(), kb = f.newBlock();
+        BlockId jh = f.newBlock(), jb = f.newBlock();
+        BlockId jx = f.newBlock(), kx = f.newBlock();
+        BlockId rx = f.newBlock(), bx = f.newBlock();
+
+        f.li(blk, 0);
+        f.fallthroughTo(bh);
+
+        f.setBlock(bh);
+        f.li(blim, NBLK);
+        f.slt(tmp, blk, blim);
+        f.br(tmp, bb, bx);
+
+        f.setBlock(bb);
+        // base = IMG + (blk / 8) * 8 * W + (blk % 8) * 8.
+        f.shri(base, blk, 3);
+        f.muli(base, base, 8 * W);
+        f.andi(tmp, blk, 7);
+        f.shli(tmp, tmp, 3);
+        f.add(base, base, tmp);
+        f.addi(base, base, IMG);
+        f.li(row, 0);
+        f.fallthroughTo(rh);
+
+        f.setBlock(rh);
+        f.slti(tmp, row, 8);
+        f.br(tmp, rb, rx);
+
+        f.setBlock(rb);
+        f.li(kk, 0);
+        f.fallthroughTo(kh);
+
+        f.setBlock(kh);
+        f.slti(tmp, kk, 8);
+        f.br(tmp, kb, kx);
+
+        f.setBlock(kb);
+        f.li(acc, 0);
+        f.li(j, 0);
+        f.fallthroughTo(jh);
+
+        f.setBlock(jh);
+        f.slti(tmp, j, 8);
+        f.br(tmp, jb, jx);
+
+        f.setBlock(jb);
+        // acc += img[base + row*W + j] * coef[kk*8 + j].
+        f.muli(tmp, row, W);
+        f.add(tmp, tmp, base);
+        f.add(tmp, tmp, j);
+        f.load(v, tmp, 0);
+        f.shli(tmp, kk, 3);
+        f.add(tmp, tmp, j);
+        f.addi(tmp, tmp, COEF);
+        f.load(co, tmp, 0);
+        f.mul(v, v, co);
+        f.add(acc, acc, v);
+        f.addi(j, j, 1);
+        f.jmp(jh);
+
+        f.setBlock(jx);
+        // Quantize and emit.
+        f.andi(tmp, kk, 3);
+        f.addi(tmp, tmp, 1);
+        f.sra(acc, acc, tmp);
+        f.add(sum, sum, acc);
+        f.muli(tmp, blk, 64);
+        f.addi(tmp, tmp, OUTB);
+        f.add(tmp, tmp, kk);
+        f.store(acc, tmp, 0);
+        f.addi(kk, kk, 1);
+        f.jmp(kh);
+
+        f.setBlock(kx);
+        f.addi(row, row, 1);
+        f.jmp(rh);
+
+        f.setBlock(rx);
+        f.addi(blk, blk, 1);
+        f.jmp(bh);
+
+        f.setBlock(bx);
+        f.jmp(outer.latch);
+    }
+    f.setBlock(outer.exit);
+    f.storeAbs(sum, CHECKSUM_ADDR);
+    f.halt();
+
+    return b.build();
+}
+
+// 134.perl analog: text tokenization with per-character hashing (tiny
+// helper call) and a token hash table.
+Program
+buildPerl(Scale s)
+{
+    const int64_t TEXT = 1000;
+    const int64_t TABLE = 100000, HS = 4096;  // key, count pairs.
+    const int64_t n = factor(s, 3000, 30000);
+
+    IRBuilder b("perl");
+    b.setEntry("main");
+
+    // hashStep(h, c) -> h * 31 + c.
+    FuncId hash_id = b.functionId("hashStep");
+    {
+        FunctionBuilder &g = b.function("hashStep");
+        g.muli(T0, A0, 31);
+        g.add(T0, T0, A1);
+        g.mov(REG_RET, T0);
+        g.ret();
+    }
+
+    FunctionBuilder &f = b.function("main");
+    const RegId seed = S0, i = S1, lim = S2, tmp = T0;
+    const RegId c = S3, hash = S4, sum = S5, h = S6, slot = S7;
+    const RegId k = S8;
+
+    f.li(seed, 0x24681357);
+    f.li(lim, n);
+
+    // Text generation: ~20% separators.
+    auto gen = emitCountedLoop(f, i, lim, tmp);
+    {
+        BlockId sep = f.newBlock(), chr = f.newBlock(), put = f.newBlock();
+        emitLcg(f, seed);
+        emitRandBits(f, c, seed, 32);
+        f.slti(tmp, c, 6);
+        f.br(tmp, sep, chr);
+        f.setBlock(sep);
+        f.li(c, 0);
+        f.fallthroughTo(put);
+        f.setBlock(chr);
+        f.andi(c, c, 15);
+        f.addi(c, c, 1);
+        f.fallthroughTo(put);
+        f.setBlock(put);
+        f.addi(tmp, i, TEXT);
+        f.store(c, tmp, 0);
+        f.jmp(gen.latch);
+    }
+    f.setBlock(gen.exit);
+
+    // Tokenizer.
+    BlockId thead = f.newBlock(), tbody = f.newBlock();
+    BlockId skip = f.newBlock(), word = f.newBlock();
+    BlockId whead = f.newBlock(), wbody = f.newBlock();
+    BlockId reload = f.newBlock();
+    BlockId upsert = f.newBlock(), probe = f.newBlock();
+    BlockId found = f.newBlock(), fresh = f.newBlock();
+    BlockId chk = f.newBlock(), bump = f.newBlock();
+    BlockId tdone = f.newBlock();
+
+    f.li(i, 0);
+    f.li(sum, 0);
+    f.fallthroughTo(thead);
+
+    f.setBlock(thead);
+    f.slt(tmp, i, lim);
+    f.br(tmp, tbody, tdone);
+
+    f.setBlock(tbody);
+    f.addi(tmp, i, TEXT);
+    f.load(c, tmp, 0);
+    f.brz(c, skip, word);
+
+    f.setBlock(skip);
+    f.addi(i, i, 1);
+    f.jmp(thead);
+
+    f.setBlock(word);
+    f.li(hash, 7);
+    f.fallthroughTo(whead);
+
+    f.setBlock(whead);
+    f.brz(c, upsert, wbody);
+
+    f.setBlock(wbody);
+    f.mov(A0, hash);
+    f.mov(A1, c);
+    f.call(hash_id, 2);
+    f.mov(hash, REG_RET);
+    f.addi(i, i, 1);
+    f.slt(tmp, i, lim);
+    f.brz(tmp, upsert, reload);
+
+    f.setBlock(reload);
+    f.addi(tmp, i, TEXT);
+    f.load(c, tmp, 0);
+    f.jmp(whead);
+
+    f.setBlock(upsert);
+    f.muli(h, hash, 2654435761LL);
+    f.shri(h, h, 18);
+    f.andi(h, h, HS - 1);
+    f.fallthroughTo(probe);
+
+    f.setBlock(probe);
+    f.shli(slot, h, 1);
+    f.addi(slot, slot, TABLE);
+    f.load(k, slot, 0);
+    f.seq(tmp, k, hash);
+    f.br(tmp, found, chk);
+
+    f.setBlock(chk);
+    f.brz(k, fresh, bump);
+
+    f.setBlock(found);
+    f.load(tmp, slot, 1);
+    f.addi(tmp, tmp, 1);
+    f.store(tmp, slot, 1);
+    f.add(sum, sum, tmp);
+    f.jmp(thead);
+
+    f.setBlock(fresh);
+    f.store(hash, slot, 0);
+    f.li(tmp, 1);
+    f.store(tmp, slot, 1);
+    f.addi(sum, sum, 1);
+    f.jmp(thead);
+
+    f.setBlock(bump);
+    f.addi(h, h, 1);
+    f.andi(h, h, HS - 1);
+    f.jmp(probe);
+
+    f.setBlock(tdone);
+    f.storeAbs(sum, CHECKSUM_ADDR);
+    f.halt();
+
+    Program prog = b.build();
+    return prog;
+}
+
+// 147.vortex analog: an object store with hash-indexed records and
+// mixed lookup / insert / scan transactions.
+Program
+buildVortex(Scale s)
+{
+    const int64_t TABLE = 100000, RS = 4096;  // 4 words per record.
+    const int64_t ops = factor(s, 2500, 22000);
+
+    IRBuilder b("vortex");
+    b.setEntry("main");
+
+    // mix(key) -> slot hash.
+    FuncId mix_id = b.functionId("mix");
+    {
+        FunctionBuilder &g = b.function("mix");
+        g.muli(T0, A0, 0x9e3779b97f4a7c15LL);
+        g.shri(T0, T0, 23);
+        g.andi(T0, T0, RS - 1);
+        g.mov(REG_RET, T0);
+        g.ret();
+    }
+
+    FunctionBuilder &f = b.function("main");
+    const RegId seed = S0, i = S1, lim = S2, tmp = T0;
+    const RegId r = S3, op = S4, key = S5, h = S6, slot = S7;
+    const RegId k = S8, sum = S9, j = S10;
+
+    BlockId ohead = f.newBlock(), obody = f.newBlock();
+    BlockId lookup = f.newBlock(), notlk = f.newBlock();
+    BlockId lprobe = f.newBlock(), lhit = f.newBlock();
+    BlockId lchk = f.newBlock(), lbump = f.newBlock();
+    BlockId ins = f.newBlock(), iprobe = f.newBlock();
+    BlockId iput = f.newBlock(), ichk = f.newBlock();
+    BlockId ibump = f.newBlock();
+    BlockId scan = f.newBlock(), shead = f.newBlock();
+    BlockId sbody = f.newBlock();
+    BlockId onext = f.newBlock(), odone = f.newBlock();
+
+    f.li(seed, 0x55aa55aa);
+    f.li(sum, 0);
+    f.li(i, 0);
+    f.li(lim, ops);
+    f.fallthroughTo(ohead);
+
+    f.setBlock(ohead);
+    f.slt(tmp, i, lim);
+    f.br(tmp, obody, odone);
+
+    f.setBlock(obody);
+    emitLcg(f, seed);
+    f.shri(r, seed, 16);
+    f.andi(op, r, 15);
+    f.shri(key, r, 8);
+    f.andi(key, key, 2047);
+    f.addi(key, key, 1);            // Keys are nonzero.
+    f.mov(A0, key);
+    f.call(mix_id, 1);
+    f.mov(h, REG_RET);
+    f.slti(tmp, op, 10);
+    f.br(tmp, lookup, notlk);
+
+    f.setBlock(notlk);
+    f.slti(tmp, op, 14);
+    f.br(tmp, ins, scan);
+
+    // Lookup: probe until match or empty.
+    f.setBlock(lookup);
+    f.nop();
+    f.fallthroughTo(lprobe);
+
+    f.setBlock(lprobe);
+    f.shli(slot, h, 2);
+    f.addi(slot, slot, TABLE);
+    f.load(k, slot, 0);
+    f.seq(tmp, k, key);
+    f.br(tmp, lhit, lchk);
+
+    f.setBlock(lchk);
+    f.brz(k, onext, lbump);
+
+    f.setBlock(lhit);
+    f.load(tmp, slot, 1);
+    f.add(sum, sum, tmp);
+    f.load(tmp, slot, 2);
+    f.add(sum, sum, tmp);
+    f.jmp(onext);
+
+    f.setBlock(lbump);
+    f.addi(h, h, 1);
+    f.andi(h, h, RS - 1);
+    f.jmp(lprobe);
+
+    // Insert / update.
+    f.setBlock(ins);
+    f.nop();
+    f.fallthroughTo(iprobe);
+
+    f.setBlock(iprobe);
+    f.shli(slot, h, 2);
+    f.addi(slot, slot, TABLE);
+    f.load(k, slot, 0);
+    f.seq(tmp, k, key);
+    f.br(tmp, iput, ichk);
+
+    f.setBlock(ichk);
+    f.brz(k, iput, ibump);
+
+    f.setBlock(iput);
+    f.store(key, slot, 0);
+    f.xor_(tmp, key, seed);
+    f.store(tmp, slot, 1);
+    f.store(i, slot, 2);
+    f.andi(tmp, sum, 255);
+    f.store(tmp, slot, 3);
+    f.addi(sum, sum, 2);
+    f.jmp(onext);
+
+    f.setBlock(ibump);
+    f.addi(h, h, 1);
+    f.andi(h, h, RS - 1);
+    f.jmp(iprobe);
+
+    // Range scan of 16 records.
+    f.setBlock(scan);
+    f.li(j, 0);
+    f.fallthroughTo(shead);
+
+    f.setBlock(shead);
+    f.slti(tmp, j, 16);
+    f.br(tmp, sbody, onext);
+
+    f.setBlock(sbody);
+    f.add(tmp, h, j);
+    f.andi(tmp, tmp, RS - 1);
+    f.shli(slot, tmp, 2);
+    f.addi(slot, slot, TABLE);
+    f.load(tmp, slot, 0);
+    f.add(sum, sum, tmp);
+    f.addi(j, j, 1);
+    f.jmp(shead);
+
+    f.setBlock(onext);
+    f.addi(i, i, 1);
+    f.jmp(ohead);
+
+    f.setBlock(odone);
+    f.storeAbs(sum, CHECKSUM_ADDR);
+    f.halt();
+
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace msc

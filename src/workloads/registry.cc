@@ -1,0 +1,50 @@
+#include "workloads/workload.h"
+
+#include <stdexcept>
+
+namespace msc {
+namespace workloads {
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"go",       "099.go",      false, buildGo},
+        {"m88ksim",  "124.m88ksim", false, buildM88ksim},
+        {"gcc",      "126.gcc",     false, buildGcc},
+        {"compress", "129.compress",false, buildCompress},
+        {"li",       "130.li",      false, buildLi},
+        {"ijpeg",    "132.ijpeg",   false, buildIjpeg},
+        {"perl",     "134.perl",    false, buildPerl},
+        {"vortex",   "147.vortex",  false, buildVortex},
+        {"tomcatv",  "101.tomcatv", true,  buildTomcatv},
+        {"swim",     "102.swim",    true,  buildSwim},
+        {"su2cor",   "103.su2cor",  true,  buildSu2cor},
+        {"hydro2d",  "104.hydro2d", true,  buildHydro2d},
+        {"mgrid",    "107.mgrid",   true,  buildMgrid},
+        {"applu",    "110.applu",   true,  buildApplu},
+        {"turb3d",   "125.turb3d",  true,  buildTurb3d},
+        {"apsi",     "141.apsi",    true,  buildApsi},
+        {"fpppp",    "145.fpppp",   true,  buildFpppp},
+        {"wave5",    "146.wave5",   true,  buildWave5},
+    };
+    return registry;
+}
+
+const WorkloadInfo &
+workloadInfo(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    throw std::runtime_error("unknown workload: " + name);
+}
+
+ir::Program
+buildWorkload(const std::string &name, Scale scale)
+{
+    return workloadInfo(name).build(scale);
+}
+
+} // namespace workloads
+} // namespace msc

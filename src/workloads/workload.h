@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Synthetic SPEC95-analog workloads.
+ *
+ * The paper evaluates on SPEC95. We cannot compile SPEC95 with gcc
+ * 2.7.2 here, so each benchmark is replaced by a hand-written mini-IR
+ * program that implements a real algorithm with the control-flow and
+ * data-dependence character of the original (see DESIGN.md §2):
+ * integer analogs have irregular, data-dependent control flow, small
+ * basic blocks, hash/pointer memory traffic, and frequent small calls;
+ * floating-point analogs have regular counted loops, large loop
+ * bodies, stencils and recurrences.
+ *
+ * Every workload stores a checksum to memory word CHECKSUM_ADDR before
+ * halting, so functional correctness is testable.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace msc {
+namespace workloads {
+
+/** Memory word where every workload deposits its final checksum. */
+constexpr uint64_t CHECKSUM_ADDR = 0;
+
+/** Workload size: Small for unit tests, Full for benchmarks. */
+enum class Scale
+{
+    Small,   ///< ~10-40k dynamic instructions.
+    Full,    ///< ~150-400k dynamic instructions.
+};
+
+/** Registry entry for one benchmark analog. */
+struct WorkloadInfo
+{
+    std::string name;        ///< e.g. "compress".
+    std::string models;      ///< SPEC95 benchmark it stands in for.
+    bool isFp;               ///< Floating-point (vs integer) suite.
+    std::function<ir::Program(Scale)> build;
+};
+
+/** All registered workloads, integer suite first. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Builds one workload by name; throws on unknown names. */
+ir::Program buildWorkload(const std::string &name,
+                          Scale scale = Scale::Full);
+
+/** Returns the registry entry; throws on unknown names. */
+const WorkloadInfo &workloadInfo(const std::string &name);
+
+/// @name Individual builders (integer suite).
+/// @{
+ir::Program buildGo(Scale s);        ///< 099.go: board evaluation.
+ir::Program buildM88ksim(Scale s);   ///< 124.m88ksim: ISA interpreter.
+ir::Program buildGcc(Scale s);       ///< 126.gcc: dataflow worklist.
+ir::Program buildCompress(Scale s);  ///< 129.compress: LZW hashing.
+ir::Program buildLi(Scale s);        ///< 130.li: cons-cell lists.
+ir::Program buildIjpeg(Scale s);     ///< 132.ijpeg: DCT + quantize.
+ir::Program buildPerl(Scale s);      ///< 134.perl: tokenize + hash.
+ir::Program buildVortex(Scale s);    ///< 147.vortex: object store.
+/// @}
+
+/// @name Individual builders (floating-point suite).
+/// @{
+ir::Program buildTomcatv(Scale s);   ///< 101.tomcatv: mesh relaxation.
+ir::Program buildSwim(Scale s);      ///< 102.swim: shallow water.
+ir::Program buildSu2cor(Scale s);    ///< 103.su2cor: matrix kernels.
+ir::Program buildHydro2d(Scale s);   ///< 104.hydro2d: small stencils.
+ir::Program buildMgrid(Scale s);     ///< 107.mgrid: multigrid cycle.
+ir::Program buildApplu(Scale s);     ///< 110.applu: banded sweeps.
+ir::Program buildTurb3d(Scale s);    ///< 125.turb3d: butterfly passes.
+ir::Program buildApsi(Scale s);      ///< 141.apsi: column transport.
+ir::Program buildFpppp(Scale s);     ///< 145.fpppp: small FP calls.
+ir::Program buildWave5(Scale s);     ///< 146.wave5: particle push.
+/// @}
+
+} // namespace workloads
+} // namespace msc

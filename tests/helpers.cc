@@ -1,0 +1,244 @@
+#include "helpers.h"
+
+#include "workloads/common.h"
+
+namespace msc {
+namespace test {
+
+using namespace ir;
+using workloads::emitCountedLoop;
+
+Program
+makeLoopProgram(int64_t n)
+{
+    IRBuilder b("loop");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+    const RegId i = 16, lim = 17, tmp = 8, v = 9, sum = 18;
+
+    f.li(lim, n);
+    f.li(sum, 0);
+    auto l = emitCountedLoop(f, i, lim, tmp);
+    f.muli(v, i, 3);
+    f.addi(tmp, i, 1000);
+    f.store(v, tmp, 0);
+    f.add(sum, sum, v);
+    f.jmp(l.latch);
+    f.setBlock(l.exit);
+    f.storeAbs(sum, 0);
+    f.halt();
+    return b.build();
+}
+
+Program
+makeDiamondProgram(int64_t n)
+{
+    IRBuilder b("diamond");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+    const RegId i = 16, lim = 17, tmp = 8, sum = 18, c = 9;
+
+    f.li(lim, n);
+    f.li(sum, 0);
+    auto l = emitCountedLoop(f, i, lim, tmp);
+    BlockId odd = f.newBlock(), even = f.newBlock(), join = f.newBlock();
+    f.andi(c, i, 1);
+    f.br(c, odd, even);
+    f.setBlock(odd);
+    f.addi(sum, sum, 7);
+    f.jmp(join);
+    f.setBlock(even);
+    f.subi(sum, sum, 3);
+    f.fallthroughTo(join);
+    f.setBlock(join);
+    f.addi(tmp, i, 2000);
+    f.store(sum, tmp, 0);
+    f.jmp(l.latch);
+    f.setBlock(l.exit);
+    f.storeAbs(sum, 0);
+    f.halt();
+    return b.build();
+}
+
+Program
+makeCallProgram(int64_t n, bool tiny_callee)
+{
+    IRBuilder b("calls");
+    b.setEntry("main");
+
+    FuncId fid = b.functionId("twice");
+    {
+        FunctionBuilder &g = b.function("twice");
+        g.shli(REG_RET, 1, 1);  // r1 = arg0 * 2.
+        if (!tiny_callee) {
+            // Pad with enough work to exceed CALL_THRESH.
+            for (int k = 0; k < 40; ++k)
+                g.addi(8, 8, 1);
+        }
+        g.ret();
+    }
+
+    FunctionBuilder &f = b.function("main");
+    const RegId i = 16, lim = 17, tmp = 8, sum = 18;
+    f.li(lim, n);
+    f.li(sum, 0);
+    auto l = emitCountedLoop(f, i, lim, tmp);
+    f.mov(1, i);
+    f.call(fid, 1);
+    f.add(sum, sum, REG_RET);
+    f.jmp(l.latch);
+    f.setBlock(l.exit);
+    f.storeAbs(sum, 0);
+    f.halt();
+    return b.build();
+}
+
+Program
+makeConflictProgram(int64_t n)
+{
+    IRBuilder b("conflict");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+    const RegId i = 16, lim = 17, tmp = 8, v = 9, sum = 18;
+
+    // Each iteration stores to slot i and loads slot i-1 (written by
+    // the previous iteration): a cross-task memory dependence chain.
+    f.li(lim, n);
+    f.li(sum, 0);
+    f.li(tmp, 42);
+    f.storeAbs(tmp, 999);  // Seed slot "-1".
+    auto l = emitCountedLoop(f, i, lim, tmp);
+    f.addi(tmp, i, 999);
+    f.load(v, tmp, 0);      // Load slot i-1 (address 999 + i).
+    f.addi(v, v, 1);
+    f.addi(tmp, i, 1000);
+    f.store(v, tmp, 0);     // Store slot i (address 1000 + i).
+    f.add(sum, sum, v);
+    f.jmp(l.latch);
+    f.setBlock(l.exit);
+    f.storeAbs(sum, 0);
+    f.halt();
+    return b.build();
+}
+
+namespace {
+
+/** Tiny deterministic RNG for program generation. */
+struct Rng
+{
+    uint64_t s;
+    explicit Rng(uint64_t seed) : s(seed ^ 0x9e3779b97f4a7c15ull) {}
+    uint64_t
+    next()
+    {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return s >> 17;
+    }
+    uint64_t next(uint64_t mod) { return next() % mod; }
+};
+
+/** Emits a straight-line burst of random arithmetic over r8..r15. */
+void
+emitBurst(FunctionBuilder &f, Rng &rng, unsigned len)
+{
+    for (unsigned k = 0; k < len; ++k) {
+        RegId d = RegId(8 + rng.next(8));
+        RegId a = RegId(8 + rng.next(8));
+        switch (rng.next(5)) {
+          case 0: f.addi(d, a, int64_t(rng.next(64))); break;
+          case 1: f.xor_(d, a, RegId(8 + rng.next(8))); break;
+          case 2: f.muli(d, a, int64_t(1 + rng.next(7))); break;
+          case 3:
+            f.andi(d, a, 1023);
+            f.addi(d, d, 5000);
+            f.load(d, d, 0);
+            break;
+          default:
+            f.andi(d, a, 1023);
+            f.addi(d, d, 5000);
+            f.store(a, d, 0);
+            break;
+        }
+    }
+}
+
+/**
+ * Recursively emits a structured region starting at the current
+ * insertion point and ending by falling through to a fresh block,
+ * which becomes the insertion point.
+ */
+void
+emitRegion(FunctionBuilder &f, Rng &rng, unsigned depth)
+{
+    emitBurst(f, rng, 1 + unsigned(rng.next(6)));
+    if (depth == 0)
+        return;
+
+    switch (rng.next(3)) {
+      case 0: {  // Diamond.
+        BlockId t = f.newBlock(), e = f.newBlock(), j = f.newBlock();
+        f.andi(8, 9, 3);
+        f.br(8, t, e);
+        f.setBlock(t);
+        emitRegion(f, rng, depth - 1);
+        f.jmp(j);
+        f.setBlock(e);
+        emitRegion(f, rng, depth - 1);
+        emitBurst(f, rng, 1);
+        f.fallthroughTo(j);
+        f.setBlock(j);
+        emitBurst(f, rng, 1 + unsigned(rng.next(4)));
+        break;
+      }
+      case 1: {  // Bounded counted loop using a callee-saved IV.
+        RegId iv = RegId(20 + rng.next(8));
+        RegId bound = 19;
+        BlockId head = f.newBlock(), body = f.newBlock();
+        BlockId latch = f.newBlock(), exit = f.newBlock();
+        f.li(iv, 0);
+        f.li(bound, int64_t(2 + rng.next(6)));
+        f.fallthroughTo(head);
+        f.setBlock(head);
+        f.slt(8, iv, bound);
+        f.br(8, body, exit);
+        f.setBlock(body);
+        emitRegion(f, rng, depth - 1);
+        f.fallthroughTo(latch);
+        f.setBlock(latch);
+        f.addi(iv, iv, 1);
+        f.jmp(head);
+        f.setBlock(exit);
+        emitBurst(f, rng, 1);
+        break;
+      }
+      default:  // Plain burst.
+        emitBurst(f, rng, 2 + unsigned(rng.next(8)));
+        break;
+    }
+}
+
+} // anonymous namespace
+
+Program
+makeRandomProgram(uint64_t seed, unsigned size_class)
+{
+    Rng rng(seed);
+    IRBuilder b("random");
+    b.setEntry("main");
+    FunctionBuilder &f = b.function("main");
+
+    for (RegId r = 8; r < 16; ++r)
+        f.li(r, int64_t(rng.next(1000)));
+    unsigned regions = 1 + size_class;
+    for (unsigned k = 0; k < regions; ++k)
+        emitRegion(f, rng, 2);
+    // Publish a checksum.
+    f.add(8, 8, 9);
+    f.add(8, 8, 10);
+    f.storeAbs(8, 0);
+    f.halt();
+    return b.build();
+}
+
+} // namespace test
+} // namespace msc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared fixtures for the test suite: small hand-built programs and a
+ * seeded random structured-program generator for property tests.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/program.h"
+
+namespace msc {
+namespace test {
+
+/**
+ * Builds a small counted-loop program:
+ *   for (i = 0; i < n; ++i) mem[1000 + i] = i * 3;
+ *   mem[0] = sum of the stored values.
+ */
+ir::Program makeLoopProgram(int64_t n = 50);
+
+/** Builds a diamond (if/else reconvergence) repeated in a loop. */
+ir::Program makeDiamondProgram(int64_t n = 64);
+
+/** Builds a program with a small callee invoked in a loop. */
+ir::Program makeCallProgram(int64_t n = 40, bool tiny_callee = true);
+
+/**
+ * Builds a program where task i+1's load conflicts with task i's
+ * store (provokes memory-dependence violations under partitioning).
+ */
+ir::Program makeConflictProgram(int64_t n = 64);
+
+/**
+ * Generates a random but structurally valid program: nested loops,
+ * diamonds, and arithmetic over bounded memory. Deterministic in
+ * @p seed; always halts within a bounded instruction count.
+ */
+ir::Program makeRandomProgram(uint64_t seed, unsigned size_class = 2);
+
+} // namespace test
+} // namespace msc

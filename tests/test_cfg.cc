@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit tests for the CFG analyses: DFS, dominators, loops, def-use
+ * chains, liveness, and reachability / codependent sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/defuse.h"
+#include "cfg/dfs.h"
+#include "cfg/dominators.h"
+#include "cfg/liveness.h"
+#include "cfg/loops.h"
+#include "cfg/reachability.h"
+#include "helpers.h"
+
+using namespace msc;
+using namespace msc::ir;
+using namespace msc::cfg;
+
+namespace {
+
+const Function &
+mainOf(const Program &p)
+{
+    return p.functions[p.entry];
+}
+
+/** Finds the loop-header block (two preds: entry-side and latch). */
+BlockId
+findLoopHeader(const Function &f, const DfsInfo &dfs,
+               const DominatorTree &dom)
+{
+    for (const auto &b : f.blocks)
+        for (BlockId s : b.succs)
+            if (dom.dominates(s, b.id))
+                return s;
+    (void)dfs;
+    return INVALID_BLOCK;
+}
+
+} // anonymous namespace
+
+TEST(Dfs, AllBlocksReachable)
+{
+    Program p = test::makeDiamondProgram();
+    const Function &f = mainOf(p);
+    DfsInfo dfs(f);
+    for (const auto &b : f.blocks)
+        EXPECT_TRUE(dfs.reachable(b.id)) << "bb" << b.id;
+    EXPECT_EQ(dfs.rpo().size(), f.blocks.size());
+    EXPECT_EQ(dfs.rpo().front(), f.entry);
+}
+
+TEST(Dfs, BackEdgeDetection)
+{
+    Program p = test::makeLoopProgram();
+    const Function &f = mainOf(p);
+    DfsInfo dfs(f);
+    unsigned back_edges = 0;
+    for (const auto &b : f.blocks)
+        for (BlockId s : b.succs)
+            if (dfs.isBackEdge(b.id, s))
+                ++back_edges;
+    EXPECT_EQ(back_edges, 1u);
+}
+
+TEST(Dfs, NoBackEdgesInDag)
+{
+    IRBuilder b("dag");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    BlockId t = f.newBlock(), e = f.newBlock(), j = f.newBlock();
+    f.li(8, 1);
+    f.br(8, t, e);
+    f.setBlock(t);
+    f.li(9, 2);
+    f.jmp(j);
+    f.setBlock(e);
+    f.li(9, 3);
+    f.fallthroughTo(j);
+    f.setBlock(j);
+    f.halt();
+    Program p = b.build();
+    DfsInfo dfs(p.functions[0]);
+    for (const auto &bb : p.functions[0].blocks)
+        for (BlockId s : bb.succs)
+            EXPECT_FALSE(dfs.isBackEdge(bb.id, s));
+}
+
+TEST(Dominators, EntryDominatesEverything)
+{
+    Program p = test::makeDiamondProgram();
+    const Function &f = mainOf(p);
+    DfsInfo dfs(f);
+    DominatorTree dom(f, dfs);
+    for (const auto &b : f.blocks)
+        EXPECT_TRUE(dom.dominates(f.entry, b.id));
+    EXPECT_EQ(dom.idom(f.entry), INVALID_BLOCK);
+}
+
+TEST(Dominators, BranchArmsDoNotDominateJoin)
+{
+    IRBuilder b("dj");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    BlockId t = f.newBlock(), e = f.newBlock(), j = f.newBlock();
+    f.li(8, 1);
+    f.br(8, t, e);
+    f.setBlock(t);
+    f.li(9, 2);
+    f.jmp(j);
+    f.setBlock(e);
+    f.li(9, 3);
+    f.fallthroughTo(j);
+    f.setBlock(j);
+    f.halt();
+    Program p = b.build();
+    const Function &fn = p.functions[0];
+    DfsInfo dfs(fn);
+    DominatorTree dom(fn, dfs);
+    EXPECT_FALSE(dom.dominates(t, j));
+    EXPECT_FALSE(dom.dominates(e, j));
+    EXPECT_TRUE(dom.dominates(fn.entry, j));
+    EXPECT_EQ(dom.idom(j), fn.entry);
+}
+
+TEST(Loops, SingleLoopDetected)
+{
+    Program p = test::makeLoopProgram();
+    const Function &f = mainOf(p);
+    DfsInfo dfs(f);
+    DominatorTree dom(f, dfs);
+    LoopForest forest(f, dfs, dom);
+    ASSERT_EQ(forest.loops().size(), 1u);
+    const Loop &l = forest.loops()[0];
+    EXPECT_TRUE(forest.isHeader(l.header));
+    EXPECT_GE(l.blocks.size(), 2u);
+    EXPECT_EQ(l.depth, 1u);
+    EXPECT_EQ(l.parent, -1);
+    // Entry/exit edge classification.
+    for (BlockId pr : f.blocks[l.header].preds) {
+        if (!l.contains(pr)) {
+            EXPECT_TRUE(forest.isLoopEntryEdge(pr, l.header));
+        }
+    }
+}
+
+TEST(Loops, NestedLoopsHaveDepth)
+{
+    IRBuilder b("nest");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    BlockId oh = f.newBlock(), ob = f.newBlock();
+    BlockId ih = f.newBlock(), ib = f.newBlock();
+    BlockId ol = f.newBlock(), done = f.newBlock();
+    f.li(16, 0);
+    f.fallthroughTo(oh);
+    f.setBlock(oh);
+    f.slti(8, 16, 4);
+    f.br(8, ob, done);
+    f.setBlock(ob);
+    f.li(17, 0);
+    f.fallthroughTo(ih);
+    f.setBlock(ih);
+    f.slti(8, 17, 4);
+    f.br(8, ib, ol);
+    f.setBlock(ib);
+    f.addi(17, 17, 1);
+    f.jmp(ih);
+    f.setBlock(ol);
+    f.addi(16, 16, 1);
+    f.jmp(oh);
+    f.setBlock(done);
+    f.halt();
+    Program p = b.build();
+    const Function &fn = p.functions[0];
+    DfsInfo dfs(fn);
+    DominatorTree dom(fn, dfs);
+    LoopForest forest(fn, dfs, dom);
+    ASSERT_EQ(forest.loops().size(), 2u);
+    unsigned max_depth = 0;
+    for (const auto &l : forest.loops())
+        max_depth = std::max(max_depth, l.depth);
+    EXPECT_EQ(max_depth, 2u);
+    // The inner body belongs to the inner loop.
+    int inner = forest.innermost(ib);
+    ASSERT_GE(inner, 0);
+    EXPECT_EQ(forest.loops()[inner].header, ih);
+}
+
+TEST(DefUse, ChainsLinkProducerToConsumer)
+{
+    Program p = test::makeLoopProgram();
+    const Function &f = mainOf(p);
+    DefUse du(f);
+    EXPECT_FALSE(du.defSites().empty());
+    EXPECT_FALSE(du.edges().empty());
+    // Every edge's def site defines the register the use consumes.
+    for (const auto &e : du.edges()) {
+        const auto &def = du.defSites()[e.def];
+        EXPECT_EQ(def.reg, e.reg);
+        auto uses = p.inst(e.use).uses();
+        EXPECT_NE(std::find(uses.begin(), uses.end(), e.reg), uses.end());
+    }
+}
+
+TEST(DefUse, LoopCarriedDependenceFound)
+{
+    Program p = test::makeLoopProgram();
+    const Function &f = mainOf(p);
+    DefUse du(f);
+    // The IV increment's def must reach a use in a different block
+    // (the header comparison) through the back edge.
+    bool cross_block = false;
+    for (const auto &e : du.edges()) {
+        const auto &def = du.defSites()[e.def];
+        if (def.ref.block != e.use.block)
+            cross_block = true;
+    }
+    EXPECT_TRUE(cross_block);
+}
+
+TEST(Liveness, IvLiveAroundLoop)
+{
+    Program p = test::makeLoopProgram();
+    const Function &f = mainOf(p);
+    DfsInfo dfs(f);
+    DominatorTree dom(f, dfs);
+    Liveness live(f);
+    BlockId header = findLoopHeader(f, dfs, dom);
+    ASSERT_NE(header, INVALID_BLOCK);
+    // The IV (r16) and bound (r17) are live into the header.
+    EXPECT_TRUE(regTest(live.liveIn(header), 16));
+    EXPECT_TRUE(regTest(live.liveIn(header), 17));
+}
+
+TEST(Liveness, DeadAfterLastUse)
+{
+    IRBuilder b("dead");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    BlockId next = f.newBlock();
+    f.li(8, 1);
+    f.li(9, 2);
+    f.add(10, 8, 9);
+    f.fallthroughTo(next);
+    f.setBlock(next);
+    f.storeAbs(10, 0);
+    f.halt();
+    Program p = b.build();
+    Liveness live(p.functions[0]);
+    // r8/r9 die in block 0; r10 is live out.
+    EXPECT_FALSE(regTest(live.liveOut(0), 8));
+    EXPECT_FALSE(regTest(live.liveOut(0), 9));
+    EXPECT_TRUE(regTest(live.liveOut(0), 10));
+}
+
+TEST(Reachability, ForwardBackwardAgree)
+{
+    Program p = test::makeDiamondProgram();
+    const Function &f = mainOf(p);
+    Reachability reach(f);
+    for (const auto &a : f.blocks) {
+        for (const auto &b2 : f.blocks) {
+            EXPECT_EQ(reach.forward(a.id).test(b2.id),
+                      reach.backward(b2.id).test(a.id));
+        }
+    }
+}
+
+TEST(Reachability, CodependentCoversBothArms)
+{
+    IRBuilder b("cod");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    BlockId t = f.newBlock(), e = f.newBlock(), j = f.newBlock();
+    f.li(8, 1);
+    f.br(8, t, e);
+    f.setBlock(t);
+    f.li(9, 2);
+    f.jmp(j);
+    f.setBlock(e);
+    f.li(9, 3);
+    f.fallthroughTo(j);
+    f.setBlock(j);
+    f.storeAbs(9, 0);
+    f.halt();
+    Program p = b.build();
+    Reachability reach(p.functions[0]);
+    DynBitset cd = reach.codependent(0, j);
+    EXPECT_TRUE(cd.test(0));
+    EXPECT_TRUE(cd.test(t));
+    EXPECT_TRUE(cd.test(e));
+    EXPECT_TRUE(cd.test(j));
+    // No path from an arm to its sibling.
+    EXPECT_TRUE(reach.codependent(t, e).none());
+}
+
+TEST(Bitset, Operations)
+{
+    DynBitset a(100), b2(100);
+    a.set(3);
+    a.set(64);
+    a.set(99);
+    b2.set(64);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_TRUE(a.test(64));
+    EXPECT_FALSE(a.test(4));
+
+    DynBitset c = a;
+    c.intersectWith(b2);
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_TRUE(c.test(64));
+
+    c = a;
+    c.subtract(b2);
+    EXPECT_FALSE(c.test(64));
+    EXPECT_EQ(c.count(), 2u);
+
+    EXPECT_TRUE(b2.unionWith(a));
+    EXPECT_FALSE(b2.unionWith(a));  // Already a superset.
+
+    std::vector<size_t> seen;
+    a.forEach([&](size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, std::vector<size_t>({3, 64, 99}));
+}

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Functional tests of the interpreter: opcode semantics, control flow,
+ * calls, tracing and profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+#include "profile/interpreter.h"
+#include "profile/profiler.h"
+
+using namespace msc;
+using namespace msc::ir;
+using namespace msc::profile;
+
+namespace {
+
+/** Runs a single-block program applying @p emit, returns reg 10. */
+template <typename Emit>
+int64_t
+evalInt(Emit &&emit)
+{
+    IRBuilder b("t");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    emit(f);
+    f.halt();
+    Program p = b.build();
+    Interpreter in(p);
+    in.runQuiet();
+    EXPECT_TRUE(in.halted());
+    return in.reg(10);
+}
+
+} // anonymous namespace
+
+TEST(Interp, IntegerArithmetic)
+{
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 20);
+        f.li(9, 22);
+        f.add(10, 8, 9);
+    }), 42);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 20);
+        f.subi(10, 8, 25);
+    }), -5);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, -6);
+        f.muli(10, 8, 7);
+    }), -42);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 43);
+        f.divi(10, 8, 6);
+    }), 7);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 43);
+        f.remi(10, 8, 6);
+    }), 1);
+    // Division by zero yields zero rather than trapping.
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 43);
+        f.li(9, 0);
+        f.div(10, 8, 9);
+    }), 0);
+}
+
+TEST(Interp, LogicAndShifts)
+{
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 0b1100);
+        f.andi(10, 8, 0b1010);
+    }), 0b1000);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 0b1100);
+        f.ori(10, 8, 0b0011);
+    }), 0b1111);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 6);
+        f.shli(10, 8, 4);
+    }), 96);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, -8);
+        f.srai(10, 8, 1);
+    }), -4);
+    // Logical shift of a negative value.
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, -1);
+        f.shri(10, 8, 63);
+    }), 1);
+}
+
+TEST(Interp, Comparisons)
+{
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 3);
+        f.slti(10, 8, 4);
+    }), 1);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 4);
+        f.slti(10, 8, 4);
+    }), 0);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 4);
+        f.slei(10, 8, 4);
+    }), 1);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 4);
+        f.seqi(10, 8, 4);
+    }), 1);
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(8, 4);
+        f.snei(10, 8, 4);
+    }), 0);
+}
+
+TEST(Interp, FloatingPoint)
+{
+    IRBuilder b("fp");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    f.fli(40, 1.5);
+    f.fli(41, 2.5);
+    f.fadd(42, 40, 41);
+    f.fmul(43, 42, 41);      // 10.0
+    f.fdiv(44, 43, 40);      // 6.666...
+    f.ftoi(10, 43);
+    f.li(8, 7);
+    f.itof(45, 8);
+    f.fslt(11, 40, 41);
+    f.halt();
+    Program p = b.build();
+    Interpreter in(p);
+    in.runQuiet();
+    EXPECT_DOUBLE_EQ(in.freg(42), 4.0);
+    EXPECT_DOUBLE_EQ(in.freg(43), 10.0);
+    EXPECT_NEAR(in.freg(44), 10.0 / 1.5, 1e-12);
+    EXPECT_EQ(in.reg(10), 10);
+    EXPECT_DOUBLE_EQ(in.freg(45), 7.0);
+    EXPECT_EQ(in.reg(11), 1);
+}
+
+TEST(Interp, MemoryOps)
+{
+    IRBuilder b("mem");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    f.li(8, 1234);
+    f.li(9, 100);
+    f.store(8, 9, 5);      // mem[105] = 1234.
+    f.load(10, 9, 5);
+    f.storeAbs(10, 7);
+    f.loadAbs(11, 7);
+    f.halt();
+    Program p = b.build();
+    Interpreter in(p);
+    in.runQuiet();
+    EXPECT_EQ(in.mem(105), 1234);
+    EXPECT_EQ(in.reg(10), 1234);
+    EXPECT_EQ(in.reg(11), 1234);
+}
+
+TEST(Interp, InitDataSeedsMemory)
+{
+    IRBuilder b("init");
+    b.setEntry("main");
+    b.initWord(50, 777);
+    b.initDouble(51, 2.5);
+    auto &f = b.function("main");
+    f.loadAbs(10, 50);
+    f.fload(40, 0, 51);
+    f.halt();
+    Program p = b.build();
+    Interpreter in(p);
+    in.runQuiet();
+    EXPECT_EQ(in.reg(10), 777);
+    EXPECT_DOUBLE_EQ(in.freg(40), 2.5);
+}
+
+TEST(Interp, ZeroRegisterIsImmutable)
+{
+    EXPECT_EQ(evalInt([](FunctionBuilder &f) {
+        f.li(0, 55);
+        f.mov(10, 0);
+    }), 0);
+}
+
+TEST(Interp, BranchSemantics)
+{
+    // Br taken when cond != 0; BrZ when cond == 0.
+    IRBuilder b("br");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    BlockId yes = f.newBlock(), no = f.newBlock(), j1 = f.newBlock();
+    BlockId z_yes = f.newBlock(), z_no = f.newBlock(), end = f.newBlock();
+    f.li(8, 5);
+    f.br(8, yes, no);
+    f.setBlock(yes);
+    f.li(10, 1);
+    f.jmp(j1);
+    f.setBlock(no);
+    f.li(10, 2);
+    f.fallthroughTo(j1);
+    f.setBlock(j1);
+    f.li(9, 0);
+    f.brz(9, z_yes, z_no);
+    f.setBlock(z_yes);
+    f.li(11, 3);
+    f.jmp(end);
+    f.setBlock(z_no);
+    f.li(11, 4);
+    f.fallthroughTo(end);
+    f.setBlock(end);
+    f.halt();
+    Program p = b.build();
+    Interpreter in(p);
+    in.runQuiet();
+    EXPECT_EQ(in.reg(10), 1);
+    EXPECT_EQ(in.reg(11), 3);
+}
+
+TEST(Interp, LoopComputesExpectedValues)
+{
+    Program p = test::makeLoopProgram(50);
+    Interpreter in(p);
+    in.runQuiet();
+    EXPECT_TRUE(in.halted());
+    // sum of 3*i for i in [0,50) = 3 * 49*50/2.
+    EXPECT_EQ(in.mem(0), 3 * 49 * 50 / 2);
+    EXPECT_EQ(in.mem(1000 + 7), 21);
+}
+
+TEST(Interp, CallAndReturn)
+{
+    Program p = test::makeCallProgram(10);
+    Interpreter in(p);
+    in.runQuiet();
+    EXPECT_TRUE(in.halted());
+    // sum of 2*i for i in [0,10) = 90.
+    EXPECT_EQ(in.mem(0), 90);
+}
+
+TEST(Interp, MaxInstsCapStopsExecution)
+{
+    Program p = test::makeLoopProgram(1'000'000);
+    Interpreter in(p);
+    uint64_t n = in.runQuiet(1000);
+    EXPECT_EQ(n, 1000u);
+    EXPECT_FALSE(in.halted());
+}
+
+TEST(Interp, OutOfBoundsAccessThrows)
+{
+    IRBuilder b("oob");
+    b.setEntry("main");
+    b.setMemWords(1024);
+    auto &f = b.function("main");
+    f.li(8, 99999);
+    f.load(10, 8, 0);
+    f.halt();
+    Program p = b.build();
+    Interpreter in(p);
+    EXPECT_THROW(in.runQuiet(), std::runtime_error);
+}
+
+TEST(Interp, TraceMatchesExecution)
+{
+    Program p = test::makeDiamondProgram(8);
+    Interpreter in(p);
+    Trace t = in.trace();
+    EXPECT_TRUE(t.completed);
+    EXPECT_EQ(t.size(), in.instCount());
+    // First entry is the entry block's first instruction.
+    EXPECT_EQ(t[0].ref.func, p.entry);
+    EXPECT_EQ(t[0].ref.block, p.functions[p.entry].entry);
+    EXPECT_EQ(t[0].ref.index, 0u);
+    // Memory entries carry addresses; branch entries carry outcomes.
+    bool saw_taken = false;
+    uint64_t max_store_addr = 0;
+    unsigned stores = 0;
+    for (const auto &e : t.entries) {
+        const Instruction &inst = p.inst(e.ref);
+        if (inst.isStore()) {
+            ++stores;
+            max_store_addr = std::max(max_store_addr, e.addr);
+        }
+        if (inst.isCondBranch() && e.taken)
+            saw_taken = true;
+    }
+    EXPECT_GT(stores, 0u);
+    EXPECT_GE(max_store_addr, 2000u);  // The in-loop store addresses.
+    EXPECT_TRUE(saw_taken);
+}
+
+TEST(Interp, DeterministicAcrossRuns)
+{
+    Program p = test::makeRandomProgram(42);
+    Interpreter a(p), b2(p);
+    a.runQuiet();
+    b2.runQuiet();
+    EXPECT_EQ(a.instCount(), b2.instCount());
+    EXPECT_EQ(a.mem(0), b2.mem(0));
+}
+
+TEST(Profiler, BlockAndEdgeCounts)
+{
+    Program p = test::makeLoopProgram(50);
+    Profile prof = profileProgram(p);
+    const Function &f = p.functions[p.entry];
+    // The loop body executes 50 times; the header once more.
+    uint64_t max_count = 0;
+    for (const auto &b : f.blocks)
+        max_count = std::max(max_count, prof.blockFreq(f.id, b.id));
+    EXPECT_EQ(max_count, 51u);
+    // Edge counts are consistent: flow into the body == body count.
+    uint64_t into_body = 0;
+    for (const auto &b : f.blocks)
+        for (BlockId s : b.succs)
+            if (prof.blockFreq(f.id, s) == 50)
+                into_body = std::max(into_body,
+                                     prof.edgeFreq(f.id, b.id, s));
+    EXPECT_EQ(into_body, 50u);
+}
+
+TEST(Profiler, CallCountsAndInclusiveSize)
+{
+    Program p = test::makeCallProgram(40);
+    Profile prof = profileProgram(p);
+    const Function *callee = p.findFunction("twice");
+    ASSERT_NE(callee, nullptr);
+    EXPECT_EQ(prof.funcInvocations[callee->id], 40u);
+    // The tiny callee has 2 instructions per invocation.
+    EXPECT_NEAR(prof.avgCallInsts(callee->id), 2.0, 0.01);
+    // An uncalled function reports a huge size.
+    Profile p2 = prof;
+    EXPECT_GT(p2.avgCallInsts(callee->id), 0.0);
+}
+
+TEST(Profiler, DefUseFrequencies)
+{
+    Program p = test::makeLoopProgram(50);
+    Profile prof = profileProgram(p);
+    EXPECT_FALSE(prof.defUseCount.empty());
+    // Some dependence is exercised ~50 times (the IV chain).
+    uint64_t best = 0;
+    for (const auto &[k, v] : prof.defUseCount)
+        best = std::max(best, v);
+    EXPECT_GE(best, 49u);
+}
+
+TEST(Profiler, CallClobberReattribution)
+{
+    Program p = test::makeCallProgram(40);
+    Profile prof = profileProgram(p);
+    // The caller consumes r1 (return value) right after the call; the
+    // dynamic def-use pair must attribute the def to the Call site,
+    // not to the callee-internal instruction.
+    bool call_as_def = false;
+    for (const auto &[k, v] : prof.defUseCount) {
+        if (k.reg == REG_RET && v >= 40) {
+            const Instruction &def = p.inst(k.def);
+            if (def.op == Opcode::Call)
+                call_as_def = true;
+        }
+    }
+    EXPECT_TRUE(call_as_def);
+}
+
+TEST(Profiler, TotalInstsMatchesInterpreter)
+{
+    Program p = test::makeDiamondProgram(16);
+    Profile prof = profileProgram(p);
+    Interpreter in(p);
+    in.runQuiet();
+    EXPECT_EQ(prof.totalInsts, in.instCount());
+}

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for the mini-IR: opcode metadata, instruction def/use
+ * sets, the builder, the verifier, program layout and the printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+using namespace msc;
+using namespace msc::ir;
+
+TEST(OpInfo, NamesRoundTrip)
+{
+    for (size_t i = 0; i < size_t(Opcode::NUM_OPCODES); ++i) {
+        Opcode op = Opcode(i);
+        EXPECT_EQ(opFromName(opName(op)), op) << opName(op);
+    }
+    EXPECT_EQ(opFromName("bogus"), Opcode::NUM_OPCODES);
+}
+
+TEST(OpInfo, FuClasses)
+{
+    EXPECT_EQ(opInfo(Opcode::Add).fu, FuClass::IntAlu);
+    EXPECT_EQ(opInfo(Opcode::FMul).fu, FuClass::FpAlu);
+    EXPECT_EQ(opInfo(Opcode::Load).fu, FuClass::Mem);
+    EXPECT_EQ(opInfo(Opcode::Store).fu, FuClass::Mem);
+    EXPECT_EQ(opInfo(Opcode::Br).fu, FuClass::Branch);
+    EXPECT_EQ(opInfo(Opcode::Call).fu, FuClass::Branch);
+    EXPECT_EQ(opInfo(Opcode::Nop).fu, FuClass::None);
+}
+
+TEST(OpInfo, Latencies)
+{
+    EXPECT_EQ(opInfo(Opcode::Add).latency, 1u);
+    EXPECT_EQ(opInfo(Opcode::Mul).latency, 3u);
+    EXPECT_EQ(opInfo(Opcode::Div).latency, 12u);
+    EXPECT_EQ(opInfo(Opcode::FAdd).latency, 3u);
+    EXPECT_EQ(opInfo(Opcode::FDiv).latency, 12u);
+}
+
+TEST(RegNames, RoundTrip)
+{
+    EXPECT_EQ(regName(0), "r0");
+    EXPECT_EQ(regName(31), "r31");
+    EXPECT_EQ(regName(32), "f32");
+    EXPECT_EQ(regName(NO_REG), "--");
+    EXPECT_EQ(regFromName("r17"), RegId(17));
+    EXPECT_EQ(regFromName("f63"), RegId(63));
+    EXPECT_EQ(regFromName("r64"), NO_REG);
+    EXPECT_EQ(regFromName("x1"), NO_REG);
+    EXPECT_EQ(regFromName(""), NO_REG);
+}
+
+TEST(Instruction, DefsUsesArithmetic)
+{
+    Instruction i;
+    i.op = Opcode::Add;
+    i.dst = 5;
+    i.src1 = 6;
+    i.src2 = 7;
+    EXPECT_EQ(i.defs(), std::vector<RegId>({5}));
+    EXPECT_EQ(i.uses(), std::vector<RegId>({6, 7}));
+
+    i.src2 = NO_REG;  // Immediate form.
+    EXPECT_EQ(i.uses(), std::vector<RegId>({6}));
+}
+
+TEST(Instruction, WritesToR0Ignored)
+{
+    Instruction i;
+    i.op = Opcode::LoadImm;
+    i.dst = REG_ZERO;
+    i.imm = 5;
+    EXPECT_FALSE(i.writesReg());
+    EXPECT_TRUE(i.defs().empty());
+}
+
+TEST(Instruction, StoreHasNoDef)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.src1 = 3;
+    i.src2 = 4;
+    EXPECT_TRUE(i.defs().empty());
+    EXPECT_EQ(i.uses(), std::vector<RegId>({3, 4}));
+    EXPECT_TRUE(i.isStore());
+    EXPECT_TRUE(i.isMemory());
+    EXPECT_FALSE(i.isLoad());
+}
+
+TEST(Instruction, CallClobberSet)
+{
+    Instruction i;
+    i.op = Opcode::Call;
+    i.callee = 0;
+    i.nargs = 2;
+    auto defs = i.defs();
+    auto uses = i.uses();
+    EXPECT_EQ(uses, std::vector<RegId>({1, 2}));
+    // Clobbers: r1, r8..r15, f32, f40..f47.
+    EXPECT_NE(std::find(defs.begin(), defs.end(), REG_RET), defs.end());
+    EXPECT_NE(std::find(defs.begin(), defs.end(), RegId(8)), defs.end());
+    EXPECT_NE(std::find(defs.begin(), defs.end(), RegId(15)), defs.end());
+    EXPECT_NE(std::find(defs.begin(), defs.end(), FREG_RET), defs.end());
+    EXPECT_EQ(std::find(defs.begin(), defs.end(), RegId(16)), defs.end());
+    EXPECT_EQ(std::find(defs.begin(), defs.end(), RegId(48)), defs.end());
+}
+
+TEST(Instruction, RetUsesReturnValue)
+{
+    Instruction i;
+    i.op = Opcode::Ret;
+    EXPECT_EQ(i.uses(), std::vector<RegId>({REG_RET}));
+}
+
+TEST(Builder, ProducesVerifiedProgram)
+{
+    Program p = test::makeLoopProgram();
+    std::string err;
+    EXPECT_TRUE(verify(p, &err)) << err;
+    EXPECT_GT(p.numInsts(), 5u);
+    EXPECT_TRUE(p.hasLayout());
+}
+
+TEST(Builder, CallCreatesContinuation)
+{
+    Program p = test::makeCallProgram();
+    const Function *main_fn = p.findFunction("main");
+    ASSERT_NE(main_fn, nullptr);
+    bool found_call = false;
+    for (const auto &b : main_fn->blocks) {
+        if (b.endsInCall()) {
+            found_call = true;
+            EXPECT_NE(b.fallthrough, INVALID_BLOCK);
+        }
+    }
+    EXPECT_TRUE(found_call);
+}
+
+TEST(Builder, CfgEdgesConsistent)
+{
+    Program p = test::makeDiamondProgram();
+    const Function &f = p.functions[p.entry];
+    for (const auto &b : f.blocks) {
+        for (BlockId s : b.succs) {
+            const auto &preds = f.blocks[s].preds;
+            EXPECT_NE(std::find(preds.begin(), preds.end(), b.id),
+                      preds.end())
+                << "bb" << b.id << " -> bb" << s << " missing pred link";
+        }
+    }
+}
+
+TEST(Verifier, RejectsEmptyBlock)
+{
+    Program p = test::makeLoopProgram();
+    p.functions[0].blocks[1].insts.clear();
+    std::string err;
+    EXPECT_FALSE(verify(p, &err));
+    EXPECT_NE(err.find("empty"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBadBranchTarget)
+{
+    Program p = test::makeLoopProgram();
+    for (auto &b : p.functions[0].blocks) {
+        if (!b.insts.empty() && b.insts.back().isCondBranch()) {
+            b.insts.back().target = 9999;
+            break;
+        }
+    }
+    std::string err;
+    EXPECT_FALSE(verify(p, &err));
+}
+
+TEST(Verifier, RejectsControlMidBlock)
+{
+    Program p = test::makeLoopProgram();
+    Instruction j;
+    j.op = Opcode::Jmp;
+    j.target = 0;
+    auto &insts = p.functions[0].blocks[0].insts;
+    insts.insert(insts.begin(), j);
+    std::string err;
+    EXPECT_FALSE(verify(p, &err));
+    EXPECT_NE(err.find("not at end"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMissingFallthrough)
+{
+    Program p = test::makeLoopProgram();
+    // Find a block with a fall-through and break it.
+    for (auto &b : p.functions[0].blocks) {
+        Opcode last = b.insts.back().op;
+        if (last != Opcode::Jmp && last != Opcode::Halt &&
+            last != Opcode::Ret) {
+            b.fallthrough = INVALID_BLOCK;
+            std::string err;
+            EXPECT_FALSE(verify(p, &err));
+            return;
+        }
+    }
+    FAIL() << "no fall-through block found";
+}
+
+TEST(Verifier, RejectsBadRegister)
+{
+    Program p = test::makeLoopProgram();
+    p.functions[0].blocks[0].insts[0].dst = 77;
+    std::string err;
+    EXPECT_FALSE(verify(p, &err));
+}
+
+TEST(Layout, AddressesAreDistinctAndOrdered)
+{
+    Program p = test::makeDiamondProgram();
+    uint64_t prev = 0;
+    for (const auto &f : p.functions) {
+        for (const auto &b : f.blocks) {
+            for (uint32_t i = 0; i < b.insts.size(); ++i) {
+                uint64_t a = p.instAddr(f.id, b.id, i);
+                EXPECT_GT(a, prev);
+                EXPECT_EQ(a % 4, 0u);
+                prev = a;
+            }
+        }
+    }
+}
+
+TEST(Printer, ContainsStructure)
+{
+    Program p = test::makeCallProgram();
+    std::string s = toString(p);
+    EXPECT_NE(s.find("func @main"), std::string::npos);
+    EXPECT_NE(s.find("func @twice"), std::string::npos);
+    EXPECT_NE(s.find("call @twice"), std::string::npos);
+    EXPECT_NE(s.find("halt"), std::string::npos);
+}
+
+TEST(Printer, InstructionFormats)
+{
+    Instruction i;
+    i.op = Opcode::Add;
+    i.dst = 3;
+    i.src1 = 4;
+    i.imm = 7;
+    i.src2 = NO_REG;
+    EXPECT_EQ(toString(i), "add r3, r4, 7");
+
+    i.op = Opcode::Load;
+    i.dst = 5;
+    i.src1 = 6;
+    i.imm = -2;
+    EXPECT_EQ(toString(i), "ld r5, [r6 + -2]");
+
+    i.op = Opcode::Br;
+    i.src1 = 7;
+    i.target = 3;
+    EXPECT_EQ(toString(i), "br r7, bb3");
+}
+
+TEST(BlockRef, HashingAndEquality)
+{
+    BlockRef a{1, 2}, b{1, 2}, c{1, 3};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    std::hash<BlockRef> h;
+    EXPECT_EQ(h(a), h(b));
+}
+
+TEST(BasicBlock, SuccessorsOfBranch)
+{
+    Program p = test::makeDiamondProgram();
+    const Function &f = p.functions[0];
+    bool saw_two_succ = false;
+    for (const auto &b : f.blocks) {
+        if (!b.insts.empty() && b.insts.back().isCondBranch()) {
+            EXPECT_EQ(b.succs.size(), 2u);
+            saw_two_succ = true;
+        }
+    }
+    EXPECT_TRUE(saw_two_succ);
+}

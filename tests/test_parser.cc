@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Parser tests: print -> parse round trips, hand-written sources, and
+ * error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "profile/interpreter.h"
+#include "workloads/workload.h"
+
+using namespace msc;
+using namespace msc::ir;
+
+namespace {
+
+/** Print -> parse -> compare structure and behaviour. */
+void
+roundTrip(const Program &p)
+{
+    std::string text = toString(p);
+    Program q = parseProgram(text);
+
+    ASSERT_EQ(q.functions.size(), p.functions.size());
+    for (size_t f = 0; f < p.functions.size(); ++f) {
+        SCOPED_TRACE("function " + p.functions[f].name);
+        ASSERT_EQ(q.functions[f].blocks.size(),
+                  p.functions[f].blocks.size());
+        EXPECT_EQ(q.functions[f].entry, p.functions[f].entry);
+        for (size_t b = 0; b < p.functions[f].blocks.size(); ++b) {
+            const auto &pb = p.functions[f].blocks[b];
+            const auto &qb = q.functions[f].blocks[b];
+            ASSERT_EQ(qb.insts.size(), pb.insts.size())
+                << "bb" << b;
+            EXPECT_EQ(qb.fallthrough, pb.fallthrough) << "bb" << b;
+            for (size_t i = 0; i < pb.insts.size(); ++i) {
+                const auto &pi = pb.insts[i];
+                const auto &qi = qb.insts[i];
+                EXPECT_EQ(qi.op, pi.op) << "bb" << b << "[" << i << "]";
+                EXPECT_EQ(qi.dst, pi.dst);
+                EXPECT_EQ(qi.src1, pi.src1);
+                EXPECT_EQ(qi.src2, pi.src2);
+                EXPECT_EQ(qi.imm, pi.imm);
+                EXPECT_EQ(qi.target, pi.target);
+                EXPECT_EQ(qi.callee, pi.callee);
+                EXPECT_EQ(qi.nargs, pi.nargs);
+            }
+        }
+    }
+
+    // Behavioural equivalence.
+    profile::Interpreter a(p), b2(q);
+    a.runQuiet(200'000);
+    b2.runQuiet(200'000);
+    EXPECT_EQ(a.instCount(), b2.instCount());
+    EXPECT_EQ(a.mem(0), b2.mem(0));
+}
+
+} // anonymous namespace
+
+TEST(Parser, RoundTripHelpers)
+{
+    roundTrip(test::makeLoopProgram(20));
+    roundTrip(test::makeDiamondProgram(12));
+    roundTrip(test::makeCallProgram(8));
+    roundTrip(test::makeConflictProgram(16));
+}
+
+TEST(Parser, RoundTripRandomPrograms)
+{
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        roundTrip(test::makeRandomProgram(seed, 2));
+    }
+}
+
+class ParserWorkloadRoundTrip
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ParserWorkloadRoundTrip, RoundTrips)
+{
+    roundTrip(workloads::buildWorkload(GetParam(),
+                                       workloads::Scale::Small));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, ParserWorkloadRoundTrip,
+    ::testing::Values("compress", "go", "li", "fpppp", "tomcatv",
+                      "mgrid", "wave5", "vortex"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(Parser, HandWrittenSource)
+{
+    const char *src = R"(
+program demo entry @main
+; a comment line
+func @main {
+  bb0 (entry):    ; ft -> bb1
+    li r8, 5
+    li r9, 0
+  bb1:
+    add r9, r9, r8
+    sub r8, r8, 1
+    br r8, bb1
+  bb2:
+    st r9, [-- + 0]
+    halt
+}
+)";
+    // bb1's fall-through is bb2; declare it via the ft comment.
+    std::string text = src;
+    size_t pos = text.find("  bb1:");
+    text.insert(pos + 6, "    ; ft -> bb2");
+
+    Program p = parseProgram(text);
+    profile::Interpreter in(p);
+    in.runQuiet();
+    EXPECT_TRUE(in.halted());
+    EXPECT_EQ(in.mem(0), 5 + 4 + 3 + 2 + 1);
+}
+
+TEST(Parser, FloatLiterals)
+{
+    const char *src = R"(
+program f entry @main
+func @main {
+  bb0 (entry):
+    fli f40, 2.5
+    fli f41, -0.125
+    fadd f42, f40, f41
+    ftoi r9, f42
+    st r9, [-- + 1]
+    halt
+}
+)";
+    Program p = parseProgram(src);
+    profile::Interpreter in(p);
+    in.runQuiet();
+    EXPECT_EQ(in.mem(1), 2);  // 2.375 truncates to 2.
+}
+
+TEST(Parser, ReportsLineNumbers)
+{
+    try {
+        parseProgram("program x entry @main\n"
+                     "func @main {\n"
+                     "  bb0 (entry):\n"
+                     "    frobnicate r1, r2\n"
+                     "}\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 4u);
+        EXPECT_NE(std::string(e.what()).find("frobnicate"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parser, RejectsUnknownEntry)
+{
+    EXPECT_THROW(parseProgram("program x entry @nothere\n"
+                              "func @main {\n  bb0 (entry):\n"
+                              "    halt\n}\n"),
+                 ParseError);
+}
+
+TEST(Parser, RejectsMalformedPrograms)
+{
+    // Branch to a never-declared block fails verification.
+    EXPECT_THROW(parseProgram("program x entry @main\n"
+                              "func @main {\n  bb0 (entry):\n"
+                              "    li r8, 1\n    br r8, bb9\n}\n"),
+                 std::runtime_error);
+    // Instruction outside any block.
+    EXPECT_THROW(parseProgram("program x entry @main\n"
+                              "func @main {\n    li r8, 1\n}\n"),
+                 ParseError);
+}
+
+TEST(Parser, ForwardFunctionReferences)
+{
+    const char *src = R"(
+program fwd entry @main
+func @main {
+  bb0 (entry):    ; ft -> bb1
+    li r1, 21
+    call @double, 1
+  bb1:
+    st r1, [-- + 0]
+    halt
+}
+func @double {
+  bb0 (entry):
+    add r1, r1, r1
+    ret
+}
+)";
+    Program p = parseProgram(src);
+    profile::Interpreter in(p);
+    in.runQuiet();
+    EXPECT_EQ(in.mem(0), 42);
+}

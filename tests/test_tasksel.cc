@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests for the task-selection machinery: IR transforms, terminal
+ * classification, growth/feasibility, the three strategies, register
+ * communication metadata, and the partition verifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/dfs.h"
+#include "cfg/dominators.h"
+#include "cfg/loops.h"
+#include "helpers.h"
+#include "profile/interpreter.h"
+#include "profile/profiler.h"
+#include "tasksel/pverify.h"
+#include "tasksel/selector.h"
+#include "tasksel/transforms.h"
+
+using namespace msc;
+using namespace msc::ir;
+using namespace msc::tasksel;
+
+namespace {
+
+TaskPartition
+partition(const Program &p, Strategy s, unsigned n_targets = 4,
+          bool size_heur = false)
+{
+    profile::Profile prof = profile::profileProgram(p);
+    SelectionOptions opts;
+    opts.strategy = s;
+    opts.maxTargets = n_targets;
+    opts.taskSizeHeuristic = size_heur;
+    TaskPartition part = selectTasks(p, prof, opts);
+    std::string err;
+    EXPECT_TRUE(verifyPartition(part, opts, &err)) << err;
+    return part;
+}
+
+int64_t
+checksumOf(const Program &p)
+{
+    profile::Interpreter in(p);
+    in.runQuiet();
+    EXPECT_TRUE(in.halted());
+    return in.mem(0);
+}
+
+} // anonymous namespace
+
+TEST(Transforms, UnrollPreservesSemantics)
+{
+    Program p = test::makeLoopProgram(37);
+    int64_t before = checksumOf(p);
+    unsigned n = unrollSmallLoops(p, 30);
+    EXPECT_GE(n, 1u);
+    EXPECT_EQ(checksumOf(p), before);
+}
+
+TEST(Transforms, UnrollGrowsLoopBody)
+{
+    Program p = test::makeLoopProgram(37);
+    size_t before = p.numInsts();
+    unrollSmallLoops(p, 30);
+    EXPECT_GT(p.numInsts(), before);
+    // The loop now meets the threshold: a second call is a no-op.
+    Program q = p;
+    EXPECT_EQ(unrollSmallLoops(q, 30), 0u);
+}
+
+TEST(Transforms, UnrollRespectsThreshold)
+{
+    Program p = test::makeLoopProgram(37);
+    // A tiny threshold leaves the loop alone.
+    EXPECT_EQ(unrollSmallLoops(p, 2), 0u);
+}
+
+TEST(Transforms, HoistPreservesSemantics)
+{
+    for (auto make : {test::makeLoopProgram, test::makeDiamondProgram,
+                      test::makeConflictProgram}) {
+        Program p = make(41);
+        int64_t before = checksumOf(p);
+        hoistInductionVariables(p);
+        EXPECT_EQ(checksumOf(p), before);
+    }
+}
+
+TEST(Transforms, HoistMovesIncrementToHeader)
+{
+    Program p = test::makeLoopProgram(20);
+    unsigned n = hoistInductionVariables(p);
+    EXPECT_GE(n, 1u);
+
+    // Find the loop header and confirm its first instruction is the
+    // increment of the IV.
+    const Function &f = p.functions[p.entry];
+    cfg::DfsInfo dfs(f);
+    cfg::DominatorTree dom(f, dfs);
+    cfg::LoopForest forest(f, dfs, dom);
+    ASSERT_FALSE(forest.loops().empty());
+    const auto &hdr = f.blocks[forest.loops()[0].header];
+    const Instruction &first = hdr.insts.front();
+    EXPECT_EQ(first.op, Opcode::Add);
+    EXPECT_EQ(first.dst, first.src1);
+}
+
+TEST(Transforms, HoistPreservesRandomPrograms)
+{
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        Program p = test::makeRandomProgram(seed);
+        int64_t before = checksumOf(p);
+        hoistInductionVariables(p);
+        EXPECT_EQ(checksumOf(p), before) << "seed " << seed;
+    }
+}
+
+TEST(Transforms, UnrollPreservesRandomPrograms)
+{
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        Program p = test::makeRandomProgram(seed);
+        int64_t before = checksumOf(p);
+        unrollSmallLoops(p, 30);
+        EXPECT_EQ(checksumOf(p), before) << "seed " << seed;
+    }
+}
+
+TEST(BasicBlockTasks, OneTaskPerBlock)
+{
+    Program p = test::makeDiamondProgram();
+    TaskPartition part = partition(p, Strategy::BasicBlock);
+    size_t blocks = 0;
+    for (const auto &f : p.functions)
+        blocks += f.blocks.size();
+    EXPECT_EQ(part.tasks.size(), blocks);
+    for (const auto &t : part.tasks)
+        EXPECT_EQ(t.blocks.size(), 1u);
+}
+
+TEST(ControlFlowTasks, MultiBlockWithBoundedTargets)
+{
+    Program p = test::makeDiamondProgram();
+    TaskPartition part = partition(p, Strategy::ControlFlow, 4);
+    // The diamond reconverges: one task should span several blocks.
+    size_t max_blocks = 0;
+    for (const auto &t : part.tasks) {
+        max_blocks = std::max(max_blocks, t.blocks.size());
+        if (t.blocks.size() > 1) {
+            EXPECT_LE(t.targets.size(), 4u);
+        }
+    }
+    EXPECT_GE(max_blocks, 3u) << "reconverging diamond not exploited";
+    EXPECT_LT(part.tasks.size(),
+              p.functions[p.entry].blocks.size());
+}
+
+TEST(ControlFlowTasks, TighterTargetBudgetMeansSmallerTasks)
+{
+    Program p = test::makeRandomProgram(7, 3);
+    TaskPartition p1 = partition(p, Strategy::ControlFlow, 1);
+    TaskPartition p4 = partition(p, Strategy::ControlFlow, 4);
+    EXPECT_GE(p1.tasks.size(), p4.tasks.size());
+}
+
+TEST(ControlFlowTasks, LoopBodyBecomesOneTask)
+{
+    Program p = test::makeLoopProgram();
+    TaskPartition part = partition(p, Strategy::ControlFlow);
+    // Header and body share a task whose targets include itself.
+    const Function &f = p.functions[p.entry];
+    cfg::DfsInfo dfs(f);
+    cfg::DominatorTree dom(f, dfs);
+    cfg::LoopForest forest(f, dfs, dom);
+    ASSERT_FALSE(forest.loops().empty());
+    BlockId header = forest.loops()[0].header;
+    const Task &t = part.taskOfBlock(f.id, header);
+    EXPECT_EQ(t.entry, header);
+    bool self_target = false;
+    for (const auto &tg : t.targets)
+        if (tg.kind == TargetKind::Block &&
+            tg.block == ir::BlockRef{f.id, header}) {
+            self_target = true;
+        }
+    EXPECT_TRUE(self_target) << "loop task lacks back-edge target";
+}
+
+TEST(CallHandling, CallTerminatesTaskWithoutInclusion)
+{
+    Program p = test::makeCallProgram(40, /*tiny=*/true);
+    TaskPartition part = partition(p, Strategy::ControlFlow, 4,
+                                   /*size=*/false);
+    EXPECT_TRUE(part.includedCalls.empty());
+    // Some task targets the callee's entry.
+    const Function *callee = p.findFunction("twice");
+    bool callee_target = false;
+    for (const auto &t : part.tasks)
+        for (const auto &tg : t.targets)
+            if (tg.kind == TargetKind::Block &&
+                tg.block.func == callee->id) {
+                callee_target = true;
+            }
+    EXPECT_TRUE(callee_target);
+}
+
+TEST(CallHandling, SizeHeuristicIncludesSmallCalls)
+{
+    Program p = test::makeCallProgram(40, /*tiny=*/true);
+    TaskPartition part = partition(p, Strategy::ControlFlow, 4,
+                                   /*size=*/true);
+    EXPECT_EQ(part.includedCalls.size(), 1u);
+}
+
+TEST(CallHandling, SizeHeuristicSkipsLargeCalls)
+{
+    Program p = test::makeCallProgram(40, /*tiny=*/false);
+    TaskPartition part = partition(p, Strategy::ControlFlow, 4,
+                                   /*size=*/true);
+    EXPECT_TRUE(part.includedCalls.empty());
+}
+
+TEST(DataDependenceTasks, VerifiesOnEveryHelperProgram)
+{
+    for (auto make : {test::makeLoopProgram, test::makeDiamondProgram,
+                      test::makeConflictProgram}) {
+        Program p = make(32);
+        partition(p, Strategy::DataDependence);
+    }
+    Program p = test::makeCallProgram(32);
+    partition(p, Strategy::DataDependence);
+}
+
+TEST(DataDependenceTasks, TerminateAtDependenceShrinksTasks)
+{
+    Program p = test::makeRandomProgram(11, 3);
+    profile::Profile prof = profile::profileProgram(p);
+    SelectionOptions a, b;
+    a.strategy = b.strategy = Strategy::DataDependence;
+    b.ddTerminateAtDependence = true;
+    TaskPartition pa = selectTasks(p, prof, a);
+    TaskPartition pb = selectTasks(p, prof, b);
+    std::string err;
+    ASSERT_TRUE(verifyPartition(pa, a, &err)) << err;
+    ASSERT_TRUE(verifyPartition(pb, b, &err)) << err;
+    EXPECT_LE(pb.avgStaticSize(), pa.avgStaticSize() + 1e-9);
+}
+
+TEST(RegComm, ProducedRegisterInCreateMask)
+{
+    Program p = test::makeLoopProgram();
+    TaskPartition part = partition(p, Strategy::ControlFlow);
+    // The task holding the loop carries the IV (r16) and sum (r18).
+    bool iv_somewhere = false;
+    for (const auto &t : part.tasks)
+        if (t.createMask & cfg::regBit(16))
+            iv_somewhere = true;
+    EXPECT_TRUE(iv_somewhere);
+}
+
+TEST(RegComm, DeadRegistersPruned)
+{
+    // r8 (tmp) is recomputed before every use: never live across task
+    // boundaries, so no create mask should contain it after pruning
+    // in the loop program (all defs are consumed within the block).
+    Program p = test::makeLoopProgram();
+    hoistInductionVariables(p);
+    TaskPartition part = partition(p, Strategy::ControlFlow);
+    const Function &f = p.functions[p.entry];
+    cfg::DfsInfo dfs(f);
+    cfg::DominatorTree dom(f, dfs);
+    cfg::LoopForest forest(f, dfs, dom);
+    ASSERT_FALSE(forest.loops().empty());
+    const Task &t = part.taskOfBlock(f.id, forest.loops()[0].header);
+    EXPECT_FALSE(t.createMask & cfg::regBit(9))
+        << "scratch register not pruned from create mask";
+}
+
+TEST(RegComm, HoistedIvForwardsImmediately)
+{
+    // Regression: the hoisted IV increment at the loop-header top must
+    // be a safe forward point (this serialized all loops when fwdSafe
+    // masks truncated to zero).
+    Program p = test::makeLoopProgram();
+    hoistInductionVariables(p);
+    TaskPartition part = partition(p, Strategy::ControlFlow);
+    const Function &f = p.functions[p.entry];
+    cfg::DfsInfo dfs(f);
+    cfg::DominatorTree dom(f, dfs);
+    cfg::LoopForest forest(f, dfs, dom);
+    ASSERT_FALSE(forest.loops().empty());
+    BlockId header = forest.loops()[0].header;
+    const Instruction &first = f.blocks[header].insts.front();
+    ASSERT_EQ(first.op, Opcode::Add);
+    EXPECT_TRUE(part.fwdSafe[f.id][header][0] & cfg::regBit(first.dst))
+        << "hoisted IV increment is not a safe forward point";
+}
+
+TEST(RegComm, DefFollowedByLaterDefIsNotForwardSafe)
+{
+    // r18 (sum) is updated in a diamond arm and again in the join's
+    // store-feeding path on the next iteration; within a task that
+    // contains an arm and a later update, the earlier def must not be
+    // a safe forward point. Construct directly: two sequential defs
+    // of the same register in one straight-line task.
+    IRBuilder b("seq");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    BlockId next = f.newBlock();
+    f.li(18, 1);
+    f.addi(18, 18, 2);
+    f.fallthroughTo(next);
+    f.setBlock(next);
+    f.storeAbs(18, 0);
+    f.halt();
+    Program p = b.build();
+    TaskPartition part = partition(p, Strategy::ControlFlow);
+    const Task &t = part.taskOfBlock(p.entry, 0);
+    ASSERT_TRUE(t.contains(0));
+    // First def (li r18) is shadowed by the addi: not forward safe.
+    EXPECT_FALSE(part.fwdSafe[p.entry][0][0] & cfg::regBit(18));
+    // The addi is the last def: forward safe (when r18 is live).
+    if (t.contains(next)) {
+        EXPECT_TRUE(part.fwdSafe[p.entry][0][1] & cfg::regBit(18));
+    }
+}
+
+TEST(PartitionVerifier, DetectsDoubleAssignment)
+{
+    Program p = test::makeLoopProgram();
+    TaskPartition part = partition(p, Strategy::BasicBlock);
+    SelectionOptions opts;
+    // Corrupt: block 0 claimed by two tasks.
+    part.tasks[1].blocks.push_back(part.tasks[0].blocks[0]);
+    std::string err;
+    EXPECT_FALSE(verifyPartition(part, opts, &err));
+}
+
+TEST(PartitionVerifier, DetectsTaskOfMismatch)
+{
+    Program p = test::makeLoopProgram();
+    TaskPartition part = partition(p, Strategy::BasicBlock);
+    SelectionOptions opts;
+    part.taskOf[p.entry][0] = 1;
+    std::string err;
+    EXPECT_FALSE(verifyPartition(part, opts, &err));
+}
+
+TEST(Strategies, NamesAreStable)
+{
+    EXPECT_STREQ(strategyName(Strategy::BasicBlock), "basic-block");
+    EXPECT_STREQ(strategyName(Strategy::ControlFlow), "control-flow");
+    EXPECT_STREQ(strategyName(Strategy::DataDependence),
+                 "data-dependence");
+}
+
+class PartitionAllStrategies
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, unsigned>>
+{};
+
+TEST_P(PartitionAllStrategies, RandomProgramsVerify)
+{
+    auto [seed, strat, n] = GetParam();
+    Program p = test::makeRandomProgram(seed, 2);
+    hoistInductionVariables(p);
+    partition(p, Strategy(strat), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionAllStrategies,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(1u, 2u, 4u, 8u)));

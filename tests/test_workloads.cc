@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Workload-suite tests: every SPEC95 analog builds, verifies,
+ * executes to completion deterministically, and has the control-flow
+ * character it stands in for.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/verifier.h"
+#include "profile/interpreter.h"
+#include "profile/profiler.h"
+#include "workloads/workload.h"
+
+using namespace msc;
+using namespace msc::workloads;
+
+class WorkloadTest : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(WorkloadTest, BuildsAndVerifies)
+{
+    ir::Program p = buildWorkload(GetParam(), Scale::Small);
+    std::string err;
+    EXPECT_TRUE(ir::verify(p, &err)) << err;
+    EXPECT_GT(p.numInsts(), 20u);
+}
+
+TEST_P(WorkloadTest, RunsToCompletion)
+{
+    ir::Program p = buildWorkload(GetParam(), Scale::Small);
+    profile::Interpreter in(p);
+    uint64_t n = in.runQuiet(30'000'000);
+    EXPECT_TRUE(in.halted()) << "did not halt in " << n << " insts";
+    EXPECT_GT(n, 1000u);
+}
+
+TEST_P(WorkloadTest, DeterministicChecksum)
+{
+    ir::Program p = buildWorkload(GetParam(), Scale::Small);
+    profile::Interpreter a(p), b(p);
+    a.runQuiet(30'000'000);
+    b.runQuiet(30'000'000);
+    EXPECT_EQ(a.mem(CHECKSUM_ADDR), b.mem(CHECKSUM_ADDR));
+    EXPECT_EQ(a.instCount(), b.instCount());
+}
+
+TEST_P(WorkloadTest, FullScaleIsLarger)
+{
+    ir::Program small = buildWorkload(GetParam(), Scale::Small);
+    ir::Program full = buildWorkload(GetParam(), Scale::Full);
+    profile::Interpreter a(small);
+    a.runQuiet(30'000'000);
+    // Dynamic size must grow substantially with scale; run the full
+    // binary only far enough to pass the small count.
+    profile::Interpreter b(full);
+    uint64_t cap = a.instCount() * 2;
+    uint64_t n = b.runQuiet(cap);
+    EXPECT_EQ(n, cap) << "full scale not substantially larger";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadTest,
+    ::testing::Values("go", "m88ksim", "gcc", "compress", "li", "ijpeg",
+                      "perl", "vortex", "tomcatv", "swim", "su2cor",
+                      "hydro2d", "mgrid", "applu", "turb3d", "apsi", "fpppp",
+                      "wave5"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(WorkloadRegistry, SixteenBenchmarksBalanced)
+{
+    const auto &all = allWorkloads();
+    EXPECT_EQ(all.size(), 18u);
+    unsigned fp = 0;
+    for (const auto &w : all)
+        if (w.isFp)
+            ++fp;
+    EXPECT_EQ(fp, 10u);
+    EXPECT_THROW(buildWorkload("nope"), std::runtime_error);
+    EXPECT_EQ(workloadInfo("compress").models, "129.compress");
+}
+
+TEST(WorkloadCharacter, IntegerCodesBranchierThanFp)
+{
+    // Average dynamic instructions per control transfer: integer
+    // analogs must sit well below FP analogs (the property the
+    // paper's task-size discussion rests on).
+    auto branchiness = [](const char *name) {
+        ir::Program p = buildWorkload(name, Scale::Small);
+        profile::Interpreter in(p);
+        uint64_t ctl = 0;
+        uint64_t total = in.run([&](ir::InstRef, const ir::Instruction &i,
+                                    uint64_t, bool) {
+            if (i.isControl())
+                ++ctl;
+        }, 30'000'000);
+        return double(total) / double(ctl ? ctl : 1);
+    };
+    double int_avg = (branchiness("go") + branchiness("compress") +
+                      branchiness("perl") + branchiness("li")) / 4;
+    double fp_avg = (branchiness("tomcatv") + branchiness("su2cor") +
+                     branchiness("fpppp") + branchiness("applu")) / 4;
+    EXPECT_GT(fp_avg, int_avg);
+}
+
+TEST(WorkloadCharacter, FpCodesUseFpUnits)
+{
+    for (const auto &w : allWorkloads()) {
+        if (!w.isFp)
+            continue;
+        ir::Program p = w.build(Scale::Small);
+        profile::Interpreter in(p);
+        uint64_t fp_ops = 0;
+        uint64_t total = in.run([&](ir::InstRef, const ir::Instruction &i,
+                                    uint64_t, bool) {
+            if (i.info().fu == ir::FuClass::FpAlu)
+                ++fp_ops;
+        }, 30'000'000);
+        EXPECT_GT(fp_ops * 10, total) << w.name
+            << ": FP analog has <10% FP operations";
+    }
+}
+
+TEST(WorkloadCharacter, CompressExercisesHashTable)
+{
+    ir::Program p = buildWorkload("compress", Scale::Small);
+    profile::Interpreter in(p);
+    in.runQuiet(30'000'000);
+    // Some dictionary entries were created past the alphabet codes.
+    bool inserted = false;
+    for (uint64_t w = 100000; w < 100000 + 2 * 8192 && !inserted; w += 2)
+        if (in.mem(w + 1) > 256)
+            inserted = true;
+    EXPECT_TRUE(inserted);
+}
+
+TEST(WorkloadCharacter, CallHeavyAnalogsInvokeCallees)
+{
+    for (const char *name : {"li", "perl", "vortex", "mgrid", "fpppp"}) {
+        ir::Program p = buildWorkload(name, Scale::Small);
+        auto prof = profile::profileProgram(p, 30'000'000);
+        uint64_t calls = 0;
+        for (ir::FuncId f = 0; f < p.functions.size(); ++f)
+            if (f != p.entry)
+                calls += prof.funcInvocations[f];
+        EXPECT_GT(calls, 5u) << name;
+    }
+}
