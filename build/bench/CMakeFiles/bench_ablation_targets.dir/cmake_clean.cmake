@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_targets.dir/bench_ablation_targets.cc.o"
+  "CMakeFiles/bench_ablation_targets.dir/bench_ablation_targets.cc.o.d"
+  "bench_ablation_targets"
+  "bench_ablation_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

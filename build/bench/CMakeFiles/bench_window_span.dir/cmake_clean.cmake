@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_span.dir/bench_window_span.cc.o"
+  "CMakeFiles/bench_window_span.dir/bench_window_span.cc.o.d"
+  "bench_window_span"
+  "bench_window_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_pipeline.dir/compress_pipeline.cpp.o"
+  "CMakeFiles/compress_pipeline.dir/compress_pipeline.cpp.o.d"
+  "compress_pipeline"
+  "compress_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msctool.dir/msctool.cpp.o"
+  "CMakeFiles/msctool.dir/msctool.cpp.o.d"
+  "msctool"
+  "msctool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msctool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

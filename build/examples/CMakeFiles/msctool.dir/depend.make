@@ -1,0 +1,2 @@
+# Empty dependencies file for msctool.
+# This may be replaced when dependencies are built.

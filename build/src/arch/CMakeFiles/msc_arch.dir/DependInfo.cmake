@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/arb.cc" "src/arch/CMakeFiles/msc_arch.dir/arb.cc.o" "gcc" "src/arch/CMakeFiles/msc_arch.dir/arb.cc.o.d"
+  "/root/repo/src/arch/cache.cc" "src/arch/CMakeFiles/msc_arch.dir/cache.cc.o" "gcc" "src/arch/CMakeFiles/msc_arch.dir/cache.cc.o.d"
+  "/root/repo/src/arch/processor.cc" "src/arch/CMakeFiles/msc_arch.dir/processor.cc.o" "gcc" "src/arch/CMakeFiles/msc_arch.dir/processor.cc.o.d"
+  "/root/repo/src/arch/stats.cc" "src/arch/CMakeFiles/msc_arch.dir/stats.cc.o" "gcc" "src/arch/CMakeFiles/msc_arch.dir/stats.cc.o.d"
+  "/root/repo/src/arch/taskstream.cc" "src/arch/CMakeFiles/msc_arch.dir/taskstream.cc.o" "gcc" "src/arch/CMakeFiles/msc_arch.dir/taskstream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/msc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/msc_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasksel/CMakeFiles/msc_tasksel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

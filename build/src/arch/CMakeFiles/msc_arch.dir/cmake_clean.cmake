@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_arch.dir/arb.cc.o"
+  "CMakeFiles/msc_arch.dir/arb.cc.o.d"
+  "CMakeFiles/msc_arch.dir/cache.cc.o"
+  "CMakeFiles/msc_arch.dir/cache.cc.o.d"
+  "CMakeFiles/msc_arch.dir/processor.cc.o"
+  "CMakeFiles/msc_arch.dir/processor.cc.o.d"
+  "CMakeFiles/msc_arch.dir/stats.cc.o"
+  "CMakeFiles/msc_arch.dir/stats.cc.o.d"
+  "CMakeFiles/msc_arch.dir/taskstream.cc.o"
+  "CMakeFiles/msc_arch.dir/taskstream.cc.o.d"
+  "libmsc_arch.a"
+  "libmsc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

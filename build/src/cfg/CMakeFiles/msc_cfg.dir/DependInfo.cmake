@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/defuse.cc" "src/cfg/CMakeFiles/msc_cfg.dir/defuse.cc.o" "gcc" "src/cfg/CMakeFiles/msc_cfg.dir/defuse.cc.o.d"
+  "/root/repo/src/cfg/dfs.cc" "src/cfg/CMakeFiles/msc_cfg.dir/dfs.cc.o" "gcc" "src/cfg/CMakeFiles/msc_cfg.dir/dfs.cc.o.d"
+  "/root/repo/src/cfg/dominators.cc" "src/cfg/CMakeFiles/msc_cfg.dir/dominators.cc.o" "gcc" "src/cfg/CMakeFiles/msc_cfg.dir/dominators.cc.o.d"
+  "/root/repo/src/cfg/liveness.cc" "src/cfg/CMakeFiles/msc_cfg.dir/liveness.cc.o" "gcc" "src/cfg/CMakeFiles/msc_cfg.dir/liveness.cc.o.d"
+  "/root/repo/src/cfg/loops.cc" "src/cfg/CMakeFiles/msc_cfg.dir/loops.cc.o" "gcc" "src/cfg/CMakeFiles/msc_cfg.dir/loops.cc.o.d"
+  "/root/repo/src/cfg/reachability.cc" "src/cfg/CMakeFiles/msc_cfg.dir/reachability.cc.o" "gcc" "src/cfg/CMakeFiles/msc_cfg.dir/reachability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_cfg.dir/defuse.cc.o"
+  "CMakeFiles/msc_cfg.dir/defuse.cc.o.d"
+  "CMakeFiles/msc_cfg.dir/dfs.cc.o"
+  "CMakeFiles/msc_cfg.dir/dfs.cc.o.d"
+  "CMakeFiles/msc_cfg.dir/dominators.cc.o"
+  "CMakeFiles/msc_cfg.dir/dominators.cc.o.d"
+  "CMakeFiles/msc_cfg.dir/liveness.cc.o"
+  "CMakeFiles/msc_cfg.dir/liveness.cc.o.d"
+  "CMakeFiles/msc_cfg.dir/loops.cc.o"
+  "CMakeFiles/msc_cfg.dir/loops.cc.o.d"
+  "CMakeFiles/msc_cfg.dir/reachability.cc.o"
+  "CMakeFiles/msc_cfg.dir/reachability.cc.o.d"
+  "libmsc_cfg.a"
+  "libmsc_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

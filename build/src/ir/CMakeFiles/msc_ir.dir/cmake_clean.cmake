@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_ir.dir/builder.cc.o"
+  "CMakeFiles/msc_ir.dir/builder.cc.o.d"
+  "CMakeFiles/msc_ir.dir/instruction.cc.o"
+  "CMakeFiles/msc_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/msc_ir.dir/parser.cc.o"
+  "CMakeFiles/msc_ir.dir/parser.cc.o.d"
+  "CMakeFiles/msc_ir.dir/printer.cc.o"
+  "CMakeFiles/msc_ir.dir/printer.cc.o.d"
+  "CMakeFiles/msc_ir.dir/program.cc.o"
+  "CMakeFiles/msc_ir.dir/program.cc.o.d"
+  "CMakeFiles/msc_ir.dir/verifier.cc.o"
+  "CMakeFiles/msc_ir.dir/verifier.cc.o.d"
+  "libmsc_ir.a"
+  "libmsc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_profile.dir/profiler.cc.o"
+  "CMakeFiles/msc_profile.dir/profiler.cc.o.d"
+  "libmsc_profile.a"
+  "libmsc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

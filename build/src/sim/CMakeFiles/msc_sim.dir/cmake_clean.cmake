@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_sim.dir/runner.cc.o"
+  "CMakeFiles/msc_sim.dir/runner.cc.o.d"
+  "libmsc_sim.a"
+  "libmsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

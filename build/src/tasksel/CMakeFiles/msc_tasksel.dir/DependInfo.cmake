@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasksel/grower.cc" "src/tasksel/CMakeFiles/msc_tasksel.dir/grower.cc.o" "gcc" "src/tasksel/CMakeFiles/msc_tasksel.dir/grower.cc.o.d"
+  "/root/repo/src/tasksel/pverify.cc" "src/tasksel/CMakeFiles/msc_tasksel.dir/pverify.cc.o" "gcc" "src/tasksel/CMakeFiles/msc_tasksel.dir/pverify.cc.o.d"
+  "/root/repo/src/tasksel/regcomm.cc" "src/tasksel/CMakeFiles/msc_tasksel.dir/regcomm.cc.o" "gcc" "src/tasksel/CMakeFiles/msc_tasksel.dir/regcomm.cc.o.d"
+  "/root/repo/src/tasksel/selector.cc" "src/tasksel/CMakeFiles/msc_tasksel.dir/selector.cc.o" "gcc" "src/tasksel/CMakeFiles/msc_tasksel.dir/selector.cc.o.d"
+  "/root/repo/src/tasksel/transforms.cc" "src/tasksel/CMakeFiles/msc_tasksel.dir/transforms.cc.o" "gcc" "src/tasksel/CMakeFiles/msc_tasksel.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/msc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/msc_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

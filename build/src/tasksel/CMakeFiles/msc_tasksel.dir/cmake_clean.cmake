@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_tasksel.dir/grower.cc.o"
+  "CMakeFiles/msc_tasksel.dir/grower.cc.o.d"
+  "CMakeFiles/msc_tasksel.dir/pverify.cc.o"
+  "CMakeFiles/msc_tasksel.dir/pverify.cc.o.d"
+  "CMakeFiles/msc_tasksel.dir/regcomm.cc.o"
+  "CMakeFiles/msc_tasksel.dir/regcomm.cc.o.d"
+  "CMakeFiles/msc_tasksel.dir/selector.cc.o"
+  "CMakeFiles/msc_tasksel.dir/selector.cc.o.d"
+  "CMakeFiles/msc_tasksel.dir/transforms.cc.o"
+  "CMakeFiles/msc_tasksel.dir/transforms.cc.o.d"
+  "libmsc_tasksel.a"
+  "libmsc_tasksel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_tasksel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

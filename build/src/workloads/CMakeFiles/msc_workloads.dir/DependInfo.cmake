@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fp_workloads.cc" "src/workloads/CMakeFiles/msc_workloads.dir/fp_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/msc_workloads.dir/fp_workloads.cc.o.d"
+  "/root/repo/src/workloads/int_workloads.cc" "src/workloads/CMakeFiles/msc_workloads.dir/int_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/msc_workloads.dir/int_workloads.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/msc_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/msc_workloads.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_workloads.dir/fp_workloads.cc.o"
+  "CMakeFiles/msc_workloads.dir/fp_workloads.cc.o.d"
+  "CMakeFiles/msc_workloads.dir/int_workloads.cc.o"
+  "CMakeFiles/msc_workloads.dir/int_workloads.cc.o.d"
+  "CMakeFiles/msc_workloads.dir/registry.cc.o"
+  "CMakeFiles/msc_workloads.dir/registry.cc.o.d"
+  "libmsc_workloads.a"
+  "libmsc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msc_test_helpers.dir/helpers.cc.o"
+  "CMakeFiles/msc_test_helpers.dir/helpers.cc.o.d"
+  "libmsc_test_helpers.a"
+  "libmsc_test_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msc_test_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_processor.cc" "tests/CMakeFiles/test_processor.dir/test_processor.cc.o" "gcc" "tests/CMakeFiles/test_processor.dir/test_processor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/msc_test_helpers.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/msc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasksel/CMakeFiles/msc_tasksel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/msc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/msc_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/msc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasksel.dir/test_tasksel.cc.o"
+  "CMakeFiles/test_tasksel.dir/test_tasksel.cc.o.d"
+  "test_tasksel"
+  "test_tasksel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasksel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_ir "/root/repo/build/tests/test_ir")
+set_tests_properties(test_ir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;msc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cfg "/root/repo/build/tests/test_cfg")
+set_tests_properties(test_cfg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;msc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_interpreter "/root/repo/build/tests/test_interpreter")
+set_tests_properties(test_interpreter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;msc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tasksel "/root/repo/build/tests/test_tasksel")
+set_tests_properties(test_tasksel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;msc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_arch "/root/repo/build/tests/test_arch")
+set_tests_properties(test_arch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;msc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_processor "/root/repo/build/tests/test_processor")
+set_tests_properties(test_processor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;msc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build/tests/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;msc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pipeline "/root/repo/build/tests/test_pipeline")
+set_tests_properties(test_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;msc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_parser "/root/repo/build/tests/test_parser")
+set_tests_properties(test_parser PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;msc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;msc_add_test;/root/repo/tests/CMakeLists.txt;0;")
