@@ -19,23 +19,71 @@ using tasksel::Strategy;
 
 namespace {
 
-sim::RunResult
-runCustom(const std::string &w, tasksel::SelectionOptions sel,
-          unsigned pus = 4)
+report::RunSpec
+customSpec(const std::string &id, const std::string &w,
+           const tasksel::SelectionOptions &sel, unsigned pus = 4)
 {
-    ir::Program p = workloads::buildWorkload(w, benchScale());
-    sim::RunOptions o;
-    o.sel = sel;
-    o.config = arch::SimConfig::paperConfig(pus, true);
-    o.traceInsts = benchTraceInsts();
-    return sim::runPipeline(p, o);
+    report::RunSpec s;
+    s.id = id;
+    s.workload = w;
+    s.scale = benchScale();
+    s.opts.sel = sel;
+    s.opts.config = arch::SimConfig::paperConfig(pus, true);
+    s.opts.traceInsts = benchTraceInsts();
+    return s;
 }
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchArgs(argc, argv);
+
+    static const char *kSizeBenches[] = {"compress", "fpppp", "ijpeg",
+                                         "li"};
+    static const char *kHoistBenches[] = {"tomcatv", "swim", "ijpeg",
+                                          "hydro2d", "applu",
+                                          "m88ksim"};
+    static const char *kTermBenches[] = {"go", "gcc", "m88ksim", "li",
+                                         "swim", "fpppp"};
+
+    Sweep sweep;
+    for (const char *name : kSizeBenches) {
+        tasksel::SelectionOptions sel;
+        sel.strategy = Strategy::DataDependence;
+        sweep.addSpec(customSpec(std::string(name) + "/size-off", name,
+                                 sel));
+        for (unsigned t : {10u, 30u, 60u}) {
+            sel.taskSizeHeuristic = true;
+            sel.callThresh = t;
+            sel.loopThresh = t;
+            sweep.addSpec(customSpec(std::string(name) + "/size-" +
+                                         std::to_string(t),
+                                     name, sel));
+        }
+    }
+    for (const char *name : kHoistBenches) {
+        tasksel::SelectionOptions sel;
+        sel.strategy = Strategy::ControlFlow;
+        sel.hoistInductionVars = true;
+        sweep.addSpec(customSpec(std::string(name) + "/hoist-on", name,
+                                 sel));
+        sel.hoistInductionVars = false;
+        sweep.addSpec(customSpec(std::string(name) + "/hoist-off", name,
+                                 sel));
+    }
+    for (const char *name : kTermBenches) {
+        tasksel::SelectionOptions sel;
+        sel.strategy = Strategy::DataDependence;
+        sweep.addSpec(customSpec(std::string(name) + "/dd-region", name,
+                                 sel));
+        sel.ddTerminateAtDependence = true;
+        sweep.addSpec(customSpec(std::string(name) + "/dd-term", name,
+                                 sel));
+    }
+    sweep.run(opts);
+
     printHeader("Ablation: task-size thresholds "
                 "(data-dependence tasks, 4 PUs)");
     std::printf("%-10s %9s", "bench", "no-size");
@@ -45,19 +93,15 @@ main()
     for (int i = 0; i < 3; ++i)
         std::printf("   IPC   size incl");
     std::printf("\n");
-    for (const char *name : {"compress", "fpppp", "ijpeg", "li"}) {
-        tasksel::SelectionOptions sel;
-        sel.strategy = Strategy::DataDependence;
-        auto base = runCustom(name, sel);
+    for (const char *name : kSizeBenches) {
+        const auto &base = sweep[std::string(name) + "/size-off"];
         std::printf("%-10s %9.3f", name, base.stats.ipc());
         for (unsigned t : {10u, 30u, 60u}) {
-            sel.taskSizeHeuristic = true;
-            sel.callThresh = t;
-            sel.loopThresh = t;
-            auto r = runCustom(name, sel);
-            std::printf(" %6.3f %5.1f %4zu", r.stats.ipc(),
+            const auto &r = sweep[std::string(name) + "/size-" +
+                                  std::to_string(t)];
+            std::printf(" %6.3f %5.1f %4llu", r.stats.ipc(),
                         r.stats.avgTaskSize(),
-                        r.partition.includedCalls.size());
+                        (unsigned long long)r.includedCalls);
         }
         std::printf("\n");
     }
@@ -66,14 +110,10 @@ main()
                 "(control-flow tasks, 4 PUs)");
     std::printf("%-10s %9s %9s %9s\n", "bench", "hoist-on", "hoist-off",
                 "speedup");
-    for (const char *name : {"tomcatv", "swim", "ijpeg", "hydro2d",
-                             "applu", "m88ksim"}) {
-        tasksel::SelectionOptions sel;
-        sel.strategy = Strategy::ControlFlow;
-        sel.hoistInductionVars = true;
-        double on = runCustom(name, sel).stats.ipc();
-        sel.hoistInductionVars = false;
-        double off = runCustom(name, sel).stats.ipc();
+    for (const char *name : kHoistBenches) {
+        double on = sweep[std::string(name) + "/hoist-on"].stats.ipc();
+        double off =
+            sweep[std::string(name) + "/hoist-off"].stats.ipc();
         std::printf("%-10s %9.3f %9.3f %8.2fx\n", name, on, off,
                     off > 0 ? on / off : 0.0);
     }
@@ -86,13 +126,9 @@ main()
                 "terminate-at-dep");
     std::printf("%-10s %8s %7s %8s %7s\n", "", "IPC", "size", "IPC",
                 "size");
-    for (const char *name : {"go", "gcc", "m88ksim", "li", "swim",
-                             "fpppp"}) {
-        tasksel::SelectionOptions sel;
-        sel.strategy = Strategy::DataDependence;
-        auto a = runCustom(name, sel);
-        sel.ddTerminateAtDependence = true;
-        auto b = runCustom(name, sel);
+    for (const char *name : kTermBenches) {
+        const auto &a = sweep[std::string(name) + "/dd-region"];
+        const auto &b = sweep[std::string(name) + "/dd-term"];
         std::printf("%-10s %8.3f %7.1f %8.3f %7.1f\n", name,
                     a.stats.ipc(), a.stats.avgTaskSize(), b.stats.ipc(),
                     b.stats.avgTaskSize());

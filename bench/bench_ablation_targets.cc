@@ -13,23 +13,33 @@ using namespace msc;
 using namespace msc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchArgs(argc, argv);
     printHeader("Ablation: successor-tracking arity N "
                 "(control-flow tasks, 4 PUs)");
+
+    std::vector<std::string> picks = {"go", "m88ksim", "compress",
+                                      "ijpeg", "perl", "tomcatv",
+                                      "hydro2d", "wave5"};
+    Sweep sweep;
+    for (const auto &name : picks)
+        for (unsigned n : {1u, 2u, 4u, 8u})
+            sweep.add(name, tasksel::Strategy::ControlFlow, 4, true,
+                      false, n);
+    sweep.run(opts);
+
     std::printf("%-10s", "bench");
     for (unsigned n : {1u, 2u, 4u, 8u})
         std::printf("  N=%u: IPC  size tpr%%", n);
     std::printf("\n");
 
-    std::vector<std::string> picks = {"go", "m88ksim", "compress",
-                                      "ijpeg", "perl", "tomcatv",
-                                      "hydro2d", "wave5"};
     for (const auto &name : picks) {
         std::printf("%-10s", name.c_str());
         for (unsigned n : {1u, 2u, 4u, 8u}) {
-            auto r = runOne(name, tasksel::Strategy::ControlFlow, 4,
-                            true, false, n);
+            const auto &r =
+                sweep[runKey(name, tasksel::Strategy::ControlFlow, 4,
+                             true, false, n)];
             std::printf("  %6.3f %5.1f %4.1f", r.stats.ipc(),
                         r.stats.avgTaskSize(),
                         r.stats.taskMispredictPct());

@@ -15,8 +15,9 @@ using namespace msc::bench;
 using arch::CycleKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchArgs(argc, argv);
     printHeader("Figure 2 cycle taxonomy: PU-cycle breakdown "
                 "(data-dependence tasks)");
     static const CycleKind kinds[] = {
@@ -27,6 +28,15 @@ main()
         CycleKind::MemSquash,
     };
 
+    const auto ints = intBenchmarks(), fps = fpBenchmarks();
+    Sweep sweep;
+    for (unsigned pus : {4u, 8u})
+        for (const auto *names : {&ints, &fps})
+            for (const auto &n : *names)
+                sweep.add(n, tasksel::Strategy::DataDependence, pus,
+                          true);
+    sweep.run(opts);
+
     for (unsigned pus : {4u, 8u}) {
         std::printf("\n%u PUs (%% of occupied PU-cycles)\n", pus);
         std::printf("%-10s", "bench");
@@ -36,8 +46,9 @@ main()
 
         auto suite = [&](const std::vector<std::string> &names) {
             for (const auto &n : names) {
-                auto r = runOne(n, tasksel::Strategy::DataDependence,
-                                pus, true);
+                const auto &r =
+                    sweep[runKey(n, tasksel::Strategy::DataDependence,
+                                 pus, true)];
                 uint64_t tot = r.stats.buckets.total();
                 if (!tot)
                     tot = 1;
@@ -52,8 +63,8 @@ main()
                 std::printf(" %8.3f\n", r.stats.ipc());
             }
         };
-        suite(intBenchmarks());
-        suite(fpBenchmarks());
+        suite(ints);
+        suite(fps);
     }
     return 0;
 }

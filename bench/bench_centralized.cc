@@ -21,51 +21,70 @@ using namespace msc::bench;
 
 namespace {
 
-sim::RunResult
-runCentralized(const std::string &w)
+report::RunSpec
+centralizedSpec(const std::string &w)
 {
-    ir::Program p = workloads::buildWorkload(w, benchScale());
-    sim::RunOptions o;
+    report::RunSpec s;
+    s.id = w + "/central";
+    s.workload = w;
+    s.scale = benchScale();
     // One big window: control-flow tasks on a single wide PU. Task
     // boundaries still exist but there is no speculation across PUs.
-    o.sel.strategy = tasksel::Strategy::ControlFlow;
-    o.config = arch::SimConfig::paperConfig(1, true);
-    o.config.issueWidth = 8;
-    o.config.fetchWidth = 8;
-    o.config.robSize = 64;
-    o.config.issueListSize = 32;
-    o.config.numIntFU = 4;
-    o.config.numFpFU = 2;
-    o.config.numBrFU = 2;
-    o.config.numMemFU = 2;
+    s.opts.sel.strategy = tasksel::Strategy::ControlFlow;
+    s.opts.config = arch::SimConfig::paperConfig(1, true);
+    s.opts.config.issueWidth = 8;
+    s.opts.config.fetchWidth = 8;
+    s.opts.config.robSize = 64;
+    s.opts.config.issueListSize = 32;
+    s.opts.config.numIntFU = 4;
+    s.opts.config.numFpFU = 2;
+    s.opts.config.numBrFU = 2;
+    s.opts.config.numMemFU = 2;
     // No task boundary costs for the superscalar stand-in. Note that
     // the model still cannot overlap execution across task boundaries
     // on one PU (it has no cross-task window), so the centralized IPC
     // is a conservative lower bound; read the columns as a trend.
-    o.config.taskStartOverhead = 0;
-    o.config.taskEndOverhead = 0;
-    o.traceInsts = benchTraceInsts();
-    return sim::runPipeline(p, o);
+    s.opts.config.taskStartOverhead = 0;
+    s.opts.config.taskEndOverhead = 0;
+    s.opts.traceInsts = benchTraceInsts();
+    return s;
 }
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchArgs(argc, argv);
     printHeader("Centralized 8-wide superscalar vs distributed "
                 "Multiscalar (§1)");
+
+    const auto ints = intBenchmarks(), fps = fpBenchmarks();
+    Sweep sweep;
+    for (const auto *names : {&ints, &fps}) {
+        for (const auto &n : *names) {
+            sweep.addSpec(centralizedSpec(n));
+            sweep.add(n, tasksel::Strategy::DataDependence, 4, true);
+            sweep.add(n, tasksel::Strategy::DataDependence, 8, true);
+        }
+    }
+    sweep.run(opts);
+
     std::printf("%-10s %10s %12s %10s %10s %9s %9s\n", "bench",
                 "central", "central/1.25", "4x2 msc", "8x2 msc",
                 "msc4/ctr", "msc8/ctr");
 
     auto suite = [&](const std::vector<std::string> &names) {
         for (const auto &n : names) {
-            double c = runCentralized(n).stats.ipc();
-            double m4 = runOne(n, tasksel::Strategy::DataDependence, 4,
-                               true).stats.ipc();
-            double m8 = runOne(n, tasksel::Strategy::DataDependence, 8,
-                               true).stats.ipc();
+            double c = sweep[n + "/central"].stats.ipc();
+            double m4 =
+                sweep[runKey(n, tasksel::Strategy::DataDependence, 4,
+                             true)]
+                    .stats.ipc();
+            double m8 =
+                sweep[runKey(n, tasksel::Strategy::DataDependence, 8,
+                             true)]
+                    .stats.ipc();
             // Clock-adjusted: the centralized core pays ~25% cycle
             // time for its wide bypass and large window.
             double cadj = c / 1.25;
@@ -75,8 +94,8 @@ main()
                         m8 / cadj);
         }
     };
-    suite(intBenchmarks());
-    suite(fpBenchmarks());
+    suite(ints);
+    suite(fps);
     std::printf("\nColumns msc*/ctr compare against the clock-adjusted\n"
                 "centralized IPC. Caveat: the centralized stand-in\n"
                 "drains its pipeline at task boundaries (this model\n"

@@ -1,10 +1,21 @@
 /**
  * @file
- * Shared driver code for the paper-reproduction benchmark binaries.
+ * Shared driver code for the paper-reproduction benchmark binaries,
+ * built on the src/report sweep subsystem.
  *
- * Every binary honours the MSC_SMALL environment variable: when set,
- * workloads run at test scale (seconds instead of minutes) — the
- * shapes survive, absolute numbers shift slightly.
+ * Every binary follows the same three-phase shape:
+ *
+ *   1. enqueue its whole workload × strategy × PU grid into a Sweep
+ *      under string keys;
+ *   2. sweep.run(opts) executes the grid — in parallel when --jobs N
+ *      is given — and optionally emits the structured results
+ *      (--json / --csv, schema in docs/METRICS.md);
+ *   3. print the paper-shaped text tables by key lookup.
+ *
+ * Results are deterministic and independent of --jobs (see
+ * report/sweep.h). Every binary honours the MSC_SMALL environment
+ * variable: when set, workloads run at test scale (seconds instead of
+ * minutes) — the shapes survive, absolute numbers shift slightly.
  */
 
 #pragma once
@@ -12,10 +23,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
-#include "sim/runner.h"
+#include "report/record.h"
+#include "report/sweep.h"
 #include "tasksel/options.h"
 #include "workloads/workload.h"
 
@@ -41,21 +55,158 @@ benchTraceInsts()
     return smallMode() ? 60'000 : 250'000;
 }
 
-/** Runs one benchmark under one configuration. */
-inline sim::RunResult
-runOne(const std::string &workload, tasksel::Strategy strategy,
+/** Command-line options common to every bench binary. */
+struct BenchOptions
+{
+    unsigned jobs = 1;          ///< Sweep worker threads (--jobs N).
+    std::string jsonPath;       ///< --json <file>: structured results.
+    std::string csvPath;        ///< --csv <file>: flat results.
+};
+
+/**
+ * Parses --jobs/--json/--csv (and --help) from argv. Exits with a
+ * usage message on unknown flags so a typo can't silently run a
+ * multi-minute sweep with default settings.
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions o;
+    auto usage = [&](int code) {
+        std::fprintf(stderr,
+                     "usage: %s [--jobs N] [--json file] [--csv file]\n"
+                     "  --jobs N     run the sweep on N threads "
+                     "(default 1; 0 = all cores)\n"
+                     "  --json file  write structured results "
+                     "(schema: docs/METRICS.md)\n"
+                     "  --csv file   write flat results\n"
+                     "  MSC_SMALL=1  reduced workload scale\n",
+                     argv[0]);
+        std::exit(code);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                usage(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--jobs")
+            o.jobs = unsigned(atoi(val()));
+        else if (a == "--json")
+            o.jsonPath = val();
+        else if (a == "--csv")
+            o.csvPath = val();
+        else if (a == "--help" || a == "-h")
+            usage(0);
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+            usage(2);
+        }
+    }
+    return o;
+}
+
+/**
+ * A keyed sweep: enqueue the grid, run it once, read results back by
+ * key while printing tables. Keys are arbitrary but must be unique.
+ */
+class Sweep
+{
+  public:
+    /** Enqueues a standard paper-config run (the classic `runOne`
+     *  shape). Returns the key (= the spec id). */
+    std::string
+    add(const std::string &workload, tasksel::Strategy strategy,
+        unsigned pus, bool out_of_order, bool size_heur = false,
+        unsigned max_targets = 4)
+    {
+        report::RunSpec s = report::makeSpec(
+            workload, strategy, pus, out_of_order, benchScale(),
+            benchTraceInsts(), size_heur, max_targets);
+        addSpec(s);
+        return s.id;
+    }
+
+    /** Enqueues a fully custom spec (ablation / centralized configs).
+     *  @p spec.id must be set and unique. */
+    void
+    addSpec(const report::RunSpec &spec)
+    {
+        if (spec.id.empty())
+            throw std::runtime_error("sweep: spec without id");
+        if (!_index.emplace(spec.id, _specs.size()).second)
+            throw std::runtime_error("sweep: duplicate key " + spec.id);
+        _specs.push_back(spec);
+    }
+
+    /** Executes the grid and emits --json/--csv files if requested.
+     *  Run/write failures exit(1) with a message rather than
+     *  escaping main as an uncaught exception. */
+    void
+    run(const BenchOptions &opts)
+    {
+        try {
+            report::SweepRunner runner(opts.jobs);
+            if (runner.jobs() > 1)
+                std::fprintf(stderr, "[sweep] %zu runs on %u threads\n",
+                             _specs.size(), runner.jobs());
+            _records = runner.run(_specs);
+            if (!opts.jsonPath.empty()) {
+                report::writeFile(opts.jsonPath,
+                                  report::sweepToJson(_records).dump(2));
+                std::fprintf(stderr, "[sweep] wrote %zu runs to %s\n",
+                             _records.size(), opts.jsonPath.c_str());
+            }
+            if (!opts.csvPath.empty()) {
+                report::writeFile(opts.csvPath,
+                                  report::sweepToCsv(_records));
+                std::fprintf(stderr, "[sweep] wrote %zu runs to %s\n",
+                             _records.size(), opts.csvPath.c_str());
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "[sweep] error: %s\n", e.what());
+            std::exit(1);
+        }
+    }
+
+    /** Result lookup; throws if the key was never enqueued or the
+     *  sweep has not run. */
+    const report::RunRecord &
+    operator[](const std::string &key) const
+    {
+        auto it = _index.find(key);
+        if (it == _index.end())
+            throw std::runtime_error("sweep: unknown key " + key);
+        if (it->second >= _records.size())
+            throw std::runtime_error("sweep: not run yet");
+        return _records[it->second];
+    }
+
+    const std::vector<report::RunRecord> &records() const
+    {
+        return _records;
+    }
+
+  private:
+    std::vector<report::RunSpec> _specs;
+    std::vector<report::RunRecord> _records;
+    std::unordered_map<std::string, size_t> _index;
+};
+
+/** The key Sweep::add assigned to a standard paper-config run — use
+ *  it to look results back up in the printing phase. */
+inline std::string
+runKey(const std::string &workload, tasksel::Strategy strategy,
        unsigned pus, bool out_of_order, bool size_heur = false,
        unsigned max_targets = 4)
 {
-    ir::Program p = workloads::buildWorkload(workload, benchScale());
-    sim::RunOptions o;
-    o.sel.strategy = strategy;
-    o.sel.taskSizeHeuristic = size_heur;
-    o.sel.maxTargets = max_targets;
-    o.config = arch::SimConfig::paperConfig(pus, out_of_order);
-    o.config.maxTargets = max_targets;
-    o.traceInsts = benchTraceInsts();
-    return sim::runPipeline(p, o);
+    return report::makeSpec(workload, strategy, pus, out_of_order,
+                            benchScale(), benchTraceInsts(), size_heur,
+                            max_targets)
+        .id;
 }
 
 inline void

@@ -22,9 +22,29 @@ using tasksel::Strategy;
 
 namespace {
 
+bool
+respondsToSize(const std::string &n)
+{
+    return n == "compress" || n == "fpppp";
+}
+
 void
-runSuite(const std::vector<std::string> &names, const char *suite,
-         unsigned pus, bool ooo)
+enqueueSuite(Sweep &sweep, const std::vector<std::string> &names,
+             unsigned pus, bool ooo)
+{
+    for (const auto &n : names) {
+        sweep.add(n, Strategy::BasicBlock, pus, ooo);
+        sweep.add(n, Strategy::ControlFlow, pus, ooo);
+        sweep.add(n, Strategy::DataDependence, pus, ooo);
+        if (respondsToSize(n))
+            sweep.add(n, Strategy::DataDependence, pus, ooo,
+                      /*size=*/true);
+    }
+}
+
+void
+printSuite(const Sweep &sweep, const std::vector<std::string> &names,
+           const char *suite, unsigned pus, bool ooo)
 {
     std::printf("\n%s benchmarks, %u PUs, %s PUs "
                 "(IPC; improvement over basic-block)\n",
@@ -32,18 +52,19 @@ runSuite(const std::vector<std::string> &names, const char *suite,
     std::printf("%-10s %8s %15s %15s %15s\n", "bench", "bb", "cf", "dd",
                 "dd+size");
     double gm_bb = 1, gm_cf = 1, gm_dd = 1;
+    auto ipc = [&](const std::string &n, Strategy s,
+                   bool size = false) {
+        return sweep[runKey(n, s, pus, ooo, size)].stats.ipc();
+    };
     for (const auto &n : names) {
-        double bb = runOne(n, Strategy::BasicBlock, pus, ooo).stats.ipc();
-        double cf = runOne(n, Strategy::ControlFlow, pus, ooo).stats.ipc();
-        double dd = runOne(n, Strategy::DataDependence, pus, ooo)
-                        .stats.ipc();
-        bool responds = (n == "compress" || n == "fpppp");
+        double bb = ipc(n, Strategy::BasicBlock);
+        double cf = ipc(n, Strategy::ControlFlow);
+        double dd = ipc(n, Strategy::DataDependence);
         std::printf("%-10s %8.3f %8.3f (%+4.0f%%) %8.3f (%+4.0f%%)",
                     n.c_str(), bb, cf, 100 * (cf / bb - 1), dd,
                     100 * (dd / bb - 1));
-        if (responds) {
-            double sz = runOne(n, Strategy::DataDependence, pus, ooo,
-                               /*size=*/true).stats.ipc();
+        if (respondsToSize(n)) {
+            double sz = ipc(n, Strategy::DataDependence, true);
             std::printf(" %8.3f (%+4.0f%%)", sz, 100 * (sz / bb - 1));
         }
         std::printf("\n");
@@ -63,13 +84,25 @@ runSuite(const std::vector<std::string> &names, const char *suite,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchArgs(argc, argv);
     printHeader("Figure 5: IPC under the task-selection heuristics");
+
+    Sweep sweep;
     for (bool ooo : {true, false}) {
         for (unsigned pus : {4u, 8u}) {
-            runSuite(intBenchmarks(), "Integer", pus, ooo);
-            runSuite(fpBenchmarks(), "Floating-point", pus, ooo);
+            enqueueSuite(sweep, intBenchmarks(), pus, ooo);
+            enqueueSuite(sweep, fpBenchmarks(), pus, ooo);
+        }
+    }
+    sweep.run(opts);
+
+    for (bool ooo : {true, false}) {
+        for (unsigned pus : {4u, 8u}) {
+            printSuite(sweep, intBenchmarks(), "Integer", pus, ooo);
+            printSuite(sweep, fpBenchmarks(), "Floating-point", pus,
+                       ooo);
         }
     }
     return 0;

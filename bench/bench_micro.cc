@@ -7,6 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "arch/arb.h"
 #include "arch/predictors.h"
 #include "arch/processor.h"
@@ -138,4 +143,52 @@ BM_ArbTraffic(benchmark::State &state)
 }
 BENCHMARK(BM_ArbTraffic);
 
-BENCHMARK_MAIN();
+/**
+ * Accepts the harness-wide --json/--csv/--jobs flags (see
+ * bench_common.h) by translating them to google-benchmark's
+ * reporters: --json F → --benchmark_out=F in JSON format (gbench's
+ * own schema, not docs/METRICS.md — these are component timings, not
+ * simulation metrics), --csv F likewise in CSV format. --jobs is
+ * accepted and ignored: micro-benchmarks time single-threaded
+ * primitives, so parallel dispatch would perturb them.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    args.emplace_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--json") {
+            args.push_back("--benchmark_out=" + val());
+            args.push_back("--benchmark_out_format=json");
+        } else if (a == "--csv") {
+            args.push_back("--benchmark_out=" + val());
+            args.push_back("--benchmark_out_format=csv");
+        } else if (a == "--jobs") {
+            (void)val();
+            std::fprintf(stderr,
+                         "bench_micro: --jobs ignored (timing "
+                         "micro-benchmarks run serially)\n");
+        } else {
+            args.push_back(a);
+        }
+    }
+    std::vector<char *> cargs;
+    for (auto &s : args)
+        cargs.push_back(s.data());
+    int cargc = int(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Smoke test for the sweep/report harness, registered as the
+ * `bench_smoke` ctest target so the structured-results pipeline
+ * cannot silently rot.
+ *
+ * Runs a tiny workload × strategy grid twice — serially and with the
+ * requested --jobs — then asserts that
+ *
+ *   1. the two JSON documents are byte-identical (the determinism
+ *      contract of report/sweep.h),
+ *   2. the emitted file parses back and carries the documented
+ *      schema envelope (schema / schema_version / runs),
+ *   3. every run has the top-level metric groups docs/METRICS.md
+ *      promises, and the cycle breakdown sums to occupied_pu_cycles.
+ *
+ * Always runs at MSC_SMALL scale regardless of the environment: this
+ * is a harness check, not a measurement.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace msc;
+using namespace msc::bench;
+using report::Json;
+
+namespace {
+
+std::vector<report::RunSpec>
+tinyGrid()
+{
+    std::vector<report::RunSpec> specs;
+    for (const char *w : {"compress", "tomcatv"})
+        for (auto s : {tasksel::Strategy::BasicBlock,
+                       tasksel::Strategy::DataDependence})
+            specs.push_back(report::makeSpec(w, s, 2, true,
+                                             workloads::Scale::Small,
+                                             20'000));
+    return specs;
+}
+
+int
+failed(const char *what)
+{
+    std::fprintf(stderr, "bench_smoke: FAIL: %s\n", what);
+    return 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = parseBenchArgs(argc, argv);
+    if (opts.jobs <= 1)
+        opts.jobs = 2;
+    if (opts.jsonPath.empty())
+        opts.jsonPath = "bench_smoke.json";
+
+    const std::vector<report::RunSpec> specs = tinyGrid();
+
+    std::string serial =
+        report::sweepToJson(report::SweepRunner(1).run(specs)).dump(2);
+    auto records = report::SweepRunner(opts.jobs).run(specs);
+    std::string parallel = report::sweepToJson(records).dump(2);
+
+    if (serial != parallel)
+        return failed("--jobs output differs from serial output");
+
+    try {
+        report::writeFile(opts.jsonPath, parallel);
+        if (!opts.csvPath.empty())
+            report::writeFile(opts.csvPath, report::sweepToCsv(records));
+    } catch (const std::exception &e) {
+        return failed(e.what());
+    }
+
+    // Read the file back through the parser, as a consumer would.
+    std::string text;
+    {
+        std::FILE *f = std::fopen(opts.jsonPath.c_str(), "rb");
+        if (!f)
+            return failed("cannot reopen emitted json");
+        char buf[4096];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+    }
+
+    Json doc;
+    try {
+        doc = Json::parse(text);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_smoke: FAIL: emitted json does not "
+                             "parse: %s\n",
+                     e.what());
+        return 1;
+    }
+
+    try {
+        if (doc.get("schema").asString() != report::SCHEMA_NAME)
+            return failed("wrong schema name");
+        if (doc.get("schema_version").asInt() != report::SCHEMA_VERSION)
+            return failed("wrong schema_version");
+        const Json &runs = doc.get("runs");
+        if (runs.size() != specs.size())
+            return failed("wrong run count");
+        for (size_t i = 0; i < runs.size(); ++i) {
+            const Json &run = runs.at(i);
+            if (run.get("id").asString() != specs[i].id)
+                return failed("runs out of input order");
+            const Json &m = run.get("metrics");
+            for (const char *group :
+                 {"cycle_breakdown", "prediction", "memory", "tasks",
+                  "window_span", "partition"})
+                (void)m.get(group);
+            if (m.get("retired_insts").asUInt() == 0)
+                return failed("run retired no instructions");
+            uint64_t sum = 0;
+            for (const auto &kv : m.get("cycle_breakdown").members())
+                sum += kv.second.asUInt();
+            if (sum != m.get("occupied_pu_cycles").asUInt())
+                return failed("cycle breakdown does not sum to "
+                              "occupied_pu_cycles");
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "bench_smoke: FAIL: schema violation: %s\n",
+                     e.what());
+        return 1;
+    }
+
+    std::printf("bench_smoke: OK (%zu runs, %u jobs, %s validated)\n",
+                specs.size(), opts.jobs, opts.jsonPath.c_str());
+    return 0;
+}

@@ -31,9 +31,9 @@ struct Row
 };
 
 Row
-measure(const std::string &n, Strategy s)
+rowOf(const Sweep &sweep, const std::string &n, Strategy s)
 {
-    auto r = runOne(n, s, 8, true);
+    const auto &r = sweep[runKey(n, s, 8, true)];
     return {r.stats.avgTaskSize(), r.stats.avgTaskCtlInsts(),
             r.stats.taskMispredictPct(), r.stats.perBranchMispredictPct(),
             r.stats.measuredWindowSpan};
@@ -42,10 +42,23 @@ measure(const std::string &n, Strategy s)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchArgs(argc, argv);
     printHeader("Table 1: task size, misprediction and window span "
                 "(8 PUs)");
+
+    static const Strategy kStrategies[] = {Strategy::BasicBlock,
+                                           Strategy::ControlFlow,
+                                           Strategy::DataDependence};
+    const auto ints = intBenchmarks(), fps = fpBenchmarks();
+    Sweep sweep;
+    for (const auto *names : {&ints, &fps})
+        for (const auto &n : *names)
+            for (Strategy s : kStrategies)
+                sweep.add(n, s, 8, true);
+    sweep.run(opts);
+
     std::printf("%-10s | %6s %6s %6s | %6s %6s %6s %6s | "
                 "%6s %6s %6s %6s | %7s %7s\n",
                 "bench", "bb", "bb", "bb", "cf", "cf", "cf", "cf", "dd",
@@ -58,9 +71,9 @@ main()
 
     auto suite = [&](const std::vector<std::string> &names) {
         for (const auto &n : names) {
-            Row bb = measure(n, Strategy::BasicBlock);
-            Row cf = measure(n, Strategy::ControlFlow);
-            Row dd = measure(n, Strategy::DataDependence);
+            Row bb = rowOf(sweep, n, Strategy::BasicBlock);
+            Row cf = rowOf(sweep, n, Strategy::ControlFlow);
+            Row dd = rowOf(sweep, n, Strategy::DataDependence);
             std::printf("%-10s | %6.1f %6.1f %6.0f | %6.1f %6.1f %6.1f "
                         "%6.1f | %6.1f %6.1f %6.1f %6.1f | %7.0f %7.0f\n",
                         n.c_str(), bb.dyn, bb.tpred, bb.span, cf.dyn,

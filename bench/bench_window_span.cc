@@ -16,17 +16,31 @@ using namespace msc::bench;
 using tasksel::Strategy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchArgs(argc, argv);
     printHeader("Window span: formula vs measurement (8 PUs)");
+
+    const auto ints = intBenchmarks(), fps = fpBenchmarks();
+    Sweep sweep;
+    for (const auto *names : {&ints, &fps}) {
+        for (const auto &n : *names) {
+            sweep.add(n, Strategy::BasicBlock, 8, true);
+            sweep.add(n, Strategy::DataDependence, 8, true);
+        }
+    }
+    sweep.run(opts);
+
     std::printf("%-10s | %9s %9s | %9s %9s | %7s\n", "bench",
                 "bb-formla", "bb-measrd", "dd-formla", "dd-measrd",
                 "ratio");
 
     auto suite = [&](const std::vector<std::string> &names) {
         for (const auto &n : names) {
-            auto bb = runOne(n, Strategy::BasicBlock, 8, true);
-            auto dd = runOne(n, Strategy::DataDependence, 8, true);
+            const auto &bb = sweep[runKey(n, Strategy::BasicBlock, 8,
+                                          true)];
+            const auto &dd = sweep[runKey(n, Strategy::DataDependence,
+                                          8, true)];
             double bf = bb.stats.formulaWindowSpan(8);
             double bm = bb.stats.measuredWindowSpan;
             double df = dd.stats.formulaWindowSpan(8);
@@ -36,8 +50,8 @@ main()
                         bm > 0 ? dm / bm : 0.0);
         }
     };
-    suite(intBenchmarks());
-    suite(fpBenchmarks());
+    suite(ints);
+    suite(fps);
     std::printf("\nratio = measured dd span / measured bb span: "
                 "task-level speculation exposes a far wider window\n"
                 "than basic-block (branch-level) speculation (§4.3.4).\n");

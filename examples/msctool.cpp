@@ -11,6 +11,12 @@
  *       Full pipeline: transforms, profile, partition, simulate.
  *   msctool exec <workload|file.mir>
  *       Functional execution only; prints the checksum.
+ *   msctool sweep [workloads...] [--strategy bb,cf,dd] [--pus 4,8]
+ *               [--jobs N] [--json file] [--csv file] [--in-order]
+ *               [--size] [--targets N] [--insts N] [--small]
+ *       Run a workload × strategy × PU grid (all bundled workloads
+ *       when none are named), optionally in parallel, and emit the
+ *       structured results (schema: docs/METRICS.md).
  *
  * Files with a `.mir` extension are parsed with ir::parseProgram, so
  * hand-written programs work everywhere a workload name does.
@@ -21,11 +27,14 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "arch/stats.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "profile/interpreter.h"
+#include "report/record.h"
+#include "report/sweep.h"
 #include "sim/runner.h"
 #include "workloads/workload.h"
 
@@ -147,6 +156,117 @@ cmdRun(int argc, char **argv)
     return 0;
 }
 
+/** Splits "a,b,c" into {"a","b","c"}. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    std::vector<std::string> strategies = {"bb", "cf", "dd"};
+    std::vector<unsigned> pus = {4, 8};
+    unsigned jobs = 0;                 // default: all cores
+    unsigned targets = 4;
+    uint64_t insts = 250'000;
+    bool ooo = true, size_heur = false;
+    workloads::Scale scale = workloads::Scale::Full;
+    std::string json_path, csv_path;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        auto arg = [&](const char *name) -> const char * {
+            if (a != name)
+                return nullptr;
+            if (i + 1 >= argc)
+                throw std::runtime_error(std::string(name) +
+                                         " needs a value");
+            return argv[++i];
+        };
+        if (const char *v = arg("--strategy")) {
+            strategies = splitList(v);
+        } else if (const char *v2 = arg("--pus")) {
+            pus.clear();
+            for (const auto &p : splitList(v2))
+                pus.push_back(unsigned(atoi(p.c_str())));
+        } else if (const char *v3 = arg("--jobs")) {
+            jobs = unsigned(atoi(v3));
+        } else if (const char *v4 = arg("--json")) {
+            json_path = v4;
+        } else if (const char *v5 = arg("--csv")) {
+            csv_path = v5;
+        } else if (const char *v6 = arg("--targets")) {
+            targets = unsigned(atoi(v6));
+        } else if (const char *v7 = arg("--insts")) {
+            insts = uint64_t(atoll(v7));
+        } else if (a == "--in-order") {
+            ooo = false;
+        } else if (a == "--size") {
+            size_heur = true;
+        } else if (a == "--small") {
+            scale = workloads::Scale::Small;
+        } else if (a.size() >= 2 && a[0] == '-' && a[1] == '-') {
+            throw std::runtime_error("unknown flag " + a);
+        } else {
+            names.push_back(a);
+        }
+    }
+    if (names.empty())
+        for (const auto &w : workloads::allWorkloads())
+            names.push_back(w.name);
+
+    std::vector<report::RunSpec> specs;
+    for (const auto &n : names)
+        for (const auto &s : strategies)
+            for (unsigned p : pus)
+                specs.push_back(report::makeSpec(
+                    n, report::strategyFromId(s), p, ooo, scale, insts,
+                    size_heur, targets));
+
+    report::SweepRunner runner(jobs);
+    std::fprintf(stderr, "sweep: %zu runs (%zu workloads x %zu "
+                         "strategies x %zu PU configs) on %u threads\n",
+                 specs.size(), names.size(), strategies.size(),
+                 pus.size(), runner.jobs());
+    std::vector<report::RunRecord> records = runner.run(specs);
+
+    std::printf("%-28s %8s %9s %7s %7s %8s\n", "run", "IPC", "cycles",
+                "tasks", "tpred%", "span");
+    for (const auto &r : records)
+        std::printf("%-28s %8.3f %9llu %7llu %7.2f %8.0f\n",
+                    r.spec.id.c_str(), r.stats.ipc(),
+                    (unsigned long long)r.stats.cycles,
+                    (unsigned long long)r.stats.dynTasks,
+                    r.stats.taskMispredictPct(),
+                    r.stats.measuredWindowSpan);
+
+    if (!json_path.empty()) {
+        report::writeFile(json_path,
+                          report::sweepToJson(records).dump(2));
+        std::fprintf(stderr, "sweep: wrote %zu runs to %s\n",
+                     records.size(), json_path.c_str());
+    }
+    if (!csv_path.empty()) {
+        report::writeFile(csv_path, report::sweepToCsv(records));
+        std::fprintf(stderr, "sweep: wrote %zu runs to %s\n",
+                     records.size(), csv_path.c_str());
+    }
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -161,6 +281,8 @@ main(int argc, char **argv)
             return cmdExec(argv[2]);
         if (argc >= 3 && std::strcmp(argv[1], "run") == 0)
             return cmdRun(argc - 2, argv + 2);
+        if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0)
+            return cmdSweep(argc - 2, argv + 2);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "msctool: %s\n", e.what());
         return 1;
@@ -171,6 +293,11 @@ main(int argc, char **argv)
                  "       msctool exec   <workload|file.mir>\n"
                  "       msctool run    <workload|file.mir> [--pus N]\n"
                  "              [--strategy bb|cf|dd] [--in-order]\n"
-                 "              [--size] [--targets N] [--insts N]\n");
+                 "              [--size] [--targets N] [--insts N]\n"
+                 "       msctool sweep  [workloads...]\n"
+                 "              [--strategy bb,cf,dd] [--pus 4,8]\n"
+                 "              [--jobs N] [--json file] [--csv file]\n"
+                 "              [--in-order] [--size] [--targets N]\n"
+                 "              [--insts N] [--small]\n");
     return 2;
 }

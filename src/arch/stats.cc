@@ -23,6 +23,23 @@ cycleKindName(CycleKind k)
     }
 }
 
+const char *
+cycleKindId(CycleKind k)
+{
+    switch (k) {
+      case CycleKind::TaskStart:     return "task_start_overhead";
+      case CycleKind::Useful:        return "useful";
+      case CycleKind::InterTaskComm: return "inter_task_comm";
+      case CycleKind::IntraTaskDep:  return "intra_task_dep";
+      case CycleKind::FetchStall:    return "fetch_stall";
+      case CycleKind::LoadImbalance: return "load_imbalance";
+      case CycleKind::TaskEnd:       return "task_end_overhead";
+      case CycleKind::CtrlSquash:    return "ctrl_misspec_penalty";
+      case CycleKind::MemSquash:     return "mem_misspec_penalty";
+      default:                       return "unknown";
+    }
+}
+
 double
 SimStats::perBranchMispredictPct() const
 {

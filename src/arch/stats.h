@@ -34,6 +34,13 @@ constexpr size_t NUM_CYCLE_KINDS = size_t(CycleKind::NUM_KINDS);
 /** Returns a short label for @p k. */
 const char *cycleKindName(CycleKind k);
 
+/**
+ * Returns the stable snake_case identifier for @p k used as the JSON
+ * key in the structured results schema (docs/METRICS.md). These are a
+ * compatibility contract: renaming one is a schema version bump.
+ */
+const char *cycleKindId(CycleKind k);
+
 /** Per-category cycle counters. */
 struct CycleBuckets
 {
@@ -132,6 +139,16 @@ struct SimStats
     {
         return taskPredictions
             ? 100.0 * double(taskMispredictions) / double(taskPredictions)
+            : 0.0;
+    }
+
+    /** Intra-task (gshare) branch misprediction rate in percent. */
+    double
+    branchMispredictPct() const
+    {
+        return branchPredictions
+            ? 100.0 * double(branchMispredictions) /
+                  double(branchPredictions)
             : 0.0;
     }
 

@@ -1,0 +1,237 @@
+#include "report/record.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "arch/stats.h"
+
+namespace msc {
+namespace report {
+
+const char *
+strategyId(tasksel::Strategy s)
+{
+    switch (s) {
+      case tasksel::Strategy::BasicBlock:     return "bb";
+      case tasksel::Strategy::ControlFlow:    return "cf";
+      case tasksel::Strategy::DataDependence: return "dd";
+    }
+    return "?";
+}
+
+tasksel::Strategy
+strategyFromId(const std::string &id)
+{
+    if (id == "bb")
+        return tasksel::Strategy::BasicBlock;
+    if (id == "cf")
+        return tasksel::Strategy::ControlFlow;
+    if (id == "dd")
+        return tasksel::Strategy::DataDependence;
+    throw std::runtime_error("unknown strategy \"" + id +
+                             "\" (expected bb|cf|dd)");
+}
+
+RunSpec
+makeSpec(const std::string &workload, tasksel::Strategy strategy,
+         unsigned pus, bool out_of_order, workloads::Scale scale,
+         uint64_t trace_insts, bool size_heur, unsigned max_targets)
+{
+    RunSpec s;
+    s.workload = workload;
+    s.scale = scale;
+    s.opts.sel.strategy = strategy;
+    s.opts.sel.taskSizeHeuristic = size_heur;
+    s.opts.sel.maxTargets = max_targets;
+    s.opts.config = arch::SimConfig::paperConfig(pus, out_of_order);
+    s.opts.config.maxTargets = max_targets;
+    s.opts.traceInsts = trace_insts;
+
+    s.id = workload;
+    s.id += '/';
+    s.id += strategyId(strategy);
+    s.id += '/';
+    s.id += std::to_string(pus) + "pu/";
+    s.id += out_of_order ? "ooo" : "ino";
+    if (size_heur)
+        s.id += "-size";
+    if (max_targets != 4)
+        s.id += "-t" + std::to_string(max_targets);
+    return s;
+}
+
+RunRecord
+runSpec(const RunSpec &spec)
+{
+    ir::Program p = workloads::buildWorkload(spec.workload, spec.scale);
+    sim::RunResult res = sim::runPipeline(p, spec.opts);
+
+    RunRecord r;
+    r.spec = spec;
+    r.stats = res.stats;
+    r.staticTasks = res.partition.size();
+    r.avgStaticInsts = res.partition.avgStaticSize();
+    r.includedCalls = res.partition.includedCalls.size();
+    r.loopsUnrolled = res.loopsUnrolled;
+    r.ivsHoisted = res.ivsHoisted;
+    r.dynTasksCut = res.dynTaskCount;
+    return r;
+}
+
+Json
+runToJson(const RunRecord &r)
+{
+    const arch::SimStats &s = r.stats;
+    const arch::SimConfig &c = r.spec.opts.config;
+
+    Json run = Json::object();
+    run["id"] = r.spec.id;
+    run["workload"] = r.spec.workload;
+
+    Json cfg = Json::object();
+    cfg["strategy"] = strategyId(r.spec.opts.sel.strategy);
+    cfg["pus"] = c.numPUs;
+    cfg["out_of_order"] = c.outOfOrder;
+    cfg["max_targets"] = r.spec.opts.sel.maxTargets;
+    cfg["task_size_heuristic"] = r.spec.opts.sel.taskSizeHeuristic;
+    cfg["scale"] =
+        r.spec.scale == workloads::Scale::Small ? "small" : "full";
+    cfg["trace_insts"] = r.spec.opts.traceInsts;
+    run["config"] = std::move(cfg);
+
+    Json m = Json::object();
+    m["cycles"] = s.cycles;
+    m["retired_insts"] = s.retiredInsts;
+    m["retired_tasks"] = s.retiredTasks;
+    m["ipc"] = s.ipc();
+
+    Json buckets = Json::object();
+    for (size_t i = 0; i < arch::NUM_CYCLE_KINDS; ++i)
+        buckets[arch::cycleKindId(arch::CycleKind(i))] =
+            s.buckets.counts[i];
+    m["cycle_breakdown"] = std::move(buckets);
+    m["occupied_pu_cycles"] = s.buckets.total();
+    m["idle_pu_cycles"] = s.idlePuCycles;
+
+    Json pred = Json::object();
+    pred["task_predictions"] = s.taskPredictions;
+    pred["task_mispredictions"] = s.taskMispredictions;
+    pred["task_mispredict_pct"] = s.taskMispredictPct();
+    pred["per_branch_mispredict_pct"] = s.perBranchMispredictPct();
+    pred["branch_predictions"] = s.branchPredictions;
+    pred["branch_mispredictions"] = s.branchMispredictions;
+    pred["branch_mispredict_pct"] = s.branchMispredictPct();
+    m["prediction"] = std::move(pred);
+
+    Json mem = Json::object();
+    mem["violations"] = s.memViolations;
+    mem["tasks_squashed_ctrl"] = s.tasksSquashedCtrl;
+    mem["tasks_squashed_mem"] = s.tasksSquashedMem;
+    mem["sync_stall_cycles"] = s.syncStallCycles;
+    mem["arb_overflow_stalls"] = s.arbOverflowStalls;
+    mem["l1i_accesses"] = s.l1iAccesses;
+    mem["l1i_misses"] = s.l1iMisses;
+    mem["l1d_accesses"] = s.l1dAccesses;
+    mem["l1d_misses"] = s.l1dMisses;
+    m["memory"] = std::move(mem);
+
+    Json tasks = Json::object();
+    tasks["dyn_tasks"] = s.dynTasks;
+    tasks["avg_task_insts"] = s.avgTaskSize();
+    tasks["avg_task_ctl_insts"] = s.avgTaskCtlInsts();
+    tasks["dyn_tasks_cut"] = r.dynTasksCut;
+    m["tasks"] = std::move(tasks);
+
+    Json span = Json::object();
+    span["measured"] = s.measuredWindowSpan;
+    span["formula"] = s.formulaWindowSpan(c.numPUs);
+    m["window_span"] = std::move(span);
+
+    Json part = Json::object();
+    part["static_tasks"] = r.staticTasks;
+    part["avg_static_insts"] = r.avgStaticInsts;
+    part["included_calls"] = r.includedCalls;
+    part["loops_unrolled"] = r.loopsUnrolled;
+    part["ivs_hoisted"] = r.ivsHoisted;
+    m["partition"] = std::move(part);
+
+    run["metrics"] = std::move(m);
+    return run;
+}
+
+Json
+sweepToJson(const std::vector<RunRecord> &records)
+{
+    Json doc = Json::object();
+    doc["schema"] = SCHEMA_NAME;
+    doc["schema_version"] = SCHEMA_VERSION;
+    Json runs = Json::array();
+    for (const auto &r : records)
+        runs.push(runToJson(r));
+    doc["runs"] = std::move(runs);
+    return doc;
+}
+
+namespace {
+
+/** Appends the dotted column names / values of one run object. The
+ *  CSV is defined as the flattening of the JSON schema, so the two
+ *  stay in lockstep by construction. */
+void
+flatten(const Json &v, const std::string &prefix,
+        std::vector<std::pair<std::string, std::string>> &out)
+{
+    if (v.kind() == Json::Kind::Object) {
+        for (const auto &kv : v.members())
+            flatten(kv.second,
+                    prefix.empty() ? kv.first : prefix + "." + kv.first,
+                    out);
+        return;
+    }
+    // Scalars only below runs[] — dump() of a scalar is its CSV cell
+    // (strings keep their quotes, which also escapes any commas).
+    out.emplace_back(prefix, v.dump());
+}
+
+} // anonymous namespace
+
+std::string
+sweepToCsv(const std::vector<RunRecord> &records)
+{
+    std::string out;
+    bool wrote_header = false;
+    for (const auto &r : records) {
+        std::vector<std::pair<std::string, std::string>> cols;
+        flatten(runToJson(r), "", cols);
+        if (!wrote_header) {
+            for (size_t i = 0; i < cols.size(); ++i) {
+                if (i)
+                    out += ',';
+                out += cols[i].first;
+            }
+            out += '\n';
+            wrote_header = true;
+        }
+        for (size_t i = 0; i < cols.size(); ++i) {
+            if (i)
+                out += ',';
+            out += cols[i].second;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("cannot open " + path + " for writing");
+    f << content;
+    if (!f)
+        throw std::runtime_error("write failed for " + path);
+}
+
+} // namespace report
+} // namespace msc

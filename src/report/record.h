@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Structured experiment records and their serialized forms.
+ *
+ * A RunSpec names one point of a sweep grid (workload + full
+ * sim::RunOptions); a RunRecord is the flattened, owning result of
+ * executing it — every metric a paper artifact needs, but not the
+ * program or partition themselves, so thousands of records are cheap
+ * to hold. `sweepToJson` / `sweepToCsv` serialize a record list into
+ * the versioned schema documented field-by-field in docs/METRICS.md.
+ *
+ * Determinism contract: serialization depends only on the records —
+ * no timestamps, hostnames or wall-clock — so a sweep emitted with
+ * `--jobs 8` is byte-identical to `--jobs 1`.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+#include "sim/runner.h"
+#include "workloads/workload.h"
+
+namespace msc {
+namespace report {
+
+/** Schema version emitted as `schema_version` (see docs/METRICS.md
+ *  for the compatibility rule). */
+constexpr int SCHEMA_VERSION = 1;
+
+/** Schema identifier emitted as `schema`. */
+constexpr const char *SCHEMA_NAME = "msc.sweep";
+
+/** One grid point: everything needed to run a pipeline once. */
+struct RunSpec
+{
+    /** Unique key within a sweep, e.g. "go/dd/8pu/ooo". */
+    std::string id;
+
+    /** Workload registry name (or the stem of a .mir file). */
+    std::string workload;
+
+    workloads::Scale scale = workloads::Scale::Full;
+
+    sim::RunOptions opts;
+};
+
+/**
+ * Builds the standard paper-configuration spec (the `runOne` shape
+ * every bench uses): @p strategy tasks on @p pus PUs. The id is
+ * derived as "workload/strategy/pusNpu/ooo|ino[-size][-tN]".
+ */
+RunSpec makeSpec(const std::string &workload, tasksel::Strategy strategy,
+                 unsigned pus, bool out_of_order,
+                 workloads::Scale scale, uint64_t trace_insts,
+                 bool size_heur = false, unsigned max_targets = 4);
+
+/** Flattened result of executing one RunSpec. */
+struct RunRecord
+{
+    RunSpec spec;
+    arch::SimStats stats;
+
+    /// @name Partition shape (from RunResult, sans the partition).
+    /// @{
+    uint64_t staticTasks = 0;
+    double avgStaticInsts = 0;
+    uint64_t includedCalls = 0;
+    unsigned loopsUnrolled = 0;
+    unsigned ivsHoisted = 0;
+    uint64_t dynTasksCut = 0;
+    /// @}
+};
+
+/** Executes @p spec (builds the workload, runs the full pipeline) and
+ *  flattens the result. Thread-safe. */
+RunRecord runSpec(const RunSpec &spec);
+
+/** Serializes one record to the schema's per-run object. */
+Json runToJson(const RunRecord &r);
+
+/** Serializes a whole sweep to the versioned top-level document. */
+Json sweepToJson(const std::vector<RunRecord> &records);
+
+/** Serializes a whole sweep as CSV (header + one row per run), with
+ *  the same fields flattened to dotted column names. */
+std::string sweepToCsv(const std::vector<RunRecord> &records);
+
+/** Writes @p content to @p path; throws std::runtime_error on I/O
+ *  failure. */
+void writeFile(const std::string &path, const std::string &content);
+
+/** Short name for @p s as used in ids and the schema ("bb", "cf",
+ *  "dd"). */
+const char *strategyId(tasksel::Strategy s);
+
+/** Parses "bb" / "cf" / "dd"; throws on anything else. */
+tasksel::Strategy strategyFromId(const std::string &id);
+
+} // namespace report
+} // namespace msc

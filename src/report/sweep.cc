@@ -1,0 +1,70 @@
+#include "report/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace msc {
+namespace report {
+
+SweepRunner::SweepRunner(unsigned jobs) : _jobs(jobs)
+{
+    if (_jobs == 0) {
+        _jobs = std::thread::hardware_concurrency();
+        if (_jobs == 0)
+            _jobs = 1;
+    }
+}
+
+std::vector<RunRecord>
+SweepRunner::run(const std::vector<RunSpec> &specs,
+                 const std::function<void(size_t, size_t)> &progress) const
+{
+    std::vector<RunRecord> records(specs.size());
+    if (specs.empty())
+        return records;
+
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto worker = [&]() {
+        while (true) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+            try {
+                records[i] = runSpec(specs[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+            size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (progress)
+                progress(d, specs.size());
+        }
+    };
+
+    unsigned n = _jobs;
+    if (size_t(n) > specs.size())
+        n = unsigned(specs.size());
+    if (n <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return records;
+}
+
+} // namespace report
+} // namespace msc

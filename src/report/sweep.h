@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Parallel sweep execution.
+ *
+ * A sweep is a list of independent RunSpecs: every run owns its own
+ * ir::Program copy and the library keeps no mutable global state, so
+ * grid points execute concurrently without coordination. Results are
+ * returned in *input* order regardless of completion order, which —
+ * together with the no-wall-clock rule in record.h — makes sweep
+ * output deterministic for any worker count.
+ */
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "report/record.h"
+
+namespace msc {
+namespace report {
+
+/** Fixed-size worker pool running RunSpecs. */
+class SweepRunner
+{
+  public:
+    /** @p jobs worker threads; 0 picks the hardware concurrency. */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return _jobs; }
+
+    /**
+     * Executes every spec and returns records in input order.
+     * Specs are handed to workers in index order, so with jobs == 1
+     * execution order equals input order (the serial baseline).
+     * The first exception thrown by any run is rethrown here after
+     * all workers drain.
+     *
+     * @p progress, when set, is invoked from worker threads (caller
+     * must tolerate concurrent calls) after each completed run with
+     * (completed_count, total).
+     */
+    std::vector<RunRecord>
+    run(const std::vector<RunSpec> &specs,
+        const std::function<void(size_t, size_t)> &progress = {}) const;
+
+  private:
+    unsigned _jobs;
+};
+
+} // namespace report
+} // namespace msc
