@@ -17,6 +17,11 @@
  *       Run a workload × strategy × PU grid (all bundled workloads
  *       when none are named), optionally in parallel, and emit the
  *       structured results (schema: docs/METRICS.md).
+ *   msctool fuzz [--count N] [--seed S] [--jobs N] [--size 0..3]
+ *               [--max-insts N] [--corpus-dir DIR] [--no-shrink]
+ *       Differential fuzzing: random programs through three
+ *       independent oracles under every selection strategy
+ *       (docs/TESTING.md). Nonzero exit on any divergence.
  *
  * Files with a `.mir` extension are parsed with ir::parseProgram, so
  * hand-written programs work everywhere a workload name does.
@@ -30,6 +35,7 @@
 #include <vector>
 
 #include "arch/stats.h"
+#include "fuzz/campaign.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "profile/interpreter.h"
@@ -267,6 +273,73 @@ cmdSweep(int argc, char **argv)
     return 0;
 }
 
+int
+cmdFuzz(int argc, char **argv)
+{
+    fuzz::CampaignOptions o;
+    o.jobs = 0;                        // default: all cores
+    bool quiet = false;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        auto arg = [&](const char *name) -> const char * {
+            if (a != name)
+                return nullptr;
+            if (i + 1 >= argc)
+                throw std::runtime_error(std::string(name) +
+                                         " needs a value");
+            return argv[++i];
+        };
+        if (const char *v = arg("--count")) {
+            o.count = uint64_t(atoll(v));
+        } else if (const char *v2 = arg("--seed")) {
+            o.seedBase = uint64_t(atoll(v2));
+        } else if (const char *v3 = arg("--jobs")) {
+            o.jobs = unsigned(atoi(v3));
+        } else if (const char *v4 = arg("--size")) {
+            o.gen.sizeClass = unsigned(atoi(v4));
+        } else if (const char *v5 = arg("--max-insts")) {
+            o.maxInsts = uint64_t(atoll(v5));
+        } else if (const char *v6 = arg("--corpus-dir")) {
+            o.corpusDir = v6;
+        } else if (a == "--no-shrink") {
+            o.shrinkFailures = false;
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else {
+            throw std::runtime_error("unknown flag " + a);
+        }
+    }
+
+    report::SweepRunner pool(o.jobs);
+    std::fprintf(stderr,
+                 "fuzz: seeds [%llu, %llu) on %u threads, "
+                 "%zu configs per seed\n",
+                 (unsigned long long)o.seedBase,
+                 (unsigned long long)(o.seedBase + o.count),
+                 pool.jobs(), fuzz::defaultConfigs().size());
+
+    fuzz::CampaignResult r = fuzz::runCampaign(o);
+
+    if (!quiet) {
+        for (const auto &f : r.failures) {
+            std::printf("seed %llu: %s", (unsigned long long)f.seed,
+                        fuzz::diffKindName(f.diff.kind));
+            if (!f.diff.config.empty())
+                std::printf(" [%s]", f.diff.config.c_str());
+            if (!f.diff.detail.empty())
+                std::printf(": %s", f.diff.detail.c_str());
+            if (!f.reproPath.empty())
+                std::printf(" -> %s", f.reproPath.c_str());
+            std::printf("\n");
+        }
+    }
+    std::printf("fuzz: %llu programs, %zu divergence%s\n",
+                (unsigned long long)r.executed, r.failures.size(),
+                r.failures.size() == 1 ? "" : "s");
+    return r.ok() ? 0 : 1;
+}
+
 } // anonymous namespace
 
 int
@@ -283,6 +356,8 @@ main(int argc, char **argv)
             return cmdRun(argc - 2, argv + 2);
         if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0)
             return cmdSweep(argc - 2, argv + 2);
+        if (argc >= 2 && std::strcmp(argv[1], "fuzz") == 0)
+            return cmdFuzz(argc - 2, argv + 2);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "msctool: %s\n", e.what());
         return 1;
@@ -298,6 +373,9 @@ main(int argc, char **argv)
                  "              [--strategy bb,cf,dd] [--pus 4,8]\n"
                  "              [--jobs N] [--json file] [--csv file]\n"
                  "              [--in-order] [--size] [--targets N]\n"
-                 "              [--insts N] [--small]\n");
+                 "              [--insts N] [--small]\n"
+                 "       msctool fuzz   [--count N] [--seed S]\n"
+                 "              [--jobs N] [--size 0..3] [--max-insts N]\n"
+                 "              [--corpus-dir DIR] [--no-shrink]\n");
     return 2;
 }

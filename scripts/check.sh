@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full local gate: the optimized tier-1 suite plus the same suite under
+# ASan/UBSan in a separate Debug build tree, then the fuzz smoke batch.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # optimized tier1 only (no sanitizers)
+#
+# Exits non-zero on the first failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc)
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run() { echo "== $*"; "$@"; }
+
+# Stage 1: optimized build, tier-1 suite + fuzz smoke.
+run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+run cmake --build build -j "$JOBS"
+run ctest --test-dir build -L tier1 -j "$JOBS" --output-on-failure
+run ctest --test-dir build -L smoke --output-on-failure
+
+if [[ "$FAST" == 1 ]]; then
+    echo "== fast mode: skipping sanitizer stage"
+    exit 0
+fi
+
+# Stage 2: Debug + ASan/UBSan, tier-1 suite and the fuzz tests again —
+# memory errors in the harness itself should surface here, not in CI.
+run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DMSC_SANITIZE="address;undefined"
+run cmake --build build-asan -j "$JOBS"
+run ctest --test-dir build-asan -L tier1 -j "$JOBS" --output-on-failure
+run ctest --test-dir build-asan -L smoke --output-on-failure
+
+echo "== all checks passed"

@@ -1,0 +1,101 @@
+#include "fuzz/campaign.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "fuzz/corpus.h"
+#include "fuzz/shrink.h"
+#include "ir/printer.h"
+#include "report/sweep.h"
+
+namespace msc {
+namespace fuzz {
+
+namespace {
+
+/** Derives per-seed generator options: cycle the size class so one
+ *  campaign covers tiny through large shapes. */
+GenOptions
+optionsForSeed(const CampaignOptions &opts, uint64_t seed)
+{
+    GenOptions g = opts.gen;
+    g.sizeClass = unsigned(seed % 4);
+    return g;
+}
+
+} // anonymous namespace
+
+CampaignResult
+runCampaign(const CampaignOptions &opts,
+            const std::function<void(uint64_t, uint64_t)> &progress)
+{
+    CampaignResult result;
+    result.executed = opts.count;
+
+    std::mutex mu;
+    std::vector<CampaignFailure> failures;
+
+    report::SweepRunner runner(opts.jobs);
+    runner.forEach(
+        size_t(opts.count),
+        [&](size_t i) {
+            uint64_t seed = opts.seedBase + i;
+            GenOptions gen = optionsForSeed(opts, seed);
+
+            ir::Program prog;
+            DiffResult diff;
+            try {
+                prog = generate(seed, gen);
+                diff = runDifferential(prog, {}, opts.maxInsts);
+            } catch (const std::exception &e) {
+                diff.kind = DiffKind::GenError;
+                diff.detail = e.what();
+            }
+            if (diff.ok())
+                return;
+
+            CampaignFailure fail;
+            fail.seed = seed;
+            fail.diff = diff;
+
+            if (diff.kind != DiffKind::GenError) {
+                if (opts.shrinkFailures) {
+                    // Key the predicate on the failure kind and config
+                    // so shrinking cannot drift into a different bug.
+                    auto same_failure = [&](const ir::Program &p) {
+                        DiffResult d =
+                            runDifferential(p, {}, opts.maxInsts);
+                        return d.kind == diff.kind &&
+                               d.config == diff.config;
+                    };
+                    prog = shrinkProgram(prog, same_failure);
+                    fail.diff = runDifferential(prog, {}, opts.maxInsts);
+                }
+                fail.program = ir::toString(prog);
+                if (!opts.corpusDir.empty()) {
+                    ReproInfo info;
+                    info.seed = seed;
+                    info.kind = diffKindName(fail.diff.kind);
+                    info.config = fail.diff.config;
+                    info.detail = fail.diff.detail;
+                    fail.reproPath =
+                        writeReproducer(opts.corpusDir, prog, info);
+                }
+            }
+
+            std::lock_guard<std::mutex> lock(mu);
+            failures.push_back(std::move(fail));
+        },
+        progress ? [&](size_t d, size_t t) { progress(d, t); }
+                 : std::function<void(size_t, size_t)>{});
+
+    std::sort(failures.begin(), failures.end(),
+              [](const CampaignFailure &a, const CampaignFailure &b) {
+                  return a.seed < b.seed;
+              });
+    result.failures = std::move(failures);
+    return result;
+}
+
+} // namespace fuzz
+} // namespace msc

@@ -1,0 +1,77 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+
+namespace msc {
+namespace fuzz {
+
+namespace fs = std::filesystem;
+
+std::string
+reproducerText(const ir::Program &prog, const ReproInfo &info)
+{
+    std::ostringstream os;
+    os << "; fuzz reproducer\n";
+    os << "; seed:   " << info.seed << "\n";
+    os << "; kind:   " << info.kind << "\n";
+    if (!info.config.empty())
+        os << "; config: " << info.config << "\n";
+    if (!info.detail.empty()) {
+        // Keep the header one line per field; truncate at a newline.
+        std::string d = info.detail.substr(0, info.detail.find('\n'));
+        os << "; detail: " << d << "\n";
+    }
+    os << ir::toString(prog);
+    return os.str();
+}
+
+std::string
+writeReproducer(const std::string &dir, const ir::Program &prog,
+                const ReproInfo &info)
+{
+    fs::create_directories(dir);
+    std::string name = info.kind.empty() ? "failure" : info.kind;
+    std::string path =
+        (fs::path(dir) /
+         (name + "-seed" + std::to_string(info.seed) + ".mir"))
+            .string();
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write reproducer: " + path);
+    out << reproducerText(prog, info);
+    return path;
+}
+
+std::vector<std::string>
+corpusFiles(const std::string &dir)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir, ec)) {
+        if (e.is_regular_file() && e.path().extension() == ".mir")
+            files.push_back(e.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+ir::Program
+loadReproducer(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot read reproducer: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return ir::parseProgram(text.str());
+}
+
+} // namespace fuzz
+} // namespace msc

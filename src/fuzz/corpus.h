@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproducer corpus: standalone `.mir` files under tests/corpus/.
+ *
+ * Every divergence the fuzzer finds is shrunk and written as one
+ * self-contained textual-IR file with a comment header recording the
+ * seed, failing config, and failure kind. The committed corpus is
+ * replayed green by the test_fuzz_corpus ctest target, turning every
+ * past bug into a permanent regression test.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace msc {
+namespace fuzz {
+
+/** Metadata recorded in a reproducer's comment header. */
+struct ReproInfo
+{
+    uint64_t seed = 0;
+    std::string kind;       ///< diffKindName() of the failure.
+    std::string config;     ///< Failing pipeline config name.
+    std::string detail;     ///< First line of the divergence detail.
+};
+
+/** Renders a standalone reproducer (header comments + textual IR). */
+std::string reproducerText(const ir::Program &prog,
+                           const ReproInfo &info);
+
+/**
+ * Writes a reproducer into @p dir (created when missing) as
+ * `<kind>-seed<seed>.mir`. @return the path written.
+ */
+std::string writeReproducer(const std::string &dir,
+                            const ir::Program &prog,
+                            const ReproInfo &info);
+
+/** All `.mir` files under @p dir, sorted; empty when dir is absent. */
+std::vector<std::string> corpusFiles(const std::string &dir);
+
+/** Parses one reproducer file. @throws on unreadable/invalid input. */
+ir::Program loadReproducer(const std::string &path);
+
+} // namespace fuzz
+} // namespace msc

@@ -1,0 +1,468 @@
+#include "fuzz/generator.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz/rng.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+
+namespace msc {
+namespace fuzz {
+
+using namespace ir;
+
+namespace {
+
+/**
+ * Register discipline (see generator.h for the termination argument):
+ *  - r8..r11   scratch integers (clobbered freely, also across calls)
+ *  - r12..r15  pointer temporaries, masked right before every access
+ *  - r16..r23  loop induction variables and bounds
+ *  - r28+fid   per-function fuel (distinct per call-chain level, so a
+ *              callee can never refill its caller's fuel)
+ *  - f40..f43  scratch doubles
+ */
+constexpr RegId SCRATCH0 = 8;
+constexpr unsigned N_SCRATCH = 4;
+constexpr RegId PTR0 = 12;
+constexpr unsigned N_PTR = 4;
+constexpr RegId IV0 = 16;
+constexpr unsigned N_IV = 8;
+constexpr RegId FSCRATCH0 = 40;
+constexpr unsigned N_FSCRATCH = 4;
+constexpr RegId FUEL0 = 28;
+constexpr unsigned MAX_FUNCS = 4;
+
+struct GenCtx
+{
+    Rng &rng;
+    const GenOptions &opts;
+    FunctionBuilder &f;
+    FuncId fid;
+    unsigned numFuncs;
+    RegId fuel;
+    BlockId done;           ///< Function epilogue block.
+    uint64_t addrMask;      ///< Aliasing window for masked addressing.
+};
+
+RegId scratch(Rng &rng) { return RegId(SCRATCH0 + rng.bounded(N_SCRATCH)); }
+RegId ptrReg(Rng &rng) { return RegId(PTR0 + rng.bounded(N_PTR)); }
+RegId ivReg(Rng &rng) { return RegId(IV0 + rng.bounded(N_IV)); }
+RegId fscratch(Rng &rng)
+{
+    return RegId(FSCRATCH0 + rng.bounded(N_FSCRATCH));
+}
+
+/** Emits one random straight-line instruction. */
+void
+emitOp(GenCtx &g)
+{
+    Rng &rng = g.rng;
+    FunctionBuilder &f = g.f;
+    RegId d = scratch(rng), a = scratch(rng), b = scratch(rng);
+    switch (rng.bounded(14)) {
+      case 0: f.addi(d, a, rng.range(-64, 64)); break;
+      case 1: f.sub(d, a, b); break;
+      case 2: f.muli(d, a, rng.range(-7, 7)); break;
+      case 3: f.mul(d, a, b); break;
+      case 4:
+        // Division by a register value: safeDiv semantics make any
+        // value legal, including 0 and -1.
+        rng.chance(1, 2) ? f.div(d, a, b) : f.rem(d, a, b);
+        break;
+      case 5: f.xor_(d, a, b); break;
+      case 6: f.or_(d, a, b); break;
+      case 7: f.andi(d, a, rng.range(0, 1023)); break;
+      case 8:
+        rng.chance(1, 2) ? f.shli(d, a, int64_t(rng.bounded(70)))
+                         : f.srai(d, a, int64_t(rng.bounded(70)));
+        break;
+      case 9:
+        rng.chance(1, 2) ? f.slt(d, a, b) : f.sne(d, a, b);
+        break;
+      case 10: {  // Masked load, register or absolute form.
+        RegId p = ptrReg(rng);
+        if (rng.chance(1, 4)) {
+            f.loadAbs(d, rng.range(0, int64_t(g.opts.memWords) - 1));
+        } else {
+            f.andi(p, a, int64_t(g.addrMask));
+            f.load(d, p, rng.range(0, int64_t(g.addrMask)));
+        }
+        break;
+      }
+      case 11: {  // Masked store.
+        RegId p = ptrReg(rng);
+        if (rng.chance(1, 4)) {
+            f.storeAbs(a, rng.range(0, int64_t(g.opts.memWords) - 1));
+        } else {
+            f.andi(p, b, int64_t(g.addrMask));
+            f.store(a, p, rng.range(0, int64_t(g.addrMask)));
+        }
+        break;
+      }
+      case 12:
+        if (g.opts.floatOps) {
+            RegId fd = fscratch(rng), fx = fscratch(rng),
+                  fy = fscratch(rng);
+            switch (rng.bounded(5)) {
+              case 0: f.fadd(fd, fx, fy); break;
+              case 1: f.fmul(fd, fx, fy); break;
+              case 2: f.fdiv(fd, fx, fy); break;
+              case 3: f.itof(fd, a); break;
+              default: f.fslt(d, fx, fy); break;
+            }
+        } else {
+            f.add(d, a, b);
+        }
+        break;
+      default:
+        if (g.opts.floatOps && rng.chance(1, 2))
+            f.ftoi(d, fscratch(rng));
+        else
+            f.li(d, rng.range(-4096, 4096));
+        break;
+    }
+}
+
+void
+emitBurst(GenCtx &g, unsigned len)
+{
+    for (unsigned i = 0; i < len; ++i)
+        emitOp(g);
+}
+
+void emitRegion(GenCtx &g, unsigned depth);
+
+/**
+ * Emits the standard loop-header fuel guard as two blocks:
+ *
+ *   guard:  slei t, fuel, 0 ; br t -> exit  (ft: pay)
+ *   pay:    subi fuel, fuel, 1 ...
+ *
+ * and leaves the insertion point in `pay`. Exiting on fuel <= 0
+ * *before* decrementing keeps the guard correct even when an enclosing
+ * loop already drained the fuel to zero.
+ */
+void
+emitFuelGuard(GenCtx &g, BlockId exit)
+{
+    FunctionBuilder &f = g.f;
+    BlockId pay = f.newBlock();
+    RegId t = scratch(g.rng);
+    f.slei(t, g.fuel, 0);
+    f.br(t, exit, pay);
+    f.setBlock(pay);
+    f.subi(g.fuel, g.fuel, 1);
+}
+
+/** if/else reconverging at a join block. */
+void
+emitDiamond(GenCtx &g, unsigned depth)
+{
+    FunctionBuilder &f = g.f;
+    Rng &rng = g.rng;
+    BlockId then_b = f.newBlock(), else_b = f.newBlock(),
+            join = f.newBlock();
+    RegId c = scratch(rng);
+    f.andi(c, scratch(rng), int64_t(rng.range(1, 7)));
+    rng.chance(1, 2) ? f.br(c, then_b, else_b) : f.brz(c, then_b, else_b);
+    f.setBlock(then_b);
+    emitRegion(g, depth - 1);
+    f.jmp(join);
+    f.setBlock(else_b);
+    emitRegion(g, depth - 1);
+    rng.chance(1, 2) ? f.jmp(join) : f.fallthroughTo(join);
+    f.setBlock(join);
+    emitBurst(g, 1 + unsigned(rng.bounded(3)));
+}
+
+/** Counted loop; nested loops may reuse the same IV register — the
+ *  fuel guard still bounds them. */
+void
+emitCountedLoop(GenCtx &g, unsigned depth)
+{
+    FunctionBuilder &f = g.f;
+    Rng &rng = g.rng;
+    RegId iv = ivReg(rng), bound = ivReg(rng), t = scratch(rng);
+    if (bound == iv)
+        bound = RegId(IV0 + (bound - IV0 + 1) % N_IV);
+    BlockId head = f.newBlock(), body = f.newBlock(),
+            latch = f.newBlock(), exit = f.newBlock();
+    f.li(iv, 0);
+    f.li(bound, rng.range(1, 9));
+    f.fallthroughTo(head);
+    f.setBlock(head);
+    emitFuelGuard(g, exit);
+    f.slt(t, iv, bound);
+    f.brz(t, exit, body);
+    f.setBlock(body);
+    emitRegion(g, depth - 1);
+    rng.chance(1, 2) ? f.jmp(latch) : f.fallthroughTo(latch);
+    f.setBlock(latch);
+    f.addi(iv, iv, 1);
+    f.jmp(head);
+    f.setBlock(exit);
+    emitBurst(g, 1);
+}
+
+/** Data-dependent while loop: the exit test reads memory, so only the
+ *  fuel guard proves termination. */
+void
+emitWhileLoop(GenCtx &g, unsigned depth)
+{
+    FunctionBuilder &f = g.f;
+    Rng &rng = g.rng;
+    RegId v = scratch(rng), t = scratch(rng), p = ptrReg(rng);
+    BlockId head = f.newBlock(), body = f.newBlock(), exit = f.newBlock();
+    f.fallthroughTo(head);
+    f.setBlock(head);
+    emitFuelGuard(g, exit);
+    f.andi(p, v, int64_t(g.addrMask));
+    f.load(t, p, 0);
+    f.andi(t, t, int64_t(rng.range(1, 15)));
+    f.brz(t, exit, body);
+    f.setBlock(body);
+    emitRegion(g, depth - 1);
+    // Perturb the tested location so the loop can make progress.
+    f.addi(v, v, rng.range(-3, 5));
+    f.andi(p, v, int64_t(g.addrMask));
+    f.store(v, p, 0);
+    f.jmp(head);
+    f.setBlock(exit);
+    emitBurst(g, 1);
+}
+
+/**
+ * Multi-entry (irreducible) loop region:
+ *
+ *   pre:  br c -> b      (ft: a)       two distinct loop entries
+ *   a:    burst          (ft: b)
+ *   b:    fuel guard -> exit; burst; br c2 -> a  (ft: exit)
+ *
+ * The loop {a, b} is entered at both a and b, so no natural-loop
+ * nesting exists — exactly the shape structured task selectors and
+ * loop analyses are most likely to mishandle.
+ */
+void
+emitIrreducible(GenCtx &g, unsigned depth)
+{
+    FunctionBuilder &f = g.f;
+    Rng &rng = g.rng;
+    BlockId a = f.newBlock(), b = f.newBlock(), exit = f.newBlock();
+    RegId c = scratch(rng);
+    f.andi(c, scratch(rng), 1);
+    f.br(c, b, a);
+    f.setBlock(a);
+    emitBurst(g, 1 + unsigned(rng.bounded(4)));
+    if (depth > 1 && rng.chance(1, 3))
+        emitRegion(g, 1);
+    f.fallthroughTo(b);
+    f.setBlock(b);
+    emitFuelGuard(g, exit);
+    emitBurst(g, 1 + unsigned(rng.bounded(3)));
+    RegId c2 = scratch(rng);
+    f.andi(c2, scratch(rng), 3);
+    f.br(c2, a, exit);
+    f.setBlock(exit);
+    emitBurst(g, 1);
+}
+
+/** Switch ladder over sel & (k-1), k arms joining at one block. */
+void
+emitSwitch(GenCtx &g, unsigned depth)
+{
+    FunctionBuilder &f = g.f;
+    Rng &rng = g.rng;
+    unsigned k = rng.chance(1, 2) ? 2 : 4;
+    RegId sel = scratch(rng), t = scratch(rng);
+    f.andi(sel, scratch(rng), int64_t(k - 1));
+
+    std::vector<BlockId> arms;
+    for (unsigned i = 0; i < k; ++i)
+        arms.push_back(f.newBlock());
+    BlockId join = f.newBlock();
+
+    for (unsigned i = 0; i + 1 < k; ++i) {
+        BlockId next_test = f.newBlock();
+        f.seqi(t, sel, int64_t(i));
+        f.br(t, arms[i], next_test);
+        f.setBlock(next_test);
+    }
+    f.jmp(arms[k - 1]);
+
+    for (unsigned i = 0; i < k; ++i) {
+        f.setBlock(arms[i]);
+        emitBurst(g, 1 + unsigned(rng.bounded(3)));
+        if (depth > 1 && i == 0)
+            emitRegion(g, depth - 1);
+        f.jmp(join);
+    }
+    f.setBlock(join);
+    emitBurst(g, 1);
+}
+
+/** Call to a strictly higher-indexed function (no recursion). */
+void
+emitCall(GenCtx &g)
+{
+    FunctionBuilder &f = g.f;
+    Rng &rng = g.rng;
+    FuncId callee = g.fid + 1 +
+        FuncId(rng.bounded(g.numFuncs - g.fid - 1));
+    uint8_t nargs = uint8_t(rng.bounded(4));
+    for (uint8_t i = 0; i < nargs; ++i)
+        f.mov(RegId(REG_ARG0 + i), scratch(rng));
+    f.call(callee, nargs);
+    f.add(scratch(rng), scratch(rng), REG_RET);
+}
+
+void
+emitRegion(GenCtx &g, unsigned depth)
+{
+    Rng &rng = g.rng;
+    emitBurst(g, 1 + unsigned(rng.bounded(5)));
+    if (depth == 0)
+        return;
+
+    bool can_call = g.fid + 1 < g.numFuncs;
+    switch (rng.bounded(10)) {
+      case 0:
+      case 1:
+        emitDiamond(g, depth);
+        break;
+      case 2:
+      case 3:
+        emitCountedLoop(g, depth);
+        break;
+      case 4:
+        emitWhileLoop(g, depth);
+        break;
+      case 5:
+        if (g.opts.irreducible)
+            emitIrreducible(g, depth);
+        else
+            emitDiamond(g, depth);
+        break;
+      case 6:
+        emitSwitch(g, depth);
+        break;
+      case 7:
+        if (can_call)
+            emitCall(g);
+        else
+            emitBurst(g, 2 + unsigned(rng.bounded(4)));
+        break;
+      case 8: {  // Rare data-dependent early exit to the epilogue.
+        FunctionBuilder &f = g.f;
+        BlockId cont = f.newBlock();
+        RegId t = scratch(rng);
+        f.andi(t, scratch(rng), 31);
+        f.seqi(t, t, 7);
+        f.br(t, g.done, cont);
+        f.setBlock(cont);
+        emitBurst(g, 1);
+        break;
+      }
+      default:
+        emitBurst(g, 2 + unsigned(rng.bounded(5)));
+        break;
+    }
+}
+
+/** Emits one whole function body. */
+void
+emitFunction(IRBuilder &b, Rng &rng, const GenOptions &opts, FuncId fid,
+             unsigned num_funcs, bool is_entry)
+{
+    FunctionBuilder &f = b.function(
+        is_entry ? "main" : "f" + std::to_string(fid));
+
+    GenCtx g{rng, opts, f, fid, num_funcs, RegId(FUEL0 + fid),
+             f.newBlock(), 0};
+    // Aliasing window: small enough that random addresses collide.
+    g.addrMask = (opts.memWords >= 1024 && rng.chance(1, 2))
+        ? 255 : opts.memWords / 2 - 1;
+
+    // Prologue: fuel, then seeded scratch state. Deeper functions get
+    // geometrically less fuel, bounding the dynamic size of call
+    // chains threaded through loops.
+    unsigned fuel = fid == 0 ? opts.fuel : std::max(6u, opts.fuel >> (2 * fid));
+    f.li(g.fuel, int64_t(fuel));
+    for (unsigned i = 0; i < N_SCRATCH; ++i)
+        f.li(RegId(SCRATCH0 + i), rng.range(-2048, 2048));
+    for (unsigned i = 0; i < N_PTR; ++i)
+        f.li(RegId(PTR0 + i), rng.range(0, 4095));
+    if (opts.floatOps)
+        for (unsigned i = 0; i < N_FSCRATCH; ++i)
+            f.fli(RegId(FSCRATCH0 + i),
+                  double(rng.range(-64, 64)) * 0.25);
+
+    unsigned depth = is_entry ? 1 + std::min(opts.sizeClass, 3u) : 1;
+    unsigned regions = is_entry
+        ? 1 + opts.sizeClass + unsigned(rng.bounded(2))
+        : 1 + unsigned(rng.bounded(2));
+    for (unsigned i = 0; i < regions; ++i)
+        emitRegion(g, depth);
+
+    // fallthroughTo emits nothing; make sure the closing block is
+    // never empty (the verifier rejects empty blocks).
+    emitBurst(g, 1);
+    f.fallthroughTo(g.done);
+    f.setBlock(g.done);
+    if (is_entry) {
+        // Publish scratch state to fixed memory slots, then halt.
+        for (unsigned i = 0; i < N_SCRATCH; ++i)
+            f.storeAbs(RegId(SCRATCH0 + i), int64_t(i));
+        f.halt();
+    } else {
+        f.mov(REG_RET, scratch(rng));
+        f.ret();
+    }
+}
+
+} // anonymous namespace
+
+Program
+generate(uint64_t seed, const GenOptions &opts)
+{
+    Rng rng(seed);
+    IRBuilder b("fuzz_" + std::to_string(seed));
+
+    unsigned num_funcs = 1;
+    if (opts.maxFuncs > 1) {
+        unsigned cap = std::min(opts.maxFuncs, MAX_FUNCS);
+        num_funcs = 1 + unsigned(rng.bounded(cap));
+    }
+
+    // Register every function id up front so call sites can forward-
+    // reference strictly higher-indexed callees.
+    b.setEntry("main");
+    b.functionId("main");
+    for (unsigned i = 1; i < num_funcs; ++i)
+        b.functionId("f" + std::to_string(i));
+
+    b.setMemWords(size_t(opts.memWords));
+    if (opts.initMemory) {
+        unsigned words = 4 + unsigned(rng.bounded(28));
+        for (unsigned i = 0; i < words; ++i)
+            b.initWord(size_t(rng.bounded(opts.memWords)),
+                       rng.range(-100000, 100000));
+    }
+
+    for (unsigned i = 0; i < num_funcs; ++i)
+        emitFunction(b, rng, opts, FuncId(i), num_funcs, i == 0);
+
+    // IRBuilder::build() verifies and throws on malformed IR; double-
+    // check explicitly so a verifier regression cannot slip through.
+    Program p = b.build();
+    std::string err;
+    if (!ir::verify(p, &err))
+        throw std::runtime_error("fuzz generator produced invalid IR: " +
+                                 err);
+    return p;
+}
+
+} // namespace fuzz
+} // namespace msc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Three-oracle differential equivalence checker.
+ *
+ * For one program the harness runs:
+ *
+ *  A. the functional interpreter on the original program — reference
+ *     architectural state (registers, memory, instruction count);
+ *  B. the full task pipeline under every configured selection
+ *     strategy: (optional IR transforms) -> profile -> selectTasks ->
+ *     verifyPartition -> trace -> cutTasks -> independent replay of
+ *     the dynamic task stream;
+ *  C. an independent replay of the raw interpreter trace, re-deriving
+ *     control flow, branch outcomes, and effective addresses.
+ *
+ * All three must agree on the final architectural state. Configs that
+ * transform the IR (induction-variable hoisting rewrites register
+ * lifetimes) compare the memory image and halt status only; untouched
+ * configs compare bit-exactly including the register file and the
+ * dynamic instruction count.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "tasksel/options.h"
+
+namespace msc {
+namespace fuzz {
+
+/** What went wrong (Ok when nothing did). */
+enum class DiffKind : uint8_t
+{
+    Ok,                 ///< All oracles agree.
+    GenError,           ///< Program generation threw (campaign only).
+    NoHalt,             ///< Reference run hit the instruction budget.
+    TraceDivergence,    ///< Oracle C found the trace inconsistent.
+    PartitionInvalid,   ///< selectTasks/pverify rejected a partition.
+    CutError,           ///< cutTasks rejected the trace/partition.
+    StreamDivergence,   ///< Oracle B found the task stream inconsistent.
+    StateDivergence,    ///< Final architectural states disagree.
+};
+
+/** Short printable name for @p k. */
+const char *diffKindName(DiffKind k);
+
+/** One pipeline configuration to check. */
+struct DiffConfig
+{
+    std::string name;
+    tasksel::SelectionOptions sel;
+
+    /** Run the §3.2 IR transforms before the pipeline. */
+    bool transforms = false;
+
+    /** Compare registers and instruction count, not just memory. */
+    bool bitExact = true;
+};
+
+/** The strategy matrix the harness checks by default: BasicBlock,
+ *  ControlFlow (arity 4 and 2), DataDependence (both termination
+ *  modes) bit-exactly, plus a transform-enabled DataDependence
+ *  config compared on the memory image. */
+std::vector<DiffConfig> defaultConfigs();
+
+/** Outcome of one differential check. */
+struct DiffResult
+{
+    DiffKind kind = DiffKind::Ok;
+
+    /** Name of the config that diverged (empty for A/C failures). */
+    std::string config;
+
+    /** Human-readable description of the first disagreement. */
+    std::string detail;
+
+    bool ok() const { return kind == DiffKind::Ok; }
+};
+
+/**
+ * Checks @p prog against @p configs (defaultConfigs() when empty).
+ * Stops at the first divergence.
+ */
+DiffResult runDifferential(const ir::Program &prog,
+                           const std::vector<DiffConfig> &configs = {},
+                           uint64_t maxInsts = 2'000'000);
+
+} // namespace fuzz
+} // namespace msc

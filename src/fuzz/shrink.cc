@@ -1,0 +1,285 @@
+#include "fuzz/shrink.h"
+
+#include <vector>
+
+#include "ir/verifier.h"
+
+namespace msc {
+namespace fuzz {
+
+using namespace ir;
+
+namespace {
+
+size_t
+totalBlocks(const Program &p)
+{
+    size_t n = 0;
+    for (const auto &f : p.functions)
+        n += f.blocks.size();
+    return n;
+}
+
+size_t
+totalInsts(const Program &p)
+{
+    size_t n = 0;
+    for (const auto &f : p.functions)
+        for (const auto &b : f.blocks)
+            n += b.insts.size();
+    return n;
+}
+
+/** Recomputes derived state and checks the candidate is still valid
+ *  and still failing; commits it into @p current on success. */
+bool
+accept(Program &candidate, const FailurePredicate &fails,
+       Program &current)
+{
+    candidate.computeCfg();
+    if (!verify(candidate, nullptr))
+        return false;
+    candidate.layout();
+    if (!fails(candidate))
+        return false;
+    current = std::move(candidate);
+    return true;
+}
+
+/** Removes blocks unreachable from the entry, renumbering ids.
+ *  Returns false when nothing was removable. */
+bool
+removeUnreachable(Function &f)
+{
+    f.computeCfg();
+    std::vector<bool> seen(f.blocks.size(), false);
+    std::vector<BlockId> work{f.entry};
+    seen[f.entry] = true;
+    while (!work.empty()) {
+        BlockId b = work.back();
+        work.pop_back();
+        for (BlockId s : f.blocks[b].succs) {
+            if (s < f.blocks.size() && !seen[s]) {
+                seen[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+
+    std::vector<BlockId> remap(f.blocks.size(), INVALID_BLOCK);
+    BlockId next = 0;
+    for (BlockId b = 0; b < f.blocks.size(); ++b)
+        if (seen[b])
+            remap[b] = next++;
+    if (next == f.blocks.size())
+        return false;
+
+    std::vector<BasicBlock> kept;
+    kept.reserve(next);
+    for (BlockId b = 0; b < f.blocks.size(); ++b) {
+        if (!seen[b])
+            continue;
+        BasicBlock blk = std::move(f.blocks[b]);
+        blk.id = remap[b];
+        // A block whose terminator ignores the fall-through arc may
+        // reference an unreachable block there; drop the stale arc.
+        if (!blk.insts.empty()) {
+            Opcode t = blk.insts.back().op;
+            if (t == Opcode::Jmp || t == Opcode::Ret ||
+                t == Opcode::Halt)
+                blk.fallthrough = INVALID_BLOCK;
+        }
+        if (blk.fallthrough != INVALID_BLOCK)
+            blk.fallthrough = remap[blk.fallthrough];
+        for (auto &in : blk.insts)
+            if (in.op == Opcode::Br || in.op == Opcode::BrZ ||
+                in.op == Opcode::Jmp)
+                in.target = remap[in.target];
+        kept.push_back(std::move(blk));
+    }
+    f.blocks = std::move(kept);
+    f.entry = remap[f.entry];
+    return true;
+}
+
+/** One pass of a single edit class; returns edits accepted. */
+unsigned
+passRemoveUnreachable(Program &cur, const FailurePredicate &fails)
+{
+    unsigned applied = 0;
+    for (size_t fi = 0; fi < cur.functions.size(); ++fi) {
+        Program cand = cur;
+        if (!removeUnreachable(cand.functions[fi]))
+            continue;
+        if (accept(cand, fails, cur))
+            ++applied;
+    }
+    return applied;
+}
+
+unsigned
+passDropFunctions(Program &cur, const FailurePredicate &fails)
+{
+    unsigned applied = 0;
+    bool changed = true;
+    while (changed && cur.functions.size() > 1) {
+        changed = false;
+        for (FuncId fid = 0; fid < cur.functions.size(); ++fid) {
+            if (fid == cur.entry)
+                continue;
+            bool called = false;
+            for (const auto &f : cur.functions)
+                for (const auto &b : f.blocks)
+                    for (const auto &in : b.insts)
+                        if (in.op == Opcode::Call && in.callee == fid)
+                            called = true;
+            if (called)
+                continue;
+            Program cand = cur;
+            cand.functions.erase(cand.functions.begin() + fid);
+            for (auto &f : cand.functions) {
+                if (f.id > fid)
+                    --f.id;
+                for (auto &b : f.blocks)
+                    for (auto &in : b.insts)
+                        if (in.op == Opcode::Call && in.callee > fid)
+                            --in.callee;
+            }
+            if (cand.entry > fid)
+                --cand.entry;
+            if (accept(cand, fails, cur)) {
+                ++applied;
+                changed = true;
+                break;  // Ids shifted; restart the scan.
+            }
+        }
+    }
+    return applied;
+}
+
+unsigned
+passBranchToJump(Program &cur, const FailurePredicate &fails)
+{
+    unsigned applied = 0;
+    for (size_t fi = 0; fi < cur.functions.size(); ++fi) {
+        for (size_t bi = 0; bi < cur.functions[fi].blocks.size(); ++bi) {
+            const BasicBlock &b = cur.functions[fi].blocks[bi];
+            if (b.insts.empty())
+                continue;
+            const Instruction &t = b.insts.back();
+            if (t.op != Opcode::Br && t.op != Opcode::BrZ)
+                continue;
+            // Two candidates: pin the branch toward either arm.
+            BlockId arms[2] = {t.target, b.fallthrough};
+            for (BlockId arm : arms) {
+                if (arm == INVALID_BLOCK)
+                    continue;
+                Program cand = cur;
+                BasicBlock &cb = cand.functions[fi].blocks[bi];
+                Instruction jmp;
+                jmp.op = Opcode::Jmp;
+                jmp.target = arm;
+                cb.insts.back() = jmp;
+                cb.fallthrough = INVALID_BLOCK;
+                if (accept(cand, fails, cur)) {
+                    ++applied;
+                    break;
+                }
+            }
+        }
+    }
+    return applied;
+}
+
+unsigned
+passDeleteInsts(Program &cur, const FailurePredicate &fails)
+{
+    unsigned applied = 0;
+    for (size_t fi = 0; fi < cur.functions.size(); ++fi) {
+        for (size_t bi = 0; bi < cur.functions[fi].blocks.size(); ++bi) {
+            size_t ii = 0;
+            while (ii < cur.functions[fi].blocks[bi].insts.size()) {
+                const BasicBlock &b = cur.functions[fi].blocks[bi];
+                if (b.insts.size() <= 1) {
+                    break;  // Never empty a block.
+                }
+                const Instruction &in = b.insts[ii];
+                // Branch shape is handled by passBranchToJump; keep
+                // other terminators so the block stays terminated.
+                if (in.op == Opcode::Br || in.op == Opcode::BrZ ||
+                    in.op == Opcode::Jmp || in.op == Opcode::Ret ||
+                    in.op == Opcode::Halt) {
+                    ++ii;
+                    continue;
+                }
+                Program cand = cur;
+                auto &insts = cand.functions[fi].blocks[bi].insts;
+                insts.erase(insts.begin() + ii);
+                if (accept(cand, fails, cur))
+                    ++applied;  // Same index now names the next inst.
+                else
+                    ++ii;
+            }
+        }
+    }
+    return applied;
+}
+
+unsigned
+passZeroImms(Program &cur, const FailurePredicate &fails)
+{
+    unsigned applied = 0;
+    for (size_t fi = 0; fi < cur.functions.size(); ++fi) {
+        for (size_t bi = 0; bi < cur.functions[fi].blocks.size(); ++bi) {
+            // Re-index from `cur` every iteration: accept() replaces
+            // the whole program on success, so any reference held
+            // across it dangles.
+            for (size_t ii = 0;
+                 ii < cur.functions[fi].blocks[bi].insts.size(); ++ii) {
+                const Instruction &in =
+                    cur.functions[fi].blocks[bi].insts[ii];
+                if (in.imm == 0 || in.isControl())
+                    continue;
+                Program cand = cur;
+                cand.functions[fi].blocks[bi].insts[ii].imm = 0;
+                if (accept(cand, fails, cur))
+                    ++applied;
+            }
+        }
+    }
+    return applied;
+}
+
+} // anonymous namespace
+
+Program
+shrinkProgram(const Program &prog, const FailurePredicate &fails,
+              ShrinkStats *stats, unsigned max_rounds)
+{
+    Program cur = prog;
+    ShrinkStats st;
+    st.blocksBefore = totalBlocks(cur);
+    st.instsBefore = totalInsts(cur);
+
+    for (unsigned round = 0; round < max_rounds; ++round) {
+        unsigned applied = 0;
+        applied += passDropFunctions(cur, fails);
+        applied += passBranchToJump(cur, fails);
+        applied += passRemoveUnreachable(cur, fails);
+        applied += passDeleteInsts(cur, fails);
+        applied += passZeroImms(cur, fails);
+        st.rounds = round + 1;
+        st.editsApplied += applied;
+        if (applied == 0)
+            break;
+    }
+
+    st.blocksAfter = totalBlocks(cur);
+    st.instsAfter = totalInsts(cur);
+    if (stats)
+        *stats = st;
+    return cur;
+}
+
+} // namespace fuzz
+} // namespace msc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Greedy delta-debugging shrinker for failing fuzz programs.
+ *
+ * Given a program and a predicate "does this program still exhibit
+ * the failure", the shrinker repeatedly tries semantics-simplifying
+ * edits and keeps each one that (a) still verifies and (b) still
+ * fails *in the same way* — callers should key their predicate on the
+ * failure kind (and config) so a divergence cannot silently drift
+ * into, say, a non-termination while shrinking.
+ *
+ * Edit classes, applied greedily until a fixed point:
+ *  - drop whole uncalled functions (renumbering callees);
+ *  - rewrite conditional branches to unconditional jumps, toward
+ *    either arm;
+ *  - delete single instructions (terminator shape preserved);
+ *  - zero immediates;
+ *  - remove unreachable blocks (renumbering targets).
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "ir/program.h"
+
+namespace msc {
+namespace fuzz {
+
+/** Returns true when the candidate still exhibits the failure. */
+using FailurePredicate = std::function<bool(const ir::Program &)>;
+
+/** Size/progress counters of one shrink run. */
+struct ShrinkStats
+{
+    unsigned rounds = 0;
+    unsigned editsApplied = 0;
+    size_t blocksBefore = 0, blocksAfter = 0;
+    size_t instsBefore = 0, instsAfter = 0;
+};
+
+/**
+ * Shrinks @p prog while @p fails holds. The input program itself must
+ * satisfy the predicate. Deterministic: same input, same result.
+ *
+ * @param maxRounds cap on greedy fixed-point rounds (each round scans
+ *        every edit site once).
+ */
+ir::Program shrinkProgram(const ir::Program &prog,
+                          const FailurePredicate &fails,
+                          ShrinkStats *stats = nullptr,
+                          unsigned maxRounds = 12);
+
+} // namespace fuzz
+} // namespace msc

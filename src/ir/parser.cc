@@ -150,6 +150,32 @@ parseProgram(const std::string &text)
         return id;
     };
 
+    // Pre-register every defined function in file order so that a
+    // forward call (e.g. @main calling @f2 before @f1 is defined)
+    // cannot permute function ids relative to the printed program —
+    // required for print/parse round trips to be byte-stable.
+    {
+        std::istringstream pre(text);
+        std::string pre_line;
+        while (std::getline(pre, pre_line)) {
+            size_t p = pre_line.find_first_not_of(" \t");
+            if (p == std::string::npos ||
+                pre_line.compare(p, 5, "func ") != 0)
+                continue;
+            size_t at = pre_line.find('@', p);
+            if (at == std::string::npos)
+                continue;
+            size_t end = at + 1;
+            while (end < pre_line.size() &&
+                   (std::isalnum(static_cast<unsigned char>(
+                        pre_line[end])) ||
+                    pre_line[end] == '_' || pre_line[end] == '.'))
+                ++end;
+            if (end > at + 1)
+                funcIdOf(pre_line.substr(at + 1, end - at - 1));
+        }
+    }
+
     // Indices, not pointers: creating callee shells during `call`
     // parsing may reallocate prog.functions.
     FuncId cur_fn = INVALID_FUNC;
@@ -179,6 +205,23 @@ parseProgram(const std::string &text)
             if (at.empty() || at[0] != '@')
                 lx.fail("expected @function after 'entry'");
             entry_name = at.substr(1);
+            continue;
+        }
+        if (tok == "mem") {
+            long long words = std::strtoll(lx.next().c_str(), nullptr, 10);
+            if (words <= 0)
+                lx.fail("mem size must be positive");
+            prog.memWords = size_t(words);
+            continue;
+        }
+        if (tok == "init") {
+            long long addr = std::strtoll(lx.next().c_str(), nullptr, 10);
+            long long value = std::strtoll(lx.next().c_str(), nullptr, 10);
+            if (addr < 0)
+                lx.fail("init address must be non-negative");
+            if (prog.initData.size() <= size_t(addr))
+                prog.initData.resize(size_t(addr) + 1, 0);
+            prog.initData[size_t(addr)] = value;
             continue;
         }
         if (tok == "func") {

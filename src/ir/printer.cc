@@ -97,6 +97,13 @@ print(std::ostream &os, const Program &prog)
 {
     os << "program " << prog.name << " entry @"
        << prog.functions[prog.entry].name << "\n";
+    // Memory image directives (omitted when at defaults so that
+    // pre-existing dumps keep round-tripping byte-for-byte).
+    if (prog.memWords != Program().memWords)
+        os << "mem " << prog.memWords << "\n";
+    for (size_t a = 0; a < prog.initData.size(); ++a)
+        if (prog.initData[a] != 0)
+            os << "init " << a << " " << prog.initData[a] << "\n";
     for (const auto &f : prog.functions)
         print(os, f, prog);
 }

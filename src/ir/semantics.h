@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Architectural scalar semantics of the mini-IR data operations.
+ *
+ * This header is the single written-down contract for what every data
+ * opcode computes, expressed without undefined behaviour so sanitizer
+ * builds of the interpreter and the fuzz replayer are clean:
+ *
+ *  - Add/Sub/Mul wrap modulo 2^64 (two's-complement);
+ *  - Div/Rem by zero yield 0; INT64_MIN / -1 yields INT64_MIN with
+ *    remainder 0 (the RISC-V convention);
+ *  - shifts use only the low 6 bits of the shift amount and are
+ *    performed on the 64-bit two's-complement bit pattern;
+ *  - FtoI saturates: NaN converts to 0, values beyond the int64 range
+ *    clamp to INT64_MIN / INT64_MAX;
+ *  - floating-point values live in integer registers as the bit
+ *    pattern of an IEEE-754 double (std::bit_cast).
+ *
+ * Both the reference interpreter (profile/interpreter.h) and the
+ * differential-fuzzing replayer (src/fuzz/replay.cc) evaluate data
+ * opcodes through evalScalar(), so a disagreement between the two
+ * oracles is always a sequencing/cutting bug, never an ALU one.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "ir/instruction.h"
+#include "ir/types.h"
+
+namespace msc {
+namespace ir {
+
+/** Wrapping two's-complement arithmetic (no signed-overflow UB). */
+inline int64_t
+wrapAdd(int64_t a, int64_t b)
+{
+    return int64_t(uint64_t(a) + uint64_t(b));
+}
+
+inline int64_t
+wrapSub(int64_t a, int64_t b)
+{
+    return int64_t(uint64_t(a) - uint64_t(b));
+}
+
+inline int64_t
+wrapMul(int64_t a, int64_t b)
+{
+    return int64_t(uint64_t(a) * uint64_t(b));
+}
+
+/** Division with the by-zero and INT64_MIN/-1 cases pinned down. */
+inline int64_t
+safeDiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<int64_t>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+inline int64_t
+safeRem(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<int64_t>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+/** Saturating double -> int64 conversion (NaN maps to 0). */
+inline int64_t
+saturatingFtoI(double v)
+{
+    if (std::isnan(v))
+        return 0;
+    // 2^63 is exactly representable; anything >= it clamps.
+    if (v >= 9223372036854775808.0)
+        return std::numeric_limits<int64_t>::max();
+    if (v <= -9223372036854775808.0)
+        return std::numeric_limits<int64_t>::min();
+    return int64_t(v);
+}
+
+/**
+ * Evaluates one pure data opcode over already-resolved operand values:
+ * @p a is the src1 register value (0 when the op does not read src1),
+ * @p b is the resolved second operand — the src2 register value when
+ * src2 is a register, the immediate otherwise.
+ *
+ * Handles every opcode with hasDst except loads; memory and control
+ * opcodes must not be passed here.
+ */
+inline int64_t
+evalScalar(Opcode op, int64_t a, int64_t b)
+{
+    auto fa = [&] { return std::bit_cast<double>(a); };
+    auto fb = [&] { return std::bit_cast<double>(b); };
+    auto fbits = [](double v) { return std::bit_cast<int64_t>(v); };
+
+    switch (op) {
+      case Opcode::Add: return wrapAdd(a, b);
+      case Opcode::Sub: return wrapSub(a, b);
+      case Opcode::Mul: return wrapMul(a, b);
+      case Opcode::Div: return safeDiv(a, b);
+      case Opcode::Rem: return safeRem(a, b);
+      case Opcode::And: return a & b;
+      case Opcode::Or:  return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl: return int64_t(uint64_t(a) << (b & 63));
+      case Opcode::Shr: return int64_t(uint64_t(a) >> (b & 63));
+      case Opcode::Sra: return a >> (b & 63);
+      case Opcode::Slt: return a < b ? 1 : 0;
+      case Opcode::Sle: return a <= b ? 1 : 0;
+      case Opcode::Seq: return a == b ? 1 : 0;
+      case Opcode::Sne: return a != b ? 1 : 0;
+      case Opcode::LoadImm: return b;
+      case Opcode::Mov: return a;
+
+      case Opcode::FAdd: return fbits(fa() + fb());
+      case Opcode::FSub: return fbits(fa() - fb());
+      case Opcode::FMul: return fbits(fa() * fb());
+      case Opcode::FDiv: return fbits(fa() / fb());
+      case Opcode::FSlt: return fa() < fb() ? 1 : 0;
+      case Opcode::FSle: return fa() <= fb() ? 1 : 0;
+      case Opcode::FSeq: return fa() == fb() ? 1 : 0;
+      case Opcode::FMov: return a;
+      case Opcode::FLoadImm: return b;
+      case Opcode::ItoF: return fbits(double(a));
+      case Opcode::FtoI: return saturatingFtoI(fa());
+
+      default:
+        throw std::runtime_error("evalScalar: non-scalar opcode");
+    }
+}
+
+} // namespace ir
+} // namespace msc

@@ -60,6 +60,21 @@ verify(const Program &prog, std::string *err)
                     return fail(err, where(f, b.id, i) +
                                 "register id out of range");
                 }
+                // Operands the execution engines index unconditionally
+                // must name real registers. src1 of Load/FLoad and src2
+                // of Store/FStore may be NO_REG (absolute addressing);
+                // src2 of binary ops may be NO_REG (immediate form).
+                const OpInfo &oi = in.info();
+                bool src1_optional = in.op == Opcode::Load ||
+                    in.op == Opcode::FLoad;
+                if (oi.readsSrc1 && !src1_optional && in.src1 == NO_REG) {
+                    return fail(err, where(f, b.id, i) +
+                                "src1 required but missing");
+                }
+                if (oi.hasDst && in.dst == NO_REG) {
+                    return fail(err, where(f, b.id, i) +
+                                "dst required but missing");
+                }
                 if (in.isControl() && i + 1 != b.insts.size()) {
                     return fail(err, where(f, b.id, i) +
                                 "control instruction not at end of block");

@@ -12,11 +12,13 @@
 
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
 
 #include "ir/program.h"
+#include "ir/semantics.h"
 #include "profile/trace.h"
 
 namespace msc {
@@ -50,6 +52,12 @@ class Interpreter
     {
         return std::bit_cast<double>(_mem[w]);
     }
+
+    /** Whole register file (architectural state capture). */
+    const std::array<int64_t, ir::NUM_REGS> &regs() const { return _regs; }
+
+    /** Whole data-memory image (word addressed). */
+    const std::vector<int64_t> &memory() const { return _mem; }
 
     /** True when the last run() reached Halt. */
     bool halted() const { return _halted; }
@@ -182,59 +190,23 @@ class Interpreter
     static constexpr uint64_t DEFAULT_MAX_INSTS = 50'000'000;
 
   private:
-    /** Executes a non-control instruction; fills @p addr for mem ops. */
+    /**
+     * Executes a non-control instruction; fills @p addr for mem ops.
+     * Data opcodes follow the UB-free architectural contract in
+     * ir/semantics.h (wrapping arithmetic, pinned div/FtoI cases).
+     */
     void
     execute(const ir::Instruction &in, uint64_t &addr)
     {
         using ir::Opcode;
-        auto s1 = [&] { return _regs[in.src1]; };
-        auto s2i = [&] {
-            return in.src2 != ir::NO_REG ? _regs[in.src2] : in.imm;
-        };
-        auto f1 = [&] { return std::bit_cast<double>(_regs[in.src1]); };
-        auto f2 = [&] {
-            return std::bit_cast<double>(
-                in.src2 != ir::NO_REG ? _regs[in.src2] : in.imm);
-        };
         auto wr = [&](int64_t v) {
             if (in.dst != ir::REG_ZERO)
                 _regs[in.dst] = v;
         };
-        auto wf = [&](double v) { wr(std::bit_cast<int64_t>(v)); };
 
         switch (in.op) {
-          case Opcode::Nop: break;
-          case Opcode::Add: wr(s1() + s2i()); break;
-          case Opcode::Sub: wr(s1() - s2i()); break;
-          case Opcode::Mul: wr(s1() * s2i()); break;
-          case Opcode::Div: { int64_t d = s2i(); wr(d ? s1() / d : 0); break; }
-          case Opcode::Rem: { int64_t d = s2i(); wr(d ? s1() % d : 0); break; }
-          case Opcode::And: wr(s1() & s2i()); break;
-          case Opcode::Or:  wr(s1() | s2i()); break;
-          case Opcode::Xor: wr(s1() ^ s2i()); break;
-          case Opcode::Shl: wr(s1() << (s2i() & 63)); break;
-          case Opcode::Shr:
-            wr(int64_t(uint64_t(s1()) >> (s2i() & 63)));
+          case Opcode::Nop:
             break;
-          case Opcode::Sra: wr(s1() >> (s2i() & 63)); break;
-          case Opcode::Slt: wr(s1() < s2i() ? 1 : 0); break;
-          case Opcode::Sle: wr(s1() <= s2i() ? 1 : 0); break;
-          case Opcode::Seq: wr(s1() == s2i() ? 1 : 0); break;
-          case Opcode::Sne: wr(s1() != s2i() ? 1 : 0); break;
-          case Opcode::LoadImm: wr(in.imm); break;
-          case Opcode::Mov: wr(s1()); break;
-
-          case Opcode::FAdd: wf(f1() + f2()); break;
-          case Opcode::FSub: wf(f1() - f2()); break;
-          case Opcode::FMul: wf(f1() * f2()); break;
-          case Opcode::FDiv: wf(f1() / f2()); break;
-          case Opcode::FSlt: wr(f1() < f2() ? 1 : 0); break;
-          case Opcode::FSle: wr(f1() <= f2() ? 1 : 0); break;
-          case Opcode::FSeq: wr(f1() == f2() ? 1 : 0); break;
-          case Opcode::FMov: wr(s1()); break;
-          case Opcode::FLoadImm: wr(in.imm); break;
-          case Opcode::ItoF: wf(double(s1())); break;
-          case Opcode::FtoI: wr(int64_t(f1())); break;
 
           case Opcode::Load:
           case Opcode::FLoad:
@@ -247,8 +219,16 @@ class Interpreter
             _mem[addr] = _regs[in.src1];
             break;
 
-          default:
-            throw std::runtime_error("execute: unexpected opcode");
+          default: {
+            const ir::OpInfo &oi = in.info();
+            if (!oi.hasDst)
+                throw std::runtime_error("execute: unexpected opcode");
+            int64_t a = oi.readsSrc1 ? _regs[in.src1] : 0;
+            int64_t b = (oi.readsSrc2 && in.src2 != ir::NO_REG)
+                ? _regs[in.src2] : in.imm;
+            wr(ir::evalScalar(in.op, a, b));
+            break;
+          }
         }
     }
 

@@ -286,10 +286,16 @@ Json::dump(int indent) const
 
 namespace {
 
-/** Recursive-descent parser over a string view. */
+/** Recursive-descent parser over a string view.
+ *
+ *  Container nesting is capped: the parser recurses once per nesting
+ *  level, so unbounded depth on attacker-supplied input would overflow
+ *  the stack long before exhausting memory. */
 class Parser
 {
   public:
+    static constexpr int MAX_DEPTH = 200;
+
     explicit Parser(const std::string &s) : _s(s) {}
 
     Json
@@ -351,8 +357,15 @@ class Parser
         skipWs();
         char c = peek();
         switch (c) {
-          case '{': return object();
-          case '[': return array();
+          case '{':
+          case '[': {
+            if (_depth >= MAX_DEPTH)
+                err("nesting deeper than " + std::to_string(MAX_DEPTH));
+            ++_depth;
+            Json v = c == '{' ? object() : array();
+            --_depth;
+            return v;
+          }
           case '"': return Json(string());
           case 't':
             if (consume("true"))
@@ -523,6 +536,7 @@ class Parser
 
     const std::string &_s;
     size_t _pos = 0;
+    int _depth = 0;
 };
 
 } // anonymous namespace

@@ -17,13 +17,14 @@ SweepRunner::SweepRunner(unsigned jobs) : _jobs(jobs)
     }
 }
 
-std::vector<RunRecord>
-SweepRunner::run(const std::vector<RunSpec> &specs,
-                 const std::function<void(size_t, size_t)> &progress) const
+void
+SweepRunner::forEach(size_t count,
+                     const std::function<void(size_t)> &fn,
+                     const std::function<void(size_t, size_t)> &progress)
+    const
 {
-    std::vector<RunRecord> records(specs.size());
-    if (specs.empty())
-        return records;
+    if (count == 0)
+        return;
 
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
@@ -33,10 +34,10 @@ SweepRunner::run(const std::vector<RunSpec> &specs,
     auto worker = [&]() {
         while (true) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= specs.size())
+            if (i >= count)
                 return;
             try {
-                records[i] = runSpec(specs[i]);
+                fn(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mu);
                 if (!first_error)
@@ -44,13 +45,13 @@ SweepRunner::run(const std::vector<RunSpec> &specs,
             }
             size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (progress)
-                progress(d, specs.size());
+                progress(d, count);
         }
     };
 
     unsigned n = _jobs;
-    if (size_t(n) > specs.size())
-        n = unsigned(specs.size());
+    if (size_t(n) > count)
+        n = unsigned(count);
     if (n <= 1) {
         worker();
     } else {
@@ -63,6 +64,15 @@ SweepRunner::run(const std::vector<RunSpec> &specs,
     }
     if (first_error)
         std::rethrow_exception(first_error);
+}
+
+std::vector<RunRecord>
+SweepRunner::run(const std::vector<RunSpec> &specs,
+                 const std::function<void(size_t, size_t)> &progress) const
+{
+    std::vector<RunRecord> records(specs.size());
+    forEach(specs.size(),
+            [&](size_t i) { records[i] = runSpec(specs[i]); }, progress);
     return records;
 }
 

@@ -44,6 +44,17 @@ class SweepRunner
     run(const std::vector<RunSpec> &specs,
         const std::function<void(size_t, size_t)> &progress = {}) const;
 
+    /**
+     * Generic fan-out over an index range: invokes @p fn(i) for every
+     * i in [0, count) on the worker pool, same ordering/exception
+     * semantics as run(). The fuzz campaign and other index-addressed
+     * workloads use this instead of building throwaway RunSpecs.
+     */
+    void
+    forEach(size_t count, const std::function<void(size_t)> &fn,
+            const std::function<void(size_t, size_t)> &progress = {})
+        const;
+
   private:
     unsigned _jobs;
 };

@@ -1,5 +1,12 @@
 #include "helpers.h"
 
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz/rng.h"
 #include "workloads/common.h"
 
 namespace msc {
@@ -7,6 +14,57 @@ namespace test {
 
 using namespace ir;
 using workloads::emitCountedLoop;
+
+namespace {
+
+/** Last effective seed handed to a test RNG (for failure reports). */
+std::atomic<uint64_t> g_active_seed{0};
+std::atomic<bool> g_seed_used{false};
+
+/** Prints the active seed whenever an assertion fails, so any
+ *  randomized failure is reproducible from the log alone. */
+class SeedReportListener : public ::testing::EmptyTestEventListener
+{
+    void
+    OnTestPartResult(const ::testing::TestPartResult &result) override
+    {
+        if (!result.failed() || !g_seed_used.load())
+            return;
+        std::fprintf(stderr,
+                     "[   SEED   ] effective seed %llu (offset "
+                     "MSC_TEST_SEED=%llu); rerun with MSC_TEST_SEED "
+                     "to reproduce\n",
+                     (unsigned long long)g_active_seed.load(),
+                     (unsigned long long)seedOffset());
+    }
+};
+
+const bool g_listener_registered = [] {
+    ::testing::UnitTest::GetInstance()->listeners().Append(
+        new SeedReportListener);
+    return true;
+}();
+
+} // anonymous namespace
+
+uint64_t
+seedOffset()
+{
+    static const uint64_t offset = [] {
+        const char *env = std::getenv("MSC_TEST_SEED");
+        return env ? std::strtoull(env, nullptr, 10) : 0ull;
+    }();
+    return offset;
+}
+
+uint64_t
+effectiveSeed(uint64_t seed)
+{
+    uint64_t s = seed + seedOffset();
+    g_active_seed.store(s);
+    g_seed_used.store(true);
+    return s;
+}
 
 Program
 makeLoopProgram(int64_t n)
@@ -123,31 +181,22 @@ makeConflictProgram(int64_t n)
 
 namespace {
 
-/** Tiny deterministic RNG for program generation. */
-struct Rng
-{
-    uint64_t s;
-    explicit Rng(uint64_t seed) : s(seed ^ 0x9e3779b97f4a7c15ull) {}
-    uint64_t
-    next()
-    {
-        s = s * 6364136223846793005ull + 1442695040888963407ull;
-        return s >> 17;
-    }
-    uint64_t next(uint64_t mod) { return next() % mod; }
-};
+// Program generation draws through fuzz::Rng: the old local generator
+// reduced raw draws with `% mod`, whose low-bit bias skews shape
+// distributions; fuzz::Rng::bounded() is the shared unbiased draw.
+using fuzz::Rng;
 
 /** Emits a straight-line burst of random arithmetic over r8..r15. */
 void
 emitBurst(FunctionBuilder &f, Rng &rng, unsigned len)
 {
     for (unsigned k = 0; k < len; ++k) {
-        RegId d = RegId(8 + rng.next(8));
-        RegId a = RegId(8 + rng.next(8));
-        switch (rng.next(5)) {
-          case 0: f.addi(d, a, int64_t(rng.next(64))); break;
-          case 1: f.xor_(d, a, RegId(8 + rng.next(8))); break;
-          case 2: f.muli(d, a, int64_t(1 + rng.next(7))); break;
+        RegId d = RegId(8 + rng.bounded(8));
+        RegId a = RegId(8 + rng.bounded(8));
+        switch (rng.bounded(5)) {
+          case 0: f.addi(d, a, int64_t(rng.bounded(64))); break;
+          case 1: f.xor_(d, a, RegId(8 + rng.bounded(8))); break;
+          case 2: f.muli(d, a, int64_t(1 + rng.bounded(7))); break;
           case 3:
             f.andi(d, a, 1023);
             f.addi(d, d, 5000);
@@ -170,11 +219,11 @@ emitBurst(FunctionBuilder &f, Rng &rng, unsigned len)
 void
 emitRegion(FunctionBuilder &f, Rng &rng, unsigned depth)
 {
-    emitBurst(f, rng, 1 + unsigned(rng.next(6)));
+    emitBurst(f, rng, 1 + unsigned(rng.bounded(6)));
     if (depth == 0)
         return;
 
-    switch (rng.next(3)) {
+    switch (rng.bounded(3)) {
       case 0: {  // Diamond.
         BlockId t = f.newBlock(), e = f.newBlock(), j = f.newBlock();
         f.andi(8, 9, 3);
@@ -187,16 +236,16 @@ emitRegion(FunctionBuilder &f, Rng &rng, unsigned depth)
         emitBurst(f, rng, 1);
         f.fallthroughTo(j);
         f.setBlock(j);
-        emitBurst(f, rng, 1 + unsigned(rng.next(4)));
+        emitBurst(f, rng, 1 + unsigned(rng.bounded(4)));
         break;
       }
       case 1: {  // Bounded counted loop using a callee-saved IV.
-        RegId iv = RegId(20 + rng.next(8));
+        RegId iv = RegId(20 + rng.bounded(8));
         RegId bound = 19;
         BlockId head = f.newBlock(), body = f.newBlock();
         BlockId latch = f.newBlock(), exit = f.newBlock();
         f.li(iv, 0);
-        f.li(bound, int64_t(2 + rng.next(6)));
+        f.li(bound, int64_t(2 + rng.bounded(6)));
         f.fallthroughTo(head);
         f.setBlock(head);
         f.slt(8, iv, bound);
@@ -212,7 +261,7 @@ emitRegion(FunctionBuilder &f, Rng &rng, unsigned depth)
         break;
       }
       default:  // Plain burst.
-        emitBurst(f, rng, 2 + unsigned(rng.next(8)));
+        emitBurst(f, rng, 2 + unsigned(rng.bounded(8)));
         break;
     }
 }
@@ -222,13 +271,13 @@ emitRegion(FunctionBuilder &f, Rng &rng, unsigned depth)
 Program
 makeRandomProgram(uint64_t seed, unsigned size_class)
 {
-    Rng rng(seed);
+    Rng rng(effectiveSeed(seed));
     IRBuilder b("random");
     b.setEntry("main");
     FunctionBuilder &f = b.function("main");
 
     for (RegId r = 8; r < 16; ++r)
-        f.li(r, int64_t(rng.next(1000)));
+        f.li(r, int64_t(rng.bounded(1000)));
     unsigned regions = 1 + size_class;
     for (unsigned k = 0; k < regions; ++k)
         emitRegion(f, rng, 2);

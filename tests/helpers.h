@@ -38,8 +38,23 @@ ir::Program makeConflictProgram(int64_t n = 64);
  * Generates a random but structurally valid program: nested loops,
  * diamonds, and arithmetic over bounded memory. Deterministic in
  * @p seed; always halts within a bounded instruction count.
+ *
+ * The effective seed is seed + seedOffset(), so a whole randomized
+ * suite can be re-rolled by exporting MSC_TEST_SEED.
  */
 ir::Program makeRandomProgram(uint64_t seed, unsigned size_class = 2);
+
+/**
+ * Seed offset for randomized tests: the value of the MSC_TEST_SEED
+ * environment variable, or 0 when unset (the committed baseline).
+ * Read once per process.
+ */
+uint64_t seedOffset();
+
+/** @p seed shifted by seedOffset(); use for every test RNG so failures
+ *  are reproducible via MSC_TEST_SEED. The value is remembered and
+ *  printed by the failure listener helpers.cc installs. */
+uint64_t effectiveSeed(uint64_t seed);
 
 } // namespace test
 } // namespace msc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Replays every committed reproducer in tests/corpus/ through the full
+ * differential harness. Each file was originally written by the
+ * shrinker for some historical divergence (or injected bug); once the
+ * underlying defect is fixed the reproducer must stay green forever —
+ * this is the regression corpus.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "fuzz/corpus.h"
+#include "fuzz/oracle.h"
+#include "ir/verifier.h"
+
+#ifndef MSC_CORPUS_DIR
+#error "MSC_CORPUS_DIR must point at the committed corpus directory"
+#endif
+
+using namespace msc;
+
+namespace {
+
+std::vector<std::string>
+corpus()
+{
+    return fuzz::corpusFiles(MSC_CORPUS_DIR);
+}
+
+} // anonymous namespace
+
+TEST(FuzzCorpus, DirectoryIsNotEmpty)
+{
+    EXPECT_FALSE(corpus().empty())
+        << "no .mir reproducers under " << MSC_CORPUS_DIR;
+}
+
+class CorpusReplay : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CorpusReplay, VerifiesAndReplaysGreen)
+{
+    ir::Program p = fuzz::loadReproducer(GetParam());
+
+    std::string err;
+    ASSERT_TRUE(ir::verify(p, &err)) << err;
+
+    fuzz::DiffResult d = fuzz::runDifferential(p);
+    EXPECT_TRUE(d.ok()) << fuzz::diffKindName(d.kind) << " ["
+                        << d.config << "]: " << d.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, CorpusReplay, ::testing::ValuesIn(corpus()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        // Sanitize the path into a valid gtest name.
+        std::string base = info.param;
+        size_t slash = base.find_last_of('/');
+        if (slash != std::string::npos)
+            base = base.substr(slash + 1);
+        std::string name;
+        for (char c : base)
+            name += std::isalnum(static_cast<unsigned char>(c))
+                        ? c : '_';
+        return name.empty() ? std::string("empty") : name;
+    });

@@ -15,6 +15,7 @@
 #include "arch/processor.h"
 #include "arch/ring.h"
 #include "arch/taskstream.h"
+#include "fuzz/rng.h"
 #include "helpers.h"
 #include "profile/interpreter.h"
 #include "profile/profiler.h"
@@ -26,16 +27,14 @@ using namespace msc::arch;
 
 namespace {
 
+/** Seeded draw source: fuzz::Rng's unbiased bounded() instead of the
+ *  old `% mod` reduction (biased for non-power-of-two bounds), with
+ *  the seed shifted by MSC_TEST_SEED for reproduction. */
 struct Rng
 {
-    uint64_t s;
-    explicit Rng(uint64_t seed) : s(seed * 0x9e3779b97f4a7c15ull + 1) {}
-    uint64_t
-    next(uint64_t mod)
-    {
-        s = s * 6364136223846793005ull + 1442695040888963407ull;
-        return (s >> 17) % mod;
-    }
+    fuzz::Rng r;
+    explicit Rng(uint64_t seed) : r(test::effectiveSeed(seed)) {}
+    uint64_t next(uint64_t mod) { return r.bounded(mod); }
 };
 
 /**

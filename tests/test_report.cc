@@ -112,6 +112,65 @@ TEST(Json, ParseErrors)
     EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
 }
 
+TEST(Json, DeepNestingHitsRecursionLimit)
+{
+    // Just inside the cap parses; past it must throw instead of
+    // overflowing the parser's stack.
+    auto nested = [](int depth) {
+        return std::string(size_t(depth), '[') + "1" +
+               std::string(size_t(depth), ']');
+    };
+    Json ok = Json::parse(nested(199));
+    EXPECT_EQ(ok.kind(), Json::Kind::Array);
+    EXPECT_THROW(Json::parse(nested(201)), std::runtime_error);
+    EXPECT_THROW(Json::parse(nested(100'000)), std::runtime_error);
+
+    // Mixed object/array nesting counts against the same budget.
+    std::string mixed;
+    for (int i = 0; i < 150; ++i)
+        mixed += "{\"k\":[";
+    EXPECT_THROW(Json::parse(mixed), std::runtime_error);
+}
+
+TEST(Json, InvalidNumbers)
+{
+    EXPECT_THROW(Json::parse("-"), std::runtime_error);
+    EXPECT_THROW(Json::parse("1.2.3"), std::runtime_error);
+    EXPECT_THROW(Json::parse("1e"), std::runtime_error);
+    EXPECT_THROW(Json::parse("--5"), std::runtime_error);
+    EXPECT_THROW(Json::parse("+1"), std::runtime_error);
+    EXPECT_THROW(Json::parse("0x10"), std::runtime_error);
+
+    // Out-of-range integer literals degrade to double, not error.
+    Json big = Json::parse("123456789012345678901234567890");
+    EXPECT_EQ(big.kind(), Json::Kind::Double);
+    // Full unsigned range stays integral.
+    EXPECT_EQ(Json::parse("18446744073709551615").asUInt(),
+              18446744073709551615ull);
+    EXPECT_EQ(Json::parse("-9223372036854775808").asInt(),
+              std::numeric_limits<int64_t>::min());
+}
+
+TEST(Json, TrailingGarbageRejected)
+{
+    EXPECT_THROW(Json::parse("1 2"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[] []"), std::runtime_error);
+    EXPECT_THROW(Json::parse("true false"), std::runtime_error);
+    EXPECT_THROW(Json::parse("{} ,"), std::runtime_error);
+    // Trailing whitespace alone is fine.
+    EXPECT_EQ(Json::parse(" {\"a\": 1} \n").get("a").asInt(), 1);
+}
+
+TEST(Json, DuplicateKeysLastWins)
+{
+    Json v = Json::parse("{\"a\": 1, \"b\": 2, \"a\": 3}");
+    EXPECT_EQ(v.get("a").asInt(), 3);
+    // The duplicate overwrites in place: two members, order kept.
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v.members()[0].first, "a");
+    EXPECT_EQ(v.members()[1].first, "b");
+}
+
 // -------------------------------------------------------------- Schema
 
 TEST(Schema, EnvelopeAndRoundTrip)

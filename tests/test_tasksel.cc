@@ -370,3 +370,170 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
                        ::testing::Values(0, 1, 2),
                        ::testing::Values(1u, 2u, 4u, 8u)));
+
+namespace {
+
+/** A loop whose body is a single self-looping block. */
+Program
+makeSelfLoopProgram()
+{
+    IRBuilder b("selfloop");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    BlockId loop = f.newBlock(), exit = f.newBlock();
+    f.li(8, 5);
+    f.fallthroughTo(loop);
+    f.setBlock(loop);
+    f.subi(8, 8, 1);
+    f.addi(9, 9, 3);
+    f.slei(10, 8, 0);
+    f.br(10, exit, loop);
+    f.setBlock(exit);
+    f.storeAbs(9, 0);
+    f.halt();
+    return b.build();
+}
+
+/** An irreducible region: blocks A and B form a cycle with two entry
+ *  edges from the header, so neither dominates the other. */
+Program
+makeIrreducibleProgram(int64_t which)
+{
+    IRBuilder b("irreducible");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    BlockId a = f.newBlock(), bb = f.newBlock(), exit = f.newBlock();
+    f.li(8, which);   // Entry selector.
+    f.li(9, 6);       // Fuel.
+    f.br(8, a, bb);
+    f.setBlock(a);
+    f.addi(10, 10, 1);
+    f.subi(9, 9, 1);
+    f.slei(11, 9, 0);
+    f.br(11, exit, bb);
+    f.setBlock(bb);
+    f.addi(10, 10, 100);
+    f.subi(9, 9, 1);
+    f.slei(11, 9, 0);
+    f.br(11, exit, a);
+    f.setBlock(exit);
+    f.storeAbs(10, 0);
+    f.halt();
+    return b.build();
+}
+
+} // anonymous namespace
+
+class AdversarialCfg : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AdversarialCfg, SelfLoopPartitionsVerify)
+{
+    Program p = makeSelfLoopProgram();
+    for (unsigned n : {1u, 2u, 4u})
+        partition(p, Strategy(GetParam()), n);
+}
+
+TEST_P(AdversarialCfg, IrreduciblePartitionsVerify)
+{
+    // Both entry edges of the irreducible region get exercised.
+    for (int64_t which : {0, 1}) {
+        Program p = makeIrreducibleProgram(which);
+        for (unsigned n : {1u, 2u, 4u})
+            partition(p, Strategy(GetParam()), n);
+    }
+}
+
+TEST_P(AdversarialCfg, SingleBlockFunctionIsOneTask)
+{
+    IRBuilder b("tiny");
+    b.setEntry("main");
+    auto &f = b.function("main");
+    f.li(8, 7);
+    f.storeAbs(8, 0);
+    f.halt();
+    Program p = b.build();
+
+    TaskPartition part = partition(p, Strategy(GetParam()));
+    ASSERT_EQ(part.tasks.size(), 1u);
+    EXPECT_EQ(part.tasks[0].entry, p.functions[p.entry].entry);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AdversarialCfg,
+                         ::testing::Values(0, 1, 2));
+
+TEST(PartitionVerifier, DetectsNonAdjacentMember)
+{
+    // Graft a block into a task it has no edge into: single-entry (or
+    // connectivity) must fire.
+    Program p = test::makeDiamondProgram();
+    TaskPartition part = partition(p, Strategy::ControlFlow);
+    ASSERT_GE(part.tasks.size(), 2u);
+
+    // Find a task and a block owned by another task that is not a
+    // successor of any member of the first.
+    const Function &f = p.functions[p.entry];
+    for (auto &dst : part.tasks) {
+        for (auto &src : part.tasks) {
+            if (src.id == dst.id || src.blocks.size() < 2)
+                continue;
+            BlockId moved = src.blocks.back();
+            if (moved == src.entry)
+                continue;
+            bool adjacent = false;
+            for (BlockId m : dst.blocks)
+                for (BlockId s : f.blocks[m].succs)
+                    adjacent |= s == moved;
+            if (adjacent)
+                continue;
+            TaskPartition bad = part;
+            auto &sb = bad.tasks[src.id].blocks;
+            sb.erase(std::find(sb.begin(), sb.end(), moved));
+            bad.tasks[dst.id].blocks.push_back(moved);
+            bad.taskOf[p.entry][moved] = dst.id;
+            SelectionOptions opts;
+            std::string err;
+            EXPECT_FALSE(verifyPartition(bad, opts, &err));
+            EXPECT_FALSE(err.empty());
+            return;
+        }
+    }
+    GTEST_SKIP() << "no movable non-adjacent block in this partition";
+}
+
+TEST(PartitionVerifier, DetectsTargetArityOverflow)
+{
+    // A multi-block task with T targets must be rejected once the
+    // verifier is asked to enforce N < T; basic-block tasks stay
+    // exempt no matter how small N is.
+    Program p = test::makeDiamondProgram();
+    TaskPartition cf = partition(p, Strategy::ControlFlow);
+    size_t max_targets = 0;
+    for (const auto &t : cf.tasks)
+        if (t.blocks.size() > 1)
+            max_targets = std::max(max_targets, t.targets.size());
+    ASSERT_GE(max_targets, 1u)
+        << "control-flow tasks on a diamond should expose targets";
+
+    SelectionOptions strict;
+    strict.maxTargets = unsigned(max_targets - 1);
+    std::string err;
+    EXPECT_FALSE(verifyPartition(cf, strict, &err));
+    EXPECT_NE(err.find("exceed"), std::string::npos) << err;
+
+    TaskPartition bb = partition(p, Strategy::BasicBlock);
+    SelectionOptions zero;
+    zero.maxTargets = 0;
+    EXPECT_TRUE(verifyPartition(bb, zero, &err)) << err;
+}
+
+TEST(PartitionVerifier, DetectsEmptyTask)
+{
+    Program p = test::makeLoopProgram();
+    TaskPartition part = partition(p, Strategy::BasicBlock);
+    TaskPartition bad = part;
+    bad.tasks[0].blocks.clear();
+    std::string err;
+    EXPECT_FALSE(verifyPartition(bad, SelectionOptions{}, &err));
+    EXPECT_NE(err.find("entry not first"), std::string::npos) << err;
+}
