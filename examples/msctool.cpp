@@ -22,6 +22,15 @@
  *       Differential fuzzing: random programs through three
  *       independent oracles under every selection strategy
  *       (docs/TESTING.md). Nonzero exit on any divergence.
+ *   msctool trace <workload|file.mir> [--out trace.json]
+ *               [--taskprof prof.json] [--pus N] [--strategy bb|cf|dd]
+ *               [--in-order] [--size] [--targets N] [--insts N]
+ *               [--top N] [--phase-times] [--check]
+ *       Full pipeline with task-lifecycle tracing: write a
+ *       Perfetto/chrome://tracing timeline and a per-static-task
+ *       msc.taskprof attribution profile, print the hot-tasks table
+ *       (docs/TRACING.md). --check re-parses the emitted trace and
+ *       verifies the span-vs-SimStats accounting invariant.
  *
  * Files with a `.mir` extension are parsed with ir::parseProgram, so
  * hand-written programs work everywhere a workload name does.
@@ -38,6 +47,10 @@
 #include "fuzz/campaign.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "obs/crosscheck.h"
+#include "obs/perfetto.h"
+#include "obs/phase.h"
+#include "obs/taskprof.h"
 #include "profile/interpreter.h"
 #include "report/record.h"
 #include "report/sweep.h"
@@ -274,6 +287,147 @@ cmdSweep(int argc, char **argv)
 }
 
 int
+cmdTrace(int argc, char **argv)
+{
+    std::string spec = argv[0];
+    sim::RunOptions o;
+    unsigned pus = 4;
+    bool ooo = true;
+    std::string out_path, prof_path;
+    unsigned top_n = 10;
+    bool phase_spans = false, check = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto arg = [&](const char *name) -> const char * {
+            if (a != name)
+                return nullptr;
+            if (i + 1 >= argc)
+                throw std::runtime_error(std::string(name) +
+                                         " needs a value");
+            return argv[++i];
+        };
+        if (const char *v = arg("--pus")) {
+            pus = unsigned(atoi(v));
+        } else if (const char *v2 = arg("--strategy")) {
+            o.sel.strategy = report::strategyFromId(v2);
+        } else if (const char *v3 = arg("--targets")) {
+            o.sel.maxTargets = unsigned(atoi(v3));
+        } else if (const char *v4 = arg("--insts")) {
+            o.traceInsts = uint64_t(atoll(v4));
+        } else if (const char *v5 = arg("--out")) {
+            out_path = v5;
+        } else if (const char *v6 = arg("--taskprof")) {
+            prof_path = v6;
+        } else if (const char *v7 = arg("--top")) {
+            top_n = unsigned(atoi(v7));
+        } else if (a == "--in-order") {
+            ooo = false;
+        } else if (a == "--size") {
+            o.sel.taskSizeHeuristic = true;
+        } else if (a == "--phase-times") {
+            phase_spans = true;
+        } else if (a == "--check") {
+            check = true;
+        } else {
+            throw std::runtime_error("unknown flag " + a);
+        }
+    }
+    o.config = arch::SimConfig::paperConfig(pus, ooo);
+    o.config.maxTargets = o.sel.maxTargets;
+
+    obs::PerfettoTraceWriter writer(pus, spec);
+    obs::TaskProfiler prof;
+    obs::SpanAccounting xcheck(pus);
+    obs::TeeSink tee({&writer, &prof, &xcheck});
+    obs::PhaseTimes phases;
+    o.sink = &tee;
+    o.phaseTimes = &phases;
+
+    sim::RunResult r = sim::runPipeline(loadProgram(spec), o);
+
+    // Host-time breakdown goes to stderr (and, on request, into the
+    // trace file) — never into structured result documents.
+    std::fprintf(stderr, "pipeline wall-clock phases:\n%s",
+                 obs::formatPhaseTimes(phases).c_str());
+    if (phase_spans)
+        writer.addPhaseSpans(phases);
+
+    std::printf("%s | %s tasks | %u %s PUs | %llu cycles | IPC %.3f\n",
+                spec.c_str(), tasksel::strategyName(o.sel.strategy),
+                pus, ooo ? "out-of-order" : "in-order",
+                (unsigned long long)r.stats.cycles, r.stats.ipc());
+    std::printf("%s", arch::formatBuckets(r.stats).c_str());
+    std::printf("hot static tasks (of %zu in partition):\n%s",
+                r.partition.size(),
+                obs::formatHotTasks(prof, r.partition, top_n).c_str());
+
+    if (!out_path.empty()) {
+        writer.write(out_path);
+        std::fprintf(stderr, "trace: wrote %s\n", out_path.c_str());
+    }
+    if (!prof_path.empty()) {
+        report::writeFile(
+            prof_path,
+            obs::taskProfileToJson(prof, r.partition, spec).dump(2));
+        std::fprintf(stderr, "trace: wrote %s\n", prof_path.c_str());
+    }
+
+    if (!check)
+        return 0;
+
+    // The timeline must BE the accounting: live event sums first,
+    // then the emitted JSON re-parsed and re-summed per PU.
+    std::string err = xcheck.verify(r.stats);
+    if (!err.empty()) {
+        std::fprintf(stderr,
+                     "trace: accounting cross-check FAILED: %s\n",
+                     err.c_str());
+        return 1;
+    }
+
+    std::string text;
+    if (out_path.empty()) {
+        text = writer.str();
+    } else {
+        std::ifstream in(out_path, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    report::Json doc = report::Json::parse(text);
+    const report::Json &events = doc.get("traceEvents");
+    std::vector<uint64_t> per_pu(pus, 0);
+    for (size_t i = 0; i < events.size(); ++i) {
+        const report::Json &e = events.at(i);
+        const std::string &ph = e.get("ph").asString();
+        if (e.get("ts").asDouble() < 0 ||
+            (e.find("dur") && e.get("dur").asDouble() < 0))
+            throw std::runtime_error("negative ts/dur in trace event");
+        if (ph != "X" ||
+            e.get("pid").asInt() != obs::PerfettoTraceWriter::PID_SIM)
+            continue;
+        per_pu.at(size_t(e.get("tid").asInt())) += e.get("dur").asUInt();
+    }
+    for (unsigned pu = 0; pu < pus; ++pu) {
+        if (per_pu[pu] != r.stats.puOccupiedCycles[pu]) {
+            std::fprintf(stderr,
+                         "trace: emitted file cross-check FAILED: PU %u "
+                         "spans %llu != accounted %llu\n",
+                         pu, (unsigned long long)per_pu[pu],
+                         (unsigned long long)
+                             r.stats.puOccupiedCycles[pu]);
+            return 1;
+        }
+    }
+    std::fprintf(stderr,
+                 "trace: accounting cross-check passed (%zu events, "
+                 "%u PUs)\n",
+                 events.size(), pus);
+    return 0;
+}
+
+int
 cmdFuzz(int argc, char **argv)
 {
     fuzz::CampaignOptions o;
@@ -358,6 +512,8 @@ main(int argc, char **argv)
             return cmdSweep(argc - 2, argv + 2);
         if (argc >= 2 && std::strcmp(argv[1], "fuzz") == 0)
             return cmdFuzz(argc - 2, argv + 2);
+        if (argc >= 3 && std::strcmp(argv[1], "trace") == 0)
+            return cmdTrace(argc - 2, argv + 2);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "msctool: %s\n", e.what());
         return 1;
@@ -376,6 +532,12 @@ main(int argc, char **argv)
                  "              [--insts N] [--small]\n"
                  "       msctool fuzz   [--count N] [--seed S]\n"
                  "              [--jobs N] [--size 0..3] [--max-insts N]\n"
-                 "              [--corpus-dir DIR] [--no-shrink]\n");
+                 "              [--corpus-dir DIR] [--no-shrink]\n"
+                 "       msctool trace  <workload|file.mir>\n"
+                 "              [--out trace.json] [--taskprof p.json]\n"
+                 "              [--pus N] [--strategy bb|cf|dd]\n"
+                 "              [--in-order] [--size] [--targets N]\n"
+                 "              [--insts N] [--top N] [--phase-times]\n"
+                 "              [--check]\n");
     return 2;
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full local gate: the optimized tier-1 suite plus the same suite under
-# ASan/UBSan in a separate Debug build tree, then the fuzz smoke batch.
+# ASan/UBSan in a separate Debug build tree, then the smoke batch (the
+# fuzz oracles and the trace_smoke record+parse+invariant check).
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --fast     # optimized tier1 only (no sanitizers)

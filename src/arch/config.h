@@ -7,8 +7,18 @@
 
 #include <cstdint>
 
+#include "ir/types.h"
+
 namespace msc {
 namespace arch {
+
+/**
+ * Architected register count. One constant shared with the IR layer:
+ * every per-register array in the timing model (forwarding state,
+ * SimStats::extWaitByReg) is sized from here, and stats.h
+ * static_asserts the agreement so the two layers cannot drift.
+ */
+constexpr unsigned NUM_REGS = ir::NUM_REGS;
 
 /** One cache level's geometry. */
 struct CacheConfig

@@ -12,6 +12,7 @@
 #include "arch/predictors.h"
 #include "arch/ring.h"
 #include "cfg/liveness.h"
+#include "obs/tracesink.h"
 
 namespace msc {
 namespace arch {
@@ -95,7 +96,7 @@ class Simulator
 {
   public:
     Simulator(const TaskPartition &part, const std::vector<DynTask> &tasks,
-              const SimConfig &cfg)
+              const SimConfig &cfg, obs::TraceSink *sink)
         : _part(part), _tasks(tasks), _cfg(cfg),
           _hier(cfg),
           _arb(cfg.arbEntriesPerPU * cfg.numPUs),
@@ -105,8 +106,11 @@ class Simulator
           _taskPred(cfg.taskPredHistBits, cfg.taskPredTableSize,
                     cfg.maxTargets),
           _ras(cfg.rasDepth),
-          _puBusy(cfg.numPUs, false)
+          _puBusy(cfg.numPUs, false),
+          _sink(sink),
+          _arbStallMark(cfg.numPUs, 0)
     {
+        _stats.puOccupiedCycles.assign(cfg.numPUs, 0);
     }
 
     SimStats run();
@@ -130,6 +134,8 @@ class Simulator
     void resolveControl();
     void processViolations();
     Instance *bySeq(uint64_t seq);
+    void emitCounters();
+    void noteArbStall(unsigned pu);
 
     const TaskPartition &_part;
     const std::vector<DynTask> &_tasks;
@@ -150,6 +156,12 @@ class Simulator
     uint64_t _nextDyn = 0;      ///< Next dynamic task to dispatch.
     std::vector<Violation> _violations;
     std::vector<uint64_t> _violationLoadPcScratch;
+
+    /// @name Observation (null sink == tracing disabled).
+    /// @{
+    obs::TraceSink *_sink;
+    std::vector<uint64_t> _arbStallMark;  ///< Last instant, per PU, +1.
+    /// @}
 
     SimStats _stats;
     uint64_t _spanSum = 0;
@@ -184,6 +196,33 @@ Simulator::bySeq(uint64_t seq)
         if (up->seq == seq)
             return up.get();
     return nullptr;
+}
+
+/** Samples the window-occupancy counters after a window change
+ *  (assignment, retire, squash). Only called with a sink attached. */
+void
+Simulator::emitCounters()
+{
+    unsigned in_flight = 0;
+    uint64_t span = 0;
+    for (auto &up : _window) {
+        if (up->bogus)
+            continue;
+        in_flight++;
+        span += up->task->insts.size();
+    }
+    _sink->counters(obs::CounterEvent{_now, in_flight, span});
+}
+
+/** Emits at most one ARB-overflow instant per PU per cycle, however
+ *  many issue attempts stalled. */
+void
+Simulator::noteArbStall(unsigned pu)
+{
+    if (_arbStallMark[pu] == _now + 1)
+        return;
+    _arbStallMark[pu] = _now + 1;
+    _sink->instant(obs::InstantKind::ArbOverflow, pu, _now);
 }
 
 void
@@ -370,6 +409,8 @@ Simulator::tryIssue(Instance &in, uint32_t i,
         // stall when the ARB is full.
         if (!is_head && _arb.full() && !_arb.tracked(di.addr)) {
             _stats.arbOverflowStalls++;
+            if (_sink)
+                noteArbStall(in.pu);
             return false;
         }
         uint64_t avail = _hier.dataAccess(di.addr * 8, _now);
@@ -378,6 +419,8 @@ Simulator::tryIssue(Instance &in, uint32_t i,
     } else if (inst.isStore()) {
         if (!is_head && _arb.full() && !_arb.tracked(di.addr)) {
             _stats.arbOverflowStalls++;
+            if (_sink)
+                noteArbStall(in.pu);
             return false;
         }
         wb = _now + 1 + _cfg.arbHitLatency;
@@ -548,6 +591,8 @@ Simulator::execPhase()
 void
 Simulator::squashFrom(uint64_t seq, CycleKind kind)
 {
+    bool squashed_any = false;
+    unsigned trigger_pu = 0;
     while (!_window.empty() && _window.back()->seq >= seq) {
         Instance &in = *_window.back();
         uint64_t t = in.buckets.collapse();
@@ -555,15 +600,39 @@ Simulator::squashFrom(uint64_t seq, CycleKind kind)
         // including the cycles of the current (partial) cycle window.
         uint64_t occupied = (_now >= in.assignCycle)
             ? (_now - in.assignCycle) : 0;
-        _stats.buckets.add(kind, std::max(t, occupied));
+        uint64_t penalty = std::max(t, occupied);
+        _stats.buckets.add(kind, penalty);
+        _stats.puOccupiedCycles[in.pu] += penalty;
         if (kind == CycleKind::CtrlSquash)
             _stats.tasksSquashedCtrl++;
         else
             _stats.tasksSquashedMem++;
+        if (_sink) {
+            obs::SquashEvent ev;
+            ev.pu = in.pu;
+            ev.dynIdx = in.dynIdx;
+            ev.staticTask = in.task ? in.task->staticTask
+                                    : tasksel::INVALID_TASK;
+            ev.bogus = in.bogus;
+            ev.kind = kind;
+            ev.assignCycle = in.assignCycle;
+            ev.squashCycle = _now;
+            ev.penaltyCycles = penalty;
+            _sink->taskSquashed(ev);
+        }
+        squashed_any = true;
+        trigger_pu = in.pu;  // Ends at the oldest squashed instance.
         if (!in.bogus)
             _arb.squashFrom(in.dynIdx);
         _puBusy[in.pu] = false;
         _window.pop_back();
+    }
+    if (_sink && squashed_any) {
+        _sink->instant(kind == CycleKind::MemSquash
+                           ? obs::InstantKind::MemSquash
+                           : obs::InstantKind::CtrlSquash,
+                       trigger_pu, _now);
+        emitCounters();
     }
     if (_window.empty())
         _nextDyn = 0;  // Never happens: head is never squashed.
@@ -641,15 +710,33 @@ Simulator::retirePhase()
                      head.retireStart - head.completionCycle);
     head.buckets.add(CycleKind::TaskEnd, _cfg.taskEndOverhead);
     _stats.buckets.merge(head.buckets);
+    _stats.puOccupiedCycles[head.pu] += head.buckets.total();
     _stats.retiredTasks++;
     _stats.retiredInsts += head.task->insts.size();
     _stats.dynTasks++;
     _stats.dynTaskInsts += head.task->insts.size();
     _stats.dynTaskCtlInsts += head.task->ctlInsts;
 
+    if (_sink) {
+        obs::CommitEvent ev;
+        ev.pu = head.pu;
+        ev.dynIdx = head.dynIdx;
+        ev.staticTask = head.task->staticTask;
+        ev.assignCycle = head.assignCycle;
+        ev.fetchStart = head.fetchStart;
+        ev.completionCycle = head.completionCycle;
+        ev.retireStart = head.retireStart;
+        ev.retireEnd = head.retireStart + _cfg.taskEndOverhead;
+        ev.insts = head.task->insts.size();
+        ev.buckets = head.buckets;
+        _sink->taskCommitted(ev);
+    }
+
     _arb.retireUpTo(head.dynIdx);
     _puBusy[head.pu] = false;
     _window.pop_front();
+    if (_sink)
+        emitCounters();
 }
 
 void
@@ -762,6 +849,19 @@ Simulator::assignPhase()
 
     _puBusy[pu] = true;
     _window.push_back(std::move(in));
+
+    if (_sink) {
+        const Instance &ni = *_window.back();
+        obs::AssignEvent ev;
+        ev.pu = ni.pu;
+        ev.dynIdx = ni.dynIdx;
+        ev.staticTask = ni.task ? ni.task->staticTask
+                                : tasksel::INVALID_TASK;
+        ev.bogus = ni.bogus;
+        ev.cycle = _now;
+        _sink->taskAssigned(ev);
+        emitCounters();
+    }
 }
 
 SimStats
@@ -790,6 +890,8 @@ Simulator::run()
     _stats.l1iMisses = _hier.l1i().misses();
     _stats.l1dAccesses = _hier.l1d().accesses();
     _stats.l1dMisses = _hier.l1d().misses();
+    if (_sink)
+        _sink->simEnd(_now);
     return _stats;
 }
 
@@ -797,9 +899,9 @@ Simulator::run()
 
 SimStats
 simulate(const TaskPartition &part, const std::vector<DynTask> &tasks,
-         const SimConfig &cfg)
+         const SimConfig &cfg, obs::TraceSink *sink)
 {
-    Simulator sim(part, tasks, cfg);
+    Simulator sim(part, tasks, cfg, sink);
     return sim.run();
 }
 

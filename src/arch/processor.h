@@ -45,16 +45,27 @@
 #include "tasksel/task.h"
 
 namespace msc {
+
+namespace obs {
+class TraceSink;
+}
+
 namespace arch {
 
 /**
  * Runs the full timing simulation of @p tasks (the dynamic task
  * stream of a program under some partition) and returns the
  * statistics.
+ *
+ * @p sink, when non-null, receives the task-lifecycle event stream
+ * (assignment, commit with per-instance attribution, squashes, stall
+ * instants, window counters — see obs/tracesink.h). A null sink is
+ * the fast path: no event is constructed.
  */
 SimStats simulate(const tasksel::TaskPartition &part,
                   const std::vector<DynTask> &tasks,
-                  const SimConfig &cfg);
+                  const SimConfig &cfg,
+                  obs::TraceSink *sink = nullptr);
 
 } // namespace arch
 } // namespace msc

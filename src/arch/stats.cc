@@ -73,18 +73,28 @@ SimStats::formulaWindowSpan(unsigned num_pus) const
 std::string
 formatBuckets(const SimStats &s)
 {
+    constexpr int BAR_WIDTH = 32;
     std::ostringstream os;
     uint64_t tot = s.buckets.total();
-    if (!tot)
-        tot = 1;
+    uint64_t denom = tot ? tot : 1;
     for (size_t i = 0; i < NUM_CYCLE_KINDS; ++i) {
-        char line[96];
-        std::snprintf(line, sizeof(line), "  %-22s %12llu  (%5.1f%%)\n",
+        double pct = 100.0 * double(s.buckets.counts[i]) / double(denom);
+        char bar[BAR_WIDTH + 1];
+        int fill = int(pct * BAR_WIDTH / 100.0 + 0.5);
+        for (int b = 0; b < BAR_WIDTH; ++b)
+            bar[b] = b < fill ? '#' : ' ';
+        bar[BAR_WIDTH] = '\0';
+        char line[144];
+        std::snprintf(line, sizeof(line),
+                      "  %-22s %12llu  %5.1f%%  |%s|\n",
                       cycleKindName(CycleKind(i)),
-                      (unsigned long long)s.buckets.counts[i],
-                      100.0 * double(s.buckets.counts[i]) / double(tot));
+                      (unsigned long long)s.buckets.counts[i], pct, bar);
         os << line;
     }
+    char line[144];
+    std::snprintf(line, sizeof(line), "  %-22s %12llu\n",
+                  "total-occupied", (unsigned long long)tot);
+    os << line;
     return os.str();
 }
 

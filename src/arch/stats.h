@@ -10,6 +10,9 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "arch/config.h"
 
 namespace msc {
 namespace arch {
@@ -125,7 +128,15 @@ struct SimStats
 
     /** Diagnostic: inter-task wait cycles attributed to the register
      *  the oldest unissued instruction was blocked on. */
-    std::array<uint64_t, 64> extWaitByReg{};
+    std::array<uint64_t, NUM_REGS> extWaitByReg{};
+
+    /**
+     * Occupied PU cycles per PU (the per-PU share of `buckets`),
+     * sized numPUs by the simulator. Diagnostic like extWaitByReg:
+     * consumed by the tracing cross-check (obs/crosscheck.h) and
+     * deliberately absent from the msc.sweep schema.
+     */
+    std::vector<uint64_t> puOccupiedCycles;
 
     double
     ipc() const
@@ -181,7 +192,20 @@ struct SimStats
     double formulaWindowSpan(unsigned num_pus) const;
 };
 
-/** Renders the bucket breakdown as an aligned multi-line string. */
+static_assert(std::tuple_size<decltype(SimStats::extWaitByReg)>::value
+                  == NUM_REGS,
+              "extWaitByReg must cover exactly the architected "
+              "registers (arch/config.h NUM_REGS)");
+static_assert(NUM_REGS == ir::NUM_REGS,
+              "arch and ir must agree on the register count");
+
+/**
+ * Renders the bucket breakdown as an aligned multi-line string: one
+ * row per Figure 2 category with absolute cycles, percent of occupied
+ * total and a proportional bar (the normalized presentation of the
+ * paper's Figure 5), followed by a total row. A zero-cycle stats
+ * object renders all-zero percentages rather than dividing by zero.
+ */
 std::string formatBuckets(const SimStats &s);
 
 } // namespace arch

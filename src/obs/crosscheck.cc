@@ -1,0 +1,95 @@
+#include "obs/crosscheck.h"
+
+#include <cstdio>
+
+namespace msc {
+namespace obs {
+
+void
+SpanAccounting::taskCommitted(const CommitEvent &e)
+{
+    uint64_t dispatch = e.fetchStart - e.assignCycle;
+    uint64_t execute = e.completionCycle - e.fetchStart;
+    uint64_t wait = e.retireStart - e.completionCycle;
+    uint64_t commit = e.retireEnd - e.retireStart;
+    _dispatch += dispatch;
+    _execute += execute;
+    _waitRetire += wait;
+    _commit += commit;
+    if (e.pu < _perPu.size())
+        _perPu[e.pu] += dispatch + execute + wait + commit;
+}
+
+void
+SpanAccounting::taskSquashed(const SquashEvent &e)
+{
+    if (e.kind == arch::CycleKind::MemSquash)
+        _memSquash += e.penaltyCycles;
+    else
+        _ctrlSquash += e.penaltyCycles;
+    if (e.pu < _perPu.size())
+        _perPu[e.pu] += e.penaltyCycles;
+}
+
+std::string
+SpanAccounting::verify(const arch::SimStats &stats) const
+{
+    auto bucket = [&](arch::CycleKind k) {
+        return stats.buckets.counts[size_t(k)];
+    };
+    char msg[160];
+    auto mismatch = [&](const char *what, uint64_t spans,
+                        uint64_t accounted) -> std::string {
+        std::snprintf(msg, sizeof(msg),
+                      "%s: span durations sum to %llu but SimStats "
+                      "accounts %llu cycles",
+                      what, (unsigned long long)spans,
+                      (unsigned long long)accounted);
+        return msg;
+    };
+
+    using arch::CycleKind;
+    uint64_t exec_buckets = bucket(CycleKind::Useful) +
+                            bucket(CycleKind::InterTaskComm) +
+                            bucket(CycleKind::IntraTaskDep) +
+                            bucket(CycleKind::FetchStall);
+    if (_dispatch != bucket(CycleKind::TaskStart))
+        return mismatch("dispatch", _dispatch,
+                        bucket(CycleKind::TaskStart));
+    if (_execute != exec_buckets)
+        return mismatch("execute", _execute, exec_buckets);
+    if (_waitRetire != bucket(CycleKind::LoadImbalance))
+        return mismatch("wait-retire", _waitRetire,
+                        bucket(CycleKind::LoadImbalance));
+    if (_commit != bucket(CycleKind::TaskEnd))
+        return mismatch("commit", _commit, bucket(CycleKind::TaskEnd));
+    if (_ctrlSquash != bucket(CycleKind::CtrlSquash))
+        return mismatch("ctrl-squash", _ctrlSquash,
+                        bucket(CycleKind::CtrlSquash));
+    if (_memSquash != bucket(CycleKind::MemSquash))
+        return mismatch("mem-squash", _memSquash,
+                        bucket(CycleKind::MemSquash));
+
+    if (stats.puOccupiedCycles.size() != _perPu.size()) {
+        std::snprintf(msg, sizeof(msg),
+                      "per-PU occupancy: trace saw %zu PUs but "
+                      "SimStats tracked %zu",
+                      _perPu.size(), stats.puOccupiedCycles.size());
+        return msg;
+    }
+    for (size_t pu = 0; pu < _perPu.size(); ++pu) {
+        if (_perPu[pu] != stats.puOccupiedCycles[pu]) {
+            std::snprintf(msg, sizeof(msg),
+                          "PU %zu: span durations sum to %llu but "
+                          "SimStats accounts %llu cycles",
+                          pu, (unsigned long long)_perPu[pu],
+                          (unsigned long long)
+                              stats.puOccupiedCycles[pu]);
+            return msg;
+        }
+    }
+    return "";
+}
+
+} // namespace obs
+} // namespace msc

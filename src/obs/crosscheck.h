@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Accounting cross-check: asserts that the task timeline IS the cycle
+ * accounting, not a parallel approximation.
+ *
+ * SpanAccounting listens to the same event stream the trace writer
+ * renders, sums span durations per PU and per lifecycle phase, and
+ * verify() compares those sums against SimStats: per-PU totals must
+ * equal SimStats::puOccupiedCycles and per-phase totals must equal
+ * the corresponding Figure 2 bucket groups. Any drift between the
+ * simulator's bucket bookkeeping and the emitted spans is a bug this
+ * catches (tests/test_obs.cc, `msctool trace --check`, the
+ * trace_smoke ctest target).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/tracesink.h"
+
+namespace msc {
+namespace obs {
+
+/** TraceSink accumulating span-duration sums for verification. */
+class SpanAccounting final : public TraceSink
+{
+  public:
+    explicit SpanAccounting(unsigned num_pus)
+        : _perPu(num_pus, 0)
+    {
+    }
+
+    void taskCommitted(const CommitEvent &e) override;
+    void taskSquashed(const SquashEvent &e) override;
+
+    /** Summed span durations on @p pu. */
+    const std::vector<uint64_t> &perPu() const { return _perPu; }
+
+    /**
+     * Returns an empty string when every per-PU and per-bucket-group
+     * sum matches @p stats, else a description of the first mismatch.
+     */
+    std::string verify(const arch::SimStats &stats) const;
+
+  private:
+    std::vector<uint64_t> _perPu;
+    uint64_t _dispatch = 0;     ///< == TaskStart.
+    uint64_t _execute = 0;      ///< == Useful + comm + dep + fetch.
+    uint64_t _waitRetire = 0;   ///< == LoadImbalance.
+    uint64_t _commit = 0;       ///< == TaskEnd.
+    uint64_t _ctrlSquash = 0;   ///< == CtrlSquash.
+    uint64_t _memSquash = 0;    ///< == MemSquash.
+};
+
+} // namespace obs
+} // namespace msc

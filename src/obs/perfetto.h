@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Chrome-trace-event / Perfetto JSON writer.
+ *
+ * Emits the JSON object form of the trace-event format
+ * ({"traceEvents": [...]}) that both chrome://tracing and
+ * https://ui.perfetto.dev open directly. One process ("timing sim")
+ * carries a thread per PU with the task-lifecycle spans and stall
+ * instants, plus two counter tracks (in-flight tasks, window span);
+ * wall-clock pipeline-phase spans, when requested, land in a second
+ * process so host time never mixes with simulated time.
+ *
+ * Timestamps are simulation cycles written as trace-event
+ * microseconds (1 cycle == 1 us on the viewer's axis). Only complete
+ * ("X"), instant ("i"), counter ("C") and metadata ("M") events are
+ * produced, all with non-negative ts/dur, so any trace-event consumer
+ * accepts the file. Output is deterministic: same workload, config
+ * and seed produce a byte-identical file (docs/TRACING.md).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "obs/phase.h"
+#include "obs/tracesink.h"
+#include "report/json.h"
+
+namespace msc {
+namespace obs {
+
+/** TraceSink that renders the event stream as a trace-event JSON
+ *  document. Collects in memory; call str() / write() at the end. */
+class PerfettoTraceWriter final : public TraceSink
+{
+  public:
+    /** @p num_pus sizes the thread-name metadata. @p workload is
+     *  recorded as the process label. */
+    explicit PerfettoTraceWriter(unsigned num_pus,
+                                 const std::string &workload = "");
+
+    void taskCommitted(const CommitEvent &e) override;
+    void taskSquashed(const SquashEvent &e) override;
+    void instant(InstantKind k, unsigned pu, uint64_t cycle) override;
+    void counters(const CounterEvent &e) override;
+    void simEnd(uint64_t final_cycle) override;
+
+    /**
+     * Appends wall-clock pipeline-phase spans as a separate process
+     * track. Opt-in because host time varies run to run and would
+     * break the byte-determinism of the default trace.
+     */
+    void addPhaseSpans(const PhaseTimes &pt);
+
+    /** The complete document (valid whether or not simEnd ran). */
+    report::Json toJson() const;
+
+    /** Serialized compact JSON of toJson(). */
+    std::string str() const;
+
+    /** Writes str() to @p path; throws std::runtime_error on I/O
+     *  failure. */
+    void write(const std::string &path) const;
+
+    /// @name Trace-event constants (shared with tests/tools).
+    /// @{
+    static constexpr int PID_SIM = 1;       ///< Simulated-cycles process.
+    static constexpr int PID_PIPELINE = 2;  ///< Wall-clock process.
+    /// @}
+
+  private:
+    void span(const char *name, unsigned pu, uint64_t start,
+              uint64_t end, const CommitEvent *detail);
+
+    report::Json _events;
+    unsigned _numPUs;
+    bool _haveCounter = false;
+    unsigned _lastInFlight = 0;
+    uint64_t _lastSpanInsts = 0;
+};
+
+} // namespace obs
+} // namespace msc

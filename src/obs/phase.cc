@@ -1,0 +1,43 @@
+#include "obs/phase.h"
+
+#include <cstdio>
+
+namespace msc {
+namespace obs {
+
+const char *
+pipelinePhaseName(PipelinePhase p)
+{
+    switch (p) {
+      case PipelinePhase::Transforms: return "transforms";
+      case PipelinePhase::Profile:    return "profile";
+      case PipelinePhase::Selection:  return "selection";
+      case PipelinePhase::TraceCut:   return "trace-cut";
+      case PipelinePhase::TimingSim:  return "timing-sim";
+      default:                        return "?";
+    }
+}
+
+std::string
+formatPhaseTimes(const PhaseTimes &pt)
+{
+    std::string out;
+    double tot = pt.total();
+    double denom = tot > 0 ? tot : 1.0;
+    for (size_t i = 0; i < NUM_PIPELINE_PHASES; ++i) {
+        char line[96];
+        std::snprintf(line, sizeof(line), "  %-12s %10.2f ms  (%5.1f%%)\n",
+                      pipelinePhaseName(PipelinePhase(i)),
+                      pt.micros[i] / 1000.0,
+                      100.0 * pt.micros[i] / denom);
+        out += line;
+    }
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-12s %10.2f ms\n", "total",
+                  tot / 1000.0);
+    out += line;
+    return out;
+}
+
+} // namespace obs
+} // namespace msc

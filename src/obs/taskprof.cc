@@ -1,0 +1,174 @@
+#include "obs/taskprof.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace msc {
+namespace obs {
+
+using report::Json;
+
+StaticTaskProfile &
+TaskProfiler::at(tasksel::TaskId t)
+{
+    if (_profiles.size() <= t)
+        _profiles.resize(t + 1);
+    return _profiles[t];
+}
+
+void
+TaskProfiler::taskAssigned(const AssignEvent &e)
+{
+    if (e.bogus)
+        _bogusDispatches++;
+    else
+        at(e.staticTask).dispatches++;
+}
+
+void
+TaskProfiler::taskCommitted(const CommitEvent &e)
+{
+    StaticTaskProfile &p = at(e.staticTask);
+    p.commits++;
+    p.committedInsts += e.insts;
+    p.buckets.merge(e.buckets);
+}
+
+void
+TaskProfiler::taskSquashed(const SquashEvent &e)
+{
+    if (e.bogus) {
+        _bogusPenaltyCycles += e.penaltyCycles;
+        return;
+    }
+    StaticTaskProfile &p = at(e.staticTask);
+    if (e.kind == arch::CycleKind::MemSquash)
+        p.memSquashes++;
+    else
+        p.ctrlSquashes++;
+    p.squashPenaltyCycles += e.penaltyCycles;
+}
+
+uint64_t
+TaskProfiler::totalCycles() const
+{
+    uint64_t t = _bogusPenaltyCycles;
+    for (const auto &p : _profiles)
+        t += p.totalCycles();
+    return t;
+}
+
+Json
+taskProfileToJson(const TaskProfiler &prof,
+                  const tasksel::TaskPartition &part,
+                  const std::string &workload)
+{
+    Json doc = Json::object();
+    doc["schema"] = TASKPROF_SCHEMA_NAME;
+    doc["schema_version"] = TASKPROF_SCHEMA_VERSION;
+    doc["workload"] = workload;
+
+    Json tasks = Json::array();
+    const auto &profiles = prof.profiles();
+    for (tasksel::TaskId t = 0; t < profiles.size(); ++t) {
+        const StaticTaskProfile &p = profiles[t];
+        if (p.dispatches == 0)
+            continue;
+        Json e = Json::object();
+        e["task"] = t;
+        if (t < part.tasks.size()) {
+            const tasksel::Task &st = part.tasks[t];
+            e["func"] = part.prog->function(st.func).name;
+            e["entry_block"] = st.entry;
+            e["static_insts"] = st.staticInsts;
+        }
+        e["dispatches"] = p.dispatches;
+        e["commits"] = p.commits;
+        e["ctrl_squashes"] = p.ctrlSquashes;
+        e["mem_squashes"] = p.memSquashes;
+        e["committed_insts"] = p.committedInsts;
+        e["squash_penalty_cycles"] = p.squashPenaltyCycles;
+        Json buckets = Json::object();
+        for (size_t i = 0; i < arch::NUM_CYCLE_KINDS; ++i)
+            buckets[arch::cycleKindId(arch::CycleKind(i))] =
+                p.buckets.counts[i];
+        e["cycle_breakdown"] = std::move(buckets);
+        e["total_cycles"] = p.totalCycles();
+        tasks.push(std::move(e));
+    }
+    doc["tasks"] = std::move(tasks);
+
+    Json bogus = Json::object();
+    bogus["dispatches"] = prof.bogusDispatches();
+    bogus["squash_penalty_cycles"] = prof.bogusPenaltyCycles();
+    doc["bogus"] = std::move(bogus);
+    return doc;
+}
+
+std::string
+formatHotTasks(const TaskProfiler &prof,
+               const tasksel::TaskPartition &part, size_t top_n)
+{
+    const auto &profiles = prof.profiles();
+    std::vector<tasksel::TaskId> order;
+    for (tasksel::TaskId t = 0; t < profiles.size(); ++t)
+        if (profiles[t].dispatches > 0)
+            order.push_back(t);
+    // Hottest first; ties broken by id so the table is deterministic.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](tasksel::TaskId a, tasksel::TaskId b) {
+                         return profiles[a].totalCycles() >
+                                profiles[b].totalCycles();
+                     });
+
+    uint64_t denom = prof.totalCycles();
+    if (!denom)
+        denom = 1;
+
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %4s %-24s %8s %8s %8s %10s %12s %7s\n", "task",
+                  "location", "disp", "commit", "squash", "insts",
+                  "cycles", "share");
+    out += line;
+    size_t shown = 0;
+    for (tasksel::TaskId t : order) {
+        if (shown++ >= top_n)
+            break;
+        const StaticTaskProfile &p = profiles[t];
+        std::string loc = "?";
+        if (t < part.tasks.size()) {
+            const tasksel::Task &st = part.tasks[t];
+            loc = part.prog->function(st.func).name + "@b" +
+                  std::to_string(st.entry);
+        }
+        std::snprintf(line, sizeof(line),
+                      "  %4u %-24s %8llu %8llu %8llu %10llu %12llu "
+                      "%6.1f%%\n",
+                      t, loc.c_str(),
+                      (unsigned long long)p.dispatches,
+                      (unsigned long long)p.commits,
+                      (unsigned long long)(p.ctrlSquashes +
+                                           p.memSquashes),
+                      (unsigned long long)p.committedInsts,
+                      (unsigned long long)p.totalCycles(),
+                      100.0 * double(p.totalCycles()) / double(denom));
+        out += line;
+    }
+    if (prof.bogusPenaltyCycles() || prof.bogusDispatches()) {
+        std::snprintf(line, sizeof(line),
+                      "  %4s %-24s %8llu %8s %8s %10s %12llu %6.1f%%\n",
+                      "-", "(wrong-path)",
+                      (unsigned long long)prof.bogusDispatches(), "-",
+                      "-", "-",
+                      (unsigned long long)prof.bogusPenaltyCycles(),
+                      100.0 * double(prof.bogusPenaltyCycles()) /
+                          double(denom));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace msc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-static-task attribution: which tasks of the partition the PU
+ * cycles actually went to.
+ *
+ * The aggregate SimStats breakdown (Figure 5) says *what kind* of
+ * cycle was spent; this profile says *whose* it was, keyed by static
+ * task id — the unit a selection heuristic can act on. A TaskProfiler
+ * sink accumulates dispatch/commit/squash counts, committed
+ * instructions and the full CycleBuckets per static task, plus the
+ * wrong-path (bogus) totals that belong to no task. Render it as the
+ * human "hot tasks" table (formatHotTasks) or as the versioned
+ * `msc.taskprof` JSON document (docs/METRICS.md) that sits alongside
+ * `msc.sweep`.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/tracesink.h"
+#include "report/json.h"
+
+namespace msc {
+namespace obs {
+
+/** Accumulated attribution for one static task. */
+struct StaticTaskProfile
+{
+    uint64_t dispatches = 0;        ///< Instances assigned to a PU.
+    uint64_t commits = 0;           ///< Instances retired.
+    uint64_t ctrlSquashes = 0;      ///< Instances killed by control.
+    uint64_t memSquashes = 0;       ///< Instances killed by memory.
+
+    uint64_t committedInsts = 0;    ///< Instructions retired.
+    uint64_t squashPenaltyCycles = 0;
+
+    /** Cycle attribution of committed instances (Figure 2 kinds). */
+    arch::CycleBuckets buckets;
+
+    /** All PU cycles this static task accounts for. */
+    uint64_t
+    totalCycles() const
+    {
+        return buckets.total() + squashPenaltyCycles;
+    }
+};
+
+/** TraceSink that aggregates per-static-task attribution. */
+class TaskProfiler final : public TraceSink
+{
+  public:
+    void taskAssigned(const AssignEvent &e) override;
+    void taskCommitted(const CommitEvent &e) override;
+    void taskSquashed(const SquashEvent &e) override;
+
+    /** Indexed by static TaskId; grown on demand, so tasks never
+     *  dispatched may be absent from the tail. */
+    const std::vector<StaticTaskProfile> &profiles() const
+    {
+        return _profiles;
+    }
+
+    /// @name Wrong-path (bogus) work, attributable to no static task.
+    /// @{
+    uint64_t bogusDispatches() const { return _bogusDispatches; }
+    uint64_t bogusPenaltyCycles() const { return _bogusPenaltyCycles; }
+    /// @}
+
+    /** Sum of totalCycles() over tasks plus the bogus penalty. */
+    uint64_t totalCycles() const;
+
+  private:
+    StaticTaskProfile &at(tasksel::TaskId t);
+
+    std::vector<StaticTaskProfile> _profiles;
+    uint64_t _bogusDispatches = 0;
+    uint64_t _bogusPenaltyCycles = 0;
+};
+
+/** `msc.taskprof` schema version (bump on any field rename). */
+constexpr int TASKPROF_SCHEMA_VERSION = 1;
+
+/** Schema identifier emitted as `schema`. */
+constexpr const char *TASKPROF_SCHEMA_NAME = "msc.taskprof";
+
+/**
+ * Serializes the profile as a versioned `msc.taskprof` document.
+ * @p part supplies static-task metadata (function, entry block,
+ * static size); only dispatched tasks are listed, ascending by id.
+ */
+report::Json taskProfileToJson(const TaskProfiler &prof,
+                               const tasksel::TaskPartition &part,
+                               const std::string &workload);
+
+/**
+ * Renders the top-@p top_n tasks by total attributed cycles as an
+ * aligned table (the "hot tasks" view `msctool trace` prints).
+ */
+std::string formatHotTasks(const TaskProfiler &prof,
+                           const tasksel::TaskPartition &part,
+                           size_t top_n = 10);
+
+} // namespace obs
+} // namespace msc

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Task-lifecycle trace sink: the observation interface of the timing
+ * model.
+ *
+ * The simulator reports semantic events — a task instance assigned to
+ * a PU, committed (with its full per-cycle attribution), squashed, a
+ * stall instant, window-occupancy counters — and sinks turn them into
+ * whatever representation is wanted: a Perfetto/Chrome trace-event
+ * timeline (obs/perfetto.h), a per-static-task attribution profile
+ * (obs/taskprof.h), or an accounting cross-check (obs/crosscheck.h).
+ *
+ * The disabled path is a branch on a null pointer in the simulator;
+ * no event structs are built when no sink is attached, so tracing
+ * costs nothing unless requested.
+ *
+ * Timeline contract (what makes the trace *be* the accounting rather
+ * than approximate it): a committed instance's lifecycle spans tile
+ * [assignCycle, retireEnd) contiguously and their durations equal the
+ * instance's CycleBuckets by group —
+ *
+ *   dispatch    [assignCycle, fetchStart)        == TaskStart
+ *   execute     [fetchStart, completionCycle)    == Useful +
+ *                 InterTaskComm + IntraTaskDep + FetchStall
+ *   wait-retire [completionCycle, retireStart)   == LoadImbalance
+ *   commit      [retireStart, retireEnd)         == TaskEnd
+ *
+ * and a squashed instance contributes one span of exactly
+ * `penaltyCycles` (the value merged into SimStats). Summing span
+ * durations per PU therefore reproduces SimStats::puOccupiedCycles,
+ * and summing per span name reproduces SimStats::buckets — the
+ * invariant tests/test_obs.cc and `msctool trace --check` enforce.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/stats.h"
+#include "tasksel/task.h"
+
+namespace msc {
+namespace obs {
+
+/** A task instance starting its occupancy of a PU. */
+struct AssignEvent
+{
+    unsigned pu = 0;
+    uint64_t dynIdx = 0;        ///< Meaningless when bogus.
+    tasksel::TaskId staticTask = tasksel::INVALID_TASK;
+    bool bogus = false;         ///< Wrong-path (unpredicted) work.
+    uint64_t cycle = 0;
+};
+
+/** Full lifecycle of one committed instance, reported at retire. */
+struct CommitEvent
+{
+    unsigned pu = 0;
+    uint64_t dynIdx = 0;
+    tasksel::TaskId staticTask = tasksel::INVALID_TASK;
+
+    uint64_t assignCycle = 0;      ///< Dispatch overhead begins.
+    uint64_t fetchStart = 0;       ///< Execution begins.
+    uint64_t completionCycle = 0;  ///< Last instruction done.
+    uint64_t retireStart = 0;      ///< Commit overhead begins.
+    uint64_t retireEnd = 0;        ///< PU freed.
+
+    uint64_t insts = 0;            ///< Dynamic instructions.
+    arch::CycleBuckets buckets;    ///< Per-instance attribution.
+};
+
+/** A squashed instance (control/memory misspeculation or bogus). */
+struct SquashEvent
+{
+    unsigned pu = 0;
+    uint64_t dynIdx = 0;        ///< Meaningless when bogus.
+    tasksel::TaskId staticTask = tasksel::INVALID_TASK;
+    bool bogus = false;
+    arch::CycleKind kind = arch::CycleKind::CtrlSquash;
+
+    uint64_t assignCycle = 0;
+    uint64_t squashCycle = 0;
+
+    /** Exactly the penalty merged into SimStats::buckets. */
+    uint64_t penaltyCycles = 0;
+};
+
+/** Point events worth a timeline marker. */
+enum class InstantKind : uint8_t
+{
+    CtrlSquash,     ///< A control misspeculation resolved here.
+    MemSquash,      ///< A memory-dependence violation resolved here.
+    ArbOverflow,    ///< A PU stalled on ARB capacity this cycle.
+};
+
+inline const char *
+instantKindName(InstantKind k)
+{
+    switch (k) {
+      case InstantKind::CtrlSquash:  return "ctrl-squash-trigger";
+      case InstantKind::MemSquash:   return "mem-squash-trigger";
+      case InstantKind::ArbOverflow: return "arb-overflow-stall";
+    }
+    return "?";
+}
+
+/** Window-occupancy counters, sampled when the window changes. */
+struct CounterEvent
+{
+    uint64_t cycle = 0;
+    unsigned inFlightTasks = 0;     ///< Non-bogus instances in flight.
+    uint64_t windowSpanInsts = 0;   ///< Their summed instruction count.
+};
+
+/**
+ * Receiver of simulator observation events. All methods default to
+ * no-ops so sinks override only what they consume.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    virtual void taskAssigned(const AssignEvent &) {}
+    virtual void taskCommitted(const CommitEvent &) {}
+    virtual void taskSquashed(const SquashEvent &) {}
+    virtual void instant(InstantKind, unsigned /*pu*/, uint64_t /*cycle*/)
+    {
+    }
+    virtual void counters(const CounterEvent &) {}
+
+    /** Final simulated cycle, once, after the last event. */
+    virtual void simEnd(uint64_t /*finalCycle*/) {}
+};
+
+/** Explicit do-nothing sink (tests of the enabled-but-inert path;
+ *  prefer a null pointer to disable tracing entirely). */
+class NullTraceSink final : public TraceSink
+{
+};
+
+/** Fans every event out to several sinks (e.g. timeline + profile +
+ *  cross-check in one run). Does not own the sinks. */
+class TeeSink final : public TraceSink
+{
+  public:
+    explicit TeeSink(std::vector<TraceSink *> sinks)
+        : _sinks(std::move(sinks))
+    {
+    }
+
+    void
+    taskAssigned(const AssignEvent &e) override
+    {
+        for (TraceSink *s : _sinks)
+            s->taskAssigned(e);
+    }
+
+    void
+    taskCommitted(const CommitEvent &e) override
+    {
+        for (TraceSink *s : _sinks)
+            s->taskCommitted(e);
+    }
+
+    void
+    taskSquashed(const SquashEvent &e) override
+    {
+        for (TraceSink *s : _sinks)
+            s->taskSquashed(e);
+    }
+
+    void
+    instant(InstantKind k, unsigned pu, uint64_t cycle) override
+    {
+        for (TraceSink *s : _sinks)
+            s->instant(k, pu, cycle);
+    }
+
+    void
+    counters(const CounterEvent &e) override
+    {
+        for (TraceSink *s : _sinks)
+            s->counters(e);
+    }
+
+    void
+    simEnd(uint64_t final_cycle) override
+    {
+        for (TraceSink *s : _sinks)
+            s->simEnd(final_cycle);
+    }
+
+  private:
+    std::vector<TraceSink *> _sinks;
+};
+
+} // namespace obs
+} // namespace msc

@@ -1,7 +1,9 @@
 #include "sim/runner.h"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/phase.h"
 #include "profile/interpreter.h"
 #include "tasksel/pverify.h"
 #include "tasksel/selector.h"
@@ -12,9 +14,43 @@ namespace sim {
 
 namespace {
 
+/**
+ * Accumulates the wall time between mark() calls into a PhaseTimes.
+ * With no accumulator attached (the common case) it never reads the
+ * clock.
+ */
+class PhaseClock
+{
+  public:
+    explicit PhaseClock(obs::PhaseTimes *pt)
+        : _pt(pt)
+    {
+        if (_pt)
+            _last = Clock::now();
+    }
+
+    void
+    mark(obs::PipelinePhase p)
+    {
+        if (!_pt)
+            return;
+        Clock::time_point now = Clock::now();
+        _pt->add(p, std::chrono::duration<double, std::micro>(
+                        now - _last).count());
+        _last = now;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    obs::PhaseTimes *_pt;
+    Clock::time_point _last;
+};
+
 RunResult
 preparePartition(const ir::Program &input, const RunOptions &opts)
 {
+    PhaseClock clock(opts.phaseTimes);
+
     RunResult r;
     r.prog = std::make_unique<ir::Program>(input);
 
@@ -29,8 +65,11 @@ preparePartition(const ir::Program &input, const RunOptions &opts)
                                                     opts.sel.loopThresh);
     r.prog->computeCfg();
     r.prog->layout();
+    clock.mark(obs::PipelinePhase::Transforms);
 
     r.profile = profile::profileProgram(*r.prog, opts.profileInsts);
+    clock.mark(obs::PipelinePhase::Profile);
+
     r.partition = tasksel::selectTasks(*r.prog, r.profile, opts.sel);
 
     if (opts.verifyPartition) {
@@ -39,6 +78,7 @@ preparePartition(const ir::Program &input, const RunOptions &opts)
             throw std::runtime_error("partition verification failed: "
                                      + err);
     }
+    clock.mark(obs::PipelinePhase::Selection);
     return r;
 }
 
@@ -54,14 +94,17 @@ RunResult
 runPipeline(const ir::Program &input, const RunOptions &opts)
 {
     RunResult r = preparePartition(input, opts);
+    PhaseClock clock(opts.phaseTimes);
 
     profile::Interpreter interp(*r.prog);
     profile::Trace trace = interp.trace(opts.traceInsts);
 
     std::vector<arch::DynTask> dyn = arch::cutTasks(trace, r.partition);
     r.dynTaskCount = dyn.size();
+    clock.mark(obs::PipelinePhase::TraceCut);
 
-    r.stats = arch::simulate(r.partition, dyn, opts.config);
+    r.stats = arch::simulate(r.partition, dyn, opts.config, opts.sink);
+    clock.mark(obs::PipelinePhase::TimingSim);
     return r;
 }
 

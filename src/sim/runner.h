@@ -21,6 +21,12 @@
 #include "tasksel/task.h"
 
 namespace msc {
+
+namespace obs {
+class TraceSink;
+struct PhaseTimes;
+}
+
 namespace sim {
 
 /** Everything a pipeline run needs to know. */
@@ -37,6 +43,20 @@ struct RunOptions
 
     /** Validate the partition and throw on violation (tests). */
     bool verifyPartition = true;
+
+    /**
+     * Task-lifecycle trace sink for the timing simulation (see
+     * obs/tracesink.h); null disables tracing at the cost of one
+     * pointer test per event site. Not owned.
+     */
+    obs::TraceSink *sink = nullptr;
+
+    /**
+     * When non-null, receives wall-clock timings of the five
+     * pipeline stages (obs/phase.h). Host time: reported on stderr /
+     * in trace files only, never in msc.sweep documents.
+     */
+    obs::PhaseTimes *phaseTimes = nullptr;
 };
 
 /** Results of a pipeline run. The partition points into `prog`. */

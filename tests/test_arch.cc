@@ -10,6 +10,7 @@
 #include "arch/cache.h"
 #include "arch/predictors.h"
 #include "arch/ring.h"
+#include "arch/stats.h"
 
 using namespace msc;
 using namespace msc::arch;
@@ -274,4 +275,56 @@ TEST(RingTest, WrapsAroundFromAnyPu)
     EXPECT_EQ(arr[3], 10u);
     EXPECT_EQ(arr[0], 11u);
     EXPECT_EQ(arr[1], 12u);
+}
+
+// ---------------------------------------------------------------------
+// SimStats formatting.
+
+TEST(FormatBucketsTest, PercentColumnSumsToWhole)
+{
+    SimStats s;
+    s.buckets.add(CycleKind::Useful, 600);
+    s.buckets.add(CycleKind::TaskStart, 250);
+    s.buckets.add(CycleKind::LoadImbalance, 150);
+    std::string out = formatBuckets(s);
+
+    EXPECT_NE(out.find("useful"), std::string::npos);
+    EXPECT_NE(out.find("60.0%"), std::string::npos);
+    EXPECT_NE(out.find("25.0%"), std::string::npos);
+    EXPECT_NE(out.find("15.0%"), std::string::npos);
+    // Total row carries the occupied sum.
+    EXPECT_NE(out.find("total-occupied"), std::string::npos);
+    EXPECT_NE(out.find("1000"), std::string::npos);
+    // The dominant category gets the longest bar.
+    EXPECT_NE(out.find("|###"), std::string::npos);
+}
+
+TEST(FormatBucketsTest, EveryKindListedOnce)
+{
+    SimStats s;
+    std::string out = formatBuckets(s);
+    for (size_t i = 0; i < NUM_CYCLE_KINDS; ++i)
+        EXPECT_NE(out.find(cycleKindName(CycleKind(i))),
+                  std::string::npos)
+            << cycleKindName(CycleKind(i));
+}
+
+TEST(FormatBucketsTest, ZeroTotalRendersZeroPercents)
+{
+    SimStats s;                     // All buckets zero.
+    std::string out = formatBuckets(s);
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+    EXPECT_EQ(out.find("inf"), std::string::npos);
+    EXPECT_EQ(out.find('#'), std::string::npos);  // No bars.
+    EXPECT_NE(out.find("0.0%"), std::string::npos);
+    EXPECT_NE(out.find("total-occupied"), std::string::npos);
+}
+
+TEST(SimStatsTest, RegisterHistogramMatchesArchRegCount)
+{
+    // The shared constant (arch/config.h) keeps the diagnostic
+    // histogram and the IR's register file in lockstep.
+    SimStats s;
+    EXPECT_EQ(s.extWaitByReg.size(), size_t(NUM_REGS));
+    EXPECT_EQ(unsigned(NUM_REGS), unsigned(msc::ir::NUM_REGS));
 }
