@@ -27,9 +27,9 @@ customSpec(const std::string &id, const std::string &w,
     s.id = id;
     s.workload = w;
     s.scale = benchScale();
-    s.opts.sel = sel;
+    s.opts = pipeline::StageOptions::fromSelection(sel);
     s.opts.config = arch::SimConfig::paperConfig(pus, true);
-    s.opts.traceInsts = benchTraceInsts();
+    s.opts.trace.traceInsts = benchTraceInsts();
     return s;
 }
 

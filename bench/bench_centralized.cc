@@ -30,7 +30,9 @@ centralizedSpec(const std::string &w)
     s.scale = benchScale();
     // One big window: control-flow tasks on a single wide PU. Task
     // boundaries still exist but there is no speculation across PUs.
-    s.opts.sel.strategy = tasksel::Strategy::ControlFlow;
+    tasksel::SelectionOptions sel;
+    sel.strategy = tasksel::Strategy::ControlFlow;
+    s.opts = pipeline::StageOptions::fromSelection(sel);
     s.opts.config = arch::SimConfig::paperConfig(1, true);
     s.opts.config.issueWidth = 8;
     s.opts.config.fetchWidth = 8;
@@ -46,7 +48,7 @@ centralizedSpec(const std::string &w)
     // is a conservative lower bound; read the columns as a trend.
     s.opts.config.taskStartOverhead = 0;
     s.opts.config.taskEndOverhead = 0;
-    s.opts.traceInsts = benchTraceInsts();
+    s.opts.trace.traceInsts = benchTraceInsts();
     return s;
 }
 

@@ -61,6 +61,7 @@ struct BenchOptions
     unsigned jobs = 1;          ///< Sweep worker threads (--jobs N).
     std::string jsonPath;       ///< --json <file>: structured results.
     std::string csvPath;        ///< --csv <file>: flat results.
+    std::string cacheDir;       ///< --cache-dir <dir>: artifact cache.
 };
 
 /**
@@ -74,13 +75,16 @@ parseBenchArgs(int argc, char **argv)
     BenchOptions o;
     auto usage = [&](int code) {
         std::fprintf(stderr,
-                     "usage: %s [--jobs N] [--json file] [--csv file]\n"
-                     "  --jobs N     run the sweep on N threads "
+                     "usage: %s [--jobs N] [--json file] [--csv file]"
+                     " [--cache-dir dir]\n"
+                     "  --jobs N        run the sweep on N threads "
                      "(default 1; 0 = all cores)\n"
-                     "  --json file  write structured results "
+                     "  --json file     write structured results "
                      "(schema: docs/METRICS.md)\n"
-                     "  --csv file   write flat results\n"
-                     "  MSC_SMALL=1  reduced workload scale\n",
+                     "  --csv file      write flat results\n"
+                     "  --cache-dir d   persist frontend artifacts "
+                     "across runs (docs/API.md)\n"
+                     "  MSC_SMALL=1     reduced workload scale\n",
                      argv[0]);
         std::exit(code);
     };
@@ -99,6 +103,8 @@ parseBenchArgs(int argc, char **argv)
             o.jsonPath = val();
         else if (a == "--csv")
             o.csvPath = val();
+        else if (a == "--cache-dir")
+            o.cacheDir = val();
         else if (a == "--help" || a == "-h")
             usage(0);
         else {
@@ -153,7 +159,12 @@ class Sweep
             if (runner.jobs() > 1)
                 std::fprintf(stderr, "[sweep] %zu runs on %u threads\n",
                              _specs.size(), runner.jobs());
-            _records = runner.run(_specs);
+            pipeline::SessionPool pool(
+                pipeline::SessionConfig{opts.cacheDir});
+            _records = runner.run(_specs, pool);
+            _cacheStats = pool.stats();
+            std::fprintf(stderr, "[sweep] artifact cache: %s\n",
+                         _cacheStats.summary().c_str());
             if (!opts.jsonPath.empty()) {
                 report::writeFile(opts.jsonPath,
                                   report::sweepToJson(_records).dump(2));
@@ -190,10 +201,18 @@ class Sweep
         return _records;
     }
 
+    /** Pooled cache counters from the last run() (bench_smoke asserts
+     *  the shared-frontend contract on these). */
+    const pipeline::CacheStats &cacheStats() const
+    {
+        return _cacheStats;
+    }
+
   private:
     std::vector<report::RunSpec> _specs;
     std::vector<report::RunRecord> _records;
     std::unordered_map<std::string, size_t> _index;
+    pipeline::CacheStats _cacheStats;
 };
 
 /** The key Sweep::add assigned to a standard paper-config run — use

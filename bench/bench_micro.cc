@@ -16,9 +16,9 @@
 #include "arch/predictors.h"
 #include "arch/processor.h"
 #include "arch/taskstream.h"
+#include "pipeline/session.h"
 #include "profile/interpreter.h"
 #include "profile/profiler.h"
-#include "sim/runner.h"
 #include "tasksel/selector.h"
 #include "workloads/workload.h"
 
@@ -83,17 +83,40 @@ BM_TimingSimulation(benchmark::State &state)
 {
     ir::Program p = workloads::buildWorkload("ijpeg",
                                              workloads::Scale::Small);
-    sim::RunOptions o;
-    o.traceInsts = 50'000;
+    pipeline::StageOptions o;
+    o.trace.traceInsts = 50'000;
     o.config = arch::SimConfig::paperConfig(unsigned(state.range(0)));
     uint64_t insts = 0;
     for (auto _ : state) {
-        auto r = sim::runPipeline(p, o);
-        insts += r.stats.retiredInsts;
+        // Fresh Session per iteration: the cold full-pipeline cost.
+        pipeline::Session session(p);
+        insts += session.runAll(o).sim->stats.retiredInsts;
     }
     state.SetItemsProcessed(int64_t(insts));
 }
 BENCHMARK(BM_TimingSimulation)->Arg(4)->Arg(8);
+
+static void
+BM_WarmSessionSimulation(benchmark::State &state)
+{
+    ir::Program p = workloads::buildWorkload("ijpeg",
+                                             workloads::Scale::Small);
+    pipeline::StageOptions o;
+    o.trace.traceInsts = 50'000;
+    o.config = arch::SimConfig::paperConfig(unsigned(state.range(0)));
+    pipeline::Session session(p);
+    session.trace(o);  // warm the frontend artifacts once
+    uint64_t insts = 0, n = 0;
+    for (auto _ : state) {
+        // Bump the runaway cap (never reached) so every iteration has
+        // a distinct sim key: measures a timing-sim compute against a
+        // warm frontend — the marginal cost of one extra sweep point.
+        o.config.maxCycles = 2'000'000'000ull + (++n);
+        insts += session.simulate(o)->stats.retiredInsts;
+    }
+    state.SetItemsProcessed(int64_t(insts));
+}
+BENCHMARK(BM_WarmSessionSimulation)->Arg(4)->Arg(8);
 
 static void
 BM_TaskPredictor(benchmark::State &state)

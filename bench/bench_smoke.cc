@@ -12,7 +12,12 @@
  *   2. the emitted file parses back and carries the documented
  *      schema envelope (schema / schema_version / runs),
  *   3. every run has the top-level metric groups docs/METRICS.md
- *      promises, and the cycle breakdown sums to occupied_pu_cycles.
+ *      promises, and the cycle breakdown sums to occupied_pu_cycles,
+ *   4. the shared-frontend contract holds: a 2-strategy × 4-SimConfig
+ *      sweep through a SessionPool computes exactly 2 of each
+ *      frontend artifact (transform/profile/select/trace) and 8
+ *      timing sims, and re-running the sweep on the warm pool is
+ *      all cache hits with byte-identical output.
  *
  * Always runs at MSC_SMALL scale regardless of the environment: this
  * is a harness check, not a measurement.
@@ -46,6 +51,72 @@ failed(const char *what)
 {
     std::fprintf(stderr, "bench_smoke: FAIL: %s\n", what);
     return 1;
+}
+
+/**
+ * The ISSUE acceptance grid: 2 strategies × 4 hardware configs on one
+ * workload. The strategies differ in the transform stage too (the
+ * task-size heuristic unrolls loops), so every frontend stage must
+ * compute exactly twice; the 4 SimConfigs per strategy reuse it.
+ */
+int
+checkSharedFrontend(unsigned jobs)
+{
+    std::vector<report::RunSpec> specs;
+    struct Strat
+    {
+        tasksel::Strategy s;
+        bool size;
+    };
+    for (Strat st : {Strat{tasksel::Strategy::BasicBlock, false},
+                     Strat{tasksel::Strategy::DataDependence, true}})
+        for (unsigned pus : {2u, 4u})
+            for (bool ooo : {false, true})
+                specs.push_back(report::makeSpec(
+                    "compress", st.s, pus, ooo,
+                    workloads::Scale::Small, 20'000, st.size));
+
+    pipeline::SessionPool pool;
+    report::SweepRunner runner(jobs);
+    auto cold = runner.run(specs, pool);
+    std::string cold_json = report::sweepToJson(cold).dump(2);
+
+    const pipeline::CacheStats stats = pool.stats();
+    using SK = pipeline::StageKind;
+    struct Want
+    {
+        SK stage;
+        uint64_t computed;
+    };
+    for (Want w : {Want{SK::Transform, 2}, Want{SK::Profile, 2},
+                   Want{SK::Select, 2}, Want{SK::Trace, 2},
+                   Want{SK::Simulate, 8}}) {
+        if (stats[w.stage].computed != w.computed) {
+            std::fprintf(stderr,
+                         "bench_smoke: FAIL: stage %s computed %llu "
+                         "times, want %llu\n",
+                         pipeline::stageName(w.stage),
+                         (unsigned long long)stats[w.stage].computed,
+                         (unsigned long long)w.computed);
+            return 1;
+        }
+    }
+
+    // Warm re-run through the same pool: zero new computes, and the
+    // document must stay byte-identical (the determinism contract).
+    auto warm = runner.run(specs, pool);
+    if (report::sweepToJson(warm).dump(2) != cold_json)
+        return failed("warm sweep output differs from cold output");
+    const pipeline::CacheStats warm_stats = pool.stats();
+    if (warm_stats.computed() != stats.computed())
+        return failed("warm sweep recomputed an artifact");
+    if (warm_stats.hits() <= stats.hits())
+        return failed("warm sweep did not hit the cache");
+
+    std::printf("bench_smoke: shared-frontend OK (%zu sweep points, "
+                "%s)\n",
+                specs.size(), stats.summary().c_str());
+    return 0;
 }
 
 } // anonymous namespace
@@ -132,6 +203,9 @@ main(int argc, char **argv)
                      e.what());
         return 1;
     }
+
+    if (int rc = checkSharedFrontend(opts.jobs))
+        return rc;
 
     std::printf("bench_smoke: OK (%zu runs, %u jobs, %s validated)\n",
                 specs.size(), opts.jobs, opts.jsonPath.c_str());

@@ -13,7 +13,7 @@
 #include <string>
 
 #include "arch/stats.h"
-#include "sim/runner.h"
+#include "pipeline/session.h"
 #include "workloads/workload.h"
 
 using namespace msc;
@@ -21,17 +21,16 @@ using namespace msc;
 namespace {
 
 void
-report(const char *label, const sim::RunResult &r)
+report(const char *label, const arch::SimStats &st)
 {
     std::printf("\n%s: IPC %.3f, %llu cycles, %llu tasks "
                 "(avg %.1f insts), task mispredict %.1f%%, "
                 "mem violations %llu\n",
-                label, r.stats.ipc(),
-                (unsigned long long)r.stats.cycles,
-                (unsigned long long)r.stats.dynTasks,
-                r.stats.avgTaskSize(), r.stats.taskMispredictPct(),
-                (unsigned long long)r.stats.memViolations);
-    std::printf("%s", arch::formatBuckets(r.stats).c_str());
+                label, st.ipc(), (unsigned long long)st.cycles,
+                (unsigned long long)st.dynTasks, st.avgTaskSize(),
+                st.taskMispredictPct(),
+                (unsigned long long)st.memViolations);
+    std::printf("%s", arch::formatBuckets(st).c_str());
 }
 
 } // anonymous namespace
@@ -40,8 +39,11 @@ int
 main(int argc, char **argv)
 {
     std::string name = argc > 1 ? argv[1] : "compress";
-    ir::Program p = workloads::buildWorkload(name,
-                                             workloads::Scale::Small);
+    // One Session for the whole shoot-out: the two PU counts reuse
+    // each heuristic stack's frontend artifacts, and the heuristics
+    // that share a transform (no task-size unrolling) share that too.
+    pipeline::Session session(
+        workloads::buildWorkload(name, workloads::Scale::Small));
 
     for (unsigned pus : {4u, 8u}) {
         std::printf("\n================ %s on %u PUs ================\n",
@@ -62,12 +64,14 @@ main(int argc, char **argv)
              tasksel::Strategy::DataDependence, true},
         };
         for (const Cfg &c : cfgs) {
-            sim::RunOptions o;
-            o.sel.strategy = c.strategy;
-            o.sel.taskSizeHeuristic = c.size;
+            tasksel::SelectionOptions sel;
+            sel.strategy = c.strategy;
+            sel.taskSizeHeuristic = c.size;
+            pipeline::StageOptions o =
+                pipeline::StageOptions::fromSelection(sel);
             o.config = arch::SimConfig::paperConfig(pus);
-            o.traceInsts = 100'000;
-            report(c.label, sim::runPipeline(p, o));
+            o.trace.traceInsts = 100'000;
+            report(c.label, session.simulate(o)->stats);
         }
     }
     return 0;

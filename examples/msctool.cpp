@@ -14,9 +14,12 @@
  *   msctool sweep [workloads...] [--strategy bb,cf,dd] [--pus 4,8]
  *               [--jobs N] [--json file] [--csv file] [--in-order]
  *               [--size] [--targets N] [--insts N] [--small]
+ *               [--cache-dir DIR]
  *       Run a workload × strategy × PU grid (all bundled workloads
  *       when none are named), optionally in parallel, and emit the
- *       structured results (schema: docs/METRICS.md).
+ *       structured results (schema: docs/METRICS.md). Grid points
+ *       share frontend artifacts through a SessionPool; --cache-dir
+ *       persists them across invocations (docs/API.md).
  *   msctool fuzz [--count N] [--seed S] [--jobs N] [--size 0..3]
  *               [--max-insts N] [--corpus-dir DIR] [--no-shrink]
  *       Differential fuzzing: random programs through three
@@ -51,10 +54,10 @@
 #include "obs/perfetto.h"
 #include "obs/phase.h"
 #include "obs/taskprof.h"
+#include "pipeline/session.h"
 #include "profile/interpreter.h"
 #include "report/record.h"
 #include "report/sweep.h"
-#include "sim/runner.h"
 #include "workloads/workload.h"
 
 using namespace msc;
@@ -110,9 +113,11 @@ int
 cmdRun(int argc, char **argv)
 {
     std::string spec = argv[0];
-    sim::RunOptions o;
+    tasksel::SelectionOptions sel;
+    uint64_t trace_insts = 400'000;
     unsigned pus = 4;
     bool ooo = true;
+    std::string cache_dir;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -128,50 +133,57 @@ cmdRun(int argc, char **argv)
             pus = unsigned(atoi(v));
         } else if (const char *v2 = arg("--strategy")) {
             std::string s = v2;
-            o.sel.strategy = s == "bb" ? tasksel::Strategy::BasicBlock
-                           : s == "cf" ? tasksel::Strategy::ControlFlow
-                                       : tasksel::Strategy::DataDependence;
+            sel.strategy = s == "bb" ? tasksel::Strategy::BasicBlock
+                         : s == "cf" ? tasksel::Strategy::ControlFlow
+                                     : tasksel::Strategy::DataDependence;
         } else if (const char *v3 = arg("--targets")) {
-            o.sel.maxTargets = unsigned(atoi(v3));
+            sel.maxTargets = unsigned(atoi(v3));
         } else if (const char *v4 = arg("--insts")) {
-            o.traceInsts = uint64_t(atoll(v4));
+            trace_insts = uint64_t(atoll(v4));
+        } else if (const char *v5 = arg("--cache-dir")) {
+            cache_dir = v5;
         } else if (a == "--in-order") {
             ooo = false;
         } else if (a == "--size") {
-            o.sel.taskSizeHeuristic = true;
+            sel.taskSizeHeuristic = true;
         } else {
             throw std::runtime_error("unknown flag " + a);
         }
     }
+    pipeline::StageOptions o = pipeline::StageOptions::fromSelection(sel);
+    o.trace.traceInsts = trace_insts;
     o.config = arch::SimConfig::paperConfig(pus, ooo);
-    o.config.maxTargets = o.sel.maxTargets;
+    o.config.maxTargets = sel.maxTargets;
 
-    sim::RunResult r = sim::runPipeline(loadProgram(spec), o);
+    pipeline::Session session(loadProgram(spec),
+                              pipeline::SessionConfig{cache_dir});
+    pipeline::StageResults r = session.runAll(o);
+    const tasksel::TaskPartition &partition = r.partition->partition;
+    const arch::SimStats &st = r.sim->stats;
     std::printf("%s | %s tasks | %u %s PUs | N=%u%s\n", spec.c_str(),
-                tasksel::strategyName(o.sel.strategy), pus,
-                ooo ? "out-of-order" : "in-order", o.sel.maxTargets,
-                o.sel.taskSizeHeuristic ? " | +size" : "");
+                tasksel::strategyName(sel.strategy), pus,
+                ooo ? "out-of-order" : "in-order", sel.maxTargets,
+                sel.taskSizeHeuristic ? " | +size" : "");
     std::printf("  static tasks %zu (avg %.1f insts), unrolled %u, "
                 "hoisted %u, included calls %zu\n",
-                r.partition.size(), r.partition.avgStaticSize(),
-                r.loopsUnrolled, r.ivsHoisted,
-                r.partition.includedCalls.size());
+                partition.size(), partition.avgStaticSize(),
+                r.transformed->loopsUnrolled, r.transformed->ivsHoisted,
+                partition.includedCalls.size());
     std::printf("  IPC %.3f | %llu cycles | %llu insts | %llu tasks "
                 "(avg %.1f)\n",
-                r.stats.ipc(), (unsigned long long)r.stats.cycles,
-                (unsigned long long)r.stats.retiredInsts,
-                (unsigned long long)r.stats.dynTasks,
-                r.stats.avgTaskSize());
+                st.ipc(), (unsigned long long)st.cycles,
+                (unsigned long long)st.retiredInsts,
+                (unsigned long long)st.dynTasks, st.avgTaskSize());
     std::printf("  task mispred %.2f%% | branch mispred %.2f%% | "
                 "mem violations %llu | window span %.0f\n",
-                r.stats.taskMispredictPct(),
-                r.stats.branchPredictions
-                    ? 100.0 * double(r.stats.branchMispredictions) /
-                          double(r.stats.branchPredictions)
+                st.taskMispredictPct(),
+                st.branchPredictions
+                    ? 100.0 * double(st.branchMispredictions) /
+                          double(st.branchPredictions)
                     : 0.0,
-                (unsigned long long)r.stats.memViolations,
-                r.stats.measuredWindowSpan);
-    std::printf("%s", arch::formatBuckets(r.stats).c_str());
+                (unsigned long long)st.memViolations,
+                st.measuredWindowSpan);
+    std::printf("%s", arch::formatBuckets(st).c_str());
     return 0;
 }
 
@@ -203,7 +215,7 @@ cmdSweep(int argc, char **argv)
     uint64_t insts = 250'000;
     bool ooo = true, size_heur = false;
     workloads::Scale scale = workloads::Scale::Full;
-    std::string json_path, csv_path;
+    std::string json_path, csv_path, cache_dir;
 
     for (int i = 0; i < argc; ++i) {
         std::string a = argv[i];
@@ -231,6 +243,8 @@ cmdSweep(int argc, char **argv)
             targets = unsigned(atoi(v6));
         } else if (const char *v7 = arg("--insts")) {
             insts = uint64_t(atoll(v7));
+        } else if (const char *v8 = arg("--cache-dir")) {
+            cache_dir = v8;
         } else if (a == "--in-order") {
             ooo = false;
         } else if (a == "--size") {
@@ -260,7 +274,10 @@ cmdSweep(int argc, char **argv)
                          "strategies x %zu PU configs) on %u threads\n",
                  specs.size(), names.size(), strategies.size(),
                  pus.size(), runner.jobs());
-    std::vector<report::RunRecord> records = runner.run(specs);
+    pipeline::SessionPool pool(pipeline::SessionConfig{cache_dir});
+    std::vector<report::RunRecord> records = runner.run(specs, pool);
+    std::fprintf(stderr, "sweep: artifact cache: %s\n",
+                 pool.stats().summary().c_str());
 
     std::printf("%-28s %8s %9s %7s %7s %8s\n", "run", "IPC", "cycles",
                 "tasks", "tpred%", "span");
@@ -290,7 +307,8 @@ int
 cmdTrace(int argc, char **argv)
 {
     std::string spec = argv[0];
-    sim::RunOptions o;
+    tasksel::SelectionOptions sel;
+    uint64_t trace_insts = 400'000;
     unsigned pus = 4;
     bool ooo = true;
     std::string out_path, prof_path;
@@ -310,11 +328,11 @@ cmdTrace(int argc, char **argv)
         if (const char *v = arg("--pus")) {
             pus = unsigned(atoi(v));
         } else if (const char *v2 = arg("--strategy")) {
-            o.sel.strategy = report::strategyFromId(v2);
+            sel.strategy = report::strategyFromId(v2);
         } else if (const char *v3 = arg("--targets")) {
-            o.sel.maxTargets = unsigned(atoi(v3));
+            sel.maxTargets = unsigned(atoi(v3));
         } else if (const char *v4 = arg("--insts")) {
-            o.traceInsts = uint64_t(atoll(v4));
+            trace_insts = uint64_t(atoll(v4));
         } else if (const char *v5 = arg("--out")) {
             out_path = v5;
         } else if (const char *v6 = arg("--taskprof")) {
@@ -324,7 +342,7 @@ cmdTrace(int argc, char **argv)
         } else if (a == "--in-order") {
             ooo = false;
         } else if (a == "--size") {
-            o.sel.taskSizeHeuristic = true;
+            sel.taskSizeHeuristic = true;
         } else if (a == "--phase-times") {
             phase_spans = true;
         } else if (a == "--check") {
@@ -333,8 +351,10 @@ cmdTrace(int argc, char **argv)
             throw std::runtime_error("unknown flag " + a);
         }
     }
+    pipeline::StageOptions o = pipeline::StageOptions::fromSelection(sel);
+    o.trace.traceInsts = trace_insts;
     o.config = arch::SimConfig::paperConfig(pus, ooo);
-    o.config.maxTargets = o.sel.maxTargets;
+    o.config.maxTargets = sel.maxTargets;
 
     obs::PerfettoTraceWriter writer(pus, spec);
     obs::TaskProfiler prof;
@@ -344,7 +364,10 @@ cmdTrace(int argc, char **argv)
     o.sink = &tee;
     o.phaseTimes = &phases;
 
-    sim::RunResult r = sim::runPipeline(loadProgram(spec), o);
+    pipeline::Session session(loadProgram(spec));
+    pipeline::StageResults res = session.runAll(o);
+    const tasksel::TaskPartition &partition = res.partition->partition;
+    const arch::SimStats &st = res.sim->stats;
 
     // Host-time breakdown goes to stderr (and, on request, into the
     // trace file) — never into structured result documents.
@@ -354,13 +377,13 @@ cmdTrace(int argc, char **argv)
         writer.addPhaseSpans(phases);
 
     std::printf("%s | %s tasks | %u %s PUs | %llu cycles | IPC %.3f\n",
-                spec.c_str(), tasksel::strategyName(o.sel.strategy),
+                spec.c_str(), tasksel::strategyName(sel.strategy),
                 pus, ooo ? "out-of-order" : "in-order",
-                (unsigned long long)r.stats.cycles, r.stats.ipc());
-    std::printf("%s", arch::formatBuckets(r.stats).c_str());
+                (unsigned long long)st.cycles, st.ipc());
+    std::printf("%s", arch::formatBuckets(st).c_str());
     std::printf("hot static tasks (of %zu in partition):\n%s",
-                r.partition.size(),
-                obs::formatHotTasks(prof, r.partition, top_n).c_str());
+                partition.size(),
+                obs::formatHotTasks(prof, partition, top_n).c_str());
 
     if (!out_path.empty()) {
         writer.write(out_path);
@@ -369,7 +392,7 @@ cmdTrace(int argc, char **argv)
     if (!prof_path.empty()) {
         report::writeFile(
             prof_path,
-            obs::taskProfileToJson(prof, r.partition, spec).dump(2));
+            obs::taskProfileToJson(prof, partition, spec).dump(2));
         std::fprintf(stderr, "trace: wrote %s\n", prof_path.c_str());
     }
 
@@ -378,7 +401,7 @@ cmdTrace(int argc, char **argv)
 
     // The timeline must BE the accounting: live event sums first,
     // then the emitted JSON re-parsed and re-summed per PU.
-    std::string err = xcheck.verify(r.stats);
+    std::string err = xcheck.verify(st);
     if (!err.empty()) {
         std::fprintf(stderr,
                      "trace: accounting cross-check FAILED: %s\n",
@@ -410,13 +433,12 @@ cmdTrace(int argc, char **argv)
         per_pu.at(size_t(e.get("tid").asInt())) += e.get("dur").asUInt();
     }
     for (unsigned pu = 0; pu < pus; ++pu) {
-        if (per_pu[pu] != r.stats.puOccupiedCycles[pu]) {
+        if (per_pu[pu] != st.puOccupiedCycles[pu]) {
             std::fprintf(stderr,
                          "trace: emitted file cross-check FAILED: PU %u "
                          "spans %llu != accounted %llu\n",
                          pu, (unsigned long long)per_pu[pu],
-                         (unsigned long long)
-                             r.stats.puOccupiedCycles[pu]);
+                         (unsigned long long)st.puOccupiedCycles[pu]);
             return 1;
         }
     }
@@ -525,11 +547,12 @@ main(int argc, char **argv)
                  "       msctool run    <workload|file.mir> [--pus N]\n"
                  "              [--strategy bb|cf|dd] [--in-order]\n"
                  "              [--size] [--targets N] [--insts N]\n"
+                 "              [--cache-dir DIR]\n"
                  "       msctool sweep  [workloads...]\n"
                  "              [--strategy bb,cf,dd] [--pus 4,8]\n"
                  "              [--jobs N] [--json file] [--csv file]\n"
                  "              [--in-order] [--size] [--targets N]\n"
-                 "              [--insts N] [--small]\n"
+                 "              [--insts N] [--small] [--cache-dir DIR]\n"
                  "       msctool fuzz   [--count N] [--seed S]\n"
                  "              [--jobs N] [--size 0..3] [--max-insts N]\n"
                  "              [--corpus-dir DIR] [--no-shrink]\n"

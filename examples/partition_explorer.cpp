@@ -15,7 +15,7 @@
 #include <string>
 
 #include "ir/printer.h"
-#include "sim/runner.h"
+#include "pipeline/session.h"
 #include "workloads/workload.h"
 
 using namespace msc;
@@ -51,23 +51,26 @@ main(int argc, char **argv)
     std::string strat = argc > 2 ? argv[2] : "dd";
     unsigned n = argc > 3 ? unsigned(atoi(argv[3])) : 4;
 
-    sim::RunOptions o;
-    o.sel.strategy = strat == "bb" ? tasksel::Strategy::BasicBlock
-                   : strat == "cf" ? tasksel::Strategy::ControlFlow
-                                   : tasksel::Strategy::DataDependence;
-    o.sel.maxTargets = n;
+    tasksel::SelectionOptions sel;
+    sel.strategy = strat == "bb" ? tasksel::Strategy::BasicBlock
+                 : strat == "cf" ? tasksel::Strategy::ControlFlow
+                                 : tasksel::Strategy::DataDependence;
+    sel.maxTargets = n;
+    pipeline::StageOptions o = pipeline::StageOptions::fromSelection(sel);
 
-    ir::Program input = workloads::buildWorkload(name,
-                                                 workloads::Scale::Small);
-    sim::RunResult r = sim::partitionOnly(input, o);
-    const ir::Program &p = *r.prog;
+    // select() stops after the frontend: no trace, no timing model.
+    pipeline::Session session(
+        workloads::buildWorkload(name, workloads::Scale::Small));
+    auto part = session.select(o);
+    const tasksel::TaskPartition &partition = part->partition;
+    const ir::Program &p = *part->transformed->prog;
 
     std::printf("workload %s (%s tasks, N=%u): %zu functions, "
                 "%zu static insts, %zu tasks\n\n",
-                name.c_str(), tasksel::strategyName(o.sel.strategy), n,
-                p.functions.size(), p.numInsts(), r.partition.size());
+                name.c_str(), tasksel::strategyName(sel.strategy), n,
+                p.functions.size(), p.numInsts(), partition.size());
 
-    for (const auto &t : r.partition.tasks) {
+    for (const auto &t : partition.tasks) {
         const ir::Function &f = p.functions[t.func];
         std::printf("task %-3u @%s entry bb%-3u (%u insts)\n", t.id,
                     f.name.c_str(), t.entry, t.staticInsts);
@@ -91,7 +94,7 @@ main(int argc, char **argv)
         for (ir::BlockId b : t.blocks) {
             const auto &bb = f.blocks[b];
             for (size_t i = 0; i < bb.insts.size(); ++i) {
-                cfg::RegSet fwd = r.partition.fwdSafe[t.func][b][i];
+                cfg::RegSet fwd = partition.fwdSafe[t.func][b][i];
                 if (fwd) {
                     std::printf("  forward at bb%u[%zu] %-24s -> %s\n",
                                 b, i,
@@ -102,9 +105,9 @@ main(int argc, char **argv)
         }
     }
 
-    if (!r.partition.includedCalls.empty()) {
+    if (!partition.includedCalls.empty()) {
         std::printf("\nincluded calls:");
-        for (const auto &c : r.partition.includedCalls)
+        for (const auto &c : partition.includedCalls)
             std::printf(" @%s/bb%u", p.functions[c.func].name.c_str(),
                         c.block);
         std::printf("\n");

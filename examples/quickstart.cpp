@@ -12,7 +12,7 @@
 #include "arch/stats.h"
 #include "ir/builder.h"
 #include "ir/printer.h"
-#include "sim/runner.h"
+#include "pipeline/session.h"
 #include "tasksel/selector.h"
 
 using namespace msc;
@@ -60,32 +60,37 @@ main()
 
     // 2. Run the full pipeline: IV hoisting, profiling, task
     //    selection with the data-dependence heuristic, and the cycle
-    //    timing model on a 4-PU Multiscalar processor.
-    sim::RunOptions opts;
-    opts.sel.strategy = tasksel::Strategy::DataDependence;
+    //    timing model on a 4-PU Multiscalar processor. A Session
+    //    exposes the stages individually (and caches each artifact);
+    //    runAll is the one-call form.
+    tasksel::SelectionOptions sel;
+    sel.strategy = tasksel::Strategy::DataDependence;
+    pipeline::StageOptions opts = pipeline::StageOptions::fromSelection(sel);
     opts.config = arch::SimConfig::paperConfig(4);
-    sim::RunResult r = sim::runPipeline(prog, opts);
+
+    pipeline::Session session(prog);
+    pipeline::StageResults r = session.runAll(opts);
 
     std::printf("--- tasks ---\n");
-    for (const auto &t : r.partition.tasks) {
+    for (const auto &t : r.partition->partition.tasks) {
         std::printf("task %u: entry bb%u, %zu blocks, %u static insts, "
                     "%zu targets\n",
                     t.id, t.entry, t.blocks.size(), t.staticInsts,
                     t.targets.size());
     }
 
+    const arch::SimStats &st = r.sim->stats;
     std::printf("\n--- simulation (4 out-of-order PUs) ---\n");
     std::printf("retired %llu instructions in %llu cycles: IPC %.3f\n",
-                (unsigned long long)r.stats.retiredInsts,
-                (unsigned long long)r.stats.cycles, r.stats.ipc());
+                (unsigned long long)st.retiredInsts,
+                (unsigned long long)st.cycles, st.ipc());
     std::printf("dynamic tasks: %llu (avg %.1f insts)\n",
-                (unsigned long long)r.stats.dynTasks,
-                r.stats.avgTaskSize());
+                (unsigned long long)st.dynTasks, st.avgTaskSize());
     std::printf("task misprediction: %.2f%%\n",
-                r.stats.taskMispredictPct());
+                st.taskMispredictPct());
     std::printf("window span: %.0f instructions\n",
-                r.stats.measuredWindowSpan);
+                st.measuredWindowSpan);
     std::printf("\ncycle breakdown:\n%s",
-                arch::formatBuckets(r.stats).c_str());
+                arch::formatBuckets(st).c_str());
     return 0;
 }

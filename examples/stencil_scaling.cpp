@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <string>
 
-#include "sim/runner.h"
+#include "pipeline/session.h"
 #include "workloads/workload.h"
 
 using namespace msc;
@@ -28,20 +28,26 @@ main(int argc, char **argv)
     std::printf("%4s %10s %8s %9s %10s %10s\n", "PUs", "cycles", "IPC",
                 "speedup", "win-span", "tpred%");
 
+    // One Session across the PU sweep: only the SimConfig changes, so
+    // the transform/profile/select/trace frontend runs exactly once
+    // and each PU count reuses the cached task trace.
+    pipeline::Session session(p);
+    tasksel::SelectionOptions sel;
+    sel.strategy = tasksel::Strategy::DataDependence;
+    pipeline::StageOptions o = pipeline::StageOptions::fromSelection(sel);
+    o.trace.traceInsts = 100'000;
+
     uint64_t base = 0;
     for (unsigned pus : {1u, 2u, 4u, 8u}) {
-        sim::RunOptions o;
-        o.sel.strategy = tasksel::Strategy::DataDependence;
         o.config = arch::SimConfig::paperConfig(pus);
-        o.traceInsts = 100'000;
-        sim::RunResult r = sim::runPipeline(p, o);
+        const arch::SimStats &st = session.simulate(o)->stats;
         if (pus == 1)
-            base = r.stats.cycles;
+            base = st.cycles;
         std::printf("%4u %10llu %8.3f %8.2fx %10.0f %9.1f%%\n", pus,
-                    (unsigned long long)r.stats.cycles, r.stats.ipc(),
-                    double(base) / double(r.stats.cycles),
-                    r.stats.measuredWindowSpan,
-                    r.stats.taskMispredictPct());
+                    (unsigned long long)st.cycles, st.ipc(),
+                    double(base) / double(st.cycles),
+                    st.measuredWindowSpan,
+                    st.taskMispredictPct());
     }
     std::printf("\nThe window span grows with PU count: the machine\n"
                 "speculates across many loop iterations at once —\n"

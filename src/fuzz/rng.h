@@ -72,9 +72,13 @@ class Rng
         return v[size_t(bounded(v.size()))];
     }
 
-  private:
+    /** The splitmix64 Weyl increment (golden ratio). */
     static constexpr uint64_t GOLDEN = 0x9e3779b97f4a7c15ull;
 
+    /**
+     * The splitmix64 finalizing mixer, exposed for content hashing
+     * (pipeline artifact keys): a bijective avalanche over 64 bits.
+     */
     static uint64_t
     mix(uint64_t x)
     {
@@ -83,6 +87,7 @@ class Rng
         return x ^ (x >> 31);
     }
 
+  private:
     uint64_t _s;
 };
 

@@ -1,0 +1,418 @@
+#include "pipeline/diskcache.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include <unistd.h>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "report/json.h"
+
+namespace msc {
+namespace pipeline {
+
+namespace {
+
+using report::Json;
+
+constexpr const char *CACHE_SCHEMA = "msc.cache";
+constexpr int CACHE_SCHEMA_VERSION = 1;
+
+std::string
+keyHex(uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)key);
+    return buf;
+}
+
+/** Envelope shared by every artifact file. */
+Json
+envelope(const char *stage, uint64_t key)
+{
+    Json doc = Json::object();
+    doc["schema"] = CACHE_SCHEMA;
+    doc["schema_version"] = CACHE_SCHEMA_VERSION;
+    doc["stage"] = stage;
+    doc["key"] = keyHex(key);
+    return doc;
+}
+
+/** Parses @p path and validates the envelope; empty Json on miss. */
+bool
+loadEnvelope(const std::string &path, const char *stage, uint64_t key,
+             Json &doc)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+        doc = Json::parse(ss.str());
+        return doc.get("schema").asString() == CACHE_SCHEMA &&
+               doc.get("schema_version").asInt() ==
+                   CACHE_SCHEMA_VERSION &&
+               doc.get("stage").asString() == stage &&
+               doc.get("key").asString() == keyHex(key);
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+Json
+u64Array(const std::vector<uint64_t> &v)
+{
+    Json a = Json::array();
+    for (uint64_t x : v)
+        a.push(x);
+    return a;
+}
+
+std::vector<uint64_t>
+asU64Vector(const Json &a)
+{
+    std::vector<uint64_t> v;
+    v.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        v.push_back(a.at(i).asUInt());
+    return v;
+}
+
+} // anonymous namespace
+
+std::string
+DiskCache::path(const char *stage, uint64_t key) const
+{
+    return _dir + "/" + stage + "-" + keyHex(key) + ".json";
+}
+
+void
+DiskCache::writeAtomic(const std::string &path,
+                       const std::string &content) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(_dir, ec);
+    // Per-process temp name: concurrent writers of the same key race
+    // benignly (identical content, last rename wins).
+    std::string tmp = path + ".tmp." +
+                      std::to_string((unsigned long)::getpid());
+    {
+        std::ofstream f(tmp, std::ios::binary);
+        if (f)
+            f << content;
+        if (!f) {
+            if (!_warned.exchange(true))
+                std::fprintf(stderr,
+                             "[cache] warning: cannot write %s "
+                             "(disk cache disabled for this run)\n",
+                             tmp.c_str());
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (!_warned.exchange(true))
+            std::fprintf(stderr,
+                         "[cache] warning: cannot rename %s: %s\n",
+                         tmp.c_str(), std::strerror(errno));
+        std::remove(tmp.c_str());
+    }
+}
+
+// --------------------------------------------------------------------
+// Transform artifact: the program as .mir text plus bookkeeping.
+
+void
+DiskCache::store(const TransformedProgram &tp) const
+{
+    if (!enabled())
+        return;
+    Json doc = envelope("transform", tp.key);
+    doc["loops_unrolled"] = tp.loopsUnrolled;
+    doc["ivs_hoisted"] = tp.ivsHoisted;
+    doc["program"] = ir::toString(*tp.prog);
+    writeAtomic(path("transform", tp.key), doc.dump(2));
+}
+
+std::shared_ptr<const TransformedProgram>
+DiskCache::loadTransform(uint64_t key) const
+{
+    if (!enabled())
+        return nullptr;
+    Json doc;
+    if (!loadEnvelope(path("transform", key), "transform", key, doc))
+        return nullptr;
+    try {
+        auto tp = std::make_shared<TransformedProgram>();
+        tp->key = key;
+        auto prog = std::make_shared<ir::Program>(
+            ir::parseProgram(doc.get("program").asString()));
+        tp->prog = std::move(prog);
+        tp->loopsUnrolled = unsigned(doc.get("loops_unrolled").asUInt());
+        tp->ivsHoisted = unsigned(doc.get("ivs_hoisted").asUInt());
+        return tp;
+    } catch (const std::exception &) {
+        return nullptr;
+    }
+}
+
+// --------------------------------------------------------------------
+// Profile artifact.
+
+void
+DiskCache::store(const ProfileArtifact &pa) const
+{
+    if (!enabled())
+        return;
+    const profile::Profile &p = pa.profile;
+    Json doc = envelope("profile", pa.key);
+    doc["total_insts"] = p.totalInsts;
+    doc["func_invocations"] = u64Array(p.funcInvocations);
+    doc["func_inclusive_insts"] = u64Array(p.funcInclusiveInsts);
+
+    Json blocks = Json::array();
+    for (const auto &f : p.blockCount)
+        blocks.push(u64Array(f));
+    doc["block_count"] = std::move(blocks);
+
+    // Maps serialize as sorted flat rows for deterministic bytes.
+    std::vector<std::pair<profile::EdgeKey, uint64_t>> edges(
+        p.edgeCount.begin(), p.edgeCount.end());
+    std::sort(edges.begin(), edges.end(),
+              [](const auto &a, const auto &b) {
+                  return std::tie(a.first.func, a.first.from,
+                                  a.first.to) <
+                         std::tie(b.first.func, b.first.from,
+                                  b.first.to);
+              });
+    Json ej = Json::array();
+    for (const auto &[k, n] : edges) {
+        Json row = Json::array();
+        row.push(k.func);
+        row.push(k.from);
+        row.push(k.to);
+        row.push(n);
+        ej.push(std::move(row));
+    }
+    doc["edge_count"] = std::move(ej);
+
+    std::vector<std::pair<profile::DefUseKey, uint64_t>> deps(
+        p.defUseCount.begin(), p.defUseCount.end());
+    std::sort(deps.begin(), deps.end(),
+              [](const auto &a, const auto &b) {
+                  return std::tie(a.first.def, a.first.use,
+                                  a.first.reg) <
+                         std::tie(b.first.def, b.first.use,
+                                  b.first.reg);
+              });
+    Json dj = Json::array();
+    for (const auto &[k, n] : deps) {
+        Json row = Json::array();
+        for (const ir::InstRef &r : {k.def, k.use}) {
+            row.push(r.func);
+            row.push(r.block);
+            row.push(r.index);
+        }
+        row.push(unsigned(k.reg));
+        row.push(n);
+        dj.push(std::move(row));
+    }
+    doc["def_use_count"] = std::move(dj);
+    writeAtomic(path("profile", pa.key), doc.dump(2));
+}
+
+std::shared_ptr<const ProfileArtifact>
+DiskCache::loadProfile(
+    uint64_t key, std::shared_ptr<const TransformedProgram> tp) const
+{
+    if (!enabled())
+        return nullptr;
+    Json doc;
+    if (!loadEnvelope(path("profile", key), "profile", key, doc))
+        return nullptr;
+    try {
+        auto pa = std::make_shared<ProfileArtifact>();
+        pa->key = key;
+        pa->transformed = std::move(tp);
+        profile::Profile &p = pa->profile;
+        p.totalInsts = doc.get("total_insts").asUInt();
+        p.funcInvocations = asU64Vector(doc.get("func_invocations"));
+        p.funcInclusiveInsts =
+            asU64Vector(doc.get("func_inclusive_insts"));
+        const Json &blocks = doc.get("block_count");
+        for (size_t f = 0; f < blocks.size(); ++f)
+            p.blockCount.push_back(asU64Vector(blocks.at(f)));
+        const Json &ej = doc.get("edge_count");
+        for (size_t i = 0; i < ej.size(); ++i) {
+            const Json &row = ej.at(i);
+            profile::EdgeKey k{ir::FuncId(row.at(0).asUInt()),
+                               ir::BlockId(row.at(1).asUInt()),
+                               ir::BlockId(row.at(2).asUInt())};
+            p.edgeCount[k] = row.at(3).asUInt();
+        }
+        const Json &dj = doc.get("def_use_count");
+        for (size_t i = 0; i < dj.size(); ++i) {
+            const Json &row = dj.at(i);
+            profile::DefUseKey k;
+            k.def = {ir::FuncId(row.at(0).asUInt()),
+                     ir::BlockId(row.at(1).asUInt()),
+                     uint32_t(row.at(2).asUInt())};
+            k.use = {ir::FuncId(row.at(3).asUInt()),
+                     ir::BlockId(row.at(4).asUInt()),
+                     uint32_t(row.at(5).asUInt())};
+            k.reg = ir::RegId(row.at(6).asUInt());
+            p.defUseCount[k] = row.at(7).asUInt();
+        }
+        return pa;
+    } catch (const std::exception &) {
+        return nullptr;
+    }
+}
+
+// --------------------------------------------------------------------
+// Partition artifact. taskOf is rebuilt from the task member lists;
+// fwdSafe serializes as nested uint64 arrays (one RegSet per
+// instruction).
+
+void
+DiskCache::store(const PartitionArtifact &pa) const
+{
+    if (!enabled())
+        return;
+    const tasksel::TaskPartition &part = pa.partition;
+    Json doc = envelope("partition", pa.key);
+
+    Json tasks = Json::array();
+    for (const auto &t : part.tasks) {
+        Json tj = Json::object();
+        tj["id"] = t.id;
+        tj["func"] = t.func;
+        tj["entry"] = t.entry;
+        Json blocks = Json::array();
+        for (ir::BlockId b : t.blocks)
+            blocks.push(b);
+        tj["blocks"] = std::move(blocks);
+        Json targets = Json::array();
+        for (const auto &tg : t.targets) {
+            Json row = Json::array();
+            row.push(tg.kind == tasksel::TargetKind::Return ? 1 : 0);
+            row.push(tg.block.func);
+            row.push(tg.block.block);
+            targets.push(std::move(row));
+        }
+        tj["targets"] = std::move(targets);
+        tj["create_mask"] = uint64_t(t.createMask);
+        tj["static_insts"] = t.staticInsts;
+        tasks.push(std::move(tj));
+    }
+    doc["tasks"] = std::move(tasks);
+
+    std::vector<ir::BlockRef> calls(part.includedCalls.begin(),
+                                    part.includedCalls.end());
+    std::sort(calls.begin(), calls.end());
+    Json cj = Json::array();
+    for (const auto &c : calls) {
+        Json row = Json::array();
+        row.push(c.func);
+        row.push(c.block);
+        cj.push(std::move(row));
+    }
+    doc["included_calls"] = std::move(cj);
+
+    Json fwd = Json::array();
+    for (const auto &func : part.fwdSafe) {
+        Json fj = Json::array();
+        for (const auto &block : func)
+            fj.push(u64Array(block));
+        fwd.push(std::move(fj));
+    }
+    doc["fwd_safe"] = std::move(fwd);
+    writeAtomic(path("partition", pa.key), doc.dump(2));
+}
+
+std::shared_ptr<const PartitionArtifact>
+DiskCache::loadPartition(
+    uint64_t key, std::shared_ptr<const TransformedProgram> tp) const
+{
+    if (!enabled())
+        return nullptr;
+    Json doc;
+    if (!loadEnvelope(path("partition", key), "partition", key, doc))
+        return nullptr;
+    try {
+        auto pa = std::make_shared<PartitionArtifact>();
+        pa->key = key;
+        pa->transformed = tp;
+        tasksel::TaskPartition &part = pa->partition;
+        part.prog = tp->prog.get();
+
+        const Json &tasks = doc.get("tasks");
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            const Json &tj = tasks.at(i);
+            tasksel::Task t;
+            t.id = tasksel::TaskId(tj.get("id").asUInt());
+            t.func = ir::FuncId(tj.get("func").asUInt());
+            t.entry = ir::BlockId(tj.get("entry").asUInt());
+            const Json &blocks = tj.get("blocks");
+            for (size_t b = 0; b < blocks.size(); ++b)
+                t.blocks.push_back(
+                    ir::BlockId(blocks.at(b).asUInt()));
+            const Json &targets = tj.get("targets");
+            for (size_t g = 0; g < targets.size(); ++g) {
+                const Json &row = targets.at(g);
+                tasksel::TaskTarget tg;
+                tg.kind = row.at(0).asUInt()
+                              ? tasksel::TargetKind::Return
+                              : tasksel::TargetKind::Block;
+                tg.block = {ir::FuncId(row.at(1).asUInt()),
+                            ir::BlockId(row.at(2).asUInt())};
+                t.targets.push_back(tg);
+            }
+            t.createMask = tj.get("create_mask").asUInt();
+            t.staticInsts = uint32_t(tj.get("static_insts").asUInt());
+            part.tasks.push_back(std::move(t));
+        }
+
+        // taskOf is a pure function of the member lists.
+        const ir::Program &prog = *tp->prog;
+        part.taskOf.resize(prog.functions.size());
+        for (size_t f = 0; f < prog.functions.size(); ++f)
+            part.taskOf[f].assign(prog.functions[f].blocks.size(),
+                                  tasksel::INVALID_TASK);
+        for (const auto &t : part.tasks)
+            for (ir::BlockId b : t.blocks)
+                part.taskOf.at(t.func).at(b) = t.id;
+
+        const Json &cj = doc.get("included_calls");
+        for (size_t i = 0; i < cj.size(); ++i) {
+            const Json &row = cj.at(i);
+            part.includedCalls.insert(
+                {ir::FuncId(row.at(0).asUInt()),
+                 ir::BlockId(row.at(1).asUInt())});
+        }
+
+        const Json &fwd = doc.get("fwd_safe");
+        for (size_t f = 0; f < fwd.size(); ++f) {
+            const Json &fj = fwd.at(f);
+            std::vector<std::vector<cfg::RegSet>> func;
+            for (size_t b = 0; b < fj.size(); ++b)
+                func.push_back(asU64Vector(fj.at(b)));
+            part.fwdSafe.push_back(std::move(func));
+        }
+        return pa;
+    } catch (const std::exception &) {
+        return nullptr;
+    }
+}
+
+} // namespace pipeline
+} // namespace msc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Opt-in on-disk artifact cache for cross-process frontend reuse.
+ *
+ * Three of the five pipeline artifacts persist — the transformed
+ * program (as round-trippable .mir text inside the envelope), the
+ * execution profile and the task partition, i.e. the expensive
+ * frontend; traces and timing results are cheap to regenerate
+ * relative to their size and stay in memory only.
+ *
+ * Files are named `<stage>-<16-hex-digit key>.json` inside the cache
+ * directory and carry the versioned `msc.cache` envelope:
+ *
+ *   { "schema": "msc.cache", "schema_version": 1,
+ *     "stage": "transform|profile|partition", "key": "<hex>", ... }
+ *
+ * Loads validate the envelope and re-derive structures; any mismatch
+ * (version bump, truncated write, foreign file) is treated as a miss
+ * and the entry is recomputed and rewritten. Writes go through a
+ * temp-file + rename so concurrent processes sharing a directory
+ * never observe half-written artifacts. Serialization is sorted and
+ * wall-clock-free, so cached and cold runs stay byte-deterministic.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "pipeline/artifacts.h"
+
+namespace msc {
+namespace pipeline {
+
+/** Artifact reader/writer rooted at one cache directory. */
+class DiskCache
+{
+  public:
+    /** @p dir is created on first write if missing. Empty = disabled
+     *  (every load misses, every store is a no-op). */
+    explicit DiskCache(std::string dir) : _dir(std::move(dir)) {}
+
+    bool enabled() const { return !_dir.empty(); }
+    const std::string &dir() const { return _dir; }
+
+    /// @name Loads: return nullptr on any miss/mismatch/parse error.
+    /// @{
+    std::shared_ptr<const TransformedProgram>
+    loadTransform(uint64_t key) const;
+
+    std::shared_ptr<const ProfileArtifact>
+    loadProfile(uint64_t key,
+                std::shared_ptr<const TransformedProgram> tp) const;
+
+    std::shared_ptr<const PartitionArtifact>
+    loadPartition(uint64_t key,
+                  std::shared_ptr<const TransformedProgram> tp) const;
+    /// @}
+
+    /// @name Stores: best-effort; I/O failures warn on stderr once
+    /// per cache and never throw (a broken disk cache must not fail
+    /// the run it would have accelerated).
+    /// @{
+    void store(const TransformedProgram &tp) const;
+    void store(const ProfileArtifact &pa) const;
+    void store(const PartitionArtifact &pa) const;
+    /// @}
+
+    /** "transform-<hex>.json"-style path for @p stage / @p key. */
+    std::string path(const char *stage, uint64_t key) const;
+
+  private:
+    void writeAtomic(const std::string &path,
+                     const std::string &content) const;
+
+    std::string _dir;
+    mutable std::atomic<bool> _warned{false};
+};
+
+} // namespace pipeline
+} // namespace msc

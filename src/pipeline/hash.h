@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Content hashing for pipeline artifact keys.
+ *
+ * A Hasher chains 64-bit words through the splitmix64 finalizing
+ * mixer (fuzz::Rng::mix — the same avalanche the fuzzer's RNG uses),
+ * absorbing each word together with a running position-dependent
+ * state so field order matters. Strings absorb their length followed
+ * by their bytes in 8-byte little-endian groups, so "ab"+"c" and
+ * "a"+"bc" hash differently.
+ *
+ * Not cryptographic: keys address a cache whose entries are trusted;
+ * a collision costs a wrong cache hit, and 64 mixed bits across the
+ * handful of artifacts a process touches makes that vanishingly
+ * unlikely.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/rng.h"
+
+namespace msc {
+namespace pipeline {
+
+class Hasher
+{
+  public:
+    /** @p tag separates key domains (one per stage). */
+    explicit Hasher(uint64_t tag) { word(tag); }
+
+    Hasher &
+    word(uint64_t v)
+    {
+        _h = fuzz::Rng::mix(_h + fuzz::Rng::GOLDEN + v);
+        return *this;
+    }
+
+    Hasher &word(bool v) { return word(uint64_t(v ? 1 : 0)); }
+
+    Hasher &
+    bytes(const std::string &s)
+    {
+        word(uint64_t(s.size()));
+        uint64_t acc = 0;
+        unsigned n = 0;
+        for (unsigned char c : s) {
+            acc |= uint64_t(c) << (8 * n);
+            if (++n == 8) {
+                word(acc);
+                acc = 0;
+                n = 0;
+            }
+        }
+        if (n)
+            word(acc);
+        return *this;
+    }
+
+    uint64_t digest() const { return _h; }
+
+  private:
+    uint64_t _h = 0;
+};
+
+} // namespace pipeline
+} // namespace msc

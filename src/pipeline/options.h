@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-stage options of the staged pipeline (see session.h).
+ *
+ * Each stage of a pipeline::Session reads exactly one of these
+ * structs (plus, for selection and timing, the pre-existing
+ * tasksel::SelectionOptions and arch::SimConfig), and each cached
+ * artifact is keyed by exactly the fields its stage reads — so
+ * changing, say, the PU count re-runs only the timing simulation
+ * while the transform/profile/selection/trace artifacts are reused.
+ * The field-by-field hash-key table lives in docs/API.md.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "arch/config.h"
+#include "tasksel/options.h"
+
+namespace msc {
+
+namespace obs {
+class TraceSink;
+struct PhaseTimes;
+}
+
+namespace pipeline {
+
+/**
+ * IR-transform stage knobs (§3.2). These deliberately mirror the
+ * corresponding fields of tasksel::SelectionOptions: the task-size
+ * heuristic spans two stages (loop unrolling here, call inclusion in
+ * selection), so the same flag appears in both structs. Use
+ * StageOptions::fromSelection to keep them in sync.
+ */
+struct TransformOptions
+{
+    /** Hoist induction-variable updates to loop tops (§3.2). */
+    bool hoistInductionVars = true;
+
+    /** Unroll small loops (the task-size heuristic's IR half). */
+    bool taskSizeHeuristic = false;
+
+    /** Unroll target size in static instructions (LOOP_THRESH). */
+    unsigned loopThresh = 30;
+};
+
+/** Profiling stage knobs. */
+struct ProfileOptions
+{
+    /** Dynamic-instruction budget for the profiling run. */
+    uint64_t profileInsts = 1'000'000;
+};
+
+/** Functional-trace stage knobs. */
+struct TraceOptions
+{
+    /** Dynamic-instruction budget for the timing trace. */
+    uint64_t traceInsts = 400'000;
+};
+
+/**
+ * All five stages' options in one bundle. Session stage calls take
+ * the whole bundle but *hash* only the fields their stage reads, so
+ * e.g. two StageOptions differing only in `config` share every
+ * artifact up to and including the task trace.
+ */
+struct StageOptions
+{
+    TransformOptions transform;
+    ProfileOptions profile;
+    tasksel::SelectionOptions sel;
+    TraceOptions trace;
+    arch::SimConfig config;
+
+    /** Validate the partition and throw on violation (tests). Not
+     *  part of any artifact key: it gates a check, not a result. */
+    bool verifyPartition = true;
+
+    /**
+     * Task-lifecycle trace sink for the timing simulation (see
+     * obs/tracesink.h). Not owned, not hashed; a non-null sink
+     * bypasses the simulation cache so events are always emitted.
+     */
+    obs::TraceSink *sink = nullptr;
+
+    /** When non-null, receives wall-clock timings of stage *computes*
+     *  (cache hits cost — and record — nothing). Not hashed. */
+    obs::PhaseTimes *phaseTimes = nullptr;
+
+    /**
+     * Builds a bundle whose transform stage mirrors @p sel's
+     * transform-relevant fields (hoistInductionVars,
+     * taskSizeHeuristic, loopThresh) — the classic "one options
+     * struct" shape every pre-Session caller used.
+     */
+    static StageOptions
+    fromSelection(const tasksel::SelectionOptions &sel)
+    {
+        StageOptions o;
+        o.sel = sel;
+        o.transform.hoistInductionVars = sel.hoistInductionVars;
+        o.transform.taskSizeHeuristic = sel.taskSizeHeuristic;
+        o.transform.loopThresh = sel.loopThresh;
+        return o;
+    }
+};
+
+} // namespace pipeline
+} // namespace msc

@@ -1,0 +1,40 @@
+#include "pipeline/pool.h"
+
+namespace msc {
+namespace pipeline {
+
+std::shared_ptr<Session>
+SessionPool::session(const std::string &key,
+                     const std::function<ir::Program()> &build)
+{
+    // Coarse lock: program construction is cheap next to any stage,
+    // and holding it gives build-once semantics with no slot dance.
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _sessions.find(key);
+    if (it != _sessions.end())
+        return it->second;
+    auto s = std::make_shared<Session>(
+        std::make_shared<const ir::Program>(build()), _cfg);
+    _sessions.emplace(key, s);
+    return s;
+}
+
+size_t
+SessionPool::size() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _sessions.size();
+}
+
+CacheStats
+SessionPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    CacheStats total;
+    for (const auto &[key, s] : _sessions)
+        total.add(s->cacheStats());
+    return total;
+}
+
+} // namespace pipeline
+} // namespace msc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SessionPool: one Session per distinct input program, shared across
+ * the points of a sweep.
+ *
+ * SweepRunner routes every sweep point through a pool keyed by
+ * (workload, scale), so an N-config x M-strategy grid computes each
+ * distinct frontend (transform/profile/select/trace) exactly once and
+ * fans out only the timing simulations — the Table-1/Figure-5 benches
+ * get this for free. All methods are thread-safe.
+ */
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "pipeline/session.h"
+
+namespace msc {
+namespace pipeline {
+
+class SessionPool
+{
+  public:
+    /** @p cfg (cache directory) applies to every pooled Session. */
+    explicit SessionPool(SessionConfig cfg = {})
+        : _cfg(std::move(cfg))
+    {}
+
+    SessionPool(const SessionPool &) = delete;
+    SessionPool &operator=(const SessionPool &) = delete;
+
+    /**
+     * Returns the Session for @p key, invoking @p build (at most once
+     * per key) to construct the input program. Sessions live as long
+     * as the pool plus any outstanding shared_ptr.
+     */
+    std::shared_ptr<Session>
+    session(const std::string &key,
+            const std::function<ir::Program()> &build);
+
+    /** Number of distinct sessions created so far. */
+    size_t size() const;
+
+    /** Aggregated cache counters across all sessions. */
+    CacheStats stats() const;
+
+    const SessionConfig &config() const { return _cfg; }
+
+  private:
+    SessionConfig _cfg;
+    mutable std::mutex _mu;
+    std::map<std::string, std::shared_ptr<Session>> _sessions;
+};
+
+} // namespace pipeline
+} // namespace msc

@@ -40,12 +40,14 @@ makeSpec(const std::string &workload, tasksel::Strategy strategy,
     RunSpec s;
     s.workload = workload;
     s.scale = scale;
-    s.opts.sel.strategy = strategy;
-    s.opts.sel.taskSizeHeuristic = size_heur;
-    s.opts.sel.maxTargets = max_targets;
+    tasksel::SelectionOptions sel;
+    sel.strategy = strategy;
+    sel.taskSizeHeuristic = size_heur;
+    sel.maxTargets = max_targets;
+    s.opts = pipeline::StageOptions::fromSelection(sel);
     s.opts.config = arch::SimConfig::paperConfig(pus, out_of_order);
     s.opts.config.maxTargets = max_targets;
-    s.opts.traceInsts = trace_insts;
+    s.opts.trace.traceInsts = trace_insts;
 
     s.id = workload;
     s.id += '/';
@@ -60,22 +62,36 @@ makeSpec(const std::string &workload, tasksel::Strategy strategy,
     return s;
 }
 
-RunRecord
-runSpec(const RunSpec &spec)
+std::string
+sessionKey(const RunSpec &spec)
 {
-    ir::Program p = workloads::buildWorkload(spec.workload, spec.scale);
-    sim::RunResult res = sim::runPipeline(p, spec.opts);
+    return spec.workload +
+           (spec.scale == workloads::Scale::Small ? "@small" : "@full");
+}
+
+RunRecord
+runSpec(const RunSpec &spec, pipeline::Session &session)
+{
+    pipeline::StageResults a = session.runAll(spec.opts);
 
     RunRecord r;
     r.spec = spec;
-    r.stats = res.stats;
-    r.staticTasks = res.partition.size();
-    r.avgStaticInsts = res.partition.avgStaticSize();
-    r.includedCalls = res.partition.includedCalls.size();
-    r.loopsUnrolled = res.loopsUnrolled;
-    r.ivsHoisted = res.ivsHoisted;
-    r.dynTasksCut = res.dynTaskCount;
+    r.stats = a.sim->stats;
+    r.staticTasks = a.partition->partition.size();
+    r.avgStaticInsts = a.partition->partition.avgStaticSize();
+    r.includedCalls = a.partition->partition.includedCalls.size();
+    r.loopsUnrolled = a.transformed->loopsUnrolled;
+    r.ivsHoisted = a.transformed->ivsHoisted;
+    r.dynTasksCut = a.trace->tasks.size();
     return r;
+}
+
+RunRecord
+runSpec(const RunSpec &spec)
+{
+    pipeline::Session session(std::make_shared<const ir::Program>(
+        workloads::buildWorkload(spec.workload, spec.scale)));
+    return runSpec(spec, session);
 }
 
 Json
@@ -96,7 +112,7 @@ runToJson(const RunRecord &r)
     cfg["task_size_heuristic"] = r.spec.opts.sel.taskSizeHeuristic;
     cfg["scale"] =
         r.spec.scale == workloads::Scale::Small ? "small" : "full";
-    cfg["trace_insts"] = r.spec.opts.traceInsts;
+    cfg["trace_insts"] = r.spec.opts.trace.traceInsts;
     run["config"] = std::move(cfg);
 
     Json m = Json::object();

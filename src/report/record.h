@@ -3,15 +3,16 @@
  * Structured experiment records and their serialized forms.
  *
  * A RunSpec names one point of a sweep grid (workload + full
- * sim::RunOptions); a RunRecord is the flattened, owning result of
- * executing it — every metric a paper artifact needs, but not the
+ * pipeline::StageOptions); a RunRecord is the flattened, owning result
+ * of executing it — every metric a paper artifact needs, but not the
  * program or partition themselves, so thousands of records are cheap
  * to hold. `sweepToJson` / `sweepToCsv` serialize a record list into
  * the versioned schema documented field-by-field in docs/METRICS.md.
  *
  * Determinism contract: serialization depends only on the records —
  * no timestamps, hostnames or wall-clock — so a sweep emitted with
- * `--jobs 8` is byte-identical to `--jobs 1`.
+ * `--jobs 8` is byte-identical to `--jobs 1`, and a warm-cache run is
+ * byte-identical to a cold one.
  */
 
 #pragma once
@@ -19,8 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "arch/stats.h"
+#include "pipeline/session.h"
 #include "report/json.h"
-#include "sim/runner.h"
 #include "workloads/workload.h"
 
 namespace msc {
@@ -44,7 +46,7 @@ struct RunSpec
 
     workloads::Scale scale = workloads::Scale::Full;
 
-    sim::RunOptions opts;
+    pipeline::StageOptions opts;
 };
 
 /**
@@ -63,7 +65,7 @@ struct RunRecord
     RunSpec spec;
     arch::SimStats stats;
 
-    /// @name Partition shape (from RunResult, sans the partition).
+    /// @name Partition shape (from the artifacts, sans the partition).
     /// @{
     uint64_t staticTasks = 0;
     double avgStaticInsts = 0;
@@ -74,8 +76,20 @@ struct RunRecord
     /// @}
 };
 
-/** Executes @p spec (builds the workload, runs the full pipeline) and
- *  flattens the result. Thread-safe. */
+/**
+ * The SessionPool key for @p spec: specs agreeing on it run the same
+ * input program, so they share one Session (and thus every frontend
+ * artifact their options agree on).
+ */
+std::string sessionKey(const RunSpec &spec);
+
+/** Executes @p spec against @p session (which must hold the workload
+ *  @p spec names) and flattens the result. Thread-safe; frontend
+ *  artifacts shared with every other spec run on the session. */
+RunRecord runSpec(const RunSpec &spec, pipeline::Session &session);
+
+/** Executes @p spec on a throwaway Session (builds the workload, runs
+ *  the full pipeline) and flattens the result. Thread-safe. */
 RunRecord runSpec(const RunSpec &spec);
 
 /** Serializes one record to the schema's per-run object. */

@@ -68,12 +68,29 @@ SweepRunner::forEach(size_t count,
 
 std::vector<RunRecord>
 SweepRunner::run(const std::vector<RunSpec> &specs,
+                 pipeline::SessionPool &pool,
                  const std::function<void(size_t, size_t)> &progress) const
 {
     std::vector<RunRecord> records(specs.size());
     forEach(specs.size(),
-            [&](size_t i) { records[i] = runSpec(specs[i]); }, progress);
+            [&](size_t i) {
+                const RunSpec &spec = specs[i];
+                auto session = pool.session(sessionKey(spec), [&] {
+                    return workloads::buildWorkload(spec.workload,
+                                                    spec.scale);
+                });
+                records[i] = runSpec(spec, *session);
+            },
+            progress);
     return records;
+}
+
+std::vector<RunRecord>
+SweepRunner::run(const std::vector<RunSpec> &specs,
+                 const std::function<void(size_t, size_t)> &progress) const
+{
+    pipeline::SessionPool pool;
+    return run(specs, pool, progress);
 }
 
 } // namespace report

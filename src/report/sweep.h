@@ -2,12 +2,16 @@
  * @file
  * Parallel sweep execution.
  *
- * A sweep is a list of independent RunSpecs: every run owns its own
- * ir::Program copy and the library keeps no mutable global state, so
- * grid points execute concurrently without coordination. Results are
- * returned in *input* order regardless of completion order, which —
- * together with the no-wall-clock rule in record.h — makes sweep
- * output deterministic for any worker count.
+ * A sweep is a list of independent RunSpecs routed through a
+ * pipeline::SessionPool: specs sharing a workload share one Session,
+ * so the frontend (transform/profile/select/trace) of each distinct
+ * option set is computed once no matter how many hardware configs fan
+ * out from it. Artifacts are immutable and the library keeps no other
+ * mutable global state, so grid points execute concurrently without
+ * coordination. Results are returned in *input* order regardless of
+ * completion order, which — together with the no-wall-clock rule in
+ * record.h — makes sweep output deterministic for any worker count
+ * and any cache state.
  */
 
 #pragma once
@@ -15,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "pipeline/pool.h"
 #include "report/record.h"
 
 namespace msc {
@@ -36,12 +41,24 @@ class SweepRunner
      * The first exception thrown by any run is rethrown here after
      * all workers drain.
      *
+     * Routes through a private SessionPool; use the overload below to
+     * share sessions (and their cache counters) with the caller.
+     *
      * @p progress, when set, is invoked from worker threads (caller
      * must tolerate concurrent calls) after each completed run with
      * (completed_count, total).
      */
     std::vector<RunRecord>
     run(const std::vector<RunSpec> &specs,
+        const std::function<void(size_t, size_t)> &progress = {}) const;
+
+    /**
+     * Same, but shares frontends through the caller's @p pool — the
+     * caller can inspect pool.stats() afterwards or reuse the warm
+     * pool for a follow-up sweep.
+     */
+    std::vector<RunRecord>
+    run(const std::vector<RunSpec> &specs, pipeline::SessionPool &pool,
         const std::function<void(size_t, size_t)> &progress = {}) const;
 
     /**

@@ -1,85 +1,35 @@
 #include "sim/runner.h"
 
-#include <chrono>
-#include <stdexcept>
-
-#include "obs/phase.h"
-#include "profile/interpreter.h"
-#include "tasksel/pverify.h"
-#include "tasksel/selector.h"
-#include "tasksel/transforms.h"
+#include "pipeline/session.h"
 
 namespace msc {
 namespace sim {
 
 namespace {
 
-/**
- * Accumulates the wall time between mark() calls into a PhaseTimes.
- * With no accumulator attached (the common case) it never reads the
- * clock.
- */
-class PhaseClock
+pipeline::StageOptions
+toStageOptions(const RunOptions &opts)
 {
-  public:
-    explicit PhaseClock(obs::PhaseTimes *pt)
-        : _pt(pt)
-    {
-        if (_pt)
-            _last = Clock::now();
-    }
+    pipeline::StageOptions o =
+        pipeline::StageOptions::fromSelection(opts.sel);
+    o.profile.profileInsts = opts.profileInsts;
+    o.trace.traceInsts = opts.traceInsts;
+    o.config = opts.config;
+    o.verifyPartition = opts.verifyPartition;
+    o.sink = opts.sink;
+    o.phaseTimes = opts.phaseTimes;
+    return o;
+}
 
-    void
-    mark(obs::PipelinePhase p)
-    {
-        if (!_pt)
-            return;
-        Clock::time_point now = Clock::now();
-        _pt->add(p, std::chrono::duration<double, std::micro>(
-                        now - _last).count());
-        _last = now;
-    }
-
-  private:
-    using Clock = std::chrono::steady_clock;
-    obs::PhaseTimes *_pt;
-    Clock::time_point _last;
-};
-
-RunResult
-preparePartition(const ir::Program &input, const RunOptions &opts)
+void
+fillFrontend(RunResult &r, const pipeline::ProfileArtifact &prof,
+             const pipeline::PartitionArtifact &part)
 {
-    PhaseClock clock(opts.phaseTimes);
-
-    RunResult r;
-    r.prog = std::make_unique<ir::Program>(input);
-
-    // IR transforms first, so profiling and simulation see the final
-    // code. The induction-variable rotation runs before unrolling so
-    // every unrolled copy carries its increment at the top (§3.2);
-    // loop unrolling belongs to the task-size heuristic.
-    if (opts.sel.hoistInductionVars)
-        r.ivsHoisted = tasksel::hoistInductionVariables(*r.prog);
-    if (opts.sel.taskSizeHeuristic)
-        r.loopsUnrolled = tasksel::unrollSmallLoops(*r.prog,
-                                                    opts.sel.loopThresh);
-    r.prog->computeCfg();
-    r.prog->layout();
-    clock.mark(obs::PipelinePhase::Transforms);
-
-    r.profile = profile::profileProgram(*r.prog, opts.profileInsts);
-    clock.mark(obs::PipelinePhase::Profile);
-
-    r.partition = tasksel::selectTasks(*r.prog, r.profile, opts.sel);
-
-    if (opts.verifyPartition) {
-        std::string err;
-        if (!tasksel::verifyPartition(r.partition, opts.sel, &err))
-            throw std::runtime_error("partition verification failed: "
-                                     + err);
-    }
-    clock.mark(obs::PipelinePhase::Selection);
-    return r;
+    r.prog = part.transformed->prog;
+    r.profile = prof.profile;
+    r.partition = part.partition;
+    r.loopsUnrolled = part.transformed->loopsUnrolled;
+    r.ivsHoisted = part.transformed->ivsHoisted;
 }
 
 } // anonymous namespace
@@ -87,24 +37,23 @@ preparePartition(const ir::Program &input, const RunOptions &opts)
 RunResult
 partitionOnly(const ir::Program &input, const RunOptions &opts)
 {
-    return preparePartition(input, opts);
+    pipeline::Session session(input);
+    pipeline::StageOptions o = toStageOptions(opts);
+    auto part = session.select(o);
+    RunResult r;
+    fillFrontend(r, *session.profile(o), *part);
+    return r;
 }
 
 RunResult
 runPipeline(const ir::Program &input, const RunOptions &opts)
 {
-    RunResult r = preparePartition(input, opts);
-    PhaseClock clock(opts.phaseTimes);
-
-    profile::Interpreter interp(*r.prog);
-    profile::Trace trace = interp.trace(opts.traceInsts);
-
-    std::vector<arch::DynTask> dyn = arch::cutTasks(trace, r.partition);
-    r.dynTaskCount = dyn.size();
-    clock.mark(obs::PipelinePhase::TraceCut);
-
-    r.stats = arch::simulate(r.partition, dyn, opts.config, opts.sink);
-    clock.mark(obs::PipelinePhase::TimingSim);
+    pipeline::Session session(input);
+    pipeline::StageResults a = session.runAll(toStageOptions(opts));
+    RunResult r;
+    fillFrontend(r, *a.profile, *a.partition);
+    r.dynTaskCount = a.trace->tasks.size();
+    r.stats = a.sim->stats;
     return r;
 }
 

@@ -7,6 +7,22 @@
  *   (program', Profile, strategy) --(task selection)--> TaskPartition
  *   program' --(functional trace)--> Trace --(cut)--> dynamic tasks
  *   (partition, dynamic tasks, SimConfig) --(timing model)--> SimStats
+ *
+ * This header is the legacy single-shot entry point, kept as a thin
+ * wrapper over pipeline::Session. Migration notes:
+ *
+ *  - New code should construct a pipeline::Session and call the stage
+ *    methods (or Session::runAll) with pipeline::StageOptions; a
+ *    Session reuses frontend artifacts across calls, which this
+ *    wrapper — one throwaway Session per call — cannot.
+ *  - RunOptions's flat fields split per stage: `profileInsts` lives in
+ *    pipeline::ProfileOptions, `traceInsts` in pipeline::TraceOptions;
+ *    `sel` and `config` carry over unchanged. The transform knobs
+ *    (hoistInductionVars / taskSizeHeuristic / loopThresh) are read
+ *    from `sel`, exactly as before, via StageOptions::fromSelection.
+ *  - RunResult::prog is now a shared_ptr<const ir::Program>, so
+ *    RunResult is copyable and movable; `partition.prog` still
+ *    aliases it (see RunResult docs).
  */
 
 #pragma once
@@ -29,7 +45,8 @@ struct PhaseTimes;
 
 namespace sim {
 
-/** Everything a pipeline run needs to know. */
+/** Everything a pipeline run needs to know (legacy flat bundle; see
+ *  the migration notes above and pipeline::StageOptions). */
 struct RunOptions
 {
     tasksel::SelectionOptions sel;
@@ -59,10 +76,15 @@ struct RunOptions
     obs::PhaseTimes *phaseTimes = nullptr;
 };
 
-/** Results of a pipeline run. The partition points into `prog`. */
+/**
+ * Results of a pipeline run. `partition.prog` points at `*prog`;
+ * because `prog` is shared ownership, copies and moves of a RunResult
+ * keep the alias valid for as long as any copy lives.
+ */
 struct RunResult
 {
-    std::unique_ptr<ir::Program> prog;   ///< Post-transform program.
+    /** Post-transform program (shared with the Session's artifacts). */
+    std::shared_ptr<const ir::Program> prog;
     profile::Profile profile;
     tasksel::TaskPartition partition;
     arch::SimStats stats;
