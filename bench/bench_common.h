@@ -165,6 +165,25 @@ class Sweep
             _cacheStats = pool.stats();
             std::fprintf(stderr, "[sweep] artifact cache: %s\n",
                          _cacheStats.summary().c_str());
+            // Benches print paper tables straight from the records,
+            // so any error cell means the tables would be garbage:
+            // report it and bail rather than print partial data
+            // (msctool sweep is the partial-tolerant driver).
+            size_t failed = 0;
+            for (const auto &r : _records) {
+                if (!r.ok()) {
+                    ++failed;
+                    std::fprintf(stderr, "[sweep] ERROR %s: %s\n",
+                                 r.spec.id.c_str(),
+                                 r.error.render().c_str());
+                }
+            }
+            if (failed) {
+                std::fprintf(stderr,
+                             "[sweep] %zu of %zu runs failed\n",
+                             failed, _records.size());
+                std::exit(1);
+            }
             if (!opts.jsonPath.empty()) {
                 report::writeFile(opts.jsonPath,
                                   report::sweepToJson(_records).dump(2));

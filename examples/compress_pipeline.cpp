@@ -21,7 +21,7 @@ using namespace msc;
 namespace {
 
 void
-report(const char *label, const arch::SimStats &st)
+printResult(const char *label, const arch::SimStats &st)
 {
     std::printf("\n%s: IPC %.3f, %llu cycles, %llu tasks "
                 "(avg %.1f insts), task mispredict %.1f%%, "
@@ -71,7 +71,7 @@ main(int argc, char **argv)
                 pipeline::StageOptions::fromSelection(sel);
             o.config = arch::SimConfig::paperConfig(pus);
             o.trace.traceInsts = 100'000;
-            report(c.label, session.simulate(o)->stats);
+            printResult(c.label, session.simulate(o)->stats);
         }
     }
     return 0;

@@ -8,23 +8,34 @@
  *       Print a program in the textual IR format (parseable back).
  *   msctool run <workload|file.mir> [--pus N] [--strategy bb|cf|dd]
  *               [--in-order] [--size] [--targets N] [--insts N]
+ *               [--timeout-ms N] [--max-fuel N] [--max-cycles N]
  *       Full pipeline: transforms, profile, partition, simulate.
  *   msctool exec <workload|file.mir>
  *       Functional execution only; prints the checksum.
  *   msctool sweep [workloads...] [--strategy bb,cf,dd] [--pus 4,8]
  *               [--jobs N] [--json file] [--csv file] [--in-order]
  *               [--size] [--targets N] [--insts N] [--small]
- *               [--cache-dir DIR]
+ *               [--cache-dir DIR] [--timeout-ms N] [--max-fuel N]
+ *               [--max-cycles N]
  *       Run a workload × strategy × PU grid (all bundled workloads
  *       when none are named), optionally in parallel, and emit the
  *       structured results (schema: docs/METRICS.md). Grid points
  *       share frontend artifacts through a SessionPool; --cache-dir
- *       persists them across invocations (docs/API.md).
+ *       persists them across invocations (docs/API.md). Failing
+ *       cells are isolated: they print as ERROR rows and serialize
+ *       as `status: "error"` objects in a `partial: true` document
+ *       (docs/ROBUSTNESS.md). Exit code: 0 all cells ok, 1 all
+ *       failed, 3 partial (some of each).
  *   msctool fuzz [--count N] [--seed S] [--jobs N] [--size 0..3]
  *               [--max-insts N] [--corpus-dir DIR] [--no-shrink]
+ *               [--timeout-ms N] [--max-fuel N]
  *       Differential fuzzing: random programs through three
  *       independent oracles under every selection strategy
  *       (docs/TESTING.md). Nonzero exit on any divergence.
+ *       --timeout-ms/--max-fuel bound each seed's whole differential;
+ *       exhaustion records the seed as a `timeout` failure (written
+ *       to --corpus-dir as timeout-seed<N>.mir, never shrunk)
+ *       instead of hanging the campaign.
  *   msctool trace <workload|file.mir> [--out trace.json]
  *               [--taskprof prof.json] [--pus N] [--strategy bb|cf|dd]
  *               [--in-order] [--size] [--targets N] [--insts N]
@@ -58,6 +69,7 @@
 #include "profile/interpreter.h"
 #include "report/record.h"
 #include "report/sweep.h"
+#include "runtime/budget.h"
 #include "workloads/workload.h"
 
 using namespace msc;
@@ -118,6 +130,7 @@ cmdRun(int argc, char **argv)
     unsigned pus = 4;
     bool ooo = true;
     std::string cache_dir;
+    runtime::ExecBudget budget;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -142,6 +155,12 @@ cmdRun(int argc, char **argv)
             trace_insts = uint64_t(atoll(v4));
         } else if (const char *v5 = arg("--cache-dir")) {
             cache_dir = v5;
+        } else if (const char *v6 = arg("--timeout-ms")) {
+            budget.wallMs = uint32_t(atoll(v6));
+        } else if (const char *v7 = arg("--max-fuel")) {
+            budget.maxFuel = uint64_t(atoll(v7));
+        } else if (const char *v8 = arg("--max-cycles")) {
+            budget.maxSimCycles = uint64_t(atoll(v8));
         } else if (a == "--in-order") {
             ooo = false;
         } else if (a == "--size") {
@@ -154,6 +173,7 @@ cmdRun(int argc, char **argv)
     o.trace.traceInsts = trace_insts;
     o.config = arch::SimConfig::paperConfig(pus, ooo);
     o.config.maxTargets = sel.maxTargets;
+    o.budget = budget;
 
     pipeline::Session session(loadProgram(spec),
                               pipeline::SessionConfig{cache_dir});
@@ -216,6 +236,7 @@ cmdSweep(int argc, char **argv)
     bool ooo = true, size_heur = false;
     workloads::Scale scale = workloads::Scale::Full;
     std::string json_path, csv_path, cache_dir;
+    runtime::ExecBudget budget;
 
     for (int i = 0; i < argc; ++i) {
         std::string a = argv[i];
@@ -245,6 +266,12 @@ cmdSweep(int argc, char **argv)
             insts = uint64_t(atoll(v7));
         } else if (const char *v8 = arg("--cache-dir")) {
             cache_dir = v8;
+        } else if (const char *v9 = arg("--timeout-ms")) {
+            budget.wallMs = uint32_t(atoll(v9));
+        } else if (const char *v10 = arg("--max-fuel")) {
+            budget.maxFuel = uint64_t(atoll(v10));
+        } else if (const char *v11 = arg("--max-cycles")) {
+            budget.maxSimCycles = uint64_t(atoll(v11));
         } else if (a == "--in-order") {
             ooo = false;
         } else if (a == "--size") {
@@ -264,10 +291,13 @@ cmdSweep(int argc, char **argv)
     std::vector<report::RunSpec> specs;
     for (const auto &n : names)
         for (const auto &s : strategies)
-            for (unsigned p : pus)
-                specs.push_back(report::makeSpec(
+            for (unsigned p : pus) {
+                report::RunSpec sp = report::makeSpec(
                     n, report::strategyFromId(s), p, ooo, scale, insts,
-                    size_heur, targets));
+                    size_heur, targets);
+                sp.opts.budget = budget;
+                specs.push_back(std::move(sp));
+            }
 
     report::SweepRunner runner(jobs);
     std::fprintf(stderr, "sweep: %zu runs (%zu workloads x %zu "
@@ -281,13 +311,25 @@ cmdSweep(int argc, char **argv)
 
     std::printf("%-28s %8s %9s %7s %7s %8s\n", "run", "IPC", "cycles",
                 "tasks", "tpred%", "span");
-    for (const auto &r : records)
-        std::printf("%-28s %8.3f %9llu %7llu %7.2f %8.0f\n",
-                    r.spec.id.c_str(), r.stats.ipc(),
-                    (unsigned long long)r.stats.cycles,
-                    (unsigned long long)r.stats.dynTasks,
-                    r.stats.taskMispredictPct(),
-                    r.stats.measuredWindowSpan);
+    size_t failed = 0;
+    for (const auto &r : records) {
+        if (r.ok()) {
+            std::printf("%-28s %8.3f %9llu %7llu %7.2f %8.0f\n",
+                        r.spec.id.c_str(), r.stats.ipc(),
+                        (unsigned long long)r.stats.cycles,
+                        (unsigned long long)r.stats.dynTasks,
+                        r.stats.taskMispredictPct(),
+                        r.stats.measuredWindowSpan);
+        } else {
+            ++failed;
+            std::printf("%-28s ERROR %s\n", r.spec.id.c_str(),
+                        r.error.render().c_str());
+        }
+    }
+    if (failed)
+        std::fprintf(stderr, "sweep: %zu of %zu runs failed "
+                             "(results are partial)\n",
+                     failed, records.size());
 
     if (!json_path.empty()) {
         report::writeFile(json_path,
@@ -300,7 +342,7 @@ cmdSweep(int argc, char **argv)
         std::fprintf(stderr, "sweep: wrote %zu runs to %s\n",
                      records.size(), csv_path.c_str());
     }
-    return 0;
+    return report::sweepExitCode(records);
 }
 
 int
@@ -478,6 +520,10 @@ cmdFuzz(int argc, char **argv)
             o.maxInsts = uint64_t(atoll(v5));
         } else if (const char *v6 = arg("--corpus-dir")) {
             o.corpusDir = v6;
+        } else if (const char *v7 = arg("--timeout-ms")) {
+            o.budget.wallMs = uint32_t(atoll(v7));
+        } else if (const char *v8 = arg("--max-fuel")) {
+            o.budget.maxFuel = uint64_t(atoll(v8));
         } else if (a == "--no-shrink") {
             o.shrinkFailures = false;
         } else if (a == "--quiet") {
@@ -547,15 +593,20 @@ main(int argc, char **argv)
                  "       msctool run    <workload|file.mir> [--pus N]\n"
                  "              [--strategy bb|cf|dd] [--in-order]\n"
                  "              [--size] [--targets N] [--insts N]\n"
-                 "              [--cache-dir DIR]\n"
+                 "              [--cache-dir DIR] [--timeout-ms N]\n"
+                 "              [--max-fuel N] [--max-cycles N]\n"
                  "       msctool sweep  [workloads...]\n"
                  "              [--strategy bb,cf,dd] [--pus 4,8]\n"
                  "              [--jobs N] [--json file] [--csv file]\n"
                  "              [--in-order] [--size] [--targets N]\n"
                  "              [--insts N] [--small] [--cache-dir DIR]\n"
+                 "              [--timeout-ms N] [--max-fuel N]\n"
+                 "              [--max-cycles N]\n"
+                 "              exit: 0 clean, 1 all failed, 3 partial\n"
                  "       msctool fuzz   [--count N] [--seed S]\n"
                  "              [--jobs N] [--size 0..3] [--max-insts N]\n"
                  "              [--corpus-dir DIR] [--no-shrink]\n"
+                 "              [--timeout-ms N] [--max-fuel N]\n"
                  "       msctool trace  <workload|file.mir>\n"
                  "              [--out trace.json] [--taskprof p.json]\n"
                  "              [--pus N] [--strategy bb|cf|dd]\n"

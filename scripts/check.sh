@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Full local gate: the optimized tier-1 suite plus the same suite under
 # ASan/UBSan in a separate Debug build tree, then the smoke batch (the
-# fuzz oracles and the trace_smoke record+parse+invariant check).
+# fuzz oracles and the trace_smoke record+parse+invariant check). The
+# robustness suite (budgets, cancellation, fault injection — label
+# `robust`, docs/ROBUSTNESS.md) gates explicitly so a label mishap in
+# tests/CMakeLists.txt cannot silently drop it, and again under a
+# standalone UBSan build where the governor's unsigned accounting is
+# most likely to trip.
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --fast     # optimized tier1 only (no sanitizers)
@@ -16,14 +21,22 @@ FAST=0
 
 run() { echo "== $*"; "$@"; }
 
-# Stage 1: optimized build, tier-1 suite + fuzz smoke.
+# Stage 1: optimized build, tier-1 suite + robustness gate + smoke.
 run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run cmake --build build -j "$JOBS"
 run ctest --test-dir build -L tier1 -j "$JOBS" --output-on-failure
+robust_count=$(ctest --test-dir build -L robust -N 2>/dev/null |
+    sed -n 's/^Total Tests: //p')
+if [[ -z "$robust_count" || "$robust_count" -lt 3 ]]; then
+    echo "error: robust label matches ${robust_count:-0} tests" \
+         "(expected >= 3) — check tests/CMakeLists.txt labels" >&2
+    exit 1
+fi
+run ctest --test-dir build -L robust --output-on-failure
 run ctest --test-dir build -L smoke --output-on-failure
 
 if [[ "$FAST" == 1 ]]; then
-    echo "== fast mode: skipping sanitizer stage"
+    echo "== fast mode: skipping sanitizer stages"
     exit 0
 fi
 
@@ -34,5 +47,13 @@ run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan -L tier1 -j "$JOBS" --output-on-failure
 run ctest --test-dir build-asan -L smoke --output-on-failure
+
+# Stage 3: standalone UBSan at optimization (catches overflow UB the
+# Debug ASan tree masks), robustness + fuzz labels only.
+run cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMSC_SANITIZE="undefined"
+run cmake --build build-ubsan -j "$JOBS"
+run ctest --test-dir build-ubsan -L robust -j "$JOBS" --output-on-failure
+run ctest --test-dir build-ubsan -L fuzz -j "$JOBS" --output-on-failure
 
 echo "== all checks passed"

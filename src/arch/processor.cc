@@ -96,8 +96,9 @@ class Simulator
 {
   public:
     Simulator(const TaskPartition &part, const std::vector<DynTask> &tasks,
-              const SimConfig &cfg, obs::TraceSink *sink)
-        : _part(part), _tasks(tasks), _cfg(cfg),
+              const SimConfig &cfg, obs::TraceSink *sink,
+              runtime::Governor *gov)
+        : _part(part), _tasks(tasks), _cfg(cfg), _gov(gov),
           _hier(cfg),
           _arb(cfg.arbEntriesPerPU * cfg.numPUs),
           _sync(cfg.syncTableSize),
@@ -140,6 +141,7 @@ class Simulator
     const TaskPartition &_part;
     const std::vector<DynTask> &_tasks;
     const SimConfig &_cfg;
+    runtime::Governor *_gov;  ///< Optional budget/cancel governor.
 
     MemoryHierarchy _hier;
     Arb _arb;
@@ -870,7 +872,20 @@ Simulator::run()
     if (_tasks.empty())
         return _stats;
 
+    // The cycle budget is checked against the governor's limit (which
+    // is min'd with nothing here: _cfg.maxCycles stays the functional
+    // ceiling, the budget is a stricter administrative one).
+    uint64_t cycle_limit = UINT64_MAX;
+    if (_gov && _gov->simCycleLimit())
+        cycle_limit = _gov->simCycleLimit();
+
     while (_now < _cfg.maxCycles) {
+        // Pulse at the loop top so a pre-set cancel trips before any
+        // state mutation of cycle 0 (cancellation tests rely on it).
+        if (_gov && (_now & 0xfff) == 0)
+            _gov->checkPulse();
+        if (_now >= cycle_limit)
+            _gov->cyclesExhausted(_now);
         retirePhase();
         if (_window.empty() && _nextDyn >= _tasks.size())
             break;
@@ -899,9 +914,10 @@ Simulator::run()
 
 SimStats
 simulate(const TaskPartition &part, const std::vector<DynTask> &tasks,
-         const SimConfig &cfg, obs::TraceSink *sink)
+         const SimConfig &cfg, obs::TraceSink *sink,
+         runtime::Governor *gov)
 {
-    Simulator sim(part, tasks, cfg, sink);
+    Simulator sim(part, tasks, cfg, sink, gov);
     return sim.run();
 }
 

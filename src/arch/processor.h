@@ -42,6 +42,7 @@
 #include "arch/config.h"
 #include "arch/stats.h"
 #include "arch/taskstream.h"
+#include "runtime/budget.h"
 #include "tasksel/task.h"
 
 namespace msc {
@@ -61,11 +62,17 @@ namespace arch {
  * (assignment, commit with per-instance attribution, squashes, stall
  * instants, window counters — see obs/tracesink.h). A null sink is
  * the fast path: no event is constructed.
+ *
+ * @p gov, when non-null, enforces the execution budget: the simulated
+ * cycle cap (ErrorKind::BudgetCycles) is checked every cycle, and the
+ * cancel/deadline pulse fires every 4096 cycles starting at cycle 0,
+ * so a pre-cancelled token aborts before any simulation work.
  */
 SimStats simulate(const tasksel::TaskPartition &part,
                   const std::vector<DynTask> &tasks,
                   const SimConfig &cfg,
-                  obs::TraceSink *sink = nullptr);
+                  obs::TraceSink *sink = nullptr,
+                  runtime::Governor *gov = nullptr);
 
 } // namespace arch
 } // namespace msc

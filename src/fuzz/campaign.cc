@@ -46,7 +46,8 @@ runCampaign(const CampaignOptions &opts,
             DiffResult diff;
             try {
                 prog = generate(seed, gen);
-                diff = runDifferential(prog, {}, opts.maxInsts);
+                diff = runDifferential(prog, {}, opts.maxInsts,
+                                       opts.budget);
             } catch (const std::exception &e) {
                 diff.kind = DiffKind::GenError;
                 diff.detail = e.what();
@@ -59,17 +60,23 @@ runCampaign(const CampaignOptions &opts,
             fail.diff = diff;
 
             if (diff.kind != DiffKind::GenError) {
-                if (opts.shrinkFailures) {
+                // Never shrink non-terminating failures: each shrink
+                // candidate would replay the full instruction/resource
+                // budget, turning one slow seed into hundreds.
+                bool shrinkable = diff.kind != DiffKind::NoHalt &&
+                                  diff.kind != DiffKind::Timeout;
+                if (opts.shrinkFailures && shrinkable) {
                     // Key the predicate on the failure kind and config
                     // so shrinking cannot drift into a different bug.
                     auto same_failure = [&](const ir::Program &p) {
-                        DiffResult d =
-                            runDifferential(p, {}, opts.maxInsts);
+                        DiffResult d = runDifferential(
+                            p, {}, opts.maxInsts, opts.budget);
                         return d.kind == diff.kind &&
                                d.config == diff.config;
                     };
                     prog = shrinkProgram(prog, same_failure);
-                    fail.diff = runDifferential(prog, {}, opts.maxInsts);
+                    fail.diff = runDifferential(prog, {}, opts.maxInsts,
+                                                opts.budget);
                 }
                 fail.program = ir::toString(prog);
                 if (!opts.corpusDir.empty()) {

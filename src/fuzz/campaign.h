@@ -40,7 +40,16 @@ struct CampaignOptions
     /** Per-oracle dynamic instruction budget. */
     uint64_t maxInsts = 2'000'000;
 
-    /** Shrink failing programs before reporting. */
+    /** Resource budget for each seed's whole differential (fuel /
+     *  deadline / heap watermark; see runtime/budget.h). Exhaustion
+     *  records the seed as a DiffKind::Timeout failure instead of
+     *  hanging the campaign. Default: unlimited. */
+    runtime::ExecBudget budget;
+
+    /** Shrink failing programs before reporting. NoHalt/Timeout
+     *  failures are never shrunk: every shrink candidate of a
+     *  non-terminating program replays the full budget, so shrinking
+     *  them *is* the hang the budget exists to prevent. */
     bool shrinkFailures = true;
 
     /** When non-empty, write shrunk reproducers into this directory. */

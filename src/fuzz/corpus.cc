@@ -8,6 +8,7 @@
 
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "runtime/error.h"
 
 namespace msc {
 namespace fuzz {
@@ -44,7 +45,8 @@ writeReproducer(const std::string &dir, const ir::Program &prog,
             .string();
     std::ofstream out(path);
     if (!out)
-        throw std::runtime_error("cannot write reproducer: " + path);
+        throw runtime::StageError(runtime::ErrorKind::Io, "corpus",
+                                  "cannot write reproducer: " + path);
     out << reproducerText(prog, info);
     return path;
 }
@@ -67,7 +69,8 @@ loadReproducer(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        throw std::runtime_error("cannot read reproducer: " + path);
+        throw runtime::StageError(runtime::ErrorKind::Io, "corpus",
+                                  "cannot read reproducer: " + path);
     std::ostringstream text;
     text << in.rdbuf();
     return ir::parseProgram(text.str());

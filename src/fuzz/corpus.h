@@ -44,7 +44,8 @@ std::string writeReproducer(const std::string &dir,
 /** All `.mir` files under @p dir, sorted; empty when dir is absent. */
 std::vector<std::string> corpusFiles(const std::string &dir);
 
-/** Parses one reproducer file. @throws on unreadable/invalid input. */
+/** Parses one reproducer file. @throws runtime::StageError (Io) on an
+ *  unreadable file; parser errors propagate from ir::parseProgram. */
 ir::Program loadReproducer(const std::string &path);
 
 } // namespace fuzz

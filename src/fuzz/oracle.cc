@@ -21,6 +21,7 @@ diffKindName(DiffKind k)
       case DiffKind::Ok:               return "ok";
       case DiffKind::GenError:         return "gen-error";
       case DiffKind::NoHalt:           return "no-halt";
+      case DiffKind::Timeout:          return "timeout";
       case DiffKind::TraceDivergence:  return "trace-divergence";
       case DiffKind::PartitionInvalid: return "partition-invalid";
       case DiffKind::CutError:         return "cut-error";
@@ -116,12 +117,10 @@ failure(DiffKind kind, const std::string &config,
     return r;
 }
 
-} // anonymous namespace
-
 DiffResult
-runDifferential(const ir::Program &prog,
-                const std::vector<DiffConfig> &configs,
-                uint64_t max_insts)
+runDifferentialImpl(const ir::Program &prog,
+                    const std::vector<DiffConfig> &configs,
+                    uint64_t max_insts, runtime::Governor *gov)
 {
     static const std::vector<DiffConfig> defaults = defaultConfigs();
     const std::vector<DiffConfig> &cfgs =
@@ -130,7 +129,7 @@ runDifferential(const ir::Program &prog,
     // Oracle A: reference interpretation, capturing the trace so the
     // final state and the dynamic stream come from the same run.
     profile::Interpreter ref(prog);
-    profile::Trace ref_trace = ref.trace(max_insts);
+    profile::Trace ref_trace = ref.trace(max_insts, gov);
     if (!ref_trace.completed)
         return failure(DiffKind::NoHalt, "",
                        "reference run exceeded " +
@@ -151,9 +150,9 @@ runDifferential(const ir::Program &prog,
     for (const DiffConfig &cfg : cfgs) {
         ir::Program p = prog;
         if (cfg.transforms) {
-            tasksel::unrollSmallLoops(p, cfg.sel.loopThresh);
+            tasksel::unrollSmallLoops(p, cfg.sel.loopThresh, 16, gov);
             if (cfg.sel.hoistInductionVars)
-                tasksel::hoistInductionVariables(p);
+                tasksel::hoistInductionVariables(p, gov);
         }
         p.computeCfg();
         p.layout();
@@ -161,8 +160,14 @@ runDifferential(const ir::Program &prog,
         profile::Profile prof;
         tasksel::TaskPartition part;
         try {
-            prof = profile::profileProgram(p, max_insts);
-            part = tasksel::selectTasks(p, prof, cfg.sel);
+            prof = profile::profileProgram(p, max_insts, gov);
+            part = tasksel::selectTasks(p, prof, cfg.sel, gov);
+        } catch (const runtime::StageError &e) {
+            if (e.info().budgetExhausted() ||
+                e.info().kind == runtime::ErrorKind::Cancelled)
+                throw;  // budget/deadline -> Timeout at the boundary
+            return failure(DiffKind::PartitionInvalid, cfg.name,
+                           e.what());
         } catch (const std::exception &e) {
             return failure(DiffKind::PartitionInvalid, cfg.name,
                            e.what());
@@ -172,7 +177,7 @@ runDifferential(const ir::Program &prog,
             return failure(DiffKind::PartitionInvalid, cfg.name, err);
 
         profile::Interpreter itp(p);
-        profile::Trace trace = itp.trace(max_insts);
+        profile::Trace trace = itp.trace(max_insts, gov);
         if (!trace.completed)
             return failure(DiffKind::NoHalt, cfg.name,
                            "transformed program exceeded budget");
@@ -195,6 +200,31 @@ runDifferential(const ir::Program &prog,
     }
 
     return DiffResult{};
+}
+
+} // anonymous namespace
+
+DiffResult
+runDifferential(const ir::Program &prog,
+                const std::vector<DiffConfig> &configs,
+                uint64_t max_insts, const runtime::ExecBudget &budget)
+{
+    if (budget.unlimited())
+        return runDifferentialImpl(prog, configs, max_insts, nullptr);
+
+    // One Governor spans every oracle: the budget bounds the whole
+    // differential, so an adversarial program cannot stall a campaign
+    // in *any* oracle (the reference run, a transform, profiling,
+    // selection, or a trace).
+    runtime::Governor gov(budget);
+    try {
+        return runDifferentialImpl(prog, configs, max_insts, &gov);
+    } catch (const runtime::StageError &e) {
+        if (e.info().budgetExhausted() ||
+            e.info().kind == runtime::ErrorKind::Cancelled)
+            return failure(DiffKind::Timeout, "", e.info().render());
+        throw;
+    }
 }
 
 } // namespace fuzz

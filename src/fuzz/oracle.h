@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ir/program.h"
+#include "runtime/budget.h"
 #include "tasksel/options.h"
 
 namespace msc {
@@ -38,6 +39,7 @@ enum class DiffKind : uint8_t
     Ok,                 ///< All oracles agree.
     GenError,           ///< Program generation threw (campaign only).
     NoHalt,             ///< Reference run hit the instruction budget.
+    Timeout,            ///< An ExecBudget/deadline expired mid-oracle.
     TraceDivergence,    ///< Oracle C found the trace inconsistent.
     PartitionInvalid,   ///< selectTasks/pverify rejected a partition.
     CutError,           ///< cutTasks rejected the trace/partition.
@@ -84,10 +86,16 @@ struct DiffResult
 /**
  * Checks @p prog against @p configs (defaultConfigs() when empty).
  * Stops at the first divergence.
+ *
+ * @p budget, when limited, caps the *whole* differential (all oracles
+ * together) — fuel, wall deadline, heap watermark. Exhaustion yields a
+ * DiffKind::Timeout result instead of a hang or an exception, so a
+ * campaign over adversarial seeds always terminates.
  */
 DiffResult runDifferential(const ir::Program &prog,
                            const std::vector<DiffConfig> &configs = {},
-                           uint64_t maxInsts = 2'000'000);
+                           uint64_t maxInsts = 2'000'000,
+                           const runtime::ExecBudget &budget = {});
 
 } // namespace fuzz
 } // namespace msc

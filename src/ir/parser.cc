@@ -394,8 +394,9 @@ parseProgram(const std::string &text)
     prog.computeCfg();
     std::string err;
     if (!verify(prog, &err))
-        throw std::runtime_error("parsed program fails verification: " +
-                                 err);
+        throw runtime::StageError(
+            runtime::ErrorKind::InvalidInput, "parse",
+            "parsed program fails verification: " + err);
     prog.layout();
     return prog;
 }

@@ -27,16 +27,22 @@
 #include <string>
 
 #include "ir/program.h"
+#include "runtime/error.h"
 
 namespace msc {
 namespace ir {
 
-/** Error thrown on malformed textual IR, with a line number. */
-class ParseError : public std::runtime_error
+/** Error thrown on malformed textual IR, with a line number. A
+ *  StageError of kind InvalidInput / stage "parse", so drivers that
+ *  classify failures structurally (sweep error records) see parser
+ *  rejections without a dedicated catch site. */
+class ParseError : public runtime::StageError
 {
   public:
     ParseError(unsigned line, const std::string &msg)
-        : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+        : runtime::StageError(runtime::ErrorKind::InvalidInput, "parse",
+                              "line " + std::to_string(line) + ": " +
+                                  msg),
           _line(line)
     {}
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <tuple>
 
 #include <unistd.h>
@@ -14,6 +16,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "report/json.h"
+#include "runtime/fault.h"
 
 namespace msc {
 namespace pipeline {
@@ -46,28 +49,6 @@ envelope(const char *stage, uint64_t key)
     return doc;
 }
 
-/** Parses @p path and validates the envelope; empty Json on miss. */
-bool
-loadEnvelope(const std::string &path, const char *stage, uint64_t key,
-             Json &doc)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    try {
-        doc = Json::parse(ss.str());
-        return doc.get("schema").asString() == CACHE_SCHEMA &&
-               doc.get("schema_version").asInt() ==
-                   CACHE_SCHEMA_VERSION &&
-               doc.get("stage").asString() == stage &&
-               doc.get("key").asString() == keyHex(key);
-    } catch (const std::exception &) {
-        return false;
-    }
-}
-
 Json
 u64Array(const std::vector<uint64_t> &v)
 {
@@ -95,6 +76,59 @@ DiskCache::path(const char *stage, uint64_t key) const
     return _dir + "/" + stage + "-" + keyHex(key) + ".json";
 }
 
+DiskCacheStats
+DiskCache::stats() const
+{
+    DiskCacheStats s;
+    s.writeRetries = _writeRetries.load(std::memory_order_relaxed);
+    s.writeFailures = _writeFailures.load(std::memory_order_relaxed);
+    s.quarantined = _quarantined.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+DiskCache::quarantine(const std::string &path) const
+{
+    _quarantined.fetch_add(1, std::memory_order_relaxed);
+    std::string q = path + ".quarantine";
+    std::remove(q.c_str());
+    if (std::rename(path.c_str(), q.c_str()) != 0)
+        std::remove(path.c_str());  // Can't move it: drop it instead.
+    std::fprintf(stderr,
+                 "[cache] warning: quarantined corrupt entry %s\n",
+                 path.c_str());
+}
+
+bool
+DiskCache::loadEnvelope(const std::string &path, const char *stage,
+                        uint64_t key, Json &doc) const
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;  // Plain miss; nothing to quarantine.
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    // The "cache-read" fault site treats one successfully read entry
+    // as corrupt, driving the quarantine path deterministically.
+    bool valid = false;
+    if (!runtime::FaultInjector::instance().shouldFail("cache-read")) {
+        try {
+            doc = Json::parse(ss.str());
+            valid = doc.get("schema").asString() == CACHE_SCHEMA &&
+                    doc.get("schema_version").asInt() ==
+                        CACHE_SCHEMA_VERSION &&
+                    doc.get("stage").asString() == stage &&
+                    doc.get("key").asString() == keyHex(key);
+        } catch (const std::exception &) {
+            valid = false;
+        }
+    }
+    if (!valid)
+        quarantine(path);
+    return valid;
+}
+
 void
 DiskCache::writeAtomic(const std::string &path,
                        const std::string &content) const
@@ -105,27 +139,36 @@ DiskCache::writeAtomic(const std::string &path,
     // benignly (identical content, last rename wins).
     std::string tmp = path + ".tmp." +
                       std::to_string((unsigned long)::getpid());
-    {
-        std::ofstream f(tmp, std::ios::binary);
-        if (f)
-            f << content;
-        if (!f) {
-            if (!_warned.exchange(true))
-                std::fprintf(stderr,
-                             "[cache] warning: cannot write %s "
-                             "(disk cache disabled for this run)\n",
-                             tmp.c_str());
-            std::remove(tmp.c_str());
-            return;
+
+    // Transient failures (ENOSPC racing a cleaner, network FS hiccup,
+    // an injected "cache-write" fault) get a bounded retry with
+    // backoff; a cache that stays broken warns once and the run
+    // proceeds uncached.
+    constexpr int MAX_ATTEMPTS = 3;
+    for (int attempt = 0; attempt < MAX_ATTEMPTS; ++attempt) {
+        if (attempt) {
+            _writeRetries.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1 << (attempt - 1)));
         }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        if (!_warned.exchange(true))
-            std::fprintf(stderr,
-                         "[cache] warning: cannot rename %s: %s\n",
-                         tmp.c_str(), std::strerror(errno));
+        bool ok = !runtime::FaultInjector::instance().shouldFail(
+            "cache-write");
+        if (ok) {
+            std::ofstream f(tmp, std::ios::binary);
+            if (f)
+                f << content;
+            ok = bool(f);
+        }
+        if (ok && std::rename(tmp.c_str(), path.c_str()) == 0)
+            return;
         std::remove(tmp.c_str());
     }
+    _writeFailures.fetch_add(1, std::memory_order_relaxed);
+    if (!_warned.exchange(true))
+        std::fprintf(stderr,
+                     "[cache] warning: cannot write %s after %d "
+                     "attempts: %s (entry stays uncached)\n",
+                     path.c_str(), MAX_ATTEMPTS, std::strerror(errno));
 }
 
 // --------------------------------------------------------------------
@@ -161,6 +204,7 @@ DiskCache::loadTransform(uint64_t key) const
         tp->ivsHoisted = unsigned(doc.get("ivs_hoisted").asUInt());
         return tp;
     } catch (const std::exception &) {
+        quarantine(path("transform", key));  // Valid envelope, bad body.
         return nullptr;
     }
 }
@@ -274,6 +318,7 @@ DiskCache::loadProfile(
         }
         return pa;
     } catch (const std::exception &) {
+        quarantine(path("profile", key));
         return nullptr;
     }
 }
@@ -410,6 +455,7 @@ DiskCache::loadPartition(
         }
         return pa;
     } catch (const std::exception &) {
+        quarantine(path("partition", key));
         return nullptr;
     }
 }

@@ -15,11 +15,19 @@
  *     "stage": "transform|profile|partition", "key": "<hex>", ... }
  *
  * Loads validate the envelope and re-derive structures; any mismatch
- * (version bump, truncated write, foreign file) is treated as a miss
- * and the entry is recomputed and rewritten. Writes go through a
- * temp-file + rename so concurrent processes sharing a directory
- * never observe half-written artifacts. Serialization is sorted and
- * wall-clock-free, so cached and cold runs stay byte-deterministic.
+ * (version bump, truncated write, foreign file) is *quarantined* —
+ * renamed to `<file>.quarantine` for post-mortem — and treated as a
+ * miss, so the entry is recomputed and rewritten rather than poisoning
+ * every later run. Writes go through a temp-file + rename (so
+ * concurrent processes sharing a directory never observe half-written
+ * artifacts) and retry with backoff on transient failures before
+ * giving up. Serialization is sorted and wall-clock-free, so cached
+ * and cold runs stay byte-deterministic.
+ *
+ * Fault injection: the deterministic hook in runtime/fault.h fires at
+ * sites "cache-write" (fails one write attempt) and "cache-read"
+ * (treats one successfully read entry as corrupt), driven by the
+ * MSC_FAULT_INJECT environment variable — see docs/ROBUSTNESS.md.
  */
 
 #pragma once
@@ -31,7 +39,20 @@
 #include "pipeline/artifacts.h"
 
 namespace msc {
+
+namespace report {
+class Json;
+}
+
 namespace pipeline {
+
+/** Counters of the cache's self-healing activity (see stats()). */
+struct DiskCacheStats
+{
+    uint64_t writeRetries = 0;   ///< Write attempts retried.
+    uint64_t writeFailures = 0;  ///< Writes abandoned after retries.
+    uint64_t quarantined = 0;    ///< Corrupt entries moved aside.
+};
 
 /** Artifact reader/writer rooted at one cache directory. */
 class DiskCache
@@ -70,12 +91,26 @@ class DiskCache
     /** "transform-<hex>.json"-style path for @p stage / @p key. */
     std::string path(const char *stage, uint64_t key) const;
 
+    /** Retry/quarantine counters accumulated since construction. */
+    DiskCacheStats stats() const;
+
   private:
     void writeAtomic(const std::string &path,
                      const std::string &content) const;
 
+    /** Reads + validates one entry. A missing file is a plain miss;
+     *  an unreadable or mismatched one is quarantined first. */
+    bool loadEnvelope(const std::string &path, const char *stage,
+                      uint64_t key, report::Json &doc) const;
+
+    /** Renames @p path to `<path>.quarantine` (best effort). */
+    void quarantine(const std::string &path) const;
+
     std::string _dir;
     mutable std::atomic<bool> _warned{false};
+    mutable std::atomic<uint64_t> _writeRetries{0};
+    mutable std::atomic<uint64_t> _writeFailures{0};
+    mutable std::atomic<uint64_t> _quarantined{0};
 };
 
 } // namespace pipeline

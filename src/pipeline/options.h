@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "arch/config.h"
+#include "runtime/budget.h"
 #include "tasksel/options.h"
 
 namespace msc {
@@ -88,6 +89,20 @@ struct StageOptions
     /** When non-null, receives wall-clock timings of stage *computes*
      *  (cache hits cost — and record — nothing). Not hashed. */
     obs::PhaseTimes *phaseTimes = nullptr;
+
+    /**
+     * Per-stage-compute resource budget (runtime/budget.h). Not
+     * hashed: a binding budget throws StageError instead of producing
+     * an artifact, so every artifact that exists is
+     * budget-independent. Fuel/cycles/heap are charged per stage
+     * *compute* — cache hits charge nothing — so budget outcomes do
+     * not depend on cache warmth.
+     */
+    runtime::ExecBudget budget;
+
+    /** Cooperative cancellation token, polled at every governor
+     *  pulse. Not owned, not hashed (same rationale as `budget`). */
+    const runtime::CancelToken *cancel = nullptr;
 
     /**
      * Builds a bundle whose transform stage mirrors @p sel's

@@ -57,6 +57,32 @@ class PhaseTimer
     Clock::time_point _start;
 };
 
+/**
+ * Runs one stage compute under a fresh Governor and annotates any
+ * escaping error with the stage name. A Governor lives exactly as
+ * long as one compute (budgets are per stage compute; cache hits
+ * never construct one), so the wall-clock deadline starts after
+ * upstream artifacts are already in hand. Unclassified exceptions
+ * are wrapped as ErrorKind::Internal at this boundary so sweep
+ * drivers always see a StageError with a stage attached.
+ */
+template <typename Fn>
+auto
+governedCompute(const StageOptions &o, StageKind stage, Fn &&fn)
+    -> decltype(fn(std::declval<runtime::Governor &>()))
+{
+    runtime::Governor gov(o.budget, o.cancel);
+    try {
+        return fn(gov);
+    } catch (runtime::StageError &e) {
+        e.setStage(stageName(stage));
+        throw;
+    } catch (const std::exception &e) {
+        throw runtime::StageError(runtime::ErrorKind::Internal,
+                                  stageName(stage), e.what());
+    }
+}
+
 void
 hashCacheConfig(Hasher &h, const arch::CacheConfig &c)
 {
@@ -248,22 +274,28 @@ Session::transform(const StageOptions &o)
             PhaseTimer timer(o.phaseTimes,
                              obs::PipelinePhase::Transforms);
 
-            auto tp = std::make_shared<TransformedProgram>();
-            tp->key = key;
-            auto prog = std::make_shared<ir::Program>(*_input);
-            // IV rotation before unrolling so every unrolled copy
-            // carries its increment at the top (§3.2).
-            if (o.transform.hoistInductionVars)
-                tp->ivsHoisted =
-                    tasksel::hoistInductionVariables(*prog);
-            if (o.transform.taskSizeHeuristic)
-                tp->loopsUnrolled = tasksel::unrollSmallLoops(
-                    *prog, o.transform.loopThresh);
-            prog->computeCfg();
-            prog->layout();
-            tp->prog = std::move(prog);
-            _disk.store(*tp);
-            return tp;
+            return governedCompute(
+                o, StageKind::Transform,
+                [&](runtime::Governor &gov)
+                    -> std::shared_ptr<const TransformedProgram> {
+                    auto tp = std::make_shared<TransformedProgram>();
+                    tp->key = key;
+                    auto prog = std::make_shared<ir::Program>(*_input);
+                    // IV rotation before unrolling so every unrolled
+                    // copy carries its increment at the top (§3.2).
+                    if (o.transform.hoistInductionVars)
+                        tp->ivsHoisted =
+                            tasksel::hoistInductionVariables(*prog,
+                                                             &gov);
+                    if (o.transform.taskSizeHeuristic)
+                        tp->loopsUnrolled = tasksel::unrollSmallLoops(
+                            *prog, o.transform.loopThresh, 16, &gov);
+                    prog->computeCfg();
+                    prog->layout();
+                    tp->prog = std::move(prog);
+                    _disk.store(*tp);
+                    return tp;
+                });
         });
 }
 
@@ -283,13 +315,22 @@ Session::profile(const StageOptions &o)
             ctr.computed.fetch_add(1, std::memory_order_relaxed);
             PhaseTimer timer(o.phaseTimes, obs::PipelinePhase::Profile);
 
-            auto pa = std::make_shared<ProfileArtifact>();
-            pa->key = key;
-            pa->transformed = tp;
-            pa->profile = profile::profileProgram(
-                *tp->prog, o.profile.profileInsts);
-            _disk.store(*pa);
-            return pa;
+            return governedCompute(
+                o, StageKind::Profile,
+                [&](runtime::Governor &gov)
+                    -> std::shared_ptr<const ProfileArtifact> {
+                    // The interpreter's data-memory image is the
+                    // stage's dominant tracked allocation.
+                    gov.chargeHeap(tp->prog->memWords *
+                                   sizeof(int64_t));
+                    auto pa = std::make_shared<ProfileArtifact>();
+                    pa->key = key;
+                    pa->transformed = tp;
+                    pa->profile = profile::profileProgram(
+                        *tp->prog, o.profile.profileInsts, &gov);
+                    _disk.store(*pa);
+                    return pa;
+                });
         });
 }
 
@@ -310,19 +351,27 @@ Session::select(const StageOptions &o)
                 ctr.computed.fetch_add(1, std::memory_order_relaxed);
                 PhaseTimer timer(o.phaseTimes,
                                  obs::PipelinePhase::Selection);
-                auto fresh = std::make_shared<PartitionArtifact>();
-                fresh->key = key;
-                fresh->transformed = prof->transformed;
-                fresh->partition = tasksel::selectTasks(
-                    *prof->transformed->prog, prof->profile, o.sel);
-                _disk.store(*fresh);
-                pa = fresh;
+                pa = governedCompute(
+                    o, StageKind::Select,
+                    [&](runtime::Governor &gov)
+                        -> std::shared_ptr<const PartitionArtifact> {
+                        auto fresh =
+                            std::make_shared<PartitionArtifact>();
+                        fresh->key = key;
+                        fresh->transformed = prof->transformed;
+                        fresh->partition = tasksel::selectTasks(
+                            *prof->transformed->prog, prof->profile,
+                            o.sel, &gov);
+                        _disk.store(*fresh);
+                        return fresh;
+                    });
             }
             if (o.verifyPartition) {
                 std::string err;
                 if (!tasksel::verifyPartition(pa->partition, o.sel,
                                               &err))
-                    throw std::runtime_error(
+                    throw runtime::StageError(
+                        runtime::ErrorKind::VerifyFailed, "select",
                         "partition verification failed: " + err);
             }
             return pa;
@@ -342,14 +391,24 @@ Session::trace(const StageOptions &o)
             PhaseTimer timer(o.phaseTimes,
                              obs::PipelinePhase::TraceCut);
 
-            auto tt = std::make_shared<TaskTrace>();
-            tt->key = key;
-            tt->partition = part;
-            profile::Interpreter interp(*part->transformed->prog);
-            profile::Trace raw = interp.trace(o.trace.traceInsts);
-            tt->tasks = arch::cutTasks(raw, part->partition);
-            tt->traceInsts = raw.size();
-            return tt;
+            return governedCompute(
+                o, StageKind::Trace,
+                [&](runtime::Governor &gov)
+                    -> std::shared_ptr<const TaskTrace> {
+                    auto tt = std::make_shared<TaskTrace>();
+                    tt->key = key;
+                    tt->partition = part;
+                    gov.chargeHeap(
+                        part->transformed->prog->memWords *
+                        sizeof(int64_t));
+                    profile::Interpreter interp(
+                        *part->transformed->prog);
+                    profile::Trace raw =
+                        interp.trace(o.trace.traceInsts, &gov);
+                    tt->tasks = arch::cutTasks(raw, part->partition);
+                    tt->traceInsts = raw.size();
+                    return tt;
+                });
         });
 }
 
@@ -361,12 +420,17 @@ Session::computeSimulate(const StageOptions &o, uint64_t key)
         1, std::memory_order_relaxed);
     PhaseTimer timer(o.phaseTimes, obs::PipelinePhase::TimingSim);
 
-    auto sa = std::make_shared<SimArtifact>();
-    sa->key = key;
-    sa->trace = tt;
-    sa->stats = arch::simulate(tt->partition->partition, tt->tasks,
-                               o.config, o.sink);
-    return sa;
+    return governedCompute(
+        o, StageKind::Simulate,
+        [&](runtime::Governor &gov) -> std::shared_ptr<const SimArtifact> {
+            auto sa = std::make_shared<SimArtifact>();
+            sa->key = key;
+            sa->trace = tt;
+            sa->stats = arch::simulate(tt->partition->partition,
+                                       tt->tasks, o.config, o.sink,
+                                       &gov);
+            return sa;
+        });
 }
 
 std::shared_ptr<const SimArtifact>

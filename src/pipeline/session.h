@@ -110,7 +110,11 @@ class Session
 
     /// @name Stage calls. Each consults the cache first; on a miss it
     /// computes (or loads from disk) and publishes the artifact.
-    /// Throws std::runtime_error on malformed IR or partitions.
+    /// Failures throw runtime::StageError (a std::runtime_error) with
+    /// the producing stage annotated; a binding StageOptions::budget
+    /// or a tripped StageOptions::cancel throws the matching budget
+    /// kind and leaves no partial artifact — the poisoned cache slot
+    /// is dropped, so a later call with a bigger budget recomputes.
     /// @{
     std::shared_ptr<const TransformedProgram>
     transform(const StageOptions &o);

@@ -20,6 +20,7 @@
 #include "ir/program.h"
 #include "ir/semantics.h"
 #include "profile/trace.h"
+#include "runtime/budget.h"
 
 namespace msc {
 namespace profile {
@@ -69,11 +70,19 @@ class Interpreter
      * Runs the program from its entry function, invoking
      * @p visit(ref, inst, addr, taken) for each retired instruction.
      * Stops at Halt or after @p max_insts instructions.
+     *
+     * @p gov, when non-null, is charged one fuel per retired
+     * instruction (in Governor::PULSE_INTERVAL blocks, settled
+     * exactly at every return path) and pulse-checked for
+     * cancellation/deadline at the same interval; a tripped budget
+     * throws runtime::StageError out of the run.
+     *
      * @return number of instructions executed.
      */
     template <typename Visitor>
     uint64_t
-    run(Visitor &&visit, uint64_t max_insts = DEFAULT_MAX_INSTS)
+    run(Visitor &&visit, uint64_t max_insts = DEFAULT_MAX_INSTS,
+        runtime::Governor *gov = nullptr)
     {
         const ir::Function *fn = &_prog.functions[_prog.entry];
         ir::BlockId blk = fn->entry;
@@ -81,14 +90,30 @@ class Interpreter
         _halted = false;
         _count = 0;
 
+        // Fuel is charged in blocks so the hot loop pays one compare;
+        // settle() brings the governor exactly up to _count.
+        uint64_t charged = 0;
+        auto settle = [&]() {
+            if (gov) {
+                gov->chargeFuel(_count - charged);
+                charged = _count;
+                gov->checkPulse();
+            }
+        };
+
         struct RetSite { ir::FuncId func; ir::BlockId block; };
         std::vector<RetSite> stack;
         stack.reserve(64);
 
         while (_count < max_insts) {
+            if (gov &&
+                _count - charged >= runtime::Governor::PULSE_INTERVAL)
+                settle();
             const ir::BasicBlock &bb = fn->blocks[blk];
             if (idx >= bb.insts.size())
-                throw std::runtime_error("interpreter ran off block end");
+                throw runtime::StageError(
+                    runtime::ErrorKind::InvalidInput, {},
+                    "interpreter ran off block end");
             const ir::Instruction &in = bb.insts[idx];
             ir::InstRef ref{fn->id, blk, idx};
 
@@ -104,6 +129,7 @@ class Interpreter
                 visit(ref, in, addr, taken);
                 ++_count;
                 _halted = true;
+                settle();
                 return _count;
 
               case ir::Opcode::Br:
@@ -136,6 +162,7 @@ class Interpreter
                     visit(ref, in, addr, taken);
                     ++_count;
                     _halted = true;  // Ret from entry terminates.
+                    settle();
                     return _count;
                 }
                 next_fn = &_prog.functions[stack.back().func];
@@ -162,29 +189,37 @@ class Interpreter
             blk = next_blk;
             idx = next_idx;
         }
+        settle();
         return _count;
     }
 
-    /** Runs and captures the full dynamic trace. */
+    /** Runs and captures the full dynamic trace. The trace buffer is
+     *  the pipeline's dominant allocation, so its planned reservation
+     *  is charged against @p gov's heap watermark up front. */
     Trace
-    trace(uint64_t max_insts = DEFAULT_MAX_INSTS)
+    trace(uint64_t max_insts = DEFAULT_MAX_INSTS,
+          runtime::Governor *gov = nullptr)
     {
         Trace t;
-        t.entries.reserve(std::min<uint64_t>(max_insts, 1u << 22));
+        uint64_t planned = std::min<uint64_t>(max_insts, 1u << 22);
+        if (gov)
+            gov->chargeHeap(planned * sizeof(TraceEntry));
+        t.entries.reserve(planned);
         run([&](ir::InstRef ref, const ir::Instruction &, uint64_t addr,
                 bool taken) {
             t.entries.push_back({ref, addr, taken});
-        }, max_insts);
+        }, max_insts, gov);
         t.completed = _halted;
         return t;
     }
 
     /** Runs without observation; returns instructions executed. */
     uint64_t
-    runQuiet(uint64_t max_insts = DEFAULT_MAX_INSTS)
+    runQuiet(uint64_t max_insts = DEFAULT_MAX_INSTS,
+             runtime::Governor *gov = nullptr)
     {
         return run([](ir::InstRef, const ir::Instruction &, uint64_t,
-                      bool) {}, max_insts);
+                      bool) {}, max_insts, gov);
     }
 
     static constexpr uint64_t DEFAULT_MAX_INSTS = 50'000'000;
@@ -238,7 +273,11 @@ class Interpreter
         int64_t a = (base != ir::NO_REG ? _regs[base] : 0) + off;
         uint64_t w = uint64_t(a);
         if (w >= _mem.size())
-            throw std::runtime_error("memory access out of bounds");
+            throw runtime::StageError(
+                runtime::ErrorKind::InvalidInput, {},
+                "memory access out of bounds (word " +
+                    std::to_string(w) + " of " +
+                    std::to_string(_mem.size()) + ")");
         return w;
     }
 

@@ -6,7 +6,8 @@ namespace msc {
 namespace profile {
 
 Profile
-profileProgram(const ir::Program &prog, uint64_t max_insts)
+profileProgram(const ir::Program &prog, uint64_t max_insts,
+               runtime::Governor *gov)
 {
     Profile p;
     p.blockCount.resize(prog.functions.size());
@@ -88,7 +89,7 @@ profileProgram(const ir::Program &prog, uint64_t max_insts)
                          in.op == ir::Opcode::Ret);
         const auto &bb = prog.functions[ref.func].blocks[ref.block];
         prev_was_block_end = (ref.index + 1 == bb.insts.size());
-    }, max_insts);
+    }, max_insts, gov);
 
     p.totalInsts = interp.instCount();
     return p;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ir/program.h"
+#include "runtime/budget.h"
 
 namespace msc {
 namespace profile {
@@ -122,9 +123,13 @@ struct Profile
  *
  * @param prog program to profile.
  * @param max_insts training-run instruction budget.
+ * @param gov optional execution governor: charged one fuel per
+ *        retired instruction and pulse-checked for cancellation and
+ *        deadlines (see runtime/budget.h).
  */
 Profile profileProgram(const ir::Program &prog,
-                       uint64_t max_insts = 50'000'000);
+                       uint64_t max_insts = 50'000'000,
+                       runtime::Governor *gov = nullptr);
 
 } // namespace profile
 } // namespace msc

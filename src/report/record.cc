@@ -28,8 +28,9 @@ strategyFromId(const std::string &id)
         return tasksel::Strategy::ControlFlow;
     if (id == "dd")
         return tasksel::Strategy::DataDependence;
-    throw std::runtime_error("unknown strategy \"" + id +
-                             "\" (expected bb|cf|dd)");
+    throw runtime::StageError(runtime::ErrorKind::InvalidInput, "cli",
+                              "unknown strategy \"" + id +
+                                  "\" (expected bb|cf|dd)");
 }
 
 RunSpec
@@ -95,6 +96,22 @@ runSpec(const RunSpec &spec)
 }
 
 Json
+errorToJson(const runtime::StageErrorInfo &e)
+{
+    Json err = Json::object();
+    err["kind"] = runtime::errorKindId(e.kind);
+    err["stage"] = e.stage;
+    err["workload"] = e.workload;
+    err["detail"] = e.detail;
+    err["budget_exhausted"] = e.budgetExhausted();
+    if (e.limit)
+        err["limit"] = e.limit;
+    if (e.used)
+        err["used"] = e.used;
+    return err;
+}
+
+Json
 runToJson(const RunRecord &r)
 {
     const arch::SimStats &s = r.stats;
@@ -103,6 +120,7 @@ runToJson(const RunRecord &r)
     Json run = Json::object();
     run["id"] = r.spec.id;
     run["workload"] = r.spec.workload;
+    run["status"] = r.ok() ? "ok" : "error";
 
     Json cfg = Json::object();
     cfg["strategy"] = strategyId(r.spec.opts.sel.strategy);
@@ -114,6 +132,13 @@ runToJson(const RunRecord &r)
         r.spec.scale == workloads::Scale::Small ? "small" : "full";
     cfg["trace_insts"] = r.spec.opts.trace.traceInsts;
     run["config"] = std::move(cfg);
+
+    // Failed cells carry the error object and no metrics: every
+    // metric field present in a v2 document is a real measurement.
+    if (!r.ok()) {
+        run["error"] = errorToJson(r.error);
+        return run;
+    }
 
     Json m = Json::object();
     m["cycles"] = s.cycles;
@@ -175,12 +200,31 @@ runToJson(const RunRecord &r)
     return run;
 }
 
+int
+sweepExitCode(const std::vector<RunRecord> &records)
+{
+    size_t failed = 0;
+    for (const auto &r : records)
+        failed += !r.ok();
+    if (failed == 0)
+        return EXIT_SWEEP_CLEAN;
+    if (failed == records.size())
+        return EXIT_SWEEP_FAILED;
+    return EXIT_SWEEP_PARTIAL;
+}
+
 Json
 sweepToJson(const std::vector<RunRecord> &records)
 {
+    size_t failed = 0;
+    for (const auto &r : records)
+        failed += !r.ok();
+
     Json doc = Json::object();
     doc["schema"] = SCHEMA_NAME;
     doc["schema_version"] = SCHEMA_VERSION;
+    doc["partial"] = failed != 0;
+    doc["errors"] = uint64_t(failed);
     Json runs = Json::array();
     for (const auto &r : records)
         runs.push(runToJson(r));
@@ -214,24 +258,45 @@ flatten(const Json &v, const std::string &prefix,
 std::string
 sweepToCsv(const std::vector<RunRecord> &records)
 {
-    std::string out;
-    bool wrote_header = false;
+    // Error rows flatten to a different column set than ok rows
+    // (error.* instead of metrics.*), so the header is the union of
+    // every row's columns in first-seen order and missing cells are
+    // left empty — the table stays rectangular for any ok/error mix.
+    if (records.empty())
+        return {};
+
+    std::vector<std::vector<std::pair<std::string, std::string>>> rows;
+    rows.reserve(records.size());
+    std::vector<std::string> header;
     for (const auto &r : records) {
-        std::vector<std::pair<std::string, std::string>> cols;
-        flatten(runToJson(r), "", cols);
-        if (!wrote_header) {
-            for (size_t i = 0; i < cols.size(); ++i) {
-                if (i)
-                    out += ',';
-                out += cols[i].first;
-            }
-            out += '\n';
-            wrote_header = true;
+        rows.emplace_back();
+        flatten(runToJson(r), "", rows.back());
+        for (const auto &col : rows.back()) {
+            bool known = false;
+            for (const auto &h : header)
+                known = known || h == col.first;
+            if (!known)
+                header.push_back(col.first);
         }
-        for (size_t i = 0; i < cols.size(); ++i) {
+    }
+
+    std::string out;
+    for (size_t i = 0; i < header.size(); ++i) {
+        if (i)
+            out += ',';
+        out += header[i];
+    }
+    out += '\n';
+    for (const auto &cols : rows) {
+        for (size_t i = 0; i < header.size(); ++i) {
             if (i)
                 out += ',';
-            out += cols[i].second;
+            for (const auto &col : cols) {
+                if (col.first == header[i]) {
+                    out += col.second;
+                    break;
+                }
+            }
         }
         out += '\n';
     }
@@ -243,10 +308,13 @@ writeFile(const std::string &path, const std::string &content)
 {
     std::ofstream f(path, std::ios::binary);
     if (!f)
-        throw std::runtime_error("cannot open " + path + " for writing");
+        throw runtime::StageError(runtime::ErrorKind::Io, "report",
+                                  "cannot open " + path +
+                                      " for writing");
     f << content;
     if (!f)
-        throw std::runtime_error("write failed for " + path);
+        throw runtime::StageError(runtime::ErrorKind::Io, "report",
+                                  "write failed for " + path);
 }
 
 } // namespace report

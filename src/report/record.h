@@ -23,14 +23,16 @@
 #include "arch/stats.h"
 #include "pipeline/session.h"
 #include "report/json.h"
+#include "runtime/error.h"
 #include "workloads/workload.h"
 
 namespace msc {
 namespace report {
 
 /** Schema version emitted as `schema_version` (see docs/METRICS.md
- *  for the compatibility rule). */
-constexpr int SCHEMA_VERSION = 1;
+ *  for the compatibility rule). v2 adds per-run `status`/`error` and
+ *  the top-level `partial` marker (docs/ROBUSTNESS.md). */
+constexpr int SCHEMA_VERSION = 2;
 
 /** Schema identifier emitted as `schema`. */
 constexpr const char *SCHEMA_NAME = "msc.sweep";
@@ -74,6 +76,13 @@ struct RunRecord
     unsigned ivsHoisted = 0;
     uint64_t dynTasksCut = 0;
     /// @}
+
+    /** Failure captured by the fault-isolating sweep (kind == None
+     *  for a successful run; then stats/shape above are meaningless
+     *  and the record serializes with status "error", no metrics). */
+    runtime::StageErrorInfo error;
+
+    bool ok() const { return error.kind == runtime::ErrorKind::None; }
 };
 
 /**
@@ -95,22 +104,44 @@ RunRecord runSpec(const RunSpec &spec);
 /** Serializes one record to the schema's per-run object. */
 Json runToJson(const RunRecord &r);
 
-/** Serializes a whole sweep to the versioned top-level document. */
+/** Serializes a StageErrorInfo to the v2 `error` object: kind id,
+ *  stage, workload, detail, budget_exhausted, and (when nonzero)
+ *  limit/used. Deterministic kinds produce byte-identical objects
+ *  across runs (runtime/error.h). */
+Json errorToJson(const runtime::StageErrorInfo &e);
+
+/** Serializes a whole sweep to the versioned top-level document.
+ *  With any error records present, the document carries
+ *  `partial: true` and those runs have `status: "error"`. */
 Json sweepToJson(const std::vector<RunRecord> &records);
 
 /** Serializes a whole sweep as CSV (header + one row per run), with
- *  the same fields flattened to dotted column names. */
+ *  the same fields flattened to dotted column names. The header is
+ *  the union of all rows' columns in first-seen order, so mixed
+ *  ok/error sweeps stay rectangular (missing cells are empty). */
 std::string sweepToCsv(const std::vector<RunRecord> &records);
 
-/** Writes @p content to @p path; throws std::runtime_error on I/O
- *  failure. */
+/// @name Sweep process exit codes (documented in msctool --help).
+/// @{
+constexpr int EXIT_SWEEP_CLEAN = 0;    ///< Every cell succeeded.
+constexpr int EXIT_SWEEP_FAILED = 1;   ///< Every cell failed.
+constexpr int EXIT_SWEEP_PARTIAL = 3;  ///< Mixed: valid partial output.
+/// @}
+
+/** Maps a record list to the exit codes above (empty sweeps are
+ *  clean). */
+int sweepExitCode(const std::vector<RunRecord> &records);
+
+/** Writes @p content to @p path; throws runtime::StageError
+ *  (ErrorKind::Io) on failure. */
 void writeFile(const std::string &path, const std::string &content);
 
 /** Short name for @p s as used in ids and the schema ("bb", "cf",
  *  "dd"). */
 const char *strategyId(tasksel::Strategy s);
 
-/** Parses "bb" / "cf" / "dd"; throws on anything else. */
+/** Parses "bb" / "cf" / "dd"; throws runtime::StageError
+ *  (ErrorKind::InvalidInput) on anything else. */
 tasksel::Strategy strategyFromId(const std::string &id);
 
 } // namespace report

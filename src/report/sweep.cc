@@ -75,11 +75,28 @@ SweepRunner::run(const std::vector<RunSpec> &specs,
     forEach(specs.size(),
             [&](size_t i) {
                 const RunSpec &spec = specs[i];
-                auto session = pool.session(sessionKey(spec), [&] {
-                    return workloads::buildWorkload(spec.workload,
-                                                    spec.scale);
-                });
-                records[i] = runSpec(spec, *session);
+                // Fault isolation: one cell's failure (budget
+                // exhaustion, bad workload, internal error) becomes
+                // that cell's error record; every other cell still
+                // runs and the caller gets a complete, partial-marked
+                // record list (report::sweepExitCode / sweepToJson).
+                try {
+                    auto session = pool.session(sessionKey(spec), [&] {
+                        return workloads::buildWorkload(spec.workload,
+                                                        spec.scale);
+                    });
+                    records[i] = runSpec(spec, *session);
+                } catch (const runtime::StageError &e) {
+                    records[i].spec = spec;
+                    records[i].error = e.info();
+                } catch (const std::exception &e) {
+                    records[i].spec = spec;
+                    records[i].error.kind = runtime::ErrorKind::Internal;
+                    records[i].error.detail = e.what();
+                }
+                if (!records[i].ok() &&
+                    records[i].error.workload.empty())
+                    records[i].error.workload = spec.workload;
             },
             progress);
     return records;

@@ -38,8 +38,12 @@ class SweepRunner
      * Executes every spec and returns records in input order.
      * Specs are handed to workers in index order, so with jobs == 1
      * execution order equals input order (the serial baseline).
-     * The first exception thrown by any run is rethrown here after
-     * all workers drain.
+     *
+     * Fault-isolating: a cell that throws (unknown workload, budget
+     * exhaustion, cancellation, internal error) yields a record with
+     * RunRecord::error filled and `workload` attributed — the rest of
+     * the sweep completes. Nothing escapes run(); callers classify
+     * the outcome with report::sweepExitCode(records).
      *
      * Routes through a private SessionPool; use the overload below to
      * share sessions (and their cache counters) with the caller.

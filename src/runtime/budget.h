@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Resource governance for pipeline stage computes.
+ *
+ * An ExecBudget bounds what one stage compute may consume:
+ *
+ *   - maxFuel:      dynamic instructions interpreted (profiling and
+ *                   trace runs charge fuel in PULSE_INTERVAL blocks);
+ *   - maxSimCycles: simulated cycles in the timing model;
+ *   - maxHeapBytes: watermark over the *tracked* large allocations
+ *                   (interpreter memory image, trace buffers) — an
+ *                   accounting bound, not a malloc hook;
+ *   - wallMs:       wall-clock deadline per stage compute.
+ *
+ * Budgets are enforced by a Governor, constructed per stage compute
+ * from the budget plus an optional shared CancelToken, and threaded
+ * as a nullable pointer through the interpreter, the profiler, task
+ * selection, and arch::simulate. A tripped budget throws StageError
+ * with the matching budget kind; nothing is ever truncated, so a
+ * stage either produces its full, budget-independent artifact or no
+ * artifact at all. That is what lets pipeline::Session leave budgets
+ * out of artifact keys, and what makes budget outcomes independent of
+ * cache warmth: fuel is charged per stage *compute*, and cache hits
+ * charge nothing.
+ *
+ * Determinism: fuel and cycle checks happen at fixed intervals of
+ * deterministic counters, so exhausting the same budget twice
+ * produces byte-identical StageError records. Deadline and
+ * cancellation are wall-clock / external by nature; their error
+ * details deliberately embed no elapsed quantities.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "runtime/error.h"
+
+namespace msc {
+namespace runtime {
+
+/** Per-stage-compute resource limits; 0 anywhere = unlimited. */
+struct ExecBudget
+{
+    uint64_t maxFuel = 0;       ///< Interpreted instructions.
+    uint64_t maxSimCycles = 0;  ///< Simulated cycles (timing model).
+    uint64_t maxHeapBytes = 0;  ///< Tracked-allocation watermark.
+    uint32_t wallMs = 0;        ///< Wall-clock deadline (per compute).
+
+    bool
+    unlimited() const
+    {
+        return !maxFuel && !maxSimCycles && !maxHeapBytes && !wallMs;
+    }
+};
+
+/** Cooperative cancellation flag, shared across threads. */
+class CancelToken
+{
+  public:
+    void requestCancel() { _flag.store(true, std::memory_order_relaxed); }
+    bool cancelled() const { return _flag.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> _flag{false};
+};
+
+/**
+ * Enforces one ExecBudget over one stage compute. Not thread-safe:
+ * construct one Governor per compute (pipeline::Session does). All
+ * check methods throw StageError (stage field left empty; the stage
+ * boundary annotates it).
+ */
+class Governor
+{
+  public:
+    /** Instruction block size between fuel/pulse checks. */
+    static constexpr uint64_t PULSE_INTERVAL = 4096;
+
+    Governor() = default;
+
+    explicit Governor(const ExecBudget &budget,
+                      const CancelToken *cancel = nullptr)
+        : _budget(budget), _cancel(cancel)
+    {
+        if (_budget.wallMs)
+            _deadline = Clock::now() +
+                        std::chrono::milliseconds(_budget.wallMs);
+    }
+
+    const ExecBudget &budget() const { return _budget; }
+
+    /** Charges @p n interpreted instructions; throws BudgetFuel when
+     *  the total crosses maxFuel. */
+    void
+    chargeFuel(uint64_t n)
+    {
+        _fuelUsed += n;
+        if (_budget.maxFuel && _fuelUsed > _budget.maxFuel)
+            throw budgetError(ErrorKind::BudgetFuel,
+                              "instruction fuel exhausted",
+                              _budget.maxFuel, _fuelUsed);
+    }
+
+    uint64_t fuelUsed() const { return _fuelUsed; }
+
+    /** Simulated-cycle cap (0 = none); the timing model compares its
+     *  own cycle counter and calls cyclesExhausted() on overflow so
+     *  the hot loop stays a plain integer compare. */
+    uint64_t simCycleLimit() const { return _budget.maxSimCycles; }
+
+    [[noreturn]] void
+    cyclesExhausted(uint64_t now) const
+    {
+        throw budgetError(ErrorKind::BudgetCycles,
+                          "simulated-cycle budget exhausted",
+                          _budget.maxSimCycles, now);
+    }
+
+    /** Accounts @p bytes of tracked allocation against the heap
+     *  watermark; throws BudgetHeap *before* the caller allocates. */
+    void
+    chargeHeap(uint64_t bytes)
+    {
+        _heapBytes += bytes;
+        if (_heapBytes > _heapPeak)
+            _heapPeak = _heapBytes;
+        if (_budget.maxHeapBytes && _heapBytes > _budget.maxHeapBytes)
+            throw budgetError(ErrorKind::BudgetHeap,
+                              "tracked-heap watermark exceeded",
+                              _budget.maxHeapBytes, _heapBytes);
+    }
+
+    void
+    releaseHeap(uint64_t bytes)
+    {
+        _heapBytes = bytes > _heapBytes ? 0 : _heapBytes - bytes;
+    }
+
+    uint64_t heapPeak() const { return _heapPeak; }
+
+    /**
+     * Cancellation + deadline check. Cheap enough for interval use:
+     * the cancel flag is one relaxed atomic load; the clock is read
+     * only every CLOCK_STRIDE pulses.
+     */
+    void
+    checkPulse()
+    {
+        if (_cancel && _cancel->cancelled()) {
+            StageErrorInfo i;
+            i.kind = ErrorKind::Cancelled;
+            i.detail = "cancelled";
+            throw StageError(std::move(i));
+        }
+        if (_budget.wallMs && (++_pulses & (CLOCK_STRIDE - 1)) == 0 &&
+            Clock::now() > _deadline) {
+            StageErrorInfo i;
+            i.kind = ErrorKind::Deadline;
+            i.detail = "wall-clock deadline exceeded";
+            i.limit = _budget.wallMs;
+            throw StageError(std::move(i));
+        }
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    static constexpr uint64_t CLOCK_STRIDE = 16;
+
+    static StageError
+    budgetError(ErrorKind kind, const char *what, uint64_t limit,
+                uint64_t used)
+    {
+        StageErrorInfo i;
+        i.kind = kind;
+        i.detail = what;
+        i.limit = limit;
+        i.used = used;
+        return StageError(std::move(i));
+    }
+
+    ExecBudget _budget;
+    const CancelToken *_cancel = nullptr;
+    Clock::time_point _deadline{};
+    uint64_t _fuelUsed = 0;
+    uint64_t _heapBytes = 0;
+    uint64_t _heapPeak = 0;
+    uint64_t _pulses = 0;
+};
+
+} // namespace runtime
+} // namespace msc

@@ -1,0 +1,61 @@
+#include "runtime/error.h"
+
+namespace msc {
+namespace runtime {
+
+const char *
+errorKindId(ErrorKind k)
+{
+    switch (k) {
+      case ErrorKind::None:          return "none";
+      case ErrorKind::Internal:      return "internal";
+      case ErrorKind::InvalidInput:  return "invalid-input";
+      case ErrorKind::VerifyFailed:  return "verify-failed";
+      case ErrorKind::Io:            return "io";
+      case ErrorKind::CacheCorrupt:  return "cache-corrupt";
+      case ErrorKind::BudgetFuel:    return "budget-fuel";
+      case ErrorKind::BudgetCycles:  return "budget-cycles";
+      case ErrorKind::BudgetHeap:    return "budget-heap";
+      case ErrorKind::Deadline:      return "deadline";
+      case ErrorKind::Cancelled:     return "cancelled";
+      case ErrorKind::OracleFailure: return "oracle-failure";
+    }
+    return "unknown";
+}
+
+bool
+errorKindIsBudget(ErrorKind k)
+{
+    switch (k) {
+      case ErrorKind::BudgetFuel:
+      case ErrorKind::BudgetCycles:
+      case ErrorKind::BudgetHeap:
+      case ErrorKind::Deadline:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+StageErrorInfo::render() const
+{
+    std::string s;
+    if (!stage.empty()) {
+        s += stage;
+        s += ": ";
+    }
+    s += errorKindId(kind);
+    if (!detail.empty()) {
+        s += ": ";
+        s += detail;
+    }
+    if (budgetExhausted() && limit) {
+        s += " [used " + std::to_string(used) + " of " +
+             std::to_string(limit) + "]";
+    }
+    return s;
+}
+
+} // namespace runtime
+} // namespace msc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Structured error taxonomy for the pipeline and its drivers.
+ *
+ * Every failure a user's input (or a resource budget) can provoke is
+ * reported as a StageError carrying a machine-readable
+ * StageErrorInfo — kind, producing stage, workload, free-form detail,
+ * and (for budget kinds) the limit/used pair — instead of an ad-hoc
+ * std::runtime_error whose only structure is its message string.
+ * StageError derives from std::runtime_error, so legacy catch sites
+ * keep working; new code switches on info().kind.
+ *
+ * Determinism contract: the rendered message and every info field of
+ * a *deterministic* error kind (anything except Deadline/Cancelled,
+ * which are wall-clock driven by nature) depend only on the program,
+ * options, and budget — never on timing, hostnames, or pointers — so
+ * exhausting the same budget twice yields byte-identical records.
+ * report::errorToJson serializes the info into msc.sweep v2 `error`
+ * objects (docs/ROBUSTNESS.md).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace msc {
+namespace runtime {
+
+/** Machine-readable failure classification. */
+enum class ErrorKind : uint8_t
+{
+    None,           ///< No error (RunRecord default state).
+    Internal,       ///< Unclassified exception wrapped at a stage edge.
+    InvalidInput,   ///< Malformed IR / unknown workload / bad CLI value.
+    VerifyFailed,   ///< Partition or invariant verification rejected.
+    Io,             ///< File read/write failure.
+    CacheCorrupt,   ///< Disk-cache entry quarantined as unreadable.
+    BudgetFuel,     ///< ExecBudget::maxFuel exhausted.
+    BudgetCycles,   ///< ExecBudget::maxSimCycles exhausted.
+    BudgetHeap,     ///< ExecBudget::maxHeapBytes watermark exceeded.
+    Deadline,       ///< ExecBudget::wallMs wall-clock deadline passed.
+    Cancelled,      ///< CancelToken observed mid-stage.
+    OracleFailure,  ///< Differential oracle divergence (fuzzing).
+};
+
+/** Stable kebab-case identifier ("budget-fuel", "invalid-input", ...)
+ *  emitted in msc.sweep v2 documents. */
+const char *errorKindId(ErrorKind k);
+
+/** True for the three deterministic budget kinds plus Deadline — the
+ *  kinds a sweep reports with `budget_exhausted: true`. */
+bool errorKindIsBudget(ErrorKind k);
+
+/** The machine-readable payload of a StageError. */
+struct StageErrorInfo
+{
+    ErrorKind kind = ErrorKind::None;
+
+    /** Producing stage ("parse", "workload", "transform", "profile",
+     *  "select", "trace", "simulate", "cache", "report", ...). Filled
+     *  in by the pipeline layer that knows it; empty until then. */
+    std::string stage;
+
+    /** Workload / input name when known (filled by sweep drivers). */
+    std::string workload;
+
+    /** Human-readable description. Deterministic kinds embed only
+     *  deterministic quantities (see file comment). */
+    std::string detail;
+
+    /// @name Budget accounting, meaningful for budget kinds only.
+    /// @{
+    uint64_t limit = 0;  ///< The configured budget value.
+    uint64_t used = 0;   ///< Amount charged when the budget tripped.
+    /// @}
+
+    bool budgetExhausted() const { return errorKindIsBudget(kind); }
+
+    /** "stage: kind: detail [used N of limit M]" rendering (used for
+     *  what() and CLI diagnostics). */
+    std::string render() const;
+};
+
+/** The exception form of a StageErrorInfo. */
+class StageError : public std::runtime_error
+{
+  public:
+    explicit StageError(StageErrorInfo info)
+        : std::runtime_error(info.render()), _info(std::move(info))
+    {}
+
+    StageError(ErrorKind kind, std::string stage, std::string detail)
+        : StageError(make(kind, std::move(stage), std::move(detail)))
+    {}
+
+    const StageErrorInfo &info() const { return _info; }
+
+    /** Annotates the producing stage if not already known (the stage
+     *  boundary in pipeline::Session calls this on the way out). */
+    void
+    setStage(const std::string &stage)
+    {
+        if (_info.stage.empty())
+            _info.stage = stage;
+    }
+
+  private:
+    static StageErrorInfo
+    make(ErrorKind kind, std::string stage, std::string detail)
+    {
+        StageErrorInfo i;
+        i.kind = kind;
+        i.stage = std::move(stage);
+        i.detail = std::move(detail);
+        return i;
+    }
+
+    StageErrorInfo _info;
+};
+
+} // namespace runtime
+} // namespace msc

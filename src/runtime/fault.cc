@@ -1,0 +1,67 @@
+#include "runtime/fault.h"
+
+#include <cstdlib>
+
+namespace msc {
+namespace runtime {
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector inj;
+    return inj;
+}
+
+FaultInjector::FaultInjector()
+{
+    const char *spec = std::getenv("MSC_FAULT_INJECT");
+    if (spec && *spec)
+        configure(spec);
+}
+
+void
+FaultInjector::configure(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    _sites.clear();
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0)
+            continue;
+        char *end = nullptr;
+        unsigned long long n =
+            std::strtoull(entry.c_str() + eq + 1, &end, 10);
+        if (end && *end == '\0' && n > 0)
+            _sites[entry.substr(0, eq)] = n;
+    }
+}
+
+bool
+FaultInjector::shouldFail(const char *site)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    if (_sites.empty())
+        return false;
+    auto it = _sites.find(site);
+    if (it == _sites.end() || it->second == 0)
+        return false;
+    --it->second;
+    return true;
+}
+
+uint64_t
+FaultInjector::remaining(const char *site) const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _sites.find(site);
+    return it == _sites.end() ? 0 : it->second;
+}
+
+} // namespace runtime
+} // namespace msc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness tests.
+ *
+ * The injector is a process-wide table of named sites with
+ * fail-counts. Production code asks `shouldFail("site")` at the top
+ * of a fallible operation; the call returns true (and decrements)
+ * while the site's counter is positive, so "fail the first N
+ * attempts, then succeed" scenarios are exact and repeatable.
+ *
+ * Configuration comes from the MSC_FAULT_INJECT environment variable
+ * (read once, at first use) or programmatically via configure():
+ *
+ *   MSC_FAULT_INJECT="cache-write=2,cache-read=1"
+ *
+ * Sites currently wired in:
+ *   cache-write  pipeline::DiskCache::writeAtomic attempts
+ *   cache-read   pipeline::DiskCache envelope loads (forces the
+ *                corrupt-entry quarantine path)
+ *
+ * With no configuration every query is a branch on an empty table —
+ * effectively free — and production binaries never set the variable.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace msc {
+namespace runtime {
+
+class FaultInjector
+{
+  public:
+    /** Process-wide instance, seeded from MSC_FAULT_INJECT. */
+    static FaultInjector &instance();
+
+    /**
+     * Replaces the whole site table from @p spec
+     * ("site=count,site=count"; empty clears). Malformed entries are
+     * ignored. Tests call this to arm/disarm sites mid-process.
+     */
+    void configure(const std::string &spec);
+
+    /** True while @p site has failures left; decrements on true. */
+    bool shouldFail(const char *site);
+
+    /** Remaining failure count for @p site (0 when unarmed). */
+    uint64_t remaining(const char *site) const;
+
+  private:
+    FaultInjector();
+
+    mutable std::mutex _mu;
+    std::map<std::string, uint64_t> _sites;
+};
+
+} // namespace runtime
+} // namespace msc

@@ -266,7 +266,7 @@ strategyName(Strategy s)
 
 TaskPartition
 selectTasks(const Program &prog, const profile::Profile &prof,
-            const SelectionOptions &opts)
+            const SelectionOptions &opts, runtime::Governor *gov)
 {
     TaskPartition part;
     part.prog = &prog;
@@ -277,6 +277,8 @@ selectTasks(const Program &prog, const profile::Profile &prof,
     part.includedCalls = markIncludedCalls(prog, prof, opts);
 
     for (const auto &f : prog.functions) {
+        if (gov)
+            gov->checkPulse();
         cfg::DfsInfo dfs(f);
         cfg::DominatorTree dom(f, dfs);
         cfg::LoopForest loops(f, dfs, dom);

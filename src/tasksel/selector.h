@@ -22,6 +22,7 @@
 #pragma once
 
 #include "profile/profiler.h"
+#include "runtime/budget.h"
 #include "tasksel/options.h"
 #include "tasksel/task.h"
 
@@ -34,10 +35,13 @@ namespace tasksel {
  * @param prog the program (must be CFG-computed and laid out).
  * @param prof execution profile of the same program version.
  * @param opts strategy and knobs.
+ * @param gov optional execution governor, pulse-checked per function
+ *        so cancellation/deadline interrupts long selections.
  */
 TaskPartition selectTasks(const ir::Program &prog,
                           const profile::Profile &prof,
-                          const SelectionOptions &opts);
+                          const SelectionOptions &opts,
+                          runtime::Governor *gov = nullptr);
 
 } // namespace tasksel
 } // namespace msc

@@ -273,13 +273,15 @@ hoistOneLoop(Function &f, const cfg::Loop &loop, const cfg::Liveness &live)
 
 unsigned
 unrollSmallLoops(ir::Program &prog, unsigned loop_thresh,
-                 unsigned max_factor)
+                 unsigned max_factor, runtime::Governor *gov)
 {
     unsigned total = 0;
     for (auto &f : prog.functions) {
         // Iterate: unrolling may leave other small loops; recompute
         // analyses until nothing changes (bounded for safety).
         for (int pass = 0; pass < 8; ++pass) {
+            if (gov)
+                gov->checkPulse();
             f.computeCfg();
             cfg::DfsInfo dfs(f);
             cfg::DominatorTree dom(f, dfs);
@@ -309,17 +311,21 @@ unrollSmallLoops(ir::Program &prog, unsigned loop_thresh,
     prog.computeCfg();
     std::string err;
     if (!ir::verify(prog, &err))
-        throw std::runtime_error("unrollSmallLoops broke the IR: " + err);
+        throw runtime::StageError(
+            runtime::ErrorKind::VerifyFailed, "transform",
+            "unrollSmallLoops broke the IR: " + err);
     prog.layout();
     return total;
 }
 
 unsigned
-hoistInductionVariables(ir::Program &prog)
+hoistInductionVariables(ir::Program &prog, runtime::Governor *gov)
 {
     unsigned total = 0;
     for (auto &f : prog.functions) {
         for (int pass = 0; pass < 16; ++pass) {
+            if (gov)
+                gov->checkPulse();
             f.computeCfg();
             cfg::DfsInfo dfs(f);
             cfg::DominatorTree dom(f, dfs);
@@ -341,8 +347,9 @@ hoistInductionVariables(ir::Program &prog)
     prog.computeCfg();
     std::string err;
     if (!ir::verify(prog, &err))
-        throw std::runtime_error("hoistInductionVariables broke the IR: "
-                                 + err);
+        throw runtime::StageError(
+            runtime::ErrorKind::VerifyFailed, "transform",
+            "hoistInductionVariables broke the IR: " + err);
     prog.layout();
     return total;
 }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include "ir/program.h"
+#include "runtime/budget.h"
 
 namespace msc {
 namespace tasksel {
@@ -32,10 +33,14 @@ namespace tasksel {
  * @p loop_thresh instructions until its size reaches the threshold
  * (unroll factor capped at @p max_factor).
  *
+ * @p gov, when non-null, is pulse-checked once per unroll pass so a
+ * cancellation or deadline interrupts the transform between loops.
+ *
  * @return number of loops unrolled.
  */
 unsigned unrollSmallLoops(ir::Program &prog, unsigned loop_thresh,
-                          unsigned max_factor = 16);
+                          unsigned max_factor = 16,
+                          runtime::Governor *gov = nullptr);
 
 /**
  * Hoists induction-variable updates to loop headers where the rotation
@@ -45,7 +50,8 @@ unsigned unrollSmallLoops(ir::Program &prog, unsigned loop_thresh,
  *
  * @return number of induction variables hoisted.
  */
-unsigned hoistInductionVariables(ir::Program &prog);
+unsigned hoistInductionVariables(ir::Program &prog,
+                                 runtime::Governor *gov = nullptr);
 
 } // namespace tasksel
 } // namespace msc

@@ -2,8 +2,32 @@
 
 #include <stdexcept>
 
+#include "runtime/error.h"
+#include "workloads/common.h"
+
 namespace msc {
 namespace workloads {
+
+ir::Program
+buildFuelBomb(Scale)
+{
+    // A deliberate non-terminating workload: the robustness fixture
+    // for budget/timeout tests. Stores its spin counter to the
+    // checksum word so the loop body exercises memory like a real
+    // workload, but never reaches halt — only an ExecBudget (fuel,
+    // deadline, cancellation) ends it.
+    ir::IRBuilder b("fuelbomb");
+    b.setEntry("main");
+    ir::FunctionBuilder &f = b.function("main");
+    ir::BlockId loop = f.newBlock();
+    f.li(T0, 0);
+    f.fallthroughTo(loop);
+    f.setBlock(loop);
+    f.addi(T0, T0, 1);
+    f.storeAbs(T0, CHECKSUM_ADDR);
+    f.jmp(loop);
+    return b.build();
+}
 
 const std::vector<WorkloadInfo> &
 allWorkloads()
@@ -37,7 +61,15 @@ workloadInfo(const std::string &name)
     for (const auto &w : allWorkloads())
         if (w.name == name)
             return w;
-    throw std::runtime_error("unknown workload: " + name);
+    // Hidden fixtures resolve by name but stay out of allWorkloads()
+    // so benches and default sweeps never pick them up.
+    static const WorkloadInfo fuelbomb = {
+        "fuelbomb", "(robustness fixture: never halts)", false,
+        buildFuelBomb};
+    if (name == fuelbomb.name)
+        return fuelbomb;
+    throw runtime::StageError(runtime::ErrorKind::InvalidInput,
+                              "workload", "unknown workload: " + name);
 }
 
 ir::Program

@@ -45,15 +45,24 @@ struct WorkloadInfo
     std::function<ir::Program(Scale)> build;
 };
 
-/** All registered workloads, integer suite first. */
+/** All registered workloads, integer suite first. Hidden fixtures
+ *  (e.g. "fuelbomb") are resolvable via workloadInfo() but absent
+ *  here, so they never enter default sweeps. */
 const std::vector<WorkloadInfo> &allWorkloads();
 
-/** Builds one workload by name; throws on unknown names. */
+/** Builds one workload by name; throws runtime::StageError
+ *  (ErrorKind::InvalidInput) on unknown names. */
 ir::Program buildWorkload(const std::string &name,
                           Scale scale = Scale::Full);
 
-/** Returns the registry entry; throws on unknown names. */
+/** Returns the registry entry; same error contract as
+ *  buildWorkload(). */
 const WorkloadInfo &workloadInfo(const std::string &name);
+
+/** Robustness fixture: an infinite loop that never halts (only a
+ *  budget, deadline, or cancellation ends it). Hidden from
+ *  allWorkloads(); resolvable by the name "fuelbomb". */
+ir::Program buildFuelBomb(Scale s);
 
 /// @name Individual builders (integer suite).
 /// @{

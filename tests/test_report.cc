@@ -16,6 +16,7 @@
 #include "report/json.h"
 #include "report/record.h"
 #include "report/sweep.h"
+#include "runtime/error.h"
 
 using namespace msc;
 using report::Json;
@@ -309,12 +310,48 @@ TEST(SweepRunner, ParallelIdenticalToSerial)
               report::sweepToCsv(parallel));
 }
 
-TEST(SweepRunner, PropagatesErrors)
+TEST(SweepRunner, IsolatesPerCellFailures)
 {
     std::vector<report::RunSpec> specs = smallGrid();
     specs[1].workload = "no-such-workload";
-    EXPECT_THROW(report::SweepRunner(3).run(specs),
-                 std::runtime_error);
+
+    std::vector<report::RunRecord> recs =
+        report::SweepRunner(3).run(specs);
+
+    ASSERT_EQ(recs.size(), specs.size());
+    EXPECT_FALSE(recs[1].ok());
+    EXPECT_EQ(recs[1].error.kind, runtime::ErrorKind::InvalidInput);
+    EXPECT_EQ(recs[1].error.workload, "no-such-workload");
+    for (size_t i = 0; i < recs.size(); ++i) {
+        if (i != 1)
+            EXPECT_TRUE(recs[i].ok()) << recs[i].spec.id;
+    }
+    EXPECT_EQ(report::sweepExitCode(recs),
+              report::EXIT_SWEEP_PARTIAL);
+
+    Json doc = report::sweepToJson(recs);
+    EXPECT_TRUE(doc.get("partial").asBool());
+    EXPECT_EQ(doc.get("runs").at(1).get("status").asString(), "error");
+    EXPECT_EQ(doc.get("runs").at(1).get("error").get("kind").asString(),
+              "invalid-input");
+    EXPECT_EQ(doc.get("runs").at(0).get("status").asString(), "ok");
+
+    // The CSV stays rectangular: every row has the union header's
+    // column count.
+    std::string csv = report::sweepToCsv(recs);
+    size_t header_cols = 1;
+    std::string first_line = csv.substr(0, csv.find('\n'));
+    for (char ch : first_line)
+        header_cols += ch == ',';
+    size_t pos = first_line.size() + 1;
+    while (pos < csv.size()) {
+        size_t end = csv.find('\n', pos);
+        size_t cols = 1;
+        for (size_t k = pos; k < end; ++k)
+            cols += csv[k] == ',';
+        EXPECT_EQ(cols, header_cols);
+        pos = end + 1;
+    }
 }
 
 TEST(SweepRunner, EmptySweep)

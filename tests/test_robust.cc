@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Robustness integration tests (docs/ROBUSTNESS.md):
+ *
+ *  - fault-isolated sweeps: a fuel-bombed cell yields an error record
+ *    while every other cell completes, the document is partial-marked,
+ *    and the exit-code mapping distinguishes clean/partial/failed;
+ *  - budget determinism: exhausting the same budget twice produces
+ *    byte-identical StageError records and msc.sweep documents;
+ *  - cancellation: a tripped CancelToken aborts a stage compute
+ *    without corrupting the Session's in-memory or on-disk caches —
+ *    clearing the token and retrying recomputes and succeeds;
+ *  - disk-cache self-healing: injected write faults retry, corrupt
+ *    entries (on-disk garbage or injected read faults) are quarantined
+ *    and recomputed rather than poisoning later runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "helpers.h"
+#include "pipeline/pool.h"
+#include "pipeline/session.h"
+#include "report/record.h"
+#include "report/sweep.h"
+#include "runtime/budget.h"
+#include "runtime/error.h"
+#include "runtime/fault.h"
+#include "workloads/workload.h"
+
+using namespace msc;
+using pipeline::Session;
+using pipeline::SessionConfig;
+using pipeline::StageOptions;
+using runtime::ErrorKind;
+using runtime::StageError;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const char *name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) /
+                   (std::string("msc-robust-") + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+size_t
+countFiles(const std::string &dir, const std::string &ext)
+{
+    size_t n = 0;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir, ec))
+        if (e.path().extension() == ext)
+            ++n;
+    return n;
+}
+
+/** The ISSUE acceptance grid: one workload that completes under the
+ *  budget and one that cannot halt. */
+std::vector<report::RunSpec>
+bombGrid(uint64_t max_fuel)
+{
+    std::vector<report::RunSpec> specs;
+    for (const char *w : {"compress", "fuelbomb"}) {
+        report::RunSpec s = report::makeSpec(
+            w, tasksel::Strategy::BasicBlock, 2, true,
+            workloads::Scale::Small, 10'000);
+        s.opts.budget.maxFuel = max_fuel;
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+StageOptions
+smallOptions()
+{
+    tasksel::SelectionOptions sel;
+    StageOptions o = StageOptions::fromSelection(sel);
+    o.profile.profileInsts = 20'000;
+    o.trace.traceInsts = 10'000;
+    o.config = arch::SimConfig::paperConfig(2);
+    return o;
+}
+
+} // anonymous namespace
+
+// ------------------------------------------------ fault isolation
+
+TEST(RobustSweep, FuelBombedCellIsIsolated)
+{
+    report::SweepRunner runner(1);
+    std::vector<report::RunRecord> recs = runner.run(bombGrid(200'000));
+    ASSERT_EQ(recs.size(), 2u);
+
+    EXPECT_TRUE(recs[0].ok()) << recs[0].error.render();
+    ASSERT_FALSE(recs[1].ok());
+    EXPECT_EQ(recs[1].error.kind, ErrorKind::BudgetFuel);
+    EXPECT_EQ(recs[1].error.stage, "profile");
+    EXPECT_EQ(recs[1].error.workload, "fuelbomb");
+    EXPECT_EQ(recs[1].error.limit, 200'000u);
+    EXPECT_GT(recs[1].error.used, 200'000u);
+
+    EXPECT_EQ(report::sweepExitCode(recs), report::EXIT_SWEEP_PARTIAL);
+
+    report::Json doc = report::sweepToJson(recs);
+    EXPECT_TRUE(doc.get("partial").asBool());
+    EXPECT_EQ(doc.get("errors").asUInt(), 1u);
+    const report::Json &runs = doc.get("runs");
+    EXPECT_EQ(runs.at(0).get("status").asString(), "ok");
+    EXPECT_EQ(runs.at(1).get("status").asString(), "error");
+    EXPECT_EQ(runs.at(1).get("error").get("kind").asString(),
+              "budget-fuel");
+    EXPECT_TRUE(
+        runs.at(1).get("error").get("budget_exhausted").asBool());
+}
+
+TEST(RobustSweep, ExitCodeMapping)
+{
+    using report::RunRecord;
+    std::vector<RunRecord> empty;
+    EXPECT_EQ(report::sweepExitCode(empty), report::EXIT_SWEEP_CLEAN);
+
+    RunRecord ok_rec;
+    RunRecord bad_rec;
+    bad_rec.error.kind = ErrorKind::BudgetFuel;
+
+    std::vector<RunRecord> clean = {ok_rec, ok_rec};
+    EXPECT_EQ(report::sweepExitCode(clean), report::EXIT_SWEEP_CLEAN);
+    std::vector<RunRecord> part = {ok_rec, bad_rec};
+    EXPECT_EQ(report::sweepExitCode(part), report::EXIT_SWEEP_PARTIAL);
+    std::vector<RunRecord> dead = {bad_rec, bad_rec};
+    EXPECT_EQ(report::sweepExitCode(dead), report::EXIT_SWEEP_FAILED);
+}
+
+// -------------------------------------------- budget determinism
+
+TEST(RobustSweep, SameBudgetTwiceIsByteIdentical)
+{
+    report::SweepRunner runner(1);
+    std::vector<report::RunRecord> a = runner.run(bombGrid(200'000));
+    std::vector<report::RunRecord> b = runner.run(bombGrid(200'000));
+
+    // The whole documents — metrics of the surviving cell AND the
+    // error record of the bombed one — must match byte for byte.
+    EXPECT_EQ(report::sweepToJson(a).dump(2),
+              report::sweepToJson(b).dump(2));
+    EXPECT_EQ(report::sweepToCsv(a), report::sweepToCsv(b));
+    EXPECT_EQ(report::errorToJson(a[1].error).dump(2),
+              report::errorToJson(b[1].error).dump(2));
+}
+
+// ------------------------------------------------- cancellation
+
+TEST(RobustSession, CancellationMidPipelineLeavesCacheClean)
+{
+    std::string dir = freshDir("cancel");
+    ir::Program prog = test::makeLoopProgram(200);
+
+    Session s(prog, SessionConfig{dir});
+    StageOptions o = smallOptions();
+
+    // Warm the frontend, then cancel the timing simulation.
+    ASSERT_NE(s.trace(o), nullptr);
+    runtime::CancelToken tok;
+    tok.requestCancel();
+    o.cancel = &tok;
+    try {
+        s.simulate(o);
+        FAIL() << "expected StageError";
+    } catch (const StageError &e) {
+        EXPECT_EQ(e.info().kind, ErrorKind::Cancelled);
+        EXPECT_EQ(e.info().stage, "simulate");
+    }
+
+    // The poisoned slot must be dropped: clearing the token and
+    // retrying recomputes and succeeds on the same Session.
+    o.cancel = nullptr;
+    auto sim = s.simulate(o);
+    ASSERT_NE(sim, nullptr);
+    EXPECT_GT(sim->stats.cycles, 0u);
+
+    // Nothing partial reached the disk either: a fresh Session over
+    // the same directory loads every persisted artifact and agrees
+    // with an uncached run bit for bit.
+    EXPECT_EQ(countFiles(dir, ".quarantine"), 0u);
+    Session warm(prog, SessionConfig{dir});
+    auto sim2 = warm.simulate(o);
+    EXPECT_GT(warm.cacheStats().diskHits(), 0u);
+    Session cold(prog);
+    auto sim3 = cold.simulate(o);
+    EXPECT_EQ(sim2->stats.cycles, sim3->stats.cycles);
+    EXPECT_EQ(sim2->stats.retiredInsts, sim3->stats.retiredInsts);
+}
+
+TEST(RobustSession, PreCancelledTokenStopsFirstStage)
+{
+    runtime::CancelToken tok;
+    tok.requestCancel();
+    StageOptions o = smallOptions();
+    o.cancel = &tok;
+    Session s(test::makeLoopProgram(100));
+    EXPECT_THROW(s.runAll(o), StageError);
+    // The poisoned slot was dropped, not published: clearing the
+    // token re-runs the stage (a second compute, not a cache hit or
+    // a resurfaced failure).
+    o.cancel = nullptr;
+    pipeline::StageResults r = s.runAll(o);
+    ASSERT_NE(r.sim, nullptr);
+    EXPECT_EQ(s.cacheStats()[pipeline::StageKind::Transform].computed,
+              2u);
+}
+
+// --------------------------------------------- disk-cache healing
+
+TEST(RobustDiskCache, WriteFaultIsRetried)
+{
+    std::string dir = freshDir("write-retry");
+    runtime::FaultInjector::instance().configure("cache-write=1");
+
+    Session s(test::makeLoopProgram(150), SessionConfig{dir});
+    ASSERT_NE(s.select(smallOptions()), nullptr);
+
+    runtime::FaultInjector::instance().configure("");
+    // The first attempt failed, the retry landed: all three
+    // persistable frontend artifacts are on disk.
+    EXPECT_EQ(countFiles(dir, ".json"), 3u);
+
+    Session warm(test::makeLoopProgram(150), SessionConfig{dir});
+    ASSERT_NE(warm.select(smallOptions()), nullptr);
+    EXPECT_EQ(warm.cacheStats().diskHits(), 3u);
+}
+
+TEST(RobustDiskCache, PersistentWriteFailureIsNonFatal)
+{
+    std::string dir = freshDir("write-fail");
+    // More armed failures than attempts: every store gives up.
+    runtime::FaultInjector::instance().configure("cache-write=100");
+
+    Session s(test::makeLoopProgram(150), SessionConfig{dir});
+    auto part = s.select(smallOptions());
+    runtime::FaultInjector::instance().configure("");
+
+    // The run itself succeeded; the cache just stayed cold.
+    ASSERT_NE(part, nullptr);
+    EXPECT_EQ(countFiles(dir, ".json"), 0u);
+}
+
+TEST(RobustDiskCache, CorruptEntryIsQuarantinedAndRecomputed)
+{
+    std::string dir = freshDir("corrupt");
+    ir::Program prog = test::makeLoopProgram(150);
+    StageOptions o = smallOptions();
+
+    {
+        Session s(prog, SessionConfig{dir});
+        ASSERT_NE(s.select(o), nullptr);
+    }
+    ASSERT_EQ(countFiles(dir, ".json"), 3u);
+
+    // Truncate every cached entry to garbage.
+    for (const auto &e : fs::directory_iterator(dir)) {
+        std::ofstream out(e.path(), std::ios::trunc);
+        out << "{ not json";
+    }
+
+    Session s2(prog, SessionConfig{dir});
+    auto part = s2.select(o);
+    ASSERT_NE(part, nullptr);
+    // Corrupt entries were moved aside, then recomputed and
+    // rewritten: the cache heals in place.
+    EXPECT_EQ(countFiles(dir, ".quarantine"), 3u);
+    EXPECT_EQ(countFiles(dir, ".json"), 3u);
+    EXPECT_EQ(s2.cacheStats().diskHits(), 0u);
+
+    Session s3(prog, SessionConfig{dir});
+    ASSERT_NE(s3.select(o), nullptr);
+    EXPECT_EQ(s3.cacheStats().diskHits(), 3u);
+}
+
+TEST(RobustDiskCache, InjectedReadFaultQuarantines)
+{
+    std::string dir = freshDir("read-fault");
+    ir::Program prog = test::makeLoopProgram(150);
+    StageOptions o = smallOptions();
+
+    {
+        Session s(prog, SessionConfig{dir});
+        ASSERT_NE(s.transform(o), nullptr);
+    }
+    ASSERT_GE(countFiles(dir, ".json"), 1u);
+
+    runtime::FaultInjector::instance().configure("cache-read=1");
+    Session s2(prog, SessionConfig{dir});
+    auto tp = s2.transform(o);
+    runtime::FaultInjector::instance().configure("");
+
+    ASSERT_NE(tp, nullptr);
+    EXPECT_EQ(countFiles(dir, ".quarantine"), 1u);
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the runtime governance layer (src/runtime): the
+ * ExecBudget/Governor accounting, the StageError taxonomy and its
+ * deterministic rendering, cooperative cancellation, wall-clock
+ * deadlines, and the deterministic fault injector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/budget.h"
+#include "runtime/error.h"
+#include "runtime/fault.h"
+
+using namespace msc;
+using runtime::CancelToken;
+using runtime::ErrorKind;
+using runtime::ExecBudget;
+using runtime::FaultInjector;
+using runtime::Governor;
+using runtime::StageError;
+using runtime::StageErrorInfo;
+
+// ------------------------------------------------------- ExecBudget
+
+TEST(ExecBudget, DefaultIsUnlimited)
+{
+    ExecBudget b;
+    EXPECT_TRUE(b.unlimited());
+    b.maxFuel = 1;
+    EXPECT_FALSE(b.unlimited());
+}
+
+TEST(Governor, UnlimitedNeverThrows)
+{
+    Governor g;
+    for (int i = 0; i < 1000; ++i) {
+        g.chargeFuel(1'000'000);
+        g.chargeHeap(1'000'000'000);
+        g.checkPulse();
+    }
+    EXPECT_EQ(g.simCycleLimit(), 0u);
+}
+
+TEST(Governor, FuelExhaustionThrowsWithAccounting)
+{
+    ExecBudget b;
+    b.maxFuel = 10'000;
+    Governor g(b);
+    g.chargeFuel(10'000);  // exactly at the limit: still fine
+    try {
+        g.chargeFuel(Governor::PULSE_INTERVAL);
+        FAIL() << "expected StageError";
+    } catch (const StageError &e) {
+        EXPECT_EQ(e.info().kind, ErrorKind::BudgetFuel);
+        EXPECT_EQ(e.info().limit, 10'000u);
+        EXPECT_EQ(e.info().used, 10'000u + Governor::PULSE_INTERVAL);
+        EXPECT_TRUE(e.info().budgetExhausted());
+        EXPECT_TRUE(e.info().stage.empty());  // annotated at the edge
+    }
+}
+
+TEST(Governor, HeapWatermarkTracksReleases)
+{
+    ExecBudget b;
+    b.maxHeapBytes = 1000;
+    Governor g(b);
+    g.chargeHeap(600);
+    g.releaseHeap(600);
+    g.chargeHeap(900);       // fine: watermark is live bytes, not sum
+    EXPECT_EQ(g.heapPeak(), 900u);
+    EXPECT_THROW(g.chargeHeap(200), StageError);
+    try {
+        Governor g2(b);
+        g2.chargeHeap(2000);
+    } catch (const StageError &e) {
+        EXPECT_EQ(e.info().kind, ErrorKind::BudgetHeap);
+        EXPECT_EQ(e.info().limit, 1000u);
+        EXPECT_EQ(e.info().used, 2000u);
+    }
+}
+
+TEST(Governor, CycleLimitReportsThroughCyclesExhausted)
+{
+    ExecBudget b;
+    b.maxSimCycles = 5000;
+    Governor g(b);
+    EXPECT_EQ(g.simCycleLimit(), 5000u);
+    try {
+        g.cyclesExhausted(5000);
+        FAIL() << "expected StageError";
+    } catch (const StageError &e) {
+        EXPECT_EQ(e.info().kind, ErrorKind::BudgetCycles);
+        EXPECT_EQ(e.info().limit, 5000u);
+        EXPECT_EQ(e.info().used, 5000u);
+    }
+}
+
+TEST(Governor, CancellationTripsOnNextPulse)
+{
+    CancelToken tok;
+    Governor g(ExecBudget{}, &tok);
+    g.checkPulse();  // not cancelled yet
+    tok.requestCancel();
+    try {
+        g.checkPulse();
+        FAIL() << "expected StageError";
+    } catch (const StageError &e) {
+        EXPECT_EQ(e.info().kind, ErrorKind::Cancelled);
+        EXPECT_FALSE(e.info().budgetExhausted());
+    }
+}
+
+TEST(Governor, DeadlineTripsAfterExpiry)
+{
+    ExecBudget b;
+    b.wallMs = 1;
+    Governor g(b);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // The clock is only read every CLOCK_STRIDE pulses, so pulse
+    // well past one stride and expect the deadline within it.
+    bool tripped = false;
+    try {
+        for (int i = 0; i < 64 && !tripped; ++i)
+            g.checkPulse();
+    } catch (const StageError &e) {
+        tripped = true;
+        EXPECT_EQ(e.info().kind, ErrorKind::Deadline);
+        // Deterministic-rendering contract: no elapsed quantities.
+        EXPECT_EQ(e.info().used, 0u);
+    }
+    EXPECT_TRUE(tripped);
+}
+
+// -------------------------------------------------------- StageError
+
+TEST(StageErrorTest, KindIdsAreStableKebabCase)
+{
+    EXPECT_STREQ(runtime::errorKindId(ErrorKind::BudgetFuel),
+                 "budget-fuel");
+    EXPECT_STREQ(runtime::errorKindId(ErrorKind::InvalidInput),
+                 "invalid-input");
+    EXPECT_STREQ(runtime::errorKindId(ErrorKind::CacheCorrupt),
+                 "cache-corrupt");
+    EXPECT_STREQ(runtime::errorKindId(ErrorKind::Deadline), "deadline");
+}
+
+TEST(StageErrorTest, BudgetKindClassification)
+{
+    EXPECT_TRUE(runtime::errorKindIsBudget(ErrorKind::BudgetFuel));
+    EXPECT_TRUE(runtime::errorKindIsBudget(ErrorKind::BudgetCycles));
+    EXPECT_TRUE(runtime::errorKindIsBudget(ErrorKind::BudgetHeap));
+    EXPECT_TRUE(runtime::errorKindIsBudget(ErrorKind::Deadline));
+    EXPECT_FALSE(runtime::errorKindIsBudget(ErrorKind::Cancelled));
+    EXPECT_FALSE(runtime::errorKindIsBudget(ErrorKind::InvalidInput));
+    EXPECT_FALSE(runtime::errorKindIsBudget(ErrorKind::None));
+}
+
+TEST(StageErrorTest, SetStageAnnotatesOnlyOnce)
+{
+    StageError e(ErrorKind::BudgetFuel, "", "fuel gone");
+    e.setStage("profile");
+    e.setStage("simulate");  // must not overwrite the first annotation
+    EXPECT_EQ(e.info().stage, "profile");
+}
+
+TEST(StageErrorTest, RenderIsDeterministic)
+{
+    StageErrorInfo i;
+    i.kind = ErrorKind::BudgetFuel;
+    i.stage = "profile";
+    i.detail = "instruction fuel exhausted";
+    i.limit = 100;
+    i.used = 4196;
+    StageErrorInfo j = i;
+    EXPECT_EQ(i.render(), j.render());
+    EXPECT_NE(i.render().find("budget-fuel"), std::string::npos);
+    EXPECT_NE(i.render().find("profile"), std::string::npos);
+    // what() is the rendering, so legacy catch sites see the story.
+    StageError e(std::move(i));
+    EXPECT_EQ(std::string(e.what()), e.info().render());
+}
+
+// ----------------------------------------------------- FaultInjector
+
+TEST(FaultInjectorTest, CountsDownThenSucceeds)
+{
+    FaultInjector &inj = FaultInjector::instance();
+    inj.configure("test-site=2");
+    EXPECT_EQ(inj.remaining("test-site"), 2u);
+    EXPECT_TRUE(inj.shouldFail("test-site"));
+    EXPECT_TRUE(inj.shouldFail("test-site"));
+    EXPECT_FALSE(inj.shouldFail("test-site"));
+    EXPECT_FALSE(inj.shouldFail("other-site"));
+    inj.configure("");
+    EXPECT_FALSE(inj.shouldFail("test-site"));
+}
+
+TEST(FaultInjectorTest, MalformedEntriesIgnored)
+{
+    FaultInjector &inj = FaultInjector::instance();
+    inj.configure("=3,noequals,ok-site=1,zero=0,junk=x");
+    EXPECT_EQ(inj.remaining("ok-site"), 1u);
+    EXPECT_EQ(inj.remaining("noequals"), 0u);
+    EXPECT_EQ(inj.remaining("zero"), 0u);
+    EXPECT_EQ(inj.remaining("junk"), 0u);
+    inj.configure("");
+}
