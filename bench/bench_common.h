@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "arch/config.h"
 #include "report/record.h"
 #include "report/sweep.h"
 #include "tasksel/options.h"
@@ -62,6 +63,9 @@ struct BenchOptions
     std::string jsonPath;       ///< --json <file>: structured results.
     std::string csvPath;        ///< --csv <file>: flat results.
     std::string cacheDir;       ///< --cache-dir <dir>: artifact cache.
+    /// --core cycle|event: simulator core. Outputs are byte-identical
+    /// either way (docs/PERFORMANCE.md); cycle is the slow reference.
+    arch::CoreMode core = arch::CoreMode::Event;
 };
 
 /**
@@ -76,7 +80,7 @@ parseBenchArgs(int argc, char **argv)
     auto usage = [&](int code) {
         std::fprintf(stderr,
                      "usage: %s [--jobs N] [--json file] [--csv file]"
-                     " [--cache-dir dir]\n"
+                     " [--cache-dir dir] [--core cycle|event]\n"
                      "  --jobs N        run the sweep on N threads "
                      "(default 1; 0 = all cores)\n"
                      "  --json file     write structured results "
@@ -84,6 +88,9 @@ parseBenchArgs(int argc, char **argv)
                      "  --csv file      write flat results\n"
                      "  --cache-dir d   persist frontend artifacts "
                      "across runs (docs/API.md)\n"
+                     "  --core m        simulator core: event (default)"
+                     " or the cycle-stepping reference; results are "
+                     "byte-identical (docs/PERFORMANCE.md)\n"
                      "  MSC_SMALL=1     reduced workload scale\n",
                      argv[0]);
         std::exit(code);
@@ -105,7 +112,13 @@ parseBenchArgs(int argc, char **argv)
             o.csvPath = val();
         else if (a == "--cache-dir")
             o.cacheDir = val();
-        else if (a == "--help" || a == "-h")
+        else if (a == "--core") {
+            const char *v = val();
+            if (!arch::parseCoreMode(v, o.core)) {
+                std::fprintf(stderr, "bad --core value %s\n", v);
+                usage(2);
+            }
+        } else if (a == "--help" || a == "-h")
             usage(0);
         else {
             std::fprintf(stderr, "unknown flag %s\n", a.c_str());
@@ -155,6 +168,11 @@ class Sweep
     run(const BenchOptions &opts)
     {
         try {
+            // One knob for the whole grid: --core selects the
+            // simulator core on every spec (it does not change
+            // results or spec ids, only how fast they compute).
+            for (auto &s : _specs)
+                s.opts.config.coreMode = opts.core;
             report::SweepRunner runner(opts.jobs);
             if (runner.jobs() > 1)
                 std::fprintf(stderr, "[sweep] %zu runs on %u threads\n",

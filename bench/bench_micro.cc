@@ -118,6 +118,53 @@ BM_WarmSessionSimulation(benchmark::State &state)
 }
 BENCHMARK(BM_WarmSessionSimulation)->Arg(4)->Arg(8);
 
+/**
+ * Quiescent-heavy timing model: tiny caches and a DRAM-class memory
+ * latency make the machine spend most cycles with every PU stalled on
+ * the same misses, which is exactly the stretch the event core skips.
+ * Arg 0 runs the cycle (reference) core, Arg 1 the event core;
+ * items/s is simulated cycles per second, the figure bench_snapshot.sh
+ * records in BENCH_pr7.json. The frontend (profile / select / trace /
+ * cut) runs once outside the timed loop so the counter isolates
+ * arch::simulate.
+ */
+static void
+BM_QuiescentSimulation(benchmark::State &state)
+{
+    ir::Program p = workloads::buildWorkload("swim",
+                                             workloads::Scale::Small);
+    profile::Profile prof = profile::profileProgram(p, 50'000);
+    tasksel::SelectionOptions opts;
+    opts.strategy = tasksel::Strategy::ControlFlow;
+    tasksel::TaskPartition part = tasksel::selectTasks(p, prof, opts);
+    profile::Interpreter in(p);
+    profile::Trace t = in.trace(60'000);
+    std::vector<arch::DynTask> tasks = arch::cutTasks(t, part);
+
+    arch::SimConfig cfg = arch::SimConfig::paperConfig(4);
+    cfg.coreMode = state.range(0) ? arch::CoreMode::Event
+                                  : arch::CoreMode::Cycle;
+    cfg.l1i = {4 * 1024, 1, 32, 1, 4};
+    cfg.l1d = {4 * 1024, 1, 32, 1, 4};
+    cfg.l2 = {16 * 1024, 1, 32, 24, 1};
+    cfg.memLatency = 300;
+
+    uint64_t cycles = 0, skipped = 0;
+    for (auto _ : state) {
+        arch::SimStats s = arch::simulate(part, tasks, cfg);
+        cycles += s.cycles;
+        skipped += s.eventSkippedCycles;
+    }
+    state.SetItemsProcessed(int64_t(cycles));
+    state.counters["skip_frac"] =
+        cycles ? double(skipped) / double(cycles) : 0.0;
+}
+BENCHMARK(BM_QuiescentSimulation)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("event")
+    ->Unit(benchmark::kMillisecond);
+
 static void
 BM_TaskPredictor(benchmark::State &state)
 {

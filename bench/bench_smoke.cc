@@ -60,7 +60,7 @@ failed(const char *what)
  * compute exactly twice; the 4 SimConfigs per strategy reuse it.
  */
 int
-checkSharedFrontend(unsigned jobs)
+checkSharedFrontend(unsigned jobs, arch::CoreMode core)
 {
     std::vector<report::RunSpec> specs;
     struct Strat
@@ -75,6 +75,8 @@ checkSharedFrontend(unsigned jobs)
                 specs.push_back(report::makeSpec(
                     "compress", st.s, pus, ooo,
                     workloads::Scale::Small, 20'000, st.size));
+    for (auto &s : specs)
+        s.opts.config.coreMode = core;
 
     pipeline::SessionPool pool;
     report::SweepRunner runner(jobs);
@@ -130,7 +132,12 @@ main(int argc, char **argv)
     if (opts.jsonPath.empty())
         opts.jsonPath = "bench_smoke.json";
 
-    const std::vector<report::RunSpec> specs = tinyGrid();
+    std::vector<report::RunSpec> specs = tinyGrid();
+    // Like Sweep::run: --core selects the simulator core everywhere
+    // (outputs are byte-identical either way, so every check below is
+    // also a core-equivalence check when run once per mode).
+    for (auto &s : specs)
+        s.opts.config.coreMode = opts.core;
 
     std::string serial =
         report::sweepToJson(report::SweepRunner(1).run(specs)).dump(2);
@@ -204,7 +211,7 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (int rc = checkSharedFrontend(opts.jobs))
+    if (int rc = checkSharedFrontend(opts.jobs, opts.core))
         return rc;
 
     std::printf("bench_smoke: OK (%zu runs, %u jobs, %s validated)\n",

@@ -131,6 +131,7 @@ cmdRun(int argc, char **argv)
     bool ooo = true;
     std::string cache_dir;
     runtime::ExecBudget budget;
+    arch::CoreMode core = arch::CoreMode::Event;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -161,6 +162,10 @@ cmdRun(int argc, char **argv)
             budget.maxFuel = uint64_t(atoll(v7));
         } else if (const char *v8 = arg("--max-cycles")) {
             budget.maxSimCycles = uint64_t(atoll(v8));
+        } else if (const char *v9 = arg("--core")) {
+            if (!arch::parseCoreMode(v9, core))
+                throw std::runtime_error("bad --core value " +
+                                         std::string(v9));
         } else if (a == "--in-order") {
             ooo = false;
         } else if (a == "--size") {
@@ -173,6 +178,7 @@ cmdRun(int argc, char **argv)
     o.trace.traceInsts = trace_insts;
     o.config = arch::SimConfig::paperConfig(pus, ooo);
     o.config.maxTargets = sel.maxTargets;
+    o.config.coreMode = core;
     o.budget = budget;
 
     pipeline::Session session(loadProgram(spec),
@@ -237,6 +243,7 @@ cmdSweep(int argc, char **argv)
     workloads::Scale scale = workloads::Scale::Full;
     std::string json_path, csv_path, cache_dir;
     runtime::ExecBudget budget;
+    arch::CoreMode core = arch::CoreMode::Event;
 
     for (int i = 0; i < argc; ++i) {
         std::string a = argv[i];
@@ -272,6 +279,10 @@ cmdSweep(int argc, char **argv)
             budget.maxFuel = uint64_t(atoll(v10));
         } else if (const char *v11 = arg("--max-cycles")) {
             budget.maxSimCycles = uint64_t(atoll(v11));
+        } else if (const char *v12 = arg("--core")) {
+            if (!arch::parseCoreMode(v12, core))
+                throw std::runtime_error("bad --core value " +
+                                         std::string(v12));
         } else if (a == "--in-order") {
             ooo = false;
         } else if (a == "--size") {
@@ -296,6 +307,7 @@ cmdSweep(int argc, char **argv)
                     n, report::strategyFromId(s), p, ooo, scale, insts,
                     size_heur, targets);
                 sp.opts.budget = budget;
+                sp.opts.config.coreMode = core;
                 specs.push_back(std::move(sp));
             }
 
@@ -356,6 +368,7 @@ cmdTrace(int argc, char **argv)
     std::string out_path, prof_path;
     unsigned top_n = 10;
     bool phase_spans = false, check = false;
+    arch::CoreMode core = arch::CoreMode::Event;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -381,6 +394,10 @@ cmdTrace(int argc, char **argv)
             prof_path = v6;
         } else if (const char *v7 = arg("--top")) {
             top_n = unsigned(atoi(v7));
+        } else if (const char *v8 = arg("--core")) {
+            if (!arch::parseCoreMode(v8, core))
+                throw std::runtime_error("bad --core value " +
+                                         std::string(v8));
         } else if (a == "--in-order") {
             ooo = false;
         } else if (a == "--size") {
@@ -397,6 +414,7 @@ cmdTrace(int argc, char **argv)
     o.trace.traceInsts = trace_insts;
     o.config = arch::SimConfig::paperConfig(pus, ooo);
     o.config.maxTargets = sel.maxTargets;
+    o.config.coreMode = core;
 
     obs::PerfettoTraceWriter writer(pus, spec);
     obs::TaskProfiler prof;
@@ -595,13 +613,14 @@ main(int argc, char **argv)
                  "              [--size] [--targets N] [--insts N]\n"
                  "              [--cache-dir DIR] [--timeout-ms N]\n"
                  "              [--max-fuel N] [--max-cycles N]\n"
+                 "              [--core cycle|event]\n"
                  "       msctool sweep  [workloads...]\n"
                  "              [--strategy bb,cf,dd] [--pus 4,8]\n"
                  "              [--jobs N] [--json file] [--csv file]\n"
                  "              [--in-order] [--size] [--targets N]\n"
                  "              [--insts N] [--small] [--cache-dir DIR]\n"
                  "              [--timeout-ms N] [--max-fuel N]\n"
-                 "              [--max-cycles N]\n"
+                 "              [--max-cycles N] [--core cycle|event]\n"
                  "              exit: 0 clean, 1 all failed, 3 partial\n"
                  "       msctool fuzz   [--count N] [--seed S]\n"
                  "              [--jobs N] [--size 0..3] [--max-insts N]\n"
@@ -612,6 +631,6 @@ main(int argc, char **argv)
                  "              [--pus N] [--strategy bb|cf|dd]\n"
                  "              [--in-order] [--size] [--targets N]\n"
                  "              [--insts N] [--top N] [--phase-times]\n"
-                 "              [--check]\n");
+                 "              [--check] [--core cycle|event]\n");
     return 2;
 }

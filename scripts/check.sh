@@ -35,6 +35,14 @@ fi
 run ctest --test-dir build -L robust --output-on-failure
 run ctest --test-dir build -L smoke --output-on-failure
 
+# Stage 1b: the two-core performance contract (docs/PERFORMANCE.md).
+# test_eventcore proves cycle/event byte-identity across programs,
+# workloads, the fuzz corpus, and Governor budget trips; the snapshot
+# gate proves the event core actually pays for itself (byte-identical
+# bench_smoke output AND not slower than the cycle core).
+run ctest --test-dir build -L eventcore --output-on-failure
+run scripts/bench_snapshot.sh --verify
+
 if [[ "$FAST" == 1 ]]; then
     echo "== fast mode: skipping sanitizer stages"
     exit 0

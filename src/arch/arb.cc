@@ -40,6 +40,7 @@ Arb::recordLoad(TaskSeq task, uint64_t addr, uint64_t pc)
     a.loadSrc = src;
     a.loadPc = pc;
     list.push_back(a);
+    _byTask[task].push_back(addr);
 }
 
 Arb::StoreResult
@@ -70,41 +71,46 @@ Arb::recordStore(TaskSeq task, uint64_t addr)
     a.task = task;
     a.stored = true;
     list.push_back(a);
+    _byTask[task].push_back(addr);
     return res;
+}
+
+void
+Arb::filterLists(const std::vector<uint64_t> &addrs, TaskSeq task,
+                 bool retire)
+{
+    for (uint64_t addr : addrs) {
+        auto it = _entries.find(addr);
+        if (it == _entries.end())
+            continue;  // Already dropped via another indexed task.
+        auto &list = it->second;
+        list.erase(std::remove_if(list.begin(), list.end(),
+                                  [&](const Access &a) {
+                                      return retire ? a.task <= task
+                                                    : a.task >= task;
+                                  }),
+                   list.end());
+        if (list.empty())
+            _entries.erase(it);
+    }
 }
 
 void
 Arb::squashFrom(TaskSeq task)
 {
-    for (auto it = _entries.begin(); it != _entries.end();) {
-        auto &list = it->second;
-        list.erase(std::remove_if(list.begin(), list.end(),
-                                  [&](const Access &a) {
-                                      return a.task >= task;
-                                  }),
-                   list.end());
-        if (list.empty())
-            it = _entries.erase(it);
-        else
-            ++it;
-    }
+    auto first = _byTask.lower_bound(task);
+    for (auto it = first; it != _byTask.end(); ++it)
+        filterLists(it->second, task, /*retire=*/false);
+    _byTask.erase(first, _byTask.end());
 }
 
 void
 Arb::retireUpTo(TaskSeq task)
 {
-    for (auto it = _entries.begin(); it != _entries.end();) {
-        auto &list = it->second;
-        list.erase(std::remove_if(list.begin(), list.end(),
-                                  [&](const Access &a) {
-                                      return a.task <= task;
-                                  }),
-                   list.end());
-        if (list.empty())
-            it = _entries.erase(it);
-        else
-            ++it;
-    }
+    auto last = _byTask.upper_bound(task);
+    for (auto it = _byTask.begin(); it != last; ++it)
+        filterLists(it->second, task, /*retire=*/true);
+    _byTask.erase(_byTask.begin(), last);
 }
 
 } // namespace arch

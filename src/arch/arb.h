@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -89,6 +90,22 @@ class Arb
 
     /** Per-address access list, ordered by task sequence. */
     std::unordered_map<uint64_t, std::vector<Access>> _entries;
+
+    /**
+     * Index: addresses first touched by each in-flight task, so
+     * retireUpTo/squashFrom visit only the affected per-address lists
+     * instead of sweeping the whole table per retired task. Pure
+     * lookup acceleration: _entries evolves identically with or
+     * without it.
+     */
+    std::map<TaskSeq, std::vector<uint64_t>> _byTask;
+
+    /** Removes every access with task <=/>= @p task (per @p retire)
+     *  from the lists of the indexed @p addrs, dropping emptied
+     *  entries. */
+    void filterLists(const std::vector<uint64_t> &addrs, TaskSeq task,
+                     bool retire);
+
     unsigned _capacity;
 };
 

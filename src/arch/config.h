@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "ir/types.h"
 
@@ -19,6 +20,42 @@ namespace arch {
  * static_asserts the agreement so the two layers cannot drift.
  */
 constexpr unsigned NUM_REGS = ir::NUM_REGS;
+
+/**
+ * Which simulator core advances time (docs/PERFORMANCE.md).
+ *
+ * Both cores produce byte-identical results — SimStats, msc.sweep,
+ * msc.taskprof, and Perfetto traces — on every input; the cycle core
+ * is the reference implementation, the event core skips quiescent
+ * cycles. Because the outputs are identical by contract, the mode is
+ * deliberately NOT hashed into pipeline cache keys.
+ */
+enum class CoreMode : uint8_t
+{
+    Cycle,  ///< Reference: advance one cycle at a time.
+    Event,  ///< Fast path: jump quiescent stretches to the next event.
+};
+
+constexpr const char *
+coreModeName(CoreMode m)
+{
+    return m == CoreMode::Cycle ? "cycle" : "event";
+}
+
+/** Parses "cycle"/"event"; returns false (out untouched) otherwise. */
+inline bool
+parseCoreMode(const char *s, CoreMode &out)
+{
+    if (std::strcmp(s, "cycle") == 0) {
+        out = CoreMode::Cycle;
+        return true;
+    }
+    if (std::strcmp(s, "event") == 0) {
+        out = CoreMode::Event;
+        return true;
+    }
+    return false;
+}
 
 /** One cache level's geometry. */
 struct CacheConfig
@@ -81,6 +118,13 @@ struct SimConfig
 
     /** Hard stop for runaway simulations. */
     uint64_t maxCycles = 2'000'000'000ull;
+
+    /**
+     * Core discipline. Event (the default) and Cycle are
+     * byte-identical; Cycle is the slow reference escape hatch
+     * (`--core=cycle` on msctool/bench binaries).
+     */
+    CoreMode coreMode = CoreMode::Event;
 
     /**
      * Returns the paper's configuration for @p pus processing units

@@ -6,6 +6,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "arch/arb.h"
 #include "arch/cache.h"
@@ -79,9 +80,78 @@ struct Instance
     /// @}
 
     CycleBuckets buckets;
-    std::unordered_map<uint64_t, int> pendingStorePc;
+
+    /**
+     * Attribution bucket of this instance's most recent exec'd cycle.
+     * A quiescent cycle's classification is a pure function of frozen
+     * machine state, so the event core's skip replays this kind for
+     * every skipped cycle instead of capturing a per-cycle signature
+     * vector on the (busy) common path.
+     */
+    CycleKind lastKind = CycleKind::Useful;
+
+    /**
+     * Outstanding stores per code address, sorted by PC (the per-task
+     * lists are tiny, so a flat sorted vector beats a hash map: the
+     * per-assignment fill is one vector copy and the sync-gating scan
+     * in tryIssue is a binary search). Seeded from the simulator's
+     * per-dynIdx precomputation at assignment.
+     */
+    std::vector<std::pair<uint64_t, int>> pendingStorePc;
+
+    /** Pointer to the count for @p pc, or nullptr when absent. */
+    int *
+    findStorePc(uint64_t pc)
+    {
+        auto it = std::lower_bound(
+            pendingStorePc.begin(), pendingStorePc.end(), pc,
+            [](const std::pair<uint64_t, int> &p, uint64_t v) {
+                return p.first < v;
+            });
+        if (it == pendingStorePc.end() || it->first != pc)
+            return nullptr;
+        return &it->second;
+    }
 
     size_t numInsts() const { return task ? task->insts.size() : 0; }
+
+    /**
+     * Restores a pooled instance to freshly-constructed state while
+     * keeping container capacities (the event core's allocation-free
+     * reuse path). Every field above must be covered here — a missed
+     * one diverges the cores, which test_eventcore catches.
+     */
+    void
+    resetForReuse()
+    {
+        seq = dynIdx = 0;
+        pu = 0;
+        task = nullptr;
+        bogus = false;
+        assignCycle = fetchStart = 0;
+        dispatched = doneCount = retPtr = firstUnissued = 0;
+        // issued/done/readyTime/deps/extMask/doneCycle/waiters and
+        // lastWriter/regAvail are (re)assigned at instance creation
+        // for non-bogus instances and never read for bogus ones.
+        inFlight.clear();
+        for (unsigned r = 0; r < NUM_REGS; ++r) {
+            extWaiters[r].clear();
+            fwdArr[r].clear();
+            subs[r].clear();
+        }
+        icacheBlockedUntil = 0;
+        branchBlockedOn = -1;
+        curFetchLine = ~0ull;
+        createMask = forwardedRegs = pendingRelease = 0;
+        completed = false;
+        completionCycle = ~0ull;
+        mispredictedSuccessor = successorDecided = false;
+        rasDone = predUpdated = false;
+        retireStart = ~0ull;
+        buckets.counts.fill(0);
+        lastKind = CycleKind::Useful;
+        pendingStorePc.clear();
+    }
 };
 
 /** A pending memory-dependence violation found during the cycle. */
@@ -92,6 +162,7 @@ struct Violation
     uint64_t storePc;
 };
 
+template <bool EV>
 class Simulator
 {
   public:
@@ -112,6 +183,27 @@ class Simulator
           _arbStallMark(cfg.numPUs, 0)
     {
         _stats.puOccupiedCycles.assign(cfg.numPUs, 0);
+
+        // Event core: decode per-static-instruction operand lists
+        // once — dispatch touches them for every dynamic instruction
+        // of every instance, and the static program is tiny. The
+        // reference core re-decodes per dispatch like the seed.
+        if constexpr (EV) {
+            _operands.resize(part.prog->functions.size());
+            for (size_t f = 0; f < _operands.size(); ++f) {
+                const auto &fn = part.prog->functions[f];
+                _operands[f].resize(fn.blocks.size());
+                for (size_t b = 0; b < fn.blocks.size(); ++b) {
+                    const auto &bb = fn.blocks[b];
+                    auto &ops = _operands[f][b];
+                    ops.resize(bb.insts.size());
+                    for (size_t i = 0; i < bb.insts.size(); ++i) {
+                        bb.insts[i].uses(ops[i].srcs);
+                        bb.insts[i].defs(ops[i].dsts);
+                    }
+                }
+            }
+        }
     }
 
     SimStats run();
@@ -137,6 +229,8 @@ class Simulator
     Instance *bySeq(uint64_t seq);
     void emitCounters();
     void noteArbStall(unsigned pu);
+    uint64_t nextEventCycle() const;
+    void skipTo(uint64_t target);
 
     const TaskPartition &_part;
     const std::vector<DynTask> &_tasks;
@@ -159,6 +253,39 @@ class Simulator
     std::vector<Violation> _violations;
     std::vector<uint64_t> _violationLoadPcScratch;
 
+    /**
+     * Per-dynIdx sorted (store pc, count) lists for Instance::
+     * pendingStorePc, computed on first assignment of each dynamic
+     * task and reused on re-assignment after squashes.
+     */
+    std::vector<std::vector<std::pair<uint64_t, int>>> _storePcs;
+    std::vector<char> _storePcsDone;
+
+    const std::vector<std::pair<uint64_t, int>> &
+    storePcsOf(uint64_t dyn_idx)
+    {
+        if (_storePcsDone.empty()) {
+            _storePcs.resize(_tasks.size());
+            _storePcsDone.assign(_tasks.size(), 0);
+        }
+        if (!_storePcsDone[dyn_idx]) {
+            auto &list = _storePcs[dyn_idx];
+            for (const DynInst &di : _tasks[dyn_idx].insts) {
+                if (_part.prog->inst(di.ref).isStore()) {
+                    auto it = std::lower_bound(
+                        list.begin(), list.end(),
+                        std::make_pair(di.pc, 0));
+                    if (it != list.end() && it->first == di.pc)
+                        it->second++;
+                    else
+                        list.insert(it, {di.pc, 1});
+                }
+            }
+            _storePcsDone[dyn_idx] = 1;
+        }
+        return _storePcs[dyn_idx];
+    }
+
     /// @name Observation (null sink == tracing disabled).
     /// @{
     obs::TraceSink *_sink;
@@ -168,17 +295,56 @@ class Simulator
     SimStats _stats;
     uint64_t _spanSum = 0;
     uint64_t _spanCycles = 0;
+
+    /// @name Event core (CoreMode::Event; docs/PERFORMANCE.md).
+    ///
+    /// The event core runs every cycle through the normal phases but
+    /// watches a progress flag that every state mutation sets. A cycle
+    /// that mutated nothing is *quiescent*: its per-cycle accounting is
+    /// a pure function of frozen machine state, so the same accounting
+    /// repeats verbatim until the next component event. The core
+    /// computes the earliest cycle any component can act, bulk-replays
+    /// the probe cycle's accounting (per-instance kinds from lastKind,
+    /// stall-counter increments, ARB-overflow instants) across the
+    /// gap, and jumps _now there. Results are byte-identical to the
+    /// cycle core by construction.
+    /// @{
+    bool _progress = false;     ///< Any state mutated this cycle.
+    std::vector<unsigned> _arbPuCap;    ///< ARB-stall instants, per PU.
+    uint64_t _syncCap = 0;              ///< syncStallCycles increments.
+    uint64_t _arbCap = 0;               ///< arbOverflowStalls increments.
+
+    /// Allocation-free busy path: retired/squashed instances return to
+    /// the pool and are reused (resetForReuse), and ring-arrival
+    /// buffers use member scratch instead of fresh vectors.
+    std::vector<std::unique_ptr<Instance>> _pool;
+    std::vector<uint64_t> _arrScratch;
+    /// @}
+
+    /**
+     * Per-static-instruction operand lists (srcs from uses(), dsts
+     * from defs()), decoded once at construction — event core only;
+     * the reference core keeps the seed's per-dispatch decode.
+     * Indexed [func][block][index] by InstRef.
+     */
+    struct Operands
+    {
+        std::vector<RegId> srcs, dsts;
+    };
+    std::vector<std::vector<std::vector<Operands>>> _operands;
 };
 
+template <bool EV>
 uint64_t
-Simulator::taskEntryAddr(TaskId t) const
+Simulator<EV>::taskEntryAddr(TaskId t) const
 {
     const Task &st = _part.tasks[t];
     return _part.prog->instAddr(st.func, st.entry, 0);
 }
 
+template <bool EV>
 void
-Simulator::trainTaskPredictor(Instance &pred)
+Simulator<EV>::trainTaskPredictor(Instance &pred)
 {
     // Trained exactly once per dynamic transition, at the moment the
     // sequencer consumes it, so the path history rolls in program
@@ -191,8 +357,9 @@ Simulator::trainTaskPredictor(Instance &pred)
     pred.predUpdated = true;
 }
 
+template <bool EV>
 Instance *
-Simulator::bySeq(uint64_t seq)
+Simulator<EV>::bySeq(uint64_t seq)
 {
     for (auto &up : _window)
         if (up->seq == seq)
@@ -202,8 +369,9 @@ Simulator::bySeq(uint64_t seq)
 
 /** Samples the window-occupancy counters after a window change
  *  (assignment, retire, squash). Only called with a sink attached. */
+template <bool EV>
 void
-Simulator::emitCounters()
+Simulator<EV>::emitCounters()
 {
     unsigned in_flight = 0;
     uint64_t span = 0;
@@ -218,17 +386,21 @@ Simulator::emitCounters()
 
 /** Emits at most one ARB-overflow instant per PU per cycle, however
  *  many issue attempts stalled. */
+template <bool EV>
 void
-Simulator::noteArbStall(unsigned pu)
+Simulator<EV>::noteArbStall(unsigned pu)
 {
     if (_arbStallMark[pu] == _now + 1)
         return;
     _arbStallMark[pu] = _now + 1;
+    if constexpr (EV)
+        _arbPuCap.push_back(pu);
     _sink->instant(obs::InstantKind::ArbOverflow, pu, _now);
 }
 
+template <bool EV>
 void
-Simulator::initRegAvail(Instance &in)
+Simulator<EV>::initRegAvail(Instance &in)
 {
     for (unsigned r = 0; r < NUM_REGS; ++r)
         in.regAvail[r] = 0;
@@ -241,9 +413,8 @@ Simulator::initRegAvail(Instance &in)
         RegSet mask = p.createMask & ~resolved;
         if (!mask)
             continue;
-        for (unsigned r = 0; r < NUM_REGS; ++r) {
-            if (!(mask & cfg::regBit(RegId(r))))
-                continue;
+        for (RegSet m = mask; m; m &= m - 1) {
+            unsigned r = unsigned(__builtin_ctzll(m));
             if (!p.fwdArr[r].empty()) {
                 in.regAvail[r] = p.fwdArr[r][in.pu];
             } else {
@@ -255,28 +426,38 @@ Simulator::initRegAvail(Instance &in)
     }
 }
 
+template <bool EV>
 void
-Simulator::broadcastReg(Instance &in, RegId r, uint64_t when)
+Simulator<EV>::broadcastReg(Instance &in, RegId r, uint64_t when)
 {
     if (in.forwardedRegs & cfg::regBit(r))
         return;
+    _progress = true;
     in.forwardedRegs |= cfg::regBit(r);
-    std::vector<uint64_t> arrivals;
+    // Event core: reuse one arrival buffer (broadcast assigns it).
+    // The delivery loop below must read from fwdArr, not the buffer:
+    // deliver() can re-enter broadcastReg (chained release), which
+    // would clobber a shared scratch. fwdArr[r] holds the same values
+    // and no nested call touches this (instance, reg) pair again.
+    std::vector<uint64_t> arrivalsRef;
+    std::vector<uint64_t> &arrivals = EV ? _arrScratch : arrivalsRef;
     _ring.broadcast(in.pu, when, arrivals);
     in.fwdArr[r].assign(arrivals.begin(), arrivals.end());
     for (uint64_t cseq : in.subs[r]) {
         Instance *c = bySeq(cseq);
         if (c)
-            deliver(*c, r, arrivals[c->pu]);
+            deliver(*c, r, in.fwdArr[r][c->pu]);
     }
     in.subs[r].clear();
 }
 
+template <bool EV>
 void
-Simulator::deliver(Instance &in, RegId r, uint64_t when)
+Simulator<EV>::deliver(Instance &in, RegId r, uint64_t when)
 {
     if (in.regAvail[r] != INF)
         return;
+    _progress = true;
     in.regAvail[r] = when;
     for (uint32_t idx : in.extWaiters[r]) {
         if (!in.issued[idx]) {
@@ -292,8 +473,9 @@ Simulator::deliver(Instance &in, RegId r, uint64_t when)
     }
 }
 
+template <bool EV>
 void
-Simulator::dispatchInsts(Instance &in)
+Simulator<EV>::dispatchInsts(Instance &in)
 {
     const DynTask &dt = *in.task;
     unsigned fetched = 0;
@@ -313,6 +495,9 @@ Simulator::dispatchInsts(Instance &in)
         // I-cache: one line lookup per new line.
         uint64_t line = di.pc / _cfg.l1i.blockBytes;
         if (line != in.curFetchLine) {
+            // The lookup itself mutates cache state (LRU, counters)
+            // even when it blocks fetch, so it counts as progress.
+            _progress = true;
             uint64_t avail = _hier.fetchAccess(di.pc, _now);
             if (avail > _now + _cfg.l1i.hitLatency) {
                 in.icacheBlockedUntil = avail;
@@ -333,10 +518,24 @@ Simulator::dispatchInsts(Instance &in)
             _gshare.update(di.pc, di.taken);
         }
 
-        // Dependence setup.
+        // Dependence setup. The event core reads predecoded operand
+        // lists; the reference core keeps the seed's per-dispatch
+        // decode into fresh vectors.
         uint64_t ready = _now + 1;
-        std::vector<RegId> srcs = inst.uses();
-        for (RegId r : srcs) {
+        std::vector<RegId> srcsRef, dstsRef;
+        const std::vector<RegId> *srcsP, *dstsP;
+        if constexpr (EV) {
+            const Operands &ops =
+                _operands[di.ref.func][di.ref.block][di.ref.index];
+            srcsP = &ops.srcs;
+            dstsP = &ops.dsts;
+        } else {
+            inst.uses(srcsRef);
+            inst.defs(dstsRef);
+            srcsP = &srcsRef;
+            dstsP = &dstsRef;
+        }
+        for (RegId r : *srcsP) {
             int w = in.lastWriter[r];
             if (w >= 0) {
                 if (!in.done[w]) {
@@ -354,18 +553,19 @@ Simulator::dispatchInsts(Instance &in)
         }
         in.readyTime[i] = ready;
 
-        std::vector<RegId> dsts = inst.defs();
-        for (RegId r : dsts)
+        for (RegId r : *dstsP)
             if (r != REG_ZERO)
                 in.lastWriter[r] = int(i);
 
         in.dispatched++;
         ++fetched;
+        _progress = true;
     }
 }
 
+template <bool EV>
 bool
-Simulator::tryIssue(Instance &in, uint32_t i,
+Simulator<EV>::tryIssue(Instance &in, uint32_t i,
                     std::array<unsigned, 5> &fu_free, bool &ext_wait,
                     bool &sync_wait)
 {
@@ -399,10 +599,12 @@ Simulator::tryIssue(Instance &in, uint32_t i,
                     break;
                 if (older.bogus || older.completed)
                     continue;
-                auto it = older.pendingStorePc.find(producer_pc);
-                if (it != older.pendingStorePc.end() && it->second > 0) {
+                const int *cnt = older.findStorePc(producer_pc);
+                if (cnt && *cnt > 0) {
                     sync_wait = true;
                     _stats.syncStallCycles++;
+                    if constexpr (EV)
+                        _syncCap++;
                     return false;
                 }
             }
@@ -411,6 +613,8 @@ Simulator::tryIssue(Instance &in, uint32_t i,
         // stall when the ARB is full.
         if (!is_head && _arb.full() && !_arb.tracked(di.addr)) {
             _stats.arbOverflowStalls++;
+            if constexpr (EV)
+                _arbCap++;
             if (_sink)
                 noteArbStall(in.pu);
             return false;
@@ -421,6 +625,8 @@ Simulator::tryIssue(Instance &in, uint32_t i,
     } else if (inst.isStore()) {
         if (!is_head && _arb.full() && !_arb.tracked(di.addr)) {
             _stats.arbOverflowStalls++;
+            if constexpr (EV)
+                _arbCap++;
             if (_sink)
                 noteArbStall(in.pu);
             return false;
@@ -431,9 +637,9 @@ Simulator::tryIssue(Instance &in, uint32_t i,
             _stats.memViolations++;
             _violations.push_back({hit.victim, hit.loadPc, di.pc});
         }
-        auto it = in.pendingStorePc.find(di.pc);
-        if (it != in.pendingStorePc.end() && it->second > 0)
-            it->second--;
+        int *cnt = in.findStorePc(di.pc);
+        if (cnt && *cnt > 0)
+            (*cnt)--;
     } else {
         wb = _now + inst.info().latency;
     }
@@ -443,11 +649,13 @@ Simulator::tryIssue(Instance &in, uint32_t i,
     in.issued[i] = 1;
     in.doneCycle[i] = wb;
     in.inFlight.push_back(i);
+    _progress = true;
     return true;
 }
 
+template <bool EV>
 void
-Simulator::writebacks(Instance &in)
+Simulator<EV>::writebacks(Instance &in)
 {
     for (size_t k = 0; k < in.inFlight.size();) {
         uint32_t i = in.inFlight[k];
@@ -458,6 +666,7 @@ Simulator::writebacks(Instance &in)
         in.inFlight[k] = in.inFlight.back();
         in.inFlight.pop_back();
 
+        _progress = true;
         in.done[i] = 1;
         in.doneCount++;
 
@@ -485,6 +694,7 @@ Simulator::writebacks(Instance &in)
     // Completion.
     if (!in.completed && in.dispatched == in.numInsts() &&
         in.doneCount == in.numInsts()) {
+        _progress = true;
         in.completed = true;
         in.completionCycle = _now;
 
@@ -507,8 +717,9 @@ Simulator::writebacks(Instance &in)
     }
 }
 
+template <bool EV>
 void
-Simulator::execInstance(Instance &in)
+Simulator<EV>::execInstance(Instance &in)
 {
     if (in.bogus)
         return;  // Wrong-path work: time accrues, nothing executes.
@@ -518,6 +729,8 @@ Simulator::execInstance(Instance &in)
 
     if (_now < in.fetchStart) {
         in.buckets.add(CycleKind::TaskStart);
+        if constexpr (EV)
+            in.lastKind = CycleKind::TaskStart;
         return;
     }
 
@@ -546,7 +759,22 @@ Simulator::execInstance(Instance &in)
          i < lim && issued_now < _cfg.issueWidth; ++i) {
         if (in.issued[i])
             continue;
-        bool ok = tryIssue(in, i, fu_free, ext_wait, sync_wait);
+        bool ok;
+        if constexpr (EV) {
+            // Inline the blocked-candidate rejects tryIssue would hit
+            // first, sparing the per-attempt instruction lookups; the
+            // outcomes and flag updates mirror tryIssue exactly.
+            if (in.extMask[i]) {
+                ext_wait = true;
+                ok = false;
+            } else if (in.deps[i] > 0 || in.readyTime[i] > _now) {
+                ok = false;
+            } else {
+                ok = tryIssue(in, i, fu_free, ext_wait, sync_wait);
+            }
+        } else {
+            ok = tryIssue(in, i, fu_free, ext_wait, sync_wait);
+        }
         if (ok) {
             ++issued_now;
         } else if (!_cfg.outOfOrder) {
@@ -557,22 +785,27 @@ Simulator::execInstance(Instance &in)
     dispatchInsts(in);
 
     // Cycle attribution (Figure 2).
+    CycleKind kind;
     if (issued_now > 0) {
-        in.buckets.add(CycleKind::Useful);
+        kind = CycleKind::Useful;
     } else if (in.firstUnissued >= in.dispatched) {
-        in.buckets.add(CycleKind::FetchStall);
+        kind = CycleKind::FetchStall;
     } else if (in.extMask[in.firstUnissued] || ext_wait || sync_wait) {
-        in.buckets.add(CycleKind::InterTaskComm);
+        kind = CycleKind::InterTaskComm;
         RegSet m = in.extMask[in.firstUnissued];
         if (m)
             _stats.extWaitByReg[__builtin_ctzll(m)]++;
     } else {
-        in.buckets.add(CycleKind::IntraTaskDep);
+        kind = CycleKind::IntraTaskDep;
     }
+    in.buckets.add(kind);
+    if constexpr (EV)
+        in.lastKind = kind;
 }
 
+template <bool EV>
 void
-Simulator::execPhase()
+Simulator<EV>::execPhase()
 {
     uint64_t span = 0;
     bool any = false;
@@ -590,12 +823,14 @@ Simulator::execPhase()
     _stats.idlePuCycles += _cfg.numPUs - _window.size();
 }
 
+template <bool EV>
 void
-Simulator::squashFrom(uint64_t seq, CycleKind kind)
+Simulator<EV>::squashFrom(uint64_t seq, CycleKind kind)
 {
     bool squashed_any = false;
     unsigned trigger_pu = 0;
     while (!_window.empty() && _window.back()->seq >= seq) {
+        _progress = true;
         Instance &in = *_window.back();
         uint64_t t = in.buckets.collapse();
         // A squashed instance's entire occupancy is penalty,
@@ -627,6 +862,8 @@ Simulator::squashFrom(uint64_t seq, CycleKind kind)
         if (!in.bogus)
             _arb.squashFrom(in.dynIdx);
         _puBusy[in.pu] = false;
+        if constexpr (EV)
+            _pool.push_back(std::move(_window.back()));
         _window.pop_back();
     }
     if (_sink && squashed_any) {
@@ -640,8 +877,9 @@ Simulator::squashFrom(uint64_t seq, CycleKind kind)
         _nextDyn = 0;  // Never happens: head is never squashed.
 }
 
+template <bool EV>
 void
-Simulator::resolveControl()
+Simulator<EV>::resolveControl()
 {
     // The oldest completed task with a mispredicted successor squashes
     // everything younger.
@@ -650,6 +888,7 @@ Simulator::resolveControl()
         if (in.bogus || !in.completed)
             continue;
         if (in.successorDecided && in.mispredictedSuccessor) {
+            _progress = true;
             in.mispredictedSuccessor = false;
             in.successorDecided = false;  // Sequencer re-dispatches.
             squashFrom(in.seq + 1, CycleKind::CtrlSquash);
@@ -659,11 +898,13 @@ Simulator::resolveControl()
     }
 }
 
+template <bool EV>
 void
-Simulator::processViolations()
+Simulator<EV>::processViolations()
 {
     if (_violations.empty())
         return;
+    _progress = true;
     // Oldest victim wins.
     uint64_t victim = INF;
     uint64_t load_pc = 0, store_pc = 0;
@@ -692,8 +933,9 @@ Simulator::processViolations()
     }
 }
 
+template <bool EV>
 void
-Simulator::retirePhase()
+Simulator<EV>::retirePhase()
 {
     if (_window.empty())
         return;
@@ -701,12 +943,15 @@ Simulator::retirePhase()
     if (head.bogus || !head.completed)
         return;
 
-    if (head.retireStart == INF)
+    if (head.retireStart == INF) {
+        _progress = true;
         head.retireStart = std::max(_now, head.completionCycle);
+    }
 
     if (_now < head.retireStart + _cfg.taskEndOverhead)
         return;
 
+    _progress = true;
     // Commit.
     head.buckets.add(CycleKind::LoadImbalance,
                      head.retireStart - head.completionCycle);
@@ -736,13 +981,16 @@ Simulator::retirePhase()
 
     _arb.retireUpTo(head.dynIdx);
     _puBusy[head.pu] = false;
+    if constexpr (EV)
+        _pool.push_back(std::move(_window.front()));
     _window.pop_front();
     if (_sink)
         emitCounters();
 }
 
+template <bool EV>
 void
-Simulator::assignPhase()
+Simulator<EV>::assignPhase()
 {
     if (_window.size() >= _cfg.numPUs)
         return;
@@ -769,6 +1017,7 @@ Simulator::assignPhase()
             // prediction for this transition was already consumed
             // and was correct).
             if (pred.completed && !pred.successorDecided) {
+                _progress = true;
                 // Resolution before dispatch: decide RAS bookkeeping.
                 if (!pred.rasDone) {
                     if (pred.task->actualKind == TargetKind::Return)
@@ -782,6 +1031,7 @@ Simulator::assignPhase()
             }
         } else {
             // Predict the successor of the (unresolved) tail task.
+            _progress = true;
             const Task &st = _part.tasks[pred.task->staticTask];
             unsigned pidx = _taskPred.predict(
                 taskEntryAddr(pred.task->staticTask));
@@ -817,7 +1067,15 @@ Simulator::assignPhase()
     if (!bogus && dyn_idx >= _tasks.size())
         return;
 
-    auto in = std::make_unique<Instance>();
+    _progress = true;
+    std::unique_ptr<Instance> in;
+    if (EV && !_pool.empty()) {
+        in = std::move(_pool.back());
+        _pool.pop_back();
+        in->resetForReuse();
+    } else {
+        in = std::make_unique<Instance>();
+    }
     in->seq = _nextSeq++;
     in->dynIdx = dyn_idx;
     in->pu = pu;
@@ -837,15 +1095,19 @@ Simulator::assignPhase()
         in->deps.assign(n, 0);
         in->extMask.assign(n, 0);
         in->doneCycle.assign(n, 0);
-        in->waiters.assign(n, {});
+        if constexpr (EV) {
+            // Keep the inner waiter lists' capacity across reuse.
+            in->waiters.resize(n);
+            for (auto &w : in->waiters)
+                w.clear();
+        } else {
+            in->waiters.assign(n, {});
+        }
         in->lastWriter.fill(-1);
         initRegAvail(*in);
-        // Pending store PCs for synchronization gating.
-        for (const DynInst &di : in->task->insts) {
-            const Instruction &inst = _part.prog->inst(di.ref);
-            if (inst.isStore())
-                in->pendingStorePc[di.pc]++;
-        }
+        // Pending store PCs for synchronization gating (precomputed
+        // per dynamic task; re-assignment after a squash reuses it).
+        in->pendingStorePc = storePcsOf(dyn_idx);
         _nextDyn = dyn_idx + 1;
     }
 
@@ -866,8 +1128,131 @@ Simulator::assignPhase()
     }
 }
 
+/**
+ * Earliest future cycle at which any component can change state, given
+ * that the cycle just simulated was quiescent. Called after ++_now, so
+ * "future" means >= _now. The candidates are exactly the time-driven
+ * wake-ups; everything else (ARB retry, sync-table release, external
+ * register arrival) is unblocked only by another instance's progress,
+ * which itself requires one of these events first, so a conservative
+ * lower bound over this set can never overshoot a state change.
+ */
+template <bool EV>
+uint64_t
+Simulator<EV>::nextEventCycle() const
+{
+    uint64_t t = INF;
+
+    // Head retire: the in-order commit point drains after
+    // taskEndOverhead cycles.
+    if (!_window.empty()) {
+        const Instance &h = *_window.front();
+        if (!h.bogus && h.completed)
+            t = std::min(t, h.retireStart == INF
+                                ? _now
+                                : h.retireStart + _cfg.taskEndOverhead);
+    }
+
+    for (const auto &up : _window) {
+        const Instance &in = *up;
+        if (in.bogus || in.completed)
+            continue;
+        // Task-start overhead: fetch begins at fetchStart.
+        if (in.fetchStart >= _now) {
+            t = std::min(t, in.fetchStart);
+            if (in.fetchStart > _now)
+                continue;  // Not fetching yet: no other state pending.
+        }
+        // I-cache fill return.
+        if (in.icacheBlockedUntil >= _now)
+            t = std::min(t, in.icacheBlockedUntil);
+        // FU / cache-fill completion of issued instructions.
+        for (uint32_t i : in.inFlight)
+            t = std::min(t, in.doneCycle[i]);
+        // Operand arrival (local producer or ring delivery already
+        // folded into readyTime) within the issue window. Entries with
+        // readyTime < _now are blocked on ARB/sync/FU conflicts, which
+        // only another instance's progress can clear — not events.
+        uint32_t lim = std::min<uint32_t>(
+            in.dispatched, in.firstUnissued + _cfg.issueListSize);
+        for (uint32_t i = in.firstUnissued; i < lim; ++i) {
+            if (in.issued[i] || in.deps[i] > 0 || in.extMask[i])
+                continue;
+            if (in.readyTime[i] >= _now)
+                t = std::min(t, in.readyTime[i]);
+        }
+    }
+    return t;
+}
+
+/**
+ * Fast-forwards _now to @p target, replaying the quiescent probe
+ * cycle's accounting signature once per skipped cycle. Machine state
+ * is frozen across the gap by construction (no progress and no event
+ * before target), so the replay is exactly what the cycle core would
+ * have accrued stepping through [_now, target).
+ */
+template <bool EV>
+void
+Simulator<EV>::skipTo(uint64_t target)
+{
+    const uint64_t n = target - _now;
+
+    _stats.syncStallCycles += _syncCap * n;
+    _stats.arbOverflowStalls += _arbCap * n;
+
+    // Figure-2 buckets and execPhase's per-cycle window accounting.
+    // Each live instance repeats the probe's attribution: the kind is
+    // a pure function of state that cannot change before `target`
+    // (nextEventCycle covers fetchStart, so a TaskStart region never
+    // straddles its own fetch start), and the ext-wait register is
+    // recomputed from the frozen issue window exactly as the probe
+    // computed it.
+    uint64_t span = 0;
+    bool any = false;
+    for (const auto &up : _window) {
+        Instance &in = *up;
+        if (in.bogus)
+            continue;
+        span += in.task->insts.size();
+        any = true;
+        if (in.completed)
+            continue;
+        in.buckets.add(in.lastKind, n);
+        if (in.lastKind == CycleKind::InterTaskComm) {
+            RegSet m = in.extMask[in.firstUnissued];
+            if (m)
+                _stats.extWaitByReg[__builtin_ctzll(m)] += n;
+        }
+    }
+    if (any) {
+        _spanSum += span * n;
+        _spanCycles += n;
+    }
+    _stats.idlePuCycles += uint64_t(_cfg.numPUs - _window.size()) * n;
+
+    // ARB-overflow instants are per-cycle trace events: re-emit them
+    // for every skipped cycle, in window order, exactly as the cycle
+    // core's exec phase would have.
+    if (_sink && !_arbPuCap.empty()) {
+        for (uint64_t c = _now; c < target; ++c)
+            for (unsigned pu : _arbPuCap)
+                _sink->instant(obs::InstantKind::ArbOverflow, pu, c);
+    }
+
+    // Ring hygiene the stepping loop would have performed at 0x10000
+    // boundaries: one trim at the largest crossed boundary covers all.
+    uint64_t b = target & ~0xffffull;
+    if (b >= _now + 1 && b > 1024)
+        _ring.trimBefore(b - 1024);
+
+    _stats.eventSkippedCycles += n;
+    _now = target;
+}
+
+template <bool EV>
 SimStats
-Simulator::run()
+Simulator<EV>::run()
 {
     if (_tasks.empty())
         return _stats;
@@ -886,6 +1271,12 @@ Simulator::run()
             _gov->checkPulse();
         if (_now >= cycle_limit)
             _gov->cyclesExhausted(_now);
+        if constexpr (EV) {
+            _progress = false;
+            _arbPuCap.clear();
+            _syncCap = 0;
+            _arbCap = 0;
+        }
         retirePhase();
         if (_window.empty() && _nextDyn >= _tasks.size())
             break;
@@ -896,6 +1287,19 @@ Simulator::run()
         ++_now;
         if ((_now & 0xffff) == 0)
             _ring.trimBefore(_now > 1024 ? _now - 1024 : 0);
+        if constexpr (EV) if (!_progress) {
+            uint64_t target = std::min(nextEventCycle(), _cfg.maxCycles);
+            if (_gov) {
+                // Pulses fire at 4096-cycle marks and the budget trips
+                // at cycle_limit; stop the jump there so both happen
+                // at the same simulated cycle as the cycle core.
+                target = std::min(target, cycle_limit);
+                target = std::min<uint64_t>(target,
+                                            (_now + 0xfff) & ~0xfffull);
+            }
+            if (target > _now)
+                skipTo(target);
+        }
     }
 
     _stats.cycles = _now;
@@ -917,7 +1321,11 @@ simulate(const TaskPartition &part, const std::vector<DynTask> &tasks,
          const SimConfig &cfg, obs::TraceSink *sink,
          runtime::Governor *gov)
 {
-    Simulator sim(part, tasks, cfg, sink, gov);
+    if (cfg.coreMode == CoreMode::Event) {
+        Simulator<true> sim(part, tasks, cfg, sink, gov);
+        return sim.run();
+    }
+    Simulator<false> sim(part, tasks, cfg, sink, gov);
     return sim.run();
 }
 

@@ -33,6 +33,17 @@
  *    gap between completion and retirement is load imbalance; fixed
  *    per-task dispatch and commit costs are task start/end overhead
  *    (Figure 2).
+ *
+ * Two interchangeable cores advance time (SimConfig::coreMode,
+ * docs/PERFORMANCE.md): the cycle core steps every cycle and is the
+ * seed-faithful reference; the event core detects globally quiescent
+ * cycles and jumps straight to the next scheduled event, bulk-
+ * replaying the per-cycle accounting for the skipped stretch. Their
+ * outputs — every SimStats field but the eventSkippedCycles
+ * diagnostic, trace sink event streams, and the simulated cycle at
+ * which a Governor budget trips — are byte-identical by contract;
+ * tests/test_eventcore.cc enforces it across hand-built programs,
+ * workloads, and the fuzz corpus.
  */
 
 #pragma once

@@ -10,7 +10,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace msc {
@@ -53,33 +52,64 @@ class Ring
     void
     trimBefore(uint64_t cycle)
     {
-        for (auto &link : _slots) {
-            for (auto it = link.begin(); it != link.end();) {
-                if (it->first < cycle)
-                    it = link.erase(it);
-                else
-                    ++it;
-            }
+        for (auto &l : _links) {
+            if (cycle <= l.base)
+                continue;
+            size_t drop = size_t(cycle - l.base);
+            if (drop >= l.used.size())
+                l.used.clear();
+            else
+                l.used.erase(l.used.begin(),
+                             l.used.begin() + ptrdiff_t(drop));
+            l.base = cycle;
         }
     }
 
   private:
+    /**
+     * Per-link slot usage as a sliding window: used[i] counts claims
+     * at cycle base+i. Claims cluster near the current cycle and
+     * trimBefore advances the window, so this stays small; a dropped
+     * (trimmed) or never-claimed cycle reads as zero, exactly like an
+     * absent hash-map entry would.
+     */
+    struct Link
+    {
+        uint64_t base = 0;
+        std::vector<unsigned> used;
+    };
+
+    unsigned &
+    slot(Link &l, uint64_t t)
+    {
+        if (l.used.empty()) {
+            l.base = t;
+            l.used.assign(64, 0);
+        } else if (t < l.base) {
+            l.used.insert(l.used.begin(), size_t(l.base - t), 0);
+            l.base = t;
+        } else if (t - l.base >= l.used.size()) {
+            l.used.resize(size_t(t - l.base) + 64, 0);
+        }
+        return l.used[size_t(t - l.base)];
+    }
+
     /** Earliest cycle >= @p t with a free slot on link @p link. */
     uint64_t
     claimSlot(unsigned link, uint64_t t)
     {
-        if (_slots.size() < _numPUs)
-            _slots.resize(_numPUs);
-        auto &used = _slots[link];
-        while (used[t] >= _bandwidth)
+        if (_links.size() < _numPUs)
+            _links.resize(_numPUs);
+        Link &l = _links[link];
+        while (slot(l, t) >= _bandwidth)
             ++t;
-        used[t]++;
+        ++slot(l, t);
         return t;
     }
 
     unsigned _numPUs;
     unsigned _bandwidth;
-    std::vector<std::unordered_map<uint64_t, unsigned>> _slots;
+    std::vector<Link> _links;
 };
 
 } // namespace arch

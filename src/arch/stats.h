@@ -138,6 +138,15 @@ struct SimStats
      */
     std::vector<uint64_t> puOccupiedCycles;
 
+    /**
+     * Diagnostic: simulated cycles the event core fast-forwarded
+     * instead of stepping (0 under CoreMode::Cycle). Like
+     * puOccupiedCycles it is absent from the msc.sweep schema, and it
+     * is the ONE field exempt from the cycle/event byte-identity
+     * contract — test_eventcore uses it to prove skipping engaged.
+     */
+    uint64_t eventSkippedCycles = 0;
+
     double
     ipc() const
     {

@@ -222,6 +222,11 @@ Session::traceKey(const StageOptions &o) const
 uint64_t
 Session::simulateKey(const StageOptions &o) const
 {
+    // Every SimConfig field EXCEPT coreMode participates in the key.
+    // The two cores are byte-identical by contract (docs/PERFORMANCE.md,
+    // enforced by tests/test_eventcore.cc), so hashing the mode would
+    // only split the cache: a cycle-core run could never reuse an
+    // event-core artifact that is guaranteed to be the same bytes.
     const arch::SimConfig &c = o.config;
     Hasher h(TAG_SIMULATE);
     h.word(traceKey(o))

@@ -14,6 +14,8 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <stdexcept>
 #include <vector>
 
@@ -26,6 +28,55 @@ namespace msc {
 namespace profile {
 
 /**
+ * Allocator that hands out zeroed pages straight from the OS (calloc)
+ * and skips the container's own element zero-fill. A workload's data
+ * image is tens of MB but sparsely touched; with an eager memset every
+ * page materializes up front, which dominates frontend time when the
+ * pipeline constructs one interpreter per (partition, traceInsts)
+ * combination. Only safe for containers that never shrink-then-regrow
+ * into reused storage (the skipped fill would expose stale values);
+ * the interpreter's memory image is sized once and never resized.
+ */
+template <typename T>
+struct ZeroAllocator
+{
+    using value_type = T;
+
+    ZeroAllocator() = default;
+    template <typename U>
+    ZeroAllocator(const ZeroAllocator<U> &)
+    {}
+
+    T *
+    allocate(size_t n)
+    {
+        void *p = std::calloc(n ? n : 1, sizeof(T));
+        if (!p)
+            throw std::bad_alloc();
+        return static_cast<T *>(p);
+    }
+
+    void deallocate(T *p, size_t) { std::free(p); }
+
+    /** Value-initialization is a no-op: calloc already zeroed. */
+    template <typename U>
+    void construct(U *)
+    {}
+
+    template <typename U, typename... Args>
+    void
+    construct(U *p, Args &&...args)
+    {
+        ::new (static_cast<void *>(p)) U(std::forward<Args>(args)...);
+    }
+
+    bool operator==(const ZeroAllocator &) const { return true; }
+};
+
+/** Data-memory image backed by lazily-materialized zero pages. */
+using MemImage = std::vector<int64_t, ZeroAllocator<int64_t>>;
+
+/**
  * Interprets one program. The interpreter owns the register file and
  * the data memory; both are inspectable after a run for functional
  * assertions in tests.
@@ -34,7 +85,7 @@ class Interpreter
 {
   public:
     explicit Interpreter(const ir::Program &prog)
-        : _prog(prog), _mem(prog.memWords, 0)
+        : _prog(prog), _mem(prog.memWords)
     {
         for (size_t i = 0; i < prog.initData.size() && i < _mem.size(); ++i)
             _mem[i] = prog.initData[i];
@@ -58,7 +109,7 @@ class Interpreter
     const std::array<int64_t, ir::NUM_REGS> &regs() const { return _regs; }
 
     /** Whole data-memory image (word addressed). */
-    const std::vector<int64_t> &memory() const { return _mem; }
+    const MemImage &memory() const { return _mem; }
 
     /** True when the last run() reached Halt. */
     bool halted() const { return _halted; }
@@ -283,7 +334,7 @@ class Interpreter
 
     const ir::Program &_prog;
     std::array<int64_t, ir::NUM_REGS> _regs;
-    std::vector<int64_t> _mem;
+    MemImage _mem;
     bool _halted = false;
     uint64_t _count = 0;
 };
