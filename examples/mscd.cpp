@@ -1,0 +1,148 @@
+/**
+ * @file
+ * mscd — the pipeline daemon (docs/DAEMON.md).
+ *
+ *   mscd --stdio [options]
+ *       Serve exactly one connection over stdin/stdout, then exit.
+ *       This is the mode the conformance tests and shell pipelines
+ *       use: `mscd --stdio < requests.bin > responses.bin`.
+ *   mscd --unix PATH [options]
+ *       Listen on a Unix-domain socket (stale socket files are
+ *       replaced; the socket is unlinked on clean shutdown).
+ *   mscd --tcp PORT [options]
+ *       Listen on 127.0.0.1:PORT.
+ *
+ * Options:
+ *   --jobs N         Worker threads executing cells (default:
+ *                    hardware concurrency).
+ *   --cache-dir DIR  Persist stage artifacts on disk, shared by every
+ *                    request (same format as `msctool sweep
+ *                    --cache-dir`).
+ *   --max-frame N    Inbound frame-size cap in bytes (default 16 MiB).
+ *   --timeout-ms N / --max-fuel N / --max-cycles N
+ *                    Default per-cell ExecBudget; a request's
+ *                    `budget` object overrides per field.
+ *
+ * Exit code 0 on clean shutdown (end-of-stream in --stdio mode,
+ * SIGINT/SIGTERM in listener modes), 1 on setup failure or bad usage.
+ *
+ * Every response frame is a structured JSON object; nothing a client
+ * sends can crash the daemon (src/serve/, tests/test_mscd.cc).
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.h"
+
+using namespace msc;
+
+namespace {
+
+serve::Server *g_server = nullptr;
+
+extern "C" void
+onSignal(int)
+{
+    // requestStop is async-signal-safe: atomics + close().
+    if (g_server)
+        g_server->requestStop();
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mscd --stdio | --unix PATH | --tcp PORT\n"
+        "            [--jobs N] [--cache-dir DIR] [--max-frame N]\n"
+        "            [--timeout-ms N] [--max-fuel N] [--max-cycles N]\n"
+        "\n"
+        "Serve msc pipeline requests over a length-prefixed JSON\n"
+        "protocol (docs/DAEMON.md).\n");
+    return 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    enum class Mode { None, Stdio, Unix, Tcp } mode = Mode::None;
+    std::string unix_path;
+    long tcp_port = 0;
+
+    serve::ServerConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto arg = [&](const char *name) -> const char * {
+            if (a != name)
+                return nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "mscd: %s needs a value\n", name);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--stdio") {
+            mode = Mode::Stdio;
+        } else if (const char *v = arg("--unix")) {
+            mode = Mode::Unix;
+            unix_path = v;
+        } else if (const char *v1 = arg("--tcp")) {
+            mode = Mode::Tcp;
+            tcp_port = atol(v1);
+            if (tcp_port < 1 || tcp_port > 65535) {
+                std::fprintf(stderr, "mscd: bad port %s\n", v1);
+                return 1;
+            }
+        } else if (const char *v2 = arg("--jobs")) {
+            cfg.dispatch.jobs = unsigned(atoi(v2));
+        } else if (const char *v3 = arg("--cache-dir")) {
+            cfg.dispatch.session.cacheDir = v3;
+        } else if (const char *v4 = arg("--max-frame")) {
+            cfg.maxFrame = uint32_t(atoll(v4));
+        } else if (const char *v5 = arg("--timeout-ms")) {
+            cfg.defaults.budget.wallMs = uint32_t(atoll(v5));
+        } else if (const char *v6 = arg("--max-fuel")) {
+            cfg.defaults.budget.maxFuel = uint64_t(atoll(v6));
+        } else if (const char *v7 = arg("--max-cycles")) {
+            cfg.defaults.budget.maxSimCycles = uint64_t(atoll(v7));
+        } else {
+            std::fprintf(stderr, "mscd: unknown option %s\n",
+                         a.c_str());
+            return usage();
+        }
+    }
+    if (mode == Mode::None)
+        return usage();
+
+    // A client that disconnects mid-stream must not kill the daemon:
+    // writes then fail with EPIPE (a structured Io StageError that
+    // tears down only that connection), not SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    serve::Server server(std::move(cfg));
+    g_server = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    switch (mode) {
+      case Mode::Stdio: {
+        serve::FdTransport t(0, 1);
+        server.serveConnection(t);
+        return 0;
+      }
+      case Mode::Unix:
+        return server.serveUnix(unix_path);
+      case Mode::Tcp:
+        return server.serveTcp(uint16_t(tcp_port));
+      case Mode::None:
+        break;
+    }
+    return usage();
+}

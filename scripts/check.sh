@@ -6,7 +6,10 @@
 # `robust`, docs/ROBUSTNESS.md) gates explicitly so a label mishap in
 # tests/CMakeLists.txt cannot silently drop it, and again under a
 # standalone UBSan build where the governor's unsigned accounting is
-# most likely to trip.
+# most likely to trip. The daemon conformance suite (label `daemon`,
+# docs/DAEMON.md) gets the same explicit gate: framing/protocol edge
+# cases plus the daemon_smoke end-to-end byte-identity check, rerun
+# under ASan (threaded dispatcher) and UBSan.
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --fast     # optimized tier1 only (no sanitizers)
@@ -33,6 +36,14 @@ if [[ -z "$robust_count" || "$robust_count" -lt 3 ]]; then
     exit 1
 fi
 run ctest --test-dir build -L robust --output-on-failure
+daemon_count=$(ctest --test-dir build -L daemon -N 2>/dev/null |
+    sed -n 's/^Total Tests: //p')
+if [[ -z "$daemon_count" || "$daemon_count" -lt 2 ]]; then
+    echo "error: daemon label matches ${daemon_count:-0} tests" \
+         "(expected >= 2) — check tests/CMakeLists.txt labels" >&2
+    exit 1
+fi
+run ctest --test-dir build -L daemon --output-on-failure
 run ctest --test-dir build -L smoke --output-on-failure
 
 # Stage 1b: the two-core performance contract (docs/PERFORMANCE.md).
@@ -54,6 +65,7 @@ run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DMSC_SANITIZE="address;undefined"
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan -L tier1 -j "$JOBS" --output-on-failure
+run ctest --test-dir build-asan -L daemon --output-on-failure
 run ctest --test-dir build-asan -L smoke --output-on-failure
 
 # Stage 3: standalone UBSan at optimization (catches overflow UB the
@@ -62,6 +74,7 @@ run cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMSC_SANITIZE="undefined"
 run cmake --build build-ubsan -j "$JOBS"
 run ctest --test-dir build-ubsan -L robust -j "$JOBS" --output-on-failure
+run ctest --test-dir build-ubsan -L daemon -j "$JOBS" --output-on-failure
 run ctest --test-dir build-ubsan -L fuzz -j "$JOBS" --output-on-failure
 
 echo "== all checks passed"

@@ -260,6 +260,21 @@ Session::simulateKey(const StageOptions &o) const
     return h.digest();
 }
 
+uint64_t
+Session::stageKey(StageKind s, const StageOptions &o) const
+{
+    switch (s) {
+      case StageKind::Transform: return transformKey(o);
+      case StageKind::Profile:   return profileKey(o);
+      case StageKind::Select:    return selectKey(o);
+      case StageKind::Trace:     return traceKey(o);
+      case StageKind::Simulate:  return simulateKey(o);
+      case StageKind::NUM_STAGES: break;
+    }
+    throw runtime::StageError(runtime::ErrorKind::Internal, "cache",
+                              "stageKey: bad stage");
+}
+
 // --------------------------------------------------------------------
 // Stages.
 

@@ -108,6 +108,15 @@ class Session
      *  every artifact key). */
     uint64_t inputKey() const { return _inputKey; }
 
+    /**
+     * The content-addressed key stage @p s would use for @p o —
+     * computed without touching the cache. Exposed so higher layers
+     * can coalesce on exactly the identity the artifact cache uses
+     * (the mscd dispatcher dedups in-flight requests on the
+     * Simulate-stage key; serve/dispatch.h).
+     */
+    uint64_t stageKey(StageKind s, const StageOptions &o) const;
+
     /// @name Stage calls. Each consults the cache first; on a miss it
     /// computes (or loads from disk) and publishes the artifact.
     /// Failures throw runtime::StageError (a std::runtime_error) with

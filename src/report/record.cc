@@ -71,10 +71,9 @@ sessionKey(const RunSpec &spec)
 }
 
 RunRecord
-runSpec(const RunSpec &spec, pipeline::Session &session)
+recordFromResults(const RunSpec &spec,
+                  const pipeline::StageResults &a)
 {
-    pipeline::StageResults a = session.runAll(spec.opts);
-
     RunRecord r;
     r.spec = spec;
     r.stats = a.sim->stats;
@@ -85,6 +84,12 @@ runSpec(const RunSpec &spec, pipeline::Session &session)
     r.ivsHoisted = a.transformed->ivsHoisted;
     r.dynTasksCut = a.trace->tasks.size();
     return r;
+}
+
+RunRecord
+runSpec(const RunSpec &spec, pipeline::Session &session)
+{
+    return recordFromResults(spec, session.runAll(spec.opts));
 }
 
 RunRecord
@@ -213,23 +218,47 @@ sweepExitCode(const std::vector<RunRecord> &records)
     return EXIT_SWEEP_PARTIAL;
 }
 
+const char *
+sweepStatusName(int exit_code)
+{
+    switch (exit_code) {
+      case EXIT_SWEEP_CLEAN:   return "ok";
+      case EXIT_SWEEP_FAILED:  return "failed";
+      case EXIT_SWEEP_PARTIAL: return "partial";
+    }
+    return "?";
+}
+
 Json
-sweepToJson(const std::vector<RunRecord> &records)
+sweepDocFromRuns(std::vector<Json> runs)
 {
     size_t failed = 0;
-    for (const auto &r : records)
-        failed += !r.ok();
+    for (const auto &r : runs) {
+        const Json *status = r.find("status");
+        failed += status && status->kind() == Json::Kind::String &&
+                  status->asString() == "error";
+    }
 
     Json doc = Json::object();
     doc["schema"] = SCHEMA_NAME;
     doc["schema_version"] = SCHEMA_VERSION;
     doc["partial"] = failed != 0;
     doc["errors"] = uint64_t(failed);
-    Json runs = Json::array();
-    for (const auto &r : records)
-        runs.push(runToJson(r));
-    doc["runs"] = std::move(runs);
+    Json arr = Json::array();
+    for (auto &r : runs)
+        arr.push(std::move(r));
+    doc["runs"] = std::move(arr);
     return doc;
+}
+
+Json
+sweepToJson(const std::vector<RunRecord> &records)
+{
+    std::vector<Json> runs;
+    runs.reserve(records.size());
+    for (const auto &r : records)
+        runs.push_back(runToJson(r));
+    return sweepDocFromRuns(std::move(runs));
 }
 
 namespace {

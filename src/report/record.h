@@ -97,6 +97,13 @@ std::string sessionKey(const RunSpec &spec);
  *  artifacts shared with every other spec run on the session. */
 RunRecord runSpec(const RunSpec &spec, pipeline::Session &session);
 
+/** Flattens already-computed stage artifacts into a record (the
+ *  runSpec shape). For callers that need the artifacts themselves
+ *  too — e.g. the mscd trace handler, which also serializes the
+ *  partition's task profile. */
+RunRecord recordFromResults(const RunSpec &spec,
+                            const pipeline::StageResults &results);
+
 /** Executes @p spec on a throwaway Session (builds the workload, runs
  *  the full pipeline) and flattens the result. Thread-safe. */
 RunRecord runSpec(const RunSpec &spec);
@@ -115,6 +122,17 @@ Json errorToJson(const runtime::StageErrorInfo &e);
  *  `partial: true` and those runs have `status: "error"`. */
 Json sweepToJson(const std::vector<RunRecord> &records);
 
+/**
+ * Assembles the versioned top-level `msc.sweep` document from
+ * already-serialized per-run objects (the `runs` array entries).
+ * sweepToJson is exactly this over runToJson; the mscd smoke test
+ * reassembles streamed cell frames through the same function, so
+ * byte-identity between a daemon-served sweep and `msctool sweep
+ * --json` holds by construction. `partial`/`errors` are derived from
+ * each run's `status` field.
+ */
+Json sweepDocFromRuns(std::vector<Json> runs);
+
 /** Serializes a whole sweep as CSV (header + one row per run), with
  *  the same fields flattened to dotted column names. The header is
  *  the union of all rows' columns in first-seen order, so mixed
@@ -131,6 +149,14 @@ constexpr int EXIT_SWEEP_PARTIAL = 3;  ///< Mixed: valid partial output.
 /** Maps a record list to the exit codes above (empty sweeps are
  *  clean). */
 int sweepExitCode(const std::vector<RunRecord> &records);
+
+/** Stable name for a sweep exit code — "ok" (0), "failed" (1),
+ *  "partial" (3) — as emitted in mscd summary frames. The daemon
+ *  derives its summary `status` from sweepExitCode through this
+ *  mapping, so daemon frames and `msctool sweep` exit codes cannot
+ *  disagree (regression-pinned by tests/test_mscd.cc). Unknown codes
+ *  return "?". */
+const char *sweepStatusName(int exit_code);
 
 /** Writes @p content to @p path; throws runtime::StageError
  *  (ErrorKind::Io) on failure. */

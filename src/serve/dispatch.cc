@@ -1,0 +1,199 @@
+#include "serve/dispatch.h"
+
+#include "pipeline/hash.h"
+#include "workloads/workload.h"
+
+namespace msc {
+namespace serve {
+
+namespace {
+
+/** Key domain for dispatcher cell identities (distinct from the
+ *  per-stage tags in pipeline/session.cc). */
+constexpr uint64_t TAG_CELL = 0x6d73636463656c6cull;  // "mscdcell"
+
+/** Turns an escaping exception into the cell's error record, exactly
+ *  as report::SweepRunner classifies sweep-cell failures. */
+report::RunRecord
+errorRecord(const report::RunSpec &spec, std::exception_ptr ep)
+{
+    report::RunRecord rec;
+    rec.spec = spec;
+    try {
+        std::rethrow_exception(ep);
+    } catch (const runtime::StageError &e) {
+        rec.error = e.info();
+    } catch (const std::exception &e) {
+        rec.error.kind = runtime::ErrorKind::Internal;
+        rec.error.detail = e.what();
+    }
+    if (rec.error.workload.empty())
+        rec.error.workload = spec.workload;
+    return rec;
+}
+
+std::shared_future<report::RunRecord>
+readyFuture(report::RunRecord rec)
+{
+    std::promise<report::RunRecord> p;
+    p.set_value(std::move(rec));
+    return p.get_future().share();
+}
+
+} // anonymous namespace
+
+Dispatcher::Dispatcher(Config cfg) : _pool(std::move(cfg.session))
+{
+    unsigned n = cfg.jobs;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    _workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+Dispatcher::~Dispatcher()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _stopping = true;
+    }
+    _cv.notify_all();
+    for (auto &w : _workers)
+        w.join();
+}
+
+void
+Dispatcher::workerLoop()
+{
+    while (true) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(_mu);
+            _cv.wait(lk,
+                     [&] { return _stopping || !_queue.empty(); });
+            if (_queue.empty())
+                return;  // stopping and drained
+            job = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        job();
+    }
+}
+
+report::RunRecord
+Dispatcher::executeCell(pipeline::Session &session,
+                        report::RunSpec spec,
+                        const runtime::CancelToken *cancel)
+{
+    spec.opts.cancel = cancel;
+    report::RunRecord rec;
+    try {
+        rec = report::runSpec(spec, session);
+    } catch (...) {
+        rec = errorRecord(spec, std::current_exception());
+    }
+    // The token's lifetime ends with the request; never let the
+    // record carry the dangling pointer out.
+    rec.spec.opts.cancel = nullptr;
+    return rec;
+}
+
+std::shared_future<report::RunRecord>
+Dispatcher::submit(const report::RunSpec &spec,
+                   const runtime::CancelToken *cancel)
+{
+    // Resolve the cell's identity: the Session's own simulate-stage
+    // key (program bytes + every option field any stage reads) plus
+    // the budget, which is outside artifact keys by design but part
+    // of a request's observable outcome.
+    std::shared_ptr<pipeline::Session> session;
+    uint64_t key;
+    try {
+        session = _pool.session(report::sessionKey(spec), [&] {
+            return workloads::buildWorkload(spec.workload, spec.scale);
+        });
+        pipeline::Hasher h(TAG_CELL);
+        h.word(session->stageKey(pipeline::StageKind::Simulate,
+                                 spec.opts))
+            .word(spec.opts.budget.maxFuel)
+            .word(spec.opts.budget.maxSimCycles)
+            .word(spec.opts.budget.maxHeapBytes)
+            .word(uint64_t(spec.opts.budget.wallMs))
+            .word(spec.opts.verifyPartition);
+        key = h.digest();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(_mu);
+        ++_stats.cellsSubmitted;
+        return readyFuture(
+            errorRecord(spec, std::current_exception()));
+    }
+
+    std::shared_future<report::RunRecord> fut;
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        ++_stats.cellsSubmitted;
+        auto it = _inflight.find(key);
+        if (it != _inflight.end()) {
+            ++_stats.dedupHits;
+            return it->second.future;
+        }
+        auto prom =
+            std::make_shared<std::promise<report::RunRecord>>();
+        fut = prom->get_future().share();
+        _inflight.emplace(key, InFlight{fut});
+        _queue.push_back([this, prom, session, spec, cancel, key] {
+            report::RunRecord rec =
+                executeCell(*session, spec, cancel);
+            {
+                std::lock_guard<std::mutex> lk(_mu);
+                _inflight.erase(key);
+            }
+            prom->set_value(std::move(rec));
+        });
+    }
+    _cv.notify_one();
+    return fut;
+}
+
+std::shared_ptr<runtime::CancelToken>
+Dispatcher::registerRequest(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto [it, inserted] = _requests.emplace(id, nullptr);
+    if (!inserted)
+        return nullptr;
+    it->second = std::make_shared<runtime::CancelToken>();
+    return it->second;
+}
+
+void
+Dispatcher::unregisterRequest(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    _requests.erase(id);
+}
+
+bool
+Dispatcher::cancelRequest(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _requests.find(id);
+    if (it == _requests.end())
+        return false;
+    it->second->requestCancel();
+    return true;
+}
+
+DispatchStats
+Dispatcher::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _stats;
+}
+
+} // namespace serve
+} // namespace msc

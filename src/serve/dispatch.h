@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Request dispatch for mscd: a fixed-size worker pool executing sweep
+ * cells against one shared pipeline::SessionPool, with in-flight
+ * dedup keyed by the Session's content-addressed stage keys.
+ *
+ * Dedup semantics: submit() derives a cell's identity from
+ * Session::stageKey(StageKind::Simulate, opts) — the exact key the
+ * artifact cache uses, chaining the printed program bytes and every
+ * option field any stage reads — plus the cell's budget (budgets are
+ * deliberately outside artifact keys, but two requests with
+ * different budgets may legitimately produce different *outcomes*,
+ * so they must not coalesce). While a cell with that identity is
+ * queued or executing, further submits return the same
+ * shared_future: N concurrent identical requests block on one
+ * computation and receive byte-identical records. Entries are
+ * dropped on completion — long-term memoization belongs to the
+ * Session artifact caches, which make a repeat after completion a
+ * pure cache-hit replay.
+ *
+ * A deduped cell runs under the cancel token of the request that
+ * FIRST submitted it; if that request is cancelled, followers
+ * observe the same `cancelled` error record (docs/DAEMON.md).
+ *
+ * Fault containment: submit() never throws and a cell job never lets
+ * an exception escape — unknown workloads, budget exhaustion,
+ * cancellation and internal errors all become error records, exactly
+ * as in report::SweepRunner. A request that dies takes no worker
+ * thread with it.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/pool.h"
+#include "report/record.h"
+#include "runtime/budget.h"
+
+namespace msc {
+namespace serve {
+
+/** Dispatcher-level counters (cache traffic lives in
+ *  pipeline::CacheStats; these count request coalescing). */
+struct DispatchStats
+{
+    uint64_t cellsSubmitted = 0;  ///< submit() calls.
+    uint64_t dedupHits = 0;       ///< Coalesced onto an in-flight cell.
+};
+
+class Dispatcher
+{
+  public:
+    struct Config
+    {
+        /** Worker threads executing cells; 0 = hardware concurrency. */
+        unsigned jobs = 0;
+
+        /** Session configuration (on-disk cache dir) shared by every
+         *  request. */
+        pipeline::SessionConfig session;
+    };
+
+    explicit Dispatcher(Config cfg);
+
+    /** Joins the worker pool (pending cells still execute). */
+    ~Dispatcher();
+
+    Dispatcher(const Dispatcher &) = delete;
+    Dispatcher &operator=(const Dispatcher &) = delete;
+
+    unsigned jobs() const { return unsigned(_workers.size()); }
+
+    /**
+     * Schedules @p spec on the worker pool and returns the future
+     * record. @p cancel (nullable, must outlive the returned future's
+     * completion) is polled by the cell's Governor. Never throws;
+     * failures resolve to error records with the workload attributed.
+     */
+    std::shared_future<report::RunRecord>
+    submit(const report::RunSpec &spec,
+           const runtime::CancelToken *cancel);
+
+    /// @name Cancellation registry (request id -> token).
+    /// @{
+    /** Registers @p id; returns its fresh token, or nullptr when the
+     *  id is already in flight (the server rejects the duplicate). */
+    std::shared_ptr<runtime::CancelToken>
+    registerRequest(const std::string &id);
+
+    void unregisterRequest(const std::string &id);
+
+    /** Cancels the in-flight request @p id; false when unknown (never
+     *  registered, already completed, or already unregistered). */
+    bool cancelRequest(const std::string &id);
+    /// @}
+
+    /** The shared session pool (stats() for summary frames). */
+    pipeline::SessionPool &pool() { return _pool; }
+
+    DispatchStats stats() const;
+
+  private:
+    struct InFlight
+    {
+        std::shared_future<report::RunRecord> future;
+    };
+
+    void workerLoop();
+    void enqueue(std::function<void()> job);
+
+    static report::RunRecord
+    executeCell(pipeline::Session &session, report::RunSpec spec,
+                const runtime::CancelToken *cancel);
+
+    pipeline::SessionPool _pool;
+
+    mutable std::mutex _mu;
+    std::deque<std::function<void()>> _queue;
+    std::condition_variable _cv;
+    bool _stopping = false;
+    std::vector<std::thread> _workers;
+
+    std::unordered_map<uint64_t, InFlight> _inflight;
+    std::map<std::string, std::shared_ptr<runtime::CancelToken>>
+        _requests;
+    DispatchStats _stats;
+};
+
+} // namespace serve
+} // namespace msc

@@ -1,0 +1,134 @@
+#include "serve/frame.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "runtime/error.h"
+
+namespace msc {
+namespace serve {
+
+size_t
+FdTransport::read(void *buf, size_t n)
+{
+    while (true) {
+        ssize_t r = ::read(_in, buf, n);
+        if (r >= 0)
+            return size_t(r);
+        if (errno == EINTR)
+            continue;
+        throw runtime::StageError(runtime::ErrorKind::Io, "transport",
+                                  std::string("read failed: ") +
+                                      std::strerror(errno));
+    }
+}
+
+void
+FdTransport::write(const void *buf, size_t n)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (n) {
+        ssize_t w = ::write(_out, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throw runtime::StageError(runtime::ErrorKind::Io,
+                                      "transport",
+                                      std::string("write failed: ") +
+                                          std::strerror(errno));
+        }
+        p += size_t(w);
+        n -= size_t(w);
+    }
+}
+
+size_t
+StringTransport::read(void *buf, size_t n)
+{
+    size_t avail = _input.size() - _pos;
+    if (n > avail)
+        n = avail;
+    std::memcpy(buf, _input.data() + _pos, n);
+    _pos += n;
+    return n;
+}
+
+void
+StringTransport::write(const void *buf, size_t n)
+{
+    _output.append(static_cast<const char *>(buf), n);
+}
+
+namespace {
+
+/** Reads exactly @p n bytes; returns the count actually read (< n
+ *  only at end-of-stream). */
+size_t
+readFully(Transport &t, void *buf, size_t n)
+{
+    char *p = static_cast<char *>(buf);
+    size_t got = 0;
+    while (got < n) {
+        size_t r = t.read(p + got, n - got);
+        if (r == 0)
+            break;
+        got += r;
+    }
+    return got;
+}
+
+} // anonymous namespace
+
+FrameResult
+readFrame(Transport &t, uint32_t max_len)
+{
+    FrameResult res;
+    unsigned char hdr[4];
+    size_t got = readFully(t, hdr, sizeof hdr);
+    if (got == 0) {
+        res.status = FrameStatus::Eof;
+        return res;
+    }
+    if (got < sizeof hdr) {
+        res.status = FrameStatus::Truncated;
+        return res;
+    }
+    uint32_t len = (uint32_t(hdr[0]) << 24) | (uint32_t(hdr[1]) << 16) |
+                   (uint32_t(hdr[2]) << 8) | uint32_t(hdr[3]);
+    res.declared = len;
+    if (len > max_len) {
+        // Protocol violation: assume the declared bytes were never
+        // sent so the next read starts at a fresh header (file
+        // comment in frame.h).
+        res.status = FrameStatus::Oversize;
+        return res;
+    }
+    res.payload.resize(len);
+    if (len && readFully(t, res.payload.data(), len) < len) {
+        res.payload.clear();
+        res.status = FrameStatus::Truncated;
+        return res;
+    }
+    res.status = FrameStatus::Ok;
+    return res;
+}
+
+void
+writeFrame(Transport &t, const std::string &payload)
+{
+    if (payload.size() > UINT32_MAX)
+        throw runtime::StageError(runtime::ErrorKind::Internal,
+                                  "transport",
+                                  "frame payload exceeds 4 GiB");
+    uint32_t len = uint32_t(payload.size());
+    unsigned char hdr[4] = {
+        (unsigned char)(len >> 24), (unsigned char)(len >> 16),
+        (unsigned char)(len >> 8), (unsigned char)len};
+    t.write(hdr, sizeof hdr);
+    if (len)
+        t.write(payload.data(), payload.size());
+}
+
+} // namespace serve
+} // namespace msc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Length-prefixed message framing for the mscd protocol.
+ *
+ * Wire format: a 4-byte big-endian unsigned payload length followed
+ * by exactly that many bytes of UTF-8 JSON. The framing layer is
+ * payload-agnostic: it moves byte strings, the protocol layer
+ * (protocol.h) interprets them. Both directions use the same format.
+ *
+ * Framing runs over a Transport, the minimal byte-stream interface a
+ * connection needs: FdTransport wraps file descriptors (a socket, or
+ * the stdin/stdout pair of `mscd --stdio`), StringTransport replays a
+ * scripted byte sequence in-process for conformance tests.
+ *
+ * Error containment contract (tested by tests/test_mscd.cc):
+ *
+ *  - a zero-length frame is returned as Ok with an empty payload
+ *    (the *protocol* layer rejects it — framing stays in sync);
+ *  - a declared length above the configured maximum returns Oversize
+ *    WITHOUT consuming any payload bytes: the peer violated the
+ *    protocol, so the declared bytes are assumed absent and the next
+ *    read starts at a fresh header. The connection stays usable;
+ *  - EOF mid-header or mid-payload returns Truncated (the stream is
+ *    over; the server still owes the peer one structured error frame
+ *    before closing);
+ *  - EOF cleanly between frames returns Eof.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace msc {
+namespace serve {
+
+/** Default inbound frame-size cap (16 MiB). */
+constexpr uint32_t DEFAULT_MAX_FRAME = 16u << 20;
+
+/** Minimal byte-stream interface the framing layer runs over. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Reads up to @p n bytes into @p buf; returns the count read, or
+     *  0 on end-of-stream. Throws runtime::StageError (ErrorKind::Io)
+     *  on a hard stream error. */
+    virtual size_t read(void *buf, size_t n) = 0;
+
+    /** Writes all @p n bytes; throws runtime::StageError
+     *  (ErrorKind::Io) on failure. */
+    virtual void write(const void *buf, size_t n) = 0;
+};
+
+/** Transport over a (read fd, write fd) pair — a connected socket
+ *  (same fd twice) or the stdio pair of `mscd --stdio`. Does not own
+ *  or close the descriptors. */
+class FdTransport final : public Transport
+{
+  public:
+    FdTransport(int fd_in, int fd_out) : _in(fd_in), _out(fd_out) {}
+
+    size_t read(void *buf, size_t n) override;
+    void write(const void *buf, size_t n) override;
+
+  private:
+    int _in;
+    int _out;
+};
+
+/** In-process transport for tests: reads walk a fixed input string,
+ *  writes append to an output string. */
+class StringTransport final : public Transport
+{
+  public:
+    explicit StringTransport(std::string input)
+        : _input(std::move(input))
+    {}
+
+    size_t read(void *buf, size_t n) override;
+    void write(const void *buf, size_t n) override;
+
+    const std::string &written() const { return _output; }
+
+  private:
+    std::string _input;
+    size_t _pos = 0;
+    std::string _output;
+};
+
+/** Outcome of one readFrame() call (see file comment for the exact
+ *  stream-position guarantees of each status). */
+enum class FrameStatus : uint8_t
+{
+    Ok,         ///< `payload` holds one complete frame body.
+    Eof,        ///< Clean end-of-stream between frames.
+    Truncated,  ///< End-of-stream inside a header or payload.
+    Oversize,   ///< Declared length > max; payload not consumed.
+};
+
+struct FrameResult
+{
+    FrameStatus status = FrameStatus::Eof;
+
+    /** Frame body (valid only when status == Ok). */
+    std::string payload;
+
+    /** The header's declared length (diagnostic for Oversize and
+     *  payload-phase Truncated results). */
+    uint64_t declared = 0;
+};
+
+/** Reads one frame from @p t, enforcing @p max_len on the declared
+ *  payload length. */
+FrameResult readFrame(Transport &t, uint32_t max_len = DEFAULT_MAX_FRAME);
+
+/** Writes @p payload as one frame (header + body). Payloads above
+ *  UINT32_MAX throw runtime::StageError (ErrorKind::Internal). */
+void writeFrame(Transport &t, const std::string &payload);
+
+} // namespace serve
+} // namespace msc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * mscd request/response protocol: JSON payloads inside the length-
+ * prefixed frames of frame.h. Schemas are documented field-by-field
+ * in docs/DAEMON.md; this header is the single in-tree source of
+ * truth for both directions.
+ *
+ * Requests are one JSON object per frame:
+ *
+ *   {"id": "...", "kind": "run|sweep|trace|cancel", ...params}
+ *
+ * Every malformed payload — not UTF-8, not JSON, not an object,
+ * wrong field types, unknown kind, out-of-range values — throws
+ * runtime::StageError (ErrorKind::InvalidInput, stage "protocol"),
+ * which the server turns into exactly one `error` response frame;
+ * nothing a peer sends can crash the daemon or silently drop the
+ * connection (docs/DAEMON.md, tests/test_mscd.cc).
+ *
+ * Responses echo the request id on every frame:
+ *
+ *   {"id", "type": "cell",    "index", "total", "run": {...}}
+ *   {"id", "type": "summary", "status", "exit_code", "partial",
+ *                             "errors", "runs", "cache", "dedup_hits"}
+ *   {"id", "type": "result",  "kind": "cancel"|"trace", ...}
+ *   {"id", "type": "error",   "error": {...}}
+ *
+ * The `run` object of a cell frame is byte-for-byte the per-run
+ * object of the `msc.sweep` v2 schema (report::runToJson), and the
+ * summary's status/exit_code pair is report::sweepExitCode over the
+ * same records — so a sweep served by mscd can be reassembled into a
+ * document byte-identical to `msctool sweep --json` output
+ * (report::sweepDocFromRuns; proven end-to-end by the daemon_smoke
+ * ctest target).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/session.h"
+#include "report/record.h"
+#include "runtime/budget.h"
+
+namespace msc {
+namespace serve {
+
+/** Protocol revision emitted in summary/result frames. */
+constexpr int PROTOCOL_VERSION = 1;
+
+enum class RequestKind : uint8_t
+{
+    Run,     ///< One pipeline cell (a 1-cell sweep).
+    Sweep,   ///< workload x strategy x PU grid, streamed per cell.
+    Trace,   ///< One cell with Perfetto timeline + task profile.
+    Cancel,  ///< Cancel an in-flight request by id.
+};
+
+/** Upper bound on cells in one sweep request (DoS containment). */
+constexpr size_t MAX_SWEEP_CELLS = 4096;
+
+/** A validated, fully-resolved request. */
+struct Request
+{
+    std::string id;
+    RequestKind kind = RequestKind::Run;
+
+    /** Run/Sweep/Trace: the resolved grid (Run/Trace: exactly one
+     *  spec). Budgets are already merged (server default overridden
+     *  by any per-request `budget` fields). */
+    std::vector<report::RunSpec> specs;
+
+    /** Trace: embed the full Perfetto document in the result frame. */
+    bool includeTrace = false;
+
+    /** Cancel: the id of the request to cancel. */
+    std::string target;
+};
+
+/** Server-side defaults merged into every parsed request. */
+struct RequestDefaults
+{
+    /** Applied per cell unless the request's `budget` object
+     *  overrides a field (docs/DAEMON.md). */
+    runtime::ExecBudget budget;
+};
+
+/**
+ * Parses and validates one request payload. Throws
+ * runtime::StageError (ErrorKind::InvalidInput, stage "protocol") on
+ * any malformed input; the thrown detail never embeds unbounded
+ * peer-controlled bytes.
+ */
+Request parseRequest(const std::string &payload,
+                     const RequestDefaults &defaults);
+
+/**
+ * Best-effort extraction of the `id` field from a payload that failed
+ * full parsing, so error frames can still be correlated. Returns ""
+ * when unavailable.
+ */
+std::string extractRequestId(const std::string &payload);
+
+/// @name Response-frame builders. Each returns the complete frame
+/// object; the server serializes with dump(0) (compact) — the
+/// determinism of cell frames follows from report::Json determinism.
+/// @{
+report::Json cellFrame(const std::string &id, size_t index,
+                       size_t total, report::Json run);
+
+report::Json summaryFrame(const std::string &id,
+                          const std::vector<report::RunRecord> &records,
+                          const pipeline::CacheStats &cache,
+                          uint64_t dedup_hits);
+
+report::Json errorFrame(const std::string &id,
+                        const runtime::StageErrorInfo &info);
+
+report::Json cancelResultFrame(const std::string &id,
+                               const std::string &target, bool found);
+
+/** @p trace may be Null (omitted unless includeTrace). */
+report::Json traceResultFrame(const std::string &id, report::Json run,
+                              report::Json taskprof,
+                              report::Json trace);
+/// @}
+
+/** True when @p s is well-formed UTF-8 (request payloads must be;
+ *  the check keeps invalid bytes out of echoed response fields). */
+bool utf8Valid(const std::string &s);
+
+} // namespace serve
+} // namespace msc

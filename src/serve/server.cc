@@ -1,0 +1,293 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/perfetto.h"
+#include "obs/taskprof.h"
+#include "obs/tracesink.h"
+#include "workloads/workload.h"
+
+namespace msc {
+namespace serve {
+
+Server::Server(ServerConfig cfg)
+    : _cfg(std::move(cfg)), _dispatch(_cfg.dispatch)
+{}
+
+void
+Server::sendFrame(Conn &conn, const report::Json &frame)
+{
+    std::string payload = frame.dump();
+    std::lock_guard<std::mutex> lock(conn.mu);
+    writeFrame(conn.t, payload);
+}
+
+void
+Server::sendError(Conn &conn, const std::string &id,
+                  runtime::ErrorKind kind, const std::string &detail)
+{
+    runtime::StageErrorInfo info;
+    info.kind = kind;
+    info.stage = "protocol";
+    info.detail = detail;
+    sendFrame(conn, errorFrame(id, info));
+}
+
+void
+Server::runRequest(Conn &conn, const Request &req,
+                   const std::shared_ptr<runtime::CancelToken> &token)
+{
+    try {
+        if (req.kind == RequestKind::Trace) {
+            runTrace(conn, req, token);
+        } else {
+            std::vector<std::shared_future<report::RunRecord>> futs;
+            futs.reserve(req.specs.size());
+            for (const auto &spec : req.specs)
+                futs.push_back(_dispatch.submit(spec, token.get()));
+
+            // Stream cells in input order (the same order msctool
+            // sweep prints and serializes) regardless of completion
+            // order, so responses are deterministic for any worker
+            // count.
+            std::vector<report::RunRecord> records;
+            records.reserve(futs.size());
+            for (size_t i = 0; i < futs.size(); ++i) {
+                report::RunRecord rec = futs[i].get();
+                sendFrame(conn,
+                          cellFrame(req.id, i, futs.size(),
+                                    report::runToJson(rec)));
+                records.push_back(std::move(rec));
+            }
+            sendFrame(conn, summaryFrame(req.id, records,
+                                         _dispatch.pool().stats(),
+                                         _dispatch.stats().dedupHits));
+        }
+    } catch (const runtime::StageError &e) {
+        try {
+            sendFrame(conn, errorFrame(req.id, e.info()));
+        } catch (...) {
+            // Write end is gone; nothing left to report to.
+        }
+    } catch (const std::exception &e) {
+        try {
+            sendError(conn, req.id, runtime::ErrorKind::Internal,
+                      e.what());
+        } catch (...) {
+        }
+    }
+    _dispatch.unregisterRequest(req.id);
+}
+
+void
+Server::runTrace(Conn &conn, const Request &req,
+                 const std::shared_ptr<runtime::CancelToken> &token)
+{
+    // Trace cells bypass the worker pool and dedup: a sink is a side
+    // effect, so pipeline::Session already bypasses the simulate
+    // memo for them — coalescing two trace requests would lose one
+    // request's event stream.
+    report::RunSpec spec = req.specs.at(0);
+    obs::PerfettoTraceWriter writer(spec.opts.config.numPUs,
+                                    spec.workload);
+    obs::TaskProfiler prof;
+    obs::TeeSink tee({&writer, &prof});
+    spec.opts.sink = &tee;
+    spec.opts.cancel = token.get();
+
+    auto session =
+        _dispatch.pool().session(report::sessionKey(spec), [&] {
+            return workloads::buildWorkload(spec.workload, spec.scale);
+        });
+    pipeline::StageResults res = session->runAll(spec.opts);
+    report::RunRecord rec = report::recordFromResults(spec, res);
+    rec.spec.opts.sink = nullptr;
+    rec.spec.opts.cancel = nullptr;
+
+    report::Json trace;
+    if (req.includeTrace)
+        trace = writer.toJson();
+    sendFrame(conn,
+              traceResultFrame(
+                  req.id, report::runToJson(rec),
+                  obs::taskProfileToJson(prof, res.partition->partition,
+                                         spec.workload),
+                  std::move(trace)));
+}
+
+void
+Server::serveConnection(Transport &t)
+{
+    Conn conn{t};
+    std::vector<std::thread> inflight;
+
+    while (true) {
+        FrameResult fr = readFrame(t, _cfg.maxFrame);
+        if (fr.status == FrameStatus::Eof)
+            break;
+        if (fr.status == FrameStatus::Truncated) {
+            // The peer still gets a structured reply before the
+            // (already half-closed) connection winds down.
+            try {
+                sendError(conn, "", runtime::ErrorKind::InvalidInput,
+                          "truncated frame: stream ended inside a "
+                          "frame");
+            } catch (...) {
+            }
+            break;
+        }
+        if (fr.status == FrameStatus::Oversize) {
+            sendError(conn, "", runtime::ErrorKind::InvalidInput,
+                      "frame length " + std::to_string(fr.declared) +
+                          " exceeds maximum " +
+                          std::to_string(_cfg.maxFrame));
+            continue;
+        }
+
+        Request req;
+        try {
+            req = parseRequest(fr.payload, _cfg.defaults);
+        } catch (const runtime::StageError &e) {
+            sendFrame(conn, errorFrame(extractRequestId(fr.payload),
+                                       e.info()));
+            continue;
+        }
+
+        if (req.kind == RequestKind::Cancel) {
+            // Inline on the reader thread so it can reach a request
+            // in flight on this very connection.
+            bool found = _dispatch.cancelRequest(req.target);
+            sendFrame(conn,
+                      cancelResultFrame(req.id, req.target, found));
+            continue;
+        }
+
+        // Register before spawning: a cancel frame that follows this
+        // one on the wire is guaranteed to see the id.
+        auto token = _dispatch.registerRequest(req.id);
+        if (!token) {
+            sendError(conn, req.id, runtime::ErrorKind::InvalidInput,
+                      "duplicate request id: \"" + req.id +
+                          "\" is already in flight");
+            continue;
+        }
+        inflight.emplace_back(
+            [this, &conn, req = std::move(req), token] {
+                runRequest(conn, req, token);
+            });
+    }
+
+    for (auto &th : inflight)
+        th.join();
+}
+
+int
+Server::serveListener(int listen_fd)
+{
+    _listenFd.store(listen_fd);
+    std::vector<std::thread> conns;
+    while (!_stop.load()) {
+        int c = ::accept(listen_fd, nullptr, nullptr);
+        if (c < 0) {
+            if (errno == EINTR)
+                continue;
+            break;  // requestStop closed the listener (or hard error)
+        }
+        conns.emplace_back([this, c] {
+            FdTransport t(c, c);
+            try {
+                serveConnection(t);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "mscd: connection error: %s\n",
+                             e.what());
+            }
+            ::close(c);
+        });
+    }
+    // Whoever wins the exchange closes — requestStop() may already
+    // have claimed (and closed) the descriptor.
+    int fd = _listenFd.exchange(-1);
+    if (fd >= 0)
+        ::close(fd);
+    for (auto &th : conns)
+        th.join();
+    return 0;
+}
+
+int
+Server::serveUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof addr.sun_path) {
+        std::fprintf(stderr, "mscd: socket path too long: %s\n",
+                     path.c_str());
+        return 1;
+    }
+    ::unlink(path.c_str());  // replace a stale socket from a crash
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("mscd: socket");
+        return 1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+        std::perror("mscd: bind/listen");
+        ::close(fd);
+        return 1;
+    }
+    int rc = serveListener(fd);
+    ::unlink(path.c_str());
+    return rc;
+}
+
+int
+Server::serveTcp(uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("mscd: socket");
+        return 1;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+        std::perror("mscd: bind/listen");
+        ::close(fd);
+        return 1;
+    }
+    return serveListener(fd);
+}
+
+void
+Server::requestStop()
+{
+    _stop.store(true);
+    int fd = _listenFd.exchange(-1);
+    if (fd >= 0) {
+        // shutdown() wakes a blocked accept() on Linux; close()
+        // releases the descriptor. Both are async-signal-safe.
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+}
+
+} // namespace serve
+} // namespace msc

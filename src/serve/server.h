@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The mscd connection server: frames in, frames out.
+ *
+ * One Server owns one Dispatcher (worker pool + shared SessionPool +
+ * optional on-disk artifact cache) and serves any number of
+ * connections against it — the "millions of users" shape: identical
+ * program+option requests coalesce onto one computation through the
+ * content-addressed stage keys, whatever connection they arrive on.
+ *
+ * A connection is any Transport: `mscd --stdio` wraps the stdin/
+ * stdout pair, serveUnix/serveTcp accept sockets, and tests drive
+ * scripted StringTransports in-process. Per connection, a reader
+ * loop decodes frames and dispatches:
+ *
+ *  - `cancel` is handled inline on the reader thread, so it can
+ *    reach a request in flight on the same connection;
+ *  - `run`/`sweep`/`trace` execute on a per-request thread that
+ *    submits cells to the worker pool and streams response frames
+ *    (cells in input order, then one summary) under the connection's
+ *    write lock, so frames from concurrent requests interleave only
+ *    at frame granularity;
+ *  - every malformed frame or payload produces exactly one `error`
+ *    frame and the connection stays usable (frame.h documents the
+ *    resync rules; tests/test_mscd.cc is the conformance suite).
+ *
+ * Nothing a peer sends can crash the process or leak a worker: cell
+ * failures become error records (dispatch.h), protocol failures
+ * become error frames, and write failures tear down only their own
+ * connection.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/dispatch.h"
+#include "serve/frame.h"
+#include "serve/protocol.h"
+
+namespace msc {
+namespace serve {
+
+struct ServerConfig
+{
+    Dispatcher::Config dispatch;
+
+    /** Per-request defaults (budget) merged during parsing. */
+    RequestDefaults defaults;
+
+    /** Inbound frame-size cap. */
+    uint32_t maxFrame = DEFAULT_MAX_FRAME;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg);
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Serves one connection until end-of-stream; blocking. Safe to
+     *  call from multiple threads (one per connection). */
+    void serveConnection(Transport &t);
+
+    /** Binds @p path (replacing any stale socket file), accepts
+     *  connections until requestStop(), then unlinks the socket.
+     *  Returns 0 on clean shutdown, 1 on setup failure (diagnostic
+     *  on stderr). */
+    int serveUnix(const std::string &path);
+
+    /** Same over TCP on 127.0.0.1:@p port. */
+    int serveTcp(uint16_t port);
+
+    /** Stops the accept loop (async-signal-safe: flags + closes the
+     *  listening descriptor). In-flight connections finish. */
+    void requestStop();
+
+    Dispatcher &dispatcher() { return _dispatch; }
+
+  private:
+    /** One connection's shared write end (frames must not tear). */
+    struct Conn
+    {
+        explicit Conn(Transport &tr) : t(tr) {}
+        Transport &t;
+        std::mutex mu;
+    };
+
+    void sendFrame(Conn &conn, const report::Json &frame);
+    void sendError(Conn &conn, const std::string &id,
+                   runtime::ErrorKind kind, const std::string &detail);
+    void runRequest(Conn &conn, const Request &req,
+                    const std::shared_ptr<runtime::CancelToken> &token);
+    void runTrace(Conn &conn, const Request &req,
+                  const std::shared_ptr<runtime::CancelToken> &token);
+    int serveListener(int listen_fd);
+
+    ServerConfig _cfg;
+    Dispatcher _dispatch;
+    std::atomic<int> _listenFd{-1};
+    std::atomic<bool> _stop{false};
+};
+
+} // namespace serve
+} // namespace msc

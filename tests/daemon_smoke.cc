@@ -1,0 +1,362 @@
+/**
+ * @file
+ * End-to-end smoke test for the real mscd binary (the daemon_smoke
+ * ctest target; docs/DAEMON.md).
+ *
+ * Usage: daemon_smoke <path-to-mscd> <path-to-msctool>
+ *
+ * Proves, against the actual executables:
+ *
+ *  1. byte-identity: a sweep served by `mscd --stdio`, reassembled
+ *     from its streamed cell frames through report::sweepDocFromRuns,
+ *     equals the `msctool sweep --json` document for the same grid
+ *     byte for byte;
+ *  2. warm replay: repeating the request on the same connection
+ *     returns byte-identical cells and computes nothing new (the
+ *     summary's cumulative cache counters do not move);
+ *  3. containment: a garbage frame yields one error frame and the
+ *     next request on the same connection still runs;
+ *  4. exit-code agreement: a mixed compress+fuelbomb sweep under a
+ *     fuel budget exits msctool with 3 (partial) and produces an mscd
+ *     summary with the same exit_code/status — and the same bytes;
+ *  5. lifecycle: `mscd --unix` serves a connection over a real
+ *     socket, shuts down cleanly on SIGTERM, and unlinks its socket.
+ *
+ * All scratch state lives in one mkdtemp directory removed on every
+ * exit path (success, CHECK failure, or exception); child daemons
+ * are killed on failure so a red run never leaks a process or a
+ * socket file.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "report/record.h"
+#include "serve/frame.h"
+
+using namespace msc;
+
+#define CHECK(cond)                                                   \
+    do {                                                              \
+        if (!(cond))                                                  \
+            throw std::runtime_error(std::string("CHECK failed at ")  \
+                                     + __FILE__ + ":" +               \
+                                     std::to_string(__LINE__) +       \
+                                     ": " #cond);                     \
+    } while (0)
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Scratch directory + child registry, torn down on every exit. */
+struct Scratch
+{
+    std::string dir;
+    std::vector<pid_t> children;
+
+    Scratch()
+    {
+        std::string tmpl =
+            (fs::temp_directory_path() / "msc-daemon-smoke-XXXXXX")
+                .string();
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (!mkdtemp(buf.data()))
+            throw std::runtime_error("mkdtemp failed");
+        dir = buf.data();
+    }
+
+    ~Scratch()
+    {
+        for (pid_t pid : children)
+            if (pid > 0 && ::kill(pid, 0) == 0) {
+                ::kill(pid, SIGKILL);
+                ::waitpid(pid, nullptr, 0);
+            }
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+    }
+
+    std::string path(const char *name) const
+    {
+        return (fs::path(dir) / name).string();
+    }
+};
+
+/** A spawned mscd with pipes on its stdio (for --stdio mode) or just
+ *  argv (listener modes). */
+struct Child
+{
+    pid_t pid = -1;
+    int in = -1;   ///< Write end feeding the child's stdin.
+    int out = -1;  ///< Read end of the child's stdout.
+};
+
+Child
+spawn(Scratch &scratch, const std::vector<std::string> &argv,
+      bool with_pipes)
+{
+    int to_child[2] = {-1, -1};
+    int from_child[2] = {-1, -1};
+    if (with_pipes)
+        CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0);
+
+    pid_t pid = ::fork();
+    CHECK(pid >= 0);
+    if (pid == 0) {
+        if (with_pipes) {
+            ::dup2(to_child[0], 0);
+            ::dup2(from_child[1], 1);
+            ::close(to_child[0]);
+            ::close(to_child[1]);
+            ::close(from_child[0]);
+            ::close(from_child[1]);
+        }
+        std::vector<char *> args;
+        for (const auto &a : argv)
+            args.push_back(const_cast<char *>(a.c_str()));
+        args.push_back(nullptr);
+        ::execv(args[0], args.data());
+        std::perror("execv");
+        ::_exit(127);
+    }
+
+    Child c;
+    c.pid = pid;
+    if (with_pipes) {
+        ::close(to_child[0]);
+        ::close(from_child[1]);
+        c.in = to_child[1];
+        c.out = from_child[0];
+    }
+    scratch.children.push_back(pid);
+    return c;
+}
+
+int
+waitExit(pid_t pid)
+{
+    int status = 0;
+    CHECK(::waitpid(pid, &status, 0) == pid);
+    CHECK(WIFEXITED(status));
+    return WEXITSTATUS(status);
+}
+
+/** Runs a child to completion (no pipes) and returns its exit code. */
+int
+run(Scratch &scratch, const std::vector<std::string> &argv)
+{
+    Child c = spawn(scratch, argv, false);
+    return waitExit(c.pid);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    CHECK(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Reads response frames off @p t until the summary (or result/error
+ *  terminator) for @p id arrives. */
+std::vector<report::Json>
+collect(serve::Transport &t, const std::string &id)
+{
+    std::vector<report::Json> frames;
+    while (true) {
+        serve::FrameResult fr = serve::readFrame(t);
+        CHECK(fr.status == serve::FrameStatus::Ok);
+        frames.push_back(report::Json::parse(fr.payload));
+        const report::Json &f = frames.back();
+        std::string type = f.get("type").asString();
+        bool mine = f.get("id").asString() == id;
+        if (mine && (type == "summary" || type == "result" ||
+                     type == "error"))
+            return frames;
+    }
+}
+
+/** Reassembles the streamed cell frames of @p frames (request @p id)
+ *  into the msc.sweep document, exactly as a client would. */
+std::string
+reassemble(const std::vector<report::Json> &frames,
+           const std::string &id)
+{
+    size_t total = 0;
+    for (const auto &f : frames)
+        if (f.get("id").asString() == id &&
+            f.get("type").asString() == "cell")
+            total = f.get("total").asUInt();
+    CHECK(total > 0);
+    std::vector<report::Json> runs(total);
+    for (const auto &f : frames)
+        if (f.get("id").asString() == id &&
+            f.get("type").asString() == "cell")
+            runs.at(f.get("index").asUInt()) = f.get("run");
+    return report::sweepDocFromRuns(std::move(runs)).dump(2);
+}
+
+const report::Json &
+frameOf(const std::vector<report::Json> &frames, const std::string &id,
+        const std::string &type)
+{
+    for (const auto &f : frames)
+        if (f.get("id").asString() == id &&
+            f.get("type").asString() == type)
+            return f;
+    throw std::runtime_error("missing frame " + id + "/" + type);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: daemon_smoke <mscd> <msctool>\n");
+        return 2;
+    }
+    const std::string mscd = argv[1];
+    const std::string msctool = argv[2];
+
+    try {
+        Scratch scratch;
+
+        // ---- 1. Byte-identity against msctool sweep --json.
+        std::string ref = scratch.path("ref.json");
+        CHECK(run(scratch,
+                  {msctool, "sweep", "compress", "li", "--small",
+                   "--strategy", "bb,cf", "--pus", "2", "--insts",
+                   "20000", "--json", ref}) == 0);
+
+        Child d = spawn(scratch, {mscd, "--stdio", "--jobs", "2"},
+                        true);
+        serve::FdTransport t(d.out, d.in);
+        const std::string sweep_req =
+            "\"kind\":\"sweep\",\"workloads\":[\"compress\",\"li\"],"
+            "\"strategies\":[\"bb\",\"cf\"],\"pus\":[2],"
+            "\"scale\":\"small\",\"insts\":20000}";
+        serve::writeFrame(t, "{\"id\":\"s1\"," + sweep_req);
+        std::vector<report::Json> first = collect(t, "s1");
+        CHECK(reassemble(first, "s1") == slurp(ref));
+        const report::Json &sum1 = frameOf(first, "s1", "summary");
+        CHECK(sum1.get("status").asString() == "ok");
+        CHECK(sum1.get("exit_code").asInt() == 0);
+
+        // ---- 2. Warm replay: identical bytes, no new computes.
+        serve::writeFrame(t, "{\"id\":\"s2\"," + sweep_req);
+        std::vector<report::Json> second = collect(t, "s2");
+        CHECK(reassemble(second, "s2") == slurp(ref));
+        const report::Json &sum2 = frameOf(second, "s2", "summary");
+        CHECK(sum2.get("cache").get("computed").asUInt() ==
+              sum1.get("cache").get("computed").asUInt());
+
+        // ---- 3. Garbage frame, then a valid request, same stream.
+        serve::writeFrame(t, "this is not json");
+        serve::FrameResult err = serve::readFrame(t);
+        CHECK(err.status == serve::FrameStatus::Ok);
+        report::Json errf = report::Json::parse(err.payload);
+        CHECK(errf.get("type").asString() == "error");
+        CHECK(errf.get("error").get("kind").asString() ==
+              "invalid-input");
+
+        serve::writeFrame(t, "{\"id\":\"s3\",\"kind\":\"run\","
+                             "\"workload\":\"compress\","
+                             "\"scale\":\"small\",\"insts\":20000,"
+                             "\"pus\":2,\"strategy\":\"bb\"}");
+        std::vector<report::Json> third = collect(t, "s3");
+        CHECK(frameOf(third, "s3", "cell")
+                  .get("run")
+                  .get("status")
+                  .asString() == "ok");
+
+        // ---- 4. Budget-tripped sweep: daemon summary and msctool
+        //         exit code come from the same mapping, and the
+        //         partial documents match byte for byte too.
+        std::string ref2 = scratch.path("ref2.json");
+        CHECK(run(scratch,
+                  {msctool, "sweep", "compress", "fuelbomb",
+                   "--small", "--strategy", "bb", "--pus", "2",
+                   "--insts", "20000", "--max-fuel", "200000",
+                   "--json", ref2}) == 3);
+
+        serve::writeFrame(
+            t, "{\"id\":\"s4\",\"kind\":\"sweep\","
+               "\"workloads\":[\"compress\",\"fuelbomb\"],"
+               "\"strategies\":[\"bb\"],\"pus\":[2],"
+               "\"scale\":\"small\",\"insts\":20000,"
+               "\"budget\":{\"max_fuel\":200000}}");
+        std::vector<report::Json> fourth = collect(t, "s4");
+        const report::Json &sum4 = frameOf(fourth, "s4", "summary");
+        CHECK(sum4.get("exit_code").asInt() == 3);
+        CHECK(sum4.get("status").asString() == "partial");
+        CHECK(sum4.get("partial").asBool());
+        CHECK(reassemble(fourth, "s4") == slurp(ref2));
+
+        // End-of-stream: the --stdio daemon exits 0.
+        ::close(d.in);
+        ::close(d.out);
+        CHECK(waitExit(d.pid) == 0);
+
+        // ---- 5. Unix-socket round trip + clean SIGTERM shutdown.
+        std::string sock = scratch.path("mscd.sock");
+        Child u = spawn(scratch, {mscd, "--unix", sock}, false);
+
+        int fd = -1;
+        for (int attempt = 0; attempt < 100; ++attempt) {
+            fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            CHECK(fd >= 0);
+            sockaddr_un addr{};
+            addr.sun_family = AF_UNIX;
+            std::memcpy(addr.sun_path, sock.c_str(),
+                        sock.size() + 1);
+            if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof addr) == 0)
+                break;
+            ::close(fd);
+            fd = -1;
+            ::usleep(50'000);  // daemon still binding
+        }
+        CHECK(fd >= 0);
+
+        serve::FdTransport s(fd, fd);
+        serve::writeFrame(s, "{\"id\":\"u1\",\"kind\":\"run\","
+                             "\"workload\":\"compress\","
+                             "\"scale\":\"small\",\"insts\":20000,"
+                             "\"pus\":2,\"strategy\":\"bb\"}");
+        std::vector<report::Json> over_socket = collect(s, "u1");
+        CHECK(frameOf(over_socket, "u1", "cell")
+                  .get("run")
+                  .get("status")
+                  .asString() == "ok");
+        ::close(fd);
+
+        CHECK(::kill(u.pid, SIGTERM) == 0);
+        CHECK(waitExit(u.pid) == 0);
+        CHECK(!fs::exists(sock));
+
+        std::printf("daemon_smoke: all checks passed\n");
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "daemon_smoke: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,680 @@
+/**
+ * @file
+ * Conformance suite for the mscd daemon stack (docs/DAEMON.md):
+ *
+ *  - framing: round trips, zero-length frames, truncation, oversize
+ *    declarations and the exact resync guarantees of each status;
+ *  - protocol: request parsing/validation, server-side budget
+ *    defaults with per-request overrides, and the contract that any
+ *    malformed payload yields exactly one structured error frame
+ *    while the connection stays usable;
+ *  - dispatch: in-flight dedup on the content-addressed stage keys
+ *    (deterministic single-worker scenario plus a multi-threaded
+ *    stress run), byte-identical responses for deduped submitters,
+ *    compute-once across the whole pool;
+ *  - robustness under the daemon: fuel-bombed cells produce budget-*
+ *    error frames and the worker survives, cancel reaches a request
+ *    mid-sweep over a real pipe, injected disk-cache write faults
+ *    stay invisible to clients;
+ *  - the sweepExitCode <-> summary-status mapping msctool and mscd
+ *    share (satellite regression: the two can never disagree).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "helpers.h"
+#include "pipeline/session.h"
+#include "report/record.h"
+#include "report/sweep.h"
+#include "runtime/budget.h"
+#include "runtime/error.h"
+#include "runtime/fault.h"
+#include "serve/dispatch.h"
+#include "serve/frame.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+using namespace msc;
+using namespace msc::serve;
+using runtime::ErrorKind;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const char *name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) /
+                   (std::string("msc-mscd-") + name);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+/** One encoded frame (header + payload) as raw bytes. */
+std::string
+frameBytes(const std::string &payload)
+{
+    StringTransport t("");
+    writeFrame(t, payload);
+    return t.written();
+}
+
+/** Decodes every complete frame in @p bytes as JSON. */
+std::vector<report::Json>
+parseFrames(const std::string &bytes)
+{
+    StringTransport t(bytes);
+    std::vector<report::Json> out;
+    while (true) {
+        FrameResult fr = readFrame(t);
+        if (fr.status != FrameStatus::Ok)
+            break;
+        out.push_back(report::Json::parse(fr.payload));
+    }
+    return out;
+}
+
+/** Runs one scripted connection against a fresh server. */
+std::vector<report::Json>
+serveScript(const std::string &input, ServerConfig cfg = {})
+{
+    if (cfg.dispatch.jobs == 0)
+        cfg.dispatch.jobs = 2;
+    Server server(std::move(cfg));
+    StringTransport t(input);
+    server.serveConnection(t);
+    return parseFrames(t.written());
+}
+
+/** The standard small run-request payload used throughout. */
+std::string
+runPayload(const std::string &id, const std::string &workload,
+           const std::string &extra = "")
+{
+    return "{\"id\":\"" + id + "\",\"kind\":\"run\",\"workload\":\"" +
+           workload +
+           "\",\"scale\":\"small\",\"insts\":10000,\"pus\":2,"
+           "\"strategy\":\"bb\"" +
+           extra + "}";
+}
+
+report::RunSpec
+smallSpec(const char *workload, const char *strategy, unsigned pus)
+{
+    return report::makeSpec(workload,
+                            report::strategyFromId(strategy), pus,
+                            true, workloads::Scale::Small, 10'000);
+}
+
+const report::Json &
+findFrame(const std::vector<report::Json> &frames,
+          const std::string &id, const std::string &type)
+{
+    for (const auto &f : frames)
+        if (f.get("id").asString() == id &&
+            f.get("type").asString() == type)
+            return f;
+    static report::Json none;
+    ADD_FAILURE() << "no frame id=" << id << " type=" << type;
+    return none;
+}
+
+} // anonymous namespace
+
+// ------------------------------------------------------- framing
+
+TEST(MscdFraming, RoundTripsFrames)
+{
+    StringTransport t(frameBytes("hello") + frameBytes("") +
+                      frameBytes(std::string(100'000, 'x')));
+
+    FrameResult a = readFrame(t);
+    EXPECT_EQ(a.status, FrameStatus::Ok);
+    EXPECT_EQ(a.payload, "hello");
+
+    // Zero-length frames are Ok at the framing layer (the protocol
+    // layer rejects them) — framing must not lose sync.
+    FrameResult b = readFrame(t);
+    EXPECT_EQ(b.status, FrameStatus::Ok);
+    EXPECT_EQ(b.payload, "");
+
+    FrameResult c = readFrame(t);
+    EXPECT_EQ(c.status, FrameStatus::Ok);
+    EXPECT_EQ(c.payload, std::string(100'000, 'x'));
+
+    EXPECT_EQ(readFrame(t).status, FrameStatus::Eof);
+}
+
+TEST(MscdFraming, TruncationInsideHeaderAndPayload)
+{
+    // Stream ends two bytes into a header.
+    StringTransport h(std::string("\x00\x00", 2));
+    EXPECT_EQ(readFrame(h).status, FrameStatus::Truncated);
+
+    // Stream ends mid-payload; the declared length is reported.
+    std::string cut = frameBytes("abcdef");
+    cut.resize(cut.size() - 3);
+    StringTransport p(cut);
+    FrameResult fr = readFrame(p);
+    EXPECT_EQ(fr.status, FrameStatus::Truncated);
+    EXPECT_EQ(fr.declared, 6u);
+}
+
+TEST(MscdFraming, OversizeDoesNotConsumeAndResyncs)
+{
+    // A header declaring more than max_len, immediately followed by a
+    // valid frame: the oversize result must not swallow the valid
+    // frame's bytes.
+    std::string huge_header(
+        {'\x00', '\x10', '\x00', '\x00'});  // 1 MiB declared
+    StringTransport t(huge_header + frameBytes("ok"));
+
+    FrameResult a = readFrame(t, 1024);
+    EXPECT_EQ(a.status, FrameStatus::Oversize);
+    EXPECT_EQ(a.declared, 1u << 20);
+
+    FrameResult b = readFrame(t, 1024);
+    EXPECT_EQ(b.status, FrameStatus::Ok);
+    EXPECT_EQ(b.payload, "ok");
+}
+
+// ------------------------------------------------ request parsing
+
+TEST(MscdProtocol, ParsesSweepWithMsctoolDefaults)
+{
+    RequestDefaults d;
+    Request r = parseRequest(
+        "{\"id\":\"s\",\"kind\":\"sweep\","
+        "\"workloads\":[\"compress\"],\"scale\":\"small\"}",
+        d);
+    // Default strategy and PU axes are msctool sweep's: bb,cf,dd x
+    // 4,8 — the same request text means the same grid in both
+    // drivers.
+    ASSERT_EQ(r.specs.size(), 6u);
+    EXPECT_EQ(r.specs[0].id, "compress/bb/4pu/ooo");
+    EXPECT_EQ(r.specs[5].id, "compress/dd/8pu/ooo");
+    EXPECT_EQ(r.specs[0].opts.trace.traceInsts, 250'000u);
+}
+
+TEST(MscdProtocol, BudgetDefaultsMergePerField)
+{
+    RequestDefaults d;
+    d.budget.maxFuel = 7;
+    d.budget.wallMs = 5;
+
+    Request plain = parseRequest(runPayload("a", "compress"), d);
+    EXPECT_EQ(plain.specs.at(0).opts.budget.maxFuel, 7u);
+    EXPECT_EQ(plain.specs.at(0).opts.budget.wallMs, 5u);
+
+    Request over = parseRequest(
+        runPayload("b", "compress", ",\"budget\":{\"max_fuel\":9}"),
+        d);
+    EXPECT_EQ(over.specs.at(0).opts.budget.maxFuel, 9u);
+    EXPECT_EQ(over.specs.at(0).opts.budget.wallMs, 5u);
+}
+
+TEST(MscdProtocol, RejectsMalformedRequests)
+{
+    RequestDefaults d;
+    auto rejects = [&](const std::string &payload) {
+        try {
+            parseRequest(payload, d);
+            ADD_FAILURE() << "accepted: " << payload;
+        } catch (const runtime::StageError &e) {
+            EXPECT_EQ(e.info().kind, ErrorKind::InvalidInput);
+            EXPECT_EQ(e.info().stage, "protocol");
+        }
+    };
+    rejects("");                                     // zero-length
+    rejects("{nope");                                // not JSON
+    rejects("[1,2]");                                // not an object
+    rejects(std::string("\xff\xfe{}", 4));           // not UTF-8
+    rejects("{\"id\":\"x\",\"kind\":\"bogus\"}");    // unknown kind
+    rejects("{\"kind\":\"run\",\"workload\":\"compress\"}");  // no id
+    rejects("{\"id\":\"\",\"kind\":\"run\",\"workload\":\"c\"}");
+    rejects("{\"id\":\"" + std::string(300, 'a') +
+            "\",\"kind\":\"run\",\"workload\":\"compress\"}");
+    rejects("{\"id\":\"x\",\"kind\":\"cancel\"}");   // no target
+    rejects("{\"id\":\"x\",\"kind\":\"run\",\"workload\":\"c\","
+            "\"pus\":0}");                           // pus range
+    rejects("{\"id\":\"x\",\"kind\":\"run\",\"workload\":\"c\","
+            "\"pus\":\"four\"}");                    // pus type
+    rejects("{\"id\":\"x\",\"kind\":\"sweep\",\"pus\":[]}");  // empty
+    // 18 workloads x 3 strategies x 80 PU configs > MAX_SWEEP_CELLS.
+    std::string wide = "{\"id\":\"x\",\"kind\":\"sweep\",\"pus\":[";
+    for (int i = 0; i < 80; ++i)
+        wide += (i ? "," : "") + std::to_string(i + 1);
+    rejects(wide + "]}");
+}
+
+TEST(MscdProtocol, ExtractsIdBestEffort)
+{
+    EXPECT_EQ(extractRequestId("{\"id\":\"r7\",\"kind\":4}"), "r7");
+    EXPECT_EQ(extractRequestId("{nope"), "");
+    EXPECT_EQ(extractRequestId("{\"id\":42}"), "");
+    EXPECT_EQ(extractRequestId("[]"), "");
+}
+
+// -------------------------------------- error-frame containment
+
+TEST(MscdServer, MalformedFramesEachGetOneErrorFrameThenUsable)
+{
+    std::string input =
+        frameBytes("{nope") +                            // garbage
+        frameBytes(std::string("\xff\xfe{}", 4)) +       // non-UTF-8
+        frameBytes("{\"id\":\"u\",\"kind\":\"bogus\"}") +  // kind
+        frameBytes("{\"kind\":\"run\"}") +               // missing id
+        frameBytes("") +                                 // zero-length
+        frameBytes(runPayload("ok1", "compress"));
+
+    std::vector<report::Json> frames = serveScript(input);
+    ASSERT_EQ(frames.size(), 7u);
+
+    // One error frame per malformed payload, in input order, id
+    // echoed when recoverable.
+    for (size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(frames[i].get("type").asString(), "error");
+        EXPECT_EQ(
+            frames[i].get("error").get("kind").asString(),
+            "invalid-input");
+    }
+    EXPECT_EQ(frames[2].get("id").asString(), "u");
+    EXPECT_EQ(frames[3].get("id").asString(), "");
+
+    // The connection stayed usable: the valid request ran.
+    EXPECT_EQ(frames[5].get("type").asString(), "cell");
+    EXPECT_EQ(frames[5].get("run").get("status").asString(), "ok");
+    EXPECT_EQ(frames[6].get("type").asString(), "summary");
+    EXPECT_EQ(frames[6].get("status").asString(), "ok");
+    EXPECT_EQ(frames[6].get("exit_code").asInt(), 0);
+}
+
+TEST(MscdServer, OversizeFrameIsReportedAndConnectionContinues)
+{
+    ServerConfig cfg;
+    cfg.maxFrame = 256;
+    std::string huge_header({'\x00', '\x10', '\x00', '\x00'});
+    std::string input =
+        huge_header + frameBytes(runPayload("ok2", "compress"));
+
+    std::vector<report::Json> frames = serveScript(input, std::move(cfg));
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].get("type").asString(), "error");
+    EXPECT_NE(frames[0].get("error").get("detail").asString().find(
+                  "exceeds maximum"),
+              std::string::npos);
+    EXPECT_EQ(frames[1].get("type").asString(), "cell");
+    EXPECT_EQ(frames[2].get("type").asString(), "summary");
+}
+
+TEST(MscdServer, TruncatedFrameGetsFinalErrorFrame)
+{
+    std::string input = frameBytes(runPayload("ok3", "compress"));
+    // Stream dies inside the next header (NUL-safe append).
+    input += std::string("\x00\x00\x01", 3);
+
+    // The truncation error frame may overtake the still-running
+    // request's frames — responses correlate by id, not order.
+    std::vector<report::Json> frames = serveScript(input);
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(findFrame(frames, "ok3", "cell")
+                  .get("run")
+                  .get("status")
+                  .asString(),
+              "ok");
+    EXPECT_EQ(findFrame(frames, "ok3", "summary")
+                  .get("status")
+                  .asString(),
+              "ok");
+    EXPECT_NE(findFrame(frames, "", "error")
+                  .get("error")
+                  .get("detail")
+                  .asString()
+                  .find("truncated"),
+              std::string::npos);
+}
+
+TEST(MscdServer, CancelUnknownTargetReportsNotFound)
+{
+    std::vector<report::Json> frames = serveScript(frameBytes(
+        "{\"id\":\"c\",\"kind\":\"cancel\",\"target\":\"ghost\"}"));
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].get("type").asString(), "result");
+    EXPECT_EQ(frames[0].get("kind").asString(), "cancel");
+    EXPECT_FALSE(frames[0].get("found").asBool());
+}
+
+// ------------------------------------------------ dispatch dedup
+
+TEST(MscdDispatch, DedupsInFlightIdenticalCells)
+{
+    Dispatcher::Config cfg;
+    cfg.jobs = 1;
+    Dispatcher d(cfg);
+
+    // The single worker is busy with the blocker while both
+    // identical submits arrive, so the second is a guaranteed
+    // in-flight hit.
+    auto blocker = d.submit(smallSpec("compress", "bb", 2), nullptr);
+    auto a1 = d.submit(smallSpec("compress", "cf", 2), nullptr);
+    auto a2 = d.submit(smallSpec("compress", "cf", 2), nullptr);
+
+    EXPECT_EQ(d.stats().cellsSubmitted, 3u);
+    EXPECT_EQ(d.stats().dedupHits, 1u);
+
+    report::RunRecord r1 = a1.get();
+    report::RunRecord r2 = a2.get();
+    EXPECT_TRUE(blocker.get().ok());
+    EXPECT_TRUE(r1.ok());
+    EXPECT_EQ(report::runToJson(r1).dump(),
+              report::runToJson(r2).dump());
+
+    // After completion the in-flight entry is gone; a repeat is not a
+    // dedup hit but computes nothing new (Session cache replay).
+    uint64_t computed = d.pool().stats().computed();
+    auto a3 = d.submit(smallSpec("compress", "cf", 2), nullptr);
+    EXPECT_EQ(report::runToJson(a3.get()).dump(),
+              report::runToJson(r1).dump());
+    EXPECT_EQ(d.stats().dedupHits, 1u);
+    EXPECT_EQ(d.pool().stats().computed(), computed);
+}
+
+TEST(MscdDispatch, BudgetIsPartOfTheDedupKey)
+{
+    Dispatcher::Config cfg;
+    cfg.jobs = 1;
+    Dispatcher d(cfg);
+
+    report::RunSpec tight = smallSpec("fuelbomb", "bb", 2);
+    tight.opts.budget.maxFuel = 200'000;
+    report::RunSpec loose = tight;
+    loose.opts.budget.maxFuel = 300'000;
+
+    auto blocker = d.submit(smallSpec("compress", "bb", 2), nullptr);
+    auto f1 = d.submit(tight, nullptr);
+    auto f2 = d.submit(loose, nullptr);  // same artifacts, other fate
+    (void)blocker.get();
+
+    EXPECT_EQ(d.stats().dedupHits, 0u);
+    EXPECT_EQ(f1.get().error.limit, 200'000u);
+    EXPECT_EQ(f2.get().error.limit, 300'000u);
+}
+
+TEST(MscdDispatch, StressManyDuplicateSubmittersComputeOnce)
+{
+    // Reference: each unique cell once, serially.
+    uint64_t computed_ref;
+    {
+        Dispatcher::Config cfg;
+        cfg.jobs = 1;
+        Dispatcher ref(cfg);
+        ref.submit(smallSpec("compress", "bb", 2), nullptr).get();
+        ref.submit(smallSpec("compress", "cf", 2), nullptr).get();
+        computed_ref = ref.pool().stats().computed();
+    }
+
+    Dispatcher::Config cfg;
+    cfg.jobs = 4;
+    Dispatcher d(cfg);
+
+    constexpr int N = 8;
+    std::vector<std::shared_future<report::RunRecord>> futs(2 * N);
+    {
+        std::vector<std::thread> threads;
+        for (int i = 0; i < N; ++i)
+            threads.emplace_back([&, i] {
+                futs[2 * i] =
+                    d.submit(smallSpec("compress", "bb", 2), nullptr);
+                futs[2 * i + 1] =
+                    d.submit(smallSpec("compress", "cf", 2), nullptr);
+            });
+        for (auto &t : threads)
+            t.join();
+    }
+
+    // Whatever the interleaving, the pool computed each unique
+    // artifact exactly once — late duplicates that miss the in-flight
+    // window are pure cache replays.
+    std::string bb = report::runToJson(futs[0].get()).dump();
+    std::string cf = report::runToJson(futs[1].get()).dump();
+    for (int i = 0; i < N; ++i) {
+        EXPECT_EQ(report::runToJson(futs[2 * i].get()).dump(), bb);
+        EXPECT_EQ(report::runToJson(futs[2 * i + 1].get()).dump(),
+                  cf);
+    }
+    EXPECT_EQ(d.pool().stats().computed(), computed_ref);
+    EXPECT_EQ(d.stats().cellsSubmitted, uint64_t(2 * N));
+}
+
+// --------------------------------------------- budgets and faults
+
+TEST(MscdServer, FuelBombedCellYieldsBudgetErrorFrameWorkerSurvives)
+{
+    std::string input =
+        frameBytes(runPayload("bomb", "fuelbomb",
+                              ",\"budget\":{\"max_fuel\":200000}")) +
+        frameBytes(runPayload("after", "compress"));
+
+    std::vector<report::Json> frames = serveScript(input);
+
+    const report::Json &cell = findFrame(frames, "bomb", "cell");
+    EXPECT_EQ(cell.get("run").get("status").asString(), "error");
+    EXPECT_EQ(cell.get("run").get("error").get("kind").asString(),
+              "budget-fuel");
+    EXPECT_TRUE(cell.get("run")
+                    .get("error")
+                    .get("budget_exhausted")
+                    .asBool());
+
+    const report::Json &sum = findFrame(frames, "bomb", "summary");
+    EXPECT_EQ(sum.get("status").asString(), "failed");
+    EXPECT_EQ(sum.get("exit_code").asInt(), report::EXIT_SWEEP_FAILED);
+
+    // The worker that hit the budget survived to run the next cell.
+    const report::Json &ok = findFrame(frames, "after", "cell");
+    EXPECT_EQ(ok.get("run").get("status").asString(), "ok");
+}
+
+TEST(MscdServer, CacheWriteFaultUnderLoadIsInvisibleToClients)
+{
+    std::string dir = freshDir("write-fault");
+    std::string input = frameBytes(runPayload("f1", "compress"));
+
+    runtime::FaultInjector::instance().configure("cache-write=2");
+    ServerConfig cfg1;
+    cfg1.dispatch.session.cacheDir = dir;
+    std::vector<report::Json> first = serveScript(input, std::move(cfg1));
+    runtime::FaultInjector::instance().configure("");
+
+    const report::Json &c1 = findFrame(first, "f1", "cell");
+    EXPECT_EQ(c1.get("run").get("status").asString(), "ok");
+
+    // A fresh daemon over the same (possibly partially-written)
+    // cache directory serves byte-identical results.
+    ServerConfig cfg2;
+    cfg2.dispatch.session.cacheDir = dir;
+    std::vector<report::Json> second = serveScript(input, std::move(cfg2));
+    const report::Json &c2 = findFrame(second, "f1", "cell");
+    EXPECT_EQ(c1.get("run").dump(), c2.get("run").dump());
+}
+
+// ---------------------------------------- cancellation over a pipe
+
+TEST(MscdServer, CancelReachesARequestMidSweep)
+{
+    std::string dir = freshDir("cancel");
+
+    int to_server[2];
+    int to_client[2];
+    ASSERT_EQ(::pipe(to_server), 0);
+    ASSERT_EQ(::pipe(to_client), 0);
+
+    ServerConfig cfg;
+    cfg.dispatch.jobs = 2;
+    cfg.dispatch.session.cacheDir = dir;
+    Server server(std::move(cfg));
+    std::thread srv([&] {
+        FdTransport t(to_server[0], to_client[1]);
+        server.serveConnection(t);
+        ::close(to_client[1]);
+    });
+
+    FdTransport client(to_client[0], to_server[1]);
+    // No budget: the fuelbomb cell runs until the token trips.
+    writeFrame(client,
+               "{\"id\":\"c1\",\"kind\":\"sweep\","
+               "\"workloads\":[\"fuelbomb\"],"
+               "\"strategies\":[\"bb\"],\"pus\":[2],"
+               "\"scale\":\"small\",\"insts\":10000}");
+    // Duplicate id while c1 is (deterministically) still in flight.
+    writeFrame(client, runPayload("c1", "compress"));
+    FrameResult dup = readFrame(client);
+    ASSERT_EQ(dup.status, FrameStatus::Ok);
+    report::Json dupf = report::Json::parse(dup.payload);
+    EXPECT_EQ(dupf.get("type").asString(), "error");
+    EXPECT_NE(dupf.get("error").get("detail").asString().find(
+                  "duplicate request id"),
+              std::string::npos);
+
+    writeFrame(client, "{\"id\":\"c2\",\"kind\":\"cancel\","
+                       "\"target\":\"c1\"}");
+
+    // Cancel result, cell and summary frames arrive in any order
+    // (reader vs request thread).
+    std::vector<report::Json> frames;
+    for (int i = 0; i < 3; ++i) {
+        FrameResult fr = readFrame(client);
+        ASSERT_EQ(fr.status, FrameStatus::Ok);
+        frames.push_back(report::Json::parse(fr.payload));
+    }
+    const report::Json &res = findFrame(frames, "c2", "result");
+    EXPECT_EQ(res.get("target").asString(), "c1");
+    EXPECT_TRUE(res.get("found").asBool());
+
+    const report::Json &cell = findFrame(frames, "c1", "cell");
+    EXPECT_EQ(cell.get("run").get("status").asString(), "error");
+    EXPECT_EQ(cell.get("run").get("error").get("kind").asString(),
+              "cancelled");
+
+    const report::Json &sum = findFrame(frames, "c1", "summary");
+    EXPECT_EQ(sum.get("status").asString(), "failed");
+    EXPECT_EQ(sum.get("exit_code").asInt(),
+              report::EXIT_SWEEP_FAILED);
+
+    // The connection (and its disk cache) survived: a normal request
+    // on the same daemon completes cleanly.
+    writeFrame(client, runPayload("c3", "compress"));
+    std::vector<report::Json> tail;
+    for (int i = 0; i < 2; ++i) {
+        FrameResult fr = readFrame(client);
+        ASSERT_EQ(fr.status, FrameStatus::Ok);
+        tail.push_back(report::Json::parse(fr.payload));
+    }
+    EXPECT_EQ(findFrame(tail, "c3", "cell")
+                  .get("run")
+                  .get("status")
+                  .asString(),
+              "ok");
+
+    ::close(to_server[1]);
+    srv.join();
+    ::close(to_server[0]);
+    ::close(to_client[0]);
+
+    // The cancelled run left no corrupt cache entries behind: a
+    // fresh Session over the same directory loads or recomputes
+    // without error, never throws CacheCorrupt.
+    pipeline::Session s(
+        workloads::buildWorkload("compress", workloads::Scale::Small),
+        pipeline::SessionConfig{dir});
+    report::RunSpec spec = smallSpec("compress", "bb", 2);
+    EXPECT_NO_THROW(s.runAll(spec.opts));
+}
+
+// ----------------------------- exit-code <-> status mapping pins
+
+TEST(MscdProtocol, SummaryStatusAndSweepExitCodesCannotDisagree)
+{
+    // The shared mapping, pinned value by value.
+    EXPECT_STREQ(report::sweepStatusName(report::EXIT_SWEEP_CLEAN),
+                 "ok");
+    EXPECT_STREQ(report::sweepStatusName(report::EXIT_SWEEP_FAILED),
+                 "failed");
+    EXPECT_STREQ(report::sweepStatusName(report::EXIT_SWEEP_PARTIAL),
+                 "partial");
+    EXPECT_STREQ(report::sweepStatusName(42), "?");
+
+    // A mixed sweep through the daemon path: the summary frame must
+    // carry exactly sweepExitCode's verdict on the same records.
+    report::RunRecord ok_rec;
+    report::RunRecord bad_rec;
+    bad_rec.error.kind = ErrorKind::BudgetFuel;
+    std::vector<report::RunRecord> mixed = {ok_rec, bad_rec};
+
+    report::Json sum =
+        summaryFrame("x", mixed, pipeline::CacheStats{}, 0);
+    int exit_code = report::sweepExitCode(mixed);
+    EXPECT_EQ(exit_code, report::EXIT_SWEEP_PARTIAL);
+    EXPECT_EQ(sum.get("exit_code").asInt(), exit_code);
+    EXPECT_EQ(sum.get("status").asString(),
+              report::sweepStatusName(exit_code));
+    EXPECT_TRUE(sum.get("partial").asBool());
+    EXPECT_EQ(sum.get("errors").asUInt(), 1u);
+}
+
+// ----------------------------------- byte-identity with msctool
+
+TEST(MscdServer, SweepCellsReassembleToTheMsctoolDocument)
+{
+    std::vector<report::Json> frames = serveScript(frameBytes(
+        "{\"id\":\"s\",\"kind\":\"sweep\","
+        "\"workloads\":[\"compress\"],"
+        "\"strategies\":[\"bb\",\"cf\"],\"pus\":[2],"
+        "\"scale\":\"small\",\"insts\":10000}"));
+
+    std::vector<report::Json> runs(2);
+    size_t cells = 0;
+    for (auto &f : frames)
+        if (f.get("type").asString() == "cell") {
+            ++cells;
+            EXPECT_EQ(f.get("total").asUInt(), 2u);
+            runs.at(f.get("index").asUInt()) = f.get("run");
+        }
+    ASSERT_EQ(cells, 2u);
+
+    // The exact document msctool sweep --json emits for this grid.
+    report::SweepRunner runner(1);
+    std::vector<report::RunRecord> recs =
+        runner.run({smallSpec("compress", "bb", 2),
+                    smallSpec("compress", "cf", 2)});
+    EXPECT_EQ(report::sweepDocFromRuns(std::move(runs)).dump(2),
+              report::sweepToJson(recs).dump(2));
+}
+
+// -------------------------------------------------- stage keys
+
+TEST(MscdDispatch, StageKeyTracksOptionsNotBudgets)
+{
+    pipeline::Session s(test::makeLoopProgram(100));
+    report::RunSpec a = smallSpec("compress", "bb", 2);
+    report::RunSpec b = smallSpec("compress", "bb", 4);
+
+    uint64_t ka = s.stageKey(pipeline::StageKind::Simulate, a.opts);
+    EXPECT_EQ(ka, s.stageKey(pipeline::StageKind::Simulate, a.opts));
+    EXPECT_NE(ka, s.stageKey(pipeline::StageKind::Simulate, b.opts));
+
+    // Budgets are outside artifact keys by design (the dispatcher
+    // mixes them in separately).
+    report::RunSpec budgeted = a;
+    budgeted.opts.budget.maxFuel = 12345;
+    EXPECT_EQ(ka, s.stageKey(pipeline::StageKind::Simulate,
+                             budgeted.opts));
+}
