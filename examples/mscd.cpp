@@ -15,6 +15,9 @@
  * Options:
  *   --jobs N         Worker threads executing cells (default:
  *                    hardware concurrency).
+ *   --log-json       Emit one structured JSON log line per request
+ *                    lifecycle event on stderr
+ *                    (docs/OBSERVABILITY.md).
  *   --cache-dir DIR  Persist stage artifacts on disk, shared by every
  *                    request (same format as `msctool sweep
  *                    --cache-dir`).
@@ -22,6 +25,9 @@
  *   --timeout-ms N / --max-fuel N / --max-cycles N
  *                    Default per-cell ExecBudget; a request's
  *                    `budget` object overrides per field.
+ *   --version        Print the protocol version and the schema
+ *                    versions of every document the daemon can emit,
+ *                    then exit 0.
  *
  * Exit code 0 on clean shutdown (end-of-stream in --stdio mode,
  * SIGINT/SIGTERM in listener modes), 1 on setup failure or bad usage.
@@ -36,6 +42,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/taskprof.h"
+#include "report/record.h"
 #include "serve/server.h"
 
 using namespace msc;
@@ -60,10 +68,26 @@ usage()
         "usage: mscd --stdio | --unix PATH | --tcp PORT\n"
         "            [--jobs N] [--cache-dir DIR] [--max-frame N]\n"
         "            [--timeout-ms N] [--max-fuel N] [--max-cycles N]\n"
+        "            [--log-json]\n"
+        "       mscd --version\n"
         "\n"
         "Serve msc pipeline requests over a length-prefixed JSON\n"
         "protocol (docs/DAEMON.md).\n");
     return 1;
+}
+
+int
+printVersion(const char *prog)
+{
+    std::printf("%s protocol %d\n"
+                "  %s schema v%d\n"
+                "  %s schema v%d\n"
+                "  %s schema v%d\n",
+                prog, serve::PROTOCOL_VERSION, report::SCHEMA_NAME,
+                report::SCHEMA_VERSION, obs::TASKPROF_SCHEMA_NAME,
+                obs::TASKPROF_SCHEMA_VERSION, obs::METRICS_SCHEMA_NAME,
+                obs::METRICS_SCHEMA_VERSION);
+    return 0;
 }
 
 } // anonymous namespace
@@ -88,8 +112,12 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (a == "--stdio") {
+        if (a == "--version") {
+            return printVersion("mscd");
+        } else if (a == "--stdio") {
             mode = Mode::Stdio;
+        } else if (a == "--log-json") {
+            cfg.logJson = true;
         } else if (const char *v = arg("--unix")) {
             mode = Mode::Unix;
             unix_path = v;

@@ -45,6 +45,18 @@
  *       msc.taskprof attribution profile, print the hot-tasks table
  *       (docs/TRACING.md). --check re-parses the emitted trace and
  *       verifies the span-vs-SimStats accounting invariant.
+ *   msctool stats (--unix PATH | --tcp PORT | --stdio)
+ *               [--json | --prom]
+ *       Query a live mscd for its telemetry snapshot via the `stats`
+ *       protocol verb (docs/OBSERVABILITY.md): counters, gauges, and
+ *       latency histograms as a table, the raw `msc.metrics` JSON
+ *       document (--json), or Prometheus text exposition (--prom).
+ *       With --stdio the wire is the stdin/stdout pair (for piping
+ *       through a spawned `mscd --stdio`), so the rendering goes to
+ *       stderr instead of stdout.
+ *   msctool version
+ *       Print the daemon protocol version and the schema versions of
+ *       every structured document this build emits.
  *
  * Files with a `.mir` extension are parsed with ir::parseProgram, so
  * hand-written programs work everywhere a workload name does.
@@ -57,11 +69,17 @@
 #include <string>
 #include <vector>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include "arch/stats.h"
 #include "fuzz/campaign.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "obs/crosscheck.h"
+#include "obs/metrics.h"
 #include "obs/perfetto.h"
 #include "obs/phase.h"
 #include "obs/taskprof.h"
@@ -70,6 +88,8 @@
 #include "report/record.h"
 #include "report/sweep.h"
 #include "runtime/budget.h"
+#include "serve/frame.h"
+#include "serve/protocol.h"
 #include "workloads/workload.h"
 
 using namespace msc;
@@ -580,6 +600,166 @@ cmdFuzz(int argc, char **argv)
     return r.ok() ? 0 : 1;
 }
 
+int
+cmdVersion()
+{
+    std::printf("msctool protocol %d\n"
+                "  %s schema v%d\n"
+                "  %s schema v%d\n"
+                "  %s schema v%d\n",
+                serve::PROTOCOL_VERSION, report::SCHEMA_NAME,
+                report::SCHEMA_VERSION, obs::TASKPROF_SCHEMA_NAME,
+                obs::TASKPROF_SCHEMA_VERSION, obs::METRICS_SCHEMA_NAME,
+                obs::METRICS_SCHEMA_VERSION);
+    return 0;
+}
+
+/** Renders a `msc.metrics` document as a human table: counters and
+ *  gauges name/value, histograms count/sum/mean. */
+void
+renderStatsTable(std::FILE *out, const report::Json &m)
+{
+    std::fprintf(out, "counters:\n");
+    for (const auto &kv : m.get("counters").members())
+        std::fprintf(out, "  %-40s %12llu\n", kv.first.c_str(),
+                     (unsigned long long)kv.second.asUInt());
+    std::fprintf(out, "gauges:\n");
+    for (const auto &kv : m.get("gauges").members())
+        std::fprintf(out, "  %-40s %12lld\n", kv.first.c_str(),
+                     (long long)kv.second.asInt());
+    std::fprintf(out, "histograms:%36s %12s %12s\n", "count", "sum",
+                 "mean");
+    for (const auto &kv : m.get("histograms").members()) {
+        uint64_t count = kv.second.get("count").asUInt();
+        double sum = kv.second.get("sum").asDouble();
+        std::fprintf(out, "  %-40s %12llu %12.0f %12.1f\n",
+                     kv.first.c_str(), (unsigned long long)count, sum,
+                     count ? sum / double(count) : 0.0);
+    }
+}
+
+int
+cmdStats(int argc, char **argv)
+{
+    std::string unix_path;
+    long tcp_port = 0;
+    bool stdio = false, raw_json = false, prom = false;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        auto arg = [&](const char *name) -> const char * {
+            if (a != name)
+                return nullptr;
+            if (i + 1 >= argc)
+                throw std::runtime_error(std::string(name) +
+                                         " needs a value");
+            return argv[++i];
+        };
+        if (const char *v = arg("--unix")) {
+            unix_path = v;
+        } else if (const char *v2 = arg("--tcp")) {
+            tcp_port = atol(v2);
+            if (tcp_port < 1 || tcp_port > 65535)
+                throw std::runtime_error("bad --tcp port " +
+                                         std::string(v2));
+        } else if (a == "--stdio") {
+            stdio = true;
+        } else if (a == "--json") {
+            raw_json = true;
+        } else if (a == "--prom") {
+            prom = true;
+        } else {
+            throw std::runtime_error("unknown flag " + a);
+        }
+    }
+    if (int(stdio) + int(!unix_path.empty()) + int(tcp_port != 0) != 1)
+        throw std::runtime_error(
+            "stats needs exactly one of --unix PATH, --tcp PORT, "
+            "--stdio");
+
+    int sock = -1, fd_in = 0, fd_out = 1;
+    if (!unix_path.empty()) {
+        sockaddr_un addr{};
+        if (unix_path.size() >= sizeof addr.sun_path)
+            throw std::runtime_error("socket path too long: " +
+                                     unix_path);
+        sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (sock < 0)
+            throw std::runtime_error("socket() failed");
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, unix_path.c_str(),
+                    unix_path.size() + 1);
+        if (::connect(sock, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) < 0) {
+            ::close(sock);
+            throw std::runtime_error("cannot connect to " + unix_path);
+        }
+        fd_in = fd_out = sock;
+    } else if (tcp_port) {
+        sock = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (sock < 0)
+            throw std::runtime_error("socket() failed");
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(uint16_t(tcp_port));
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(sock, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) < 0) {
+            ::close(sock);
+            throw std::runtime_error(
+                "cannot connect to 127.0.0.1:" +
+                std::to_string(tcp_port));
+        }
+        fd_in = fd_out = sock;
+    }
+    // With --stdio the wire owns stdout, so the rendering must not
+    // corrupt it.
+    std::FILE *out = stdio ? stderr : stdout;
+
+    report::Json req = report::Json::object();
+    req["id"] = "stats-cli";
+    req["kind"] = "stats";
+    if (prom)
+        req["format"] = "prometheus";
+
+    int rc = 1;
+    serve::FdTransport t(fd_in, fd_out);
+    serve::writeFrame(t, req.dump());
+    while (true) {
+        serve::FrameResult fr = serve::readFrame(t);
+        if (fr.status != serve::FrameStatus::Ok) {
+            std::fprintf(stderr, "msctool: connection closed before a "
+                                 "stats result arrived\n");
+            break;
+        }
+        report::Json doc = report::Json::parse(fr.payload);
+        const report::Json *id = doc.find("id");
+        if (!id || *id != report::Json("stats-cli"))
+            continue;  // a frame from some other in-flight request
+        const std::string &type = doc.get("type").asString();
+        if (type == "error") {
+            std::fprintf(stderr, "msctool: stats failed: %s\n",
+                         doc.dump().c_str());
+            break;
+        }
+        if (type != "result")
+            continue;
+        if (prom)
+            std::fprintf(out, "%s",
+                         doc.get("prometheus").asString().c_str());
+        else if (raw_json)
+            std::fprintf(out, "%s\n",
+                         doc.get("metrics").dump(2).c_str());
+        else
+            renderStatsTable(out, doc.get("metrics"));
+        rc = 0;
+        break;
+    }
+    if (sock >= 0)
+        ::close(sock);
+    return rc;
+}
+
 } // anonymous namespace
 
 int
@@ -600,6 +780,10 @@ main(int argc, char **argv)
             return cmdFuzz(argc - 2, argv + 2);
         if (argc >= 3 && std::strcmp(argv[1], "trace") == 0)
             return cmdTrace(argc - 2, argv + 2);
+        if (argc >= 2 && std::strcmp(argv[1], "stats") == 0)
+            return cmdStats(argc - 2, argv + 2);
+        if (argc >= 2 && std::strcmp(argv[1], "version") == 0)
+            return cmdVersion();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "msctool: %s\n", e.what());
         return 1;
@@ -631,6 +815,9 @@ main(int argc, char **argv)
                  "              [--pus N] [--strategy bb|cf|dd]\n"
                  "              [--in-order] [--size] [--targets N]\n"
                  "              [--insts N] [--top N] [--phase-times]\n"
-                 "              [--check] [--core cycle|event]\n");
+                 "              [--check] [--core cycle|event]\n"
+                 "       msctool stats  (--unix PATH | --tcp PORT |\n"
+                 "              --stdio) [--json | --prom]\n"
+                 "       msctool version\n");
     return 2;
 }

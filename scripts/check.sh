@@ -9,7 +9,12 @@
 # most likely to trip. The daemon conformance suite (label `daemon`,
 # docs/DAEMON.md) gets the same explicit gate: framing/protocol edge
 # cases plus the daemon_smoke end-to-end byte-identity check, rerun
-# under ASan (threaded dispatcher) and UBSan.
+# under ASan (threaded dispatcher) and UBSan. The telemetry suite
+# (label `metrics`, docs/OBSERVABILITY.md) gates the same way: the
+# registry unit tests plus the stats-verb conformance and live
+# msctool-stats round trips, rerun under both sanitizers (the metrics
+# hot path is lock-free atomics — exactly where a race or overflow
+# would hide).
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --fast     # optimized tier1 only (no sanitizers)
@@ -44,6 +49,14 @@ if [[ -z "$daemon_count" || "$daemon_count" -lt 2 ]]; then
     exit 1
 fi
 run ctest --test-dir build -L daemon --output-on-failure
+metrics_count=$(ctest --test-dir build -L metrics -N 2>/dev/null |
+    sed -n 's/^Total Tests: //p')
+if [[ -z "$metrics_count" || "$metrics_count" -lt 2 ]]; then
+    echo "error: metrics label matches ${metrics_count:-0} tests" \
+         "(expected >= 2) — check tests/CMakeLists.txt labels" >&2
+    exit 1
+fi
+run ctest --test-dir build -L metrics --output-on-failure
 run ctest --test-dir build -L smoke --output-on-failure
 
 # Stage 1b: the two-core performance contract (docs/PERFORMANCE.md).
@@ -66,6 +79,7 @@ run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan -L tier1 -j "$JOBS" --output-on-failure
 run ctest --test-dir build-asan -L daemon --output-on-failure
+run ctest --test-dir build-asan -L metrics --output-on-failure
 run ctest --test-dir build-asan -L smoke --output-on-failure
 
 # Stage 3: standalone UBSan at optimization (catches overflow UB the
@@ -75,6 +89,7 @@ run cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 run cmake --build build-ubsan -j "$JOBS"
 run ctest --test-dir build-ubsan -L robust -j "$JOBS" --output-on-failure
 run ctest --test-dir build-ubsan -L daemon -j "$JOBS" --output-on-failure
+run ctest --test-dir build-ubsan -L metrics -j "$JOBS" --output-on-failure
 run ctest --test-dir build-ubsan -L fuzz -j "$JOBS" --output-on-failure
 
 echo "== all checks passed"

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msc {
+namespace obs {
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : _bounds(std::move(bounds))
+{
+    if (_bounds.empty())
+        _bounds = MetricsRegistry::latencyBucketsUs();
+    for (size_t i = 1; i < _bounds.size(); ++i)
+        if (_bounds[i] <= _bounds[i - 1])
+            throw std::invalid_argument(
+                "histogram bounds must be strictly increasing");
+    _counts = std::make_unique<std::atomic<uint64_t>[]>(
+        _bounds.size() + 1);
+    for (size_t i = 0; i <= _bounds.size(); ++i)
+        _counts[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(uint64_t value)
+{
+    // First bucket whose upper bound >= value; past-the-end is the
+    // implicit +Inf bucket.
+    size_t i = size_t(std::lower_bound(_bounds.begin(), _bounds.end(),
+                                       value) -
+                      _bounds.begin());
+    _counts[i].fetch_add(1, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    _sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto &slot = _counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto &slot = _gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<uint64_t> bounds)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto &slot = _histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+void
+MetricsRegistry::gaugeCallback(const std::string &name,
+                               std::function<int64_t()> read)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    _callbacks[name] = std::move(read);
+}
+
+const std::vector<uint64_t> &
+MetricsRegistry::latencyBucketsUs()
+{
+    static const std::vector<uint64_t> bounds = {
+        100,       250,       500,        1'000,     2'500,
+        5'000,     10'000,    25'000,     50'000,    100'000,
+        250'000,   500'000,   1'000'000,  2'500'000, 5'000'000,
+        10'000'000};
+    return bounds;
+}
+
+report::Json
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+
+    report::Json doc = report::Json::object();
+    doc["schema"] = METRICS_SCHEMA_NAME;
+    doc["schema_version"] = METRICS_SCHEMA_VERSION;
+
+    report::Json counters = report::Json::object();
+    for (const auto &[name, c] : _counters)
+        counters[name] = c->value();
+    doc["counters"] = std::move(counters);
+
+    report::Json gauges = report::Json::object();
+    for (const auto &[name, g] : _gauges)
+        gauges[name] = g->value();
+    for (const auto &[name, read] : _callbacks)
+        gauges[name] = read();
+    doc["gauges"] = std::move(gauges);
+
+    report::Json histograms = report::Json::object();
+    for (const auto &[name, h] : _histograms) {
+        report::Json hj = report::Json::object();
+        hj["count"] = h->count();
+        hj["sum"] = h->sum();
+        report::Json buckets = report::Json::array();
+        uint64_t cum = 0;
+        for (size_t i = 0; i <= h->bounds().size(); ++i) {
+            cum += h->bucketCount(i);
+            report::Json b = report::Json::object();
+            if (i < h->bounds().size())
+                b["le"] = h->bounds()[i];
+            else
+                b["le"] = "+Inf";
+            b["count"] = cum;
+            buckets.push(std::move(b));
+        }
+        hj["buckets"] = std::move(buckets);
+        histograms[name] = std::move(hj);
+    }
+    doc["histograms"] = std::move(histograms);
+    return doc;
+}
+
+namespace {
+
+/** Prometheus metric-name charset: [a-zA-Z0-9_] (we never emit a
+ *  leading digit because registered names never start with one). */
+std::string
+promName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out)
+        if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9')))
+            c = '_';
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+MetricsRegistry::toPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    std::string out;
+
+    for (const auto &[name, c] : _counters) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " counter\n";
+        out += n + " " + std::to_string(c->value()) + "\n";
+    }
+    for (const auto &[name, g] : _gauges) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " gauge\n";
+        out += n + " " + std::to_string(g->value()) + "\n";
+    }
+    for (const auto &[name, read] : _callbacks) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " gauge\n";
+        out += n + " " + std::to_string(read()) + "\n";
+    }
+    for (const auto &[name, h] : _histograms) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " histogram\n";
+        uint64_t cum = 0;
+        for (size_t i = 0; i <= h->bounds().size(); ++i) {
+            cum += h->bucketCount(i);
+            std::string le =
+                i < h->bounds().size()
+                    ? std::to_string(h->bounds()[i])
+                    : std::string("+Inf");
+            out += n + "_bucket{le=\"" + le + "\"} " +
+                   std::to_string(cum) + "\n";
+        }
+        out += n + "_sum " + std::to_string(h->sum()) + "\n";
+        out += n + "_count " + std::to_string(h->count()) + "\n";
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace msc

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Service-level telemetry for the host process: a registry of named
+ * counters, gauges, and fixed-bucket histograms (docs/OBSERVABILITY.md).
+ *
+ * This is the *service* half of src/obs: PR 3's TraceSink instruments
+ * the simulated machine (cycle-accurate spans inside one run), this
+ * registry instruments the daemon serving those runs — request rates,
+ * queue depths, latency distributions. The two never mix: registry
+ * snapshots are served on demand (`stats` verb) or printed to stderr,
+ * so `msc.sweep` documents on stdout stay byte-deterministic.
+ *
+ * Concurrency contract:
+ *
+ *  - registration (counter()/gauge()/histogram()) takes the registry
+ *    mutex and is compute-once: the first call for a name creates the
+ *    metric, every later call (any thread) returns the same object;
+ *  - the hot path — Counter::inc, Gauge::set/add, Histogram::observe
+ *    — is a relaxed atomic op on a stable object, no locks; metric
+ *    references never invalidate for the life of the registry;
+ *  - snapshots (toJson()/toPrometheus()) iterate under the mutex and
+ *    read each atomic once. Values from different metrics may be
+ *    skewed by concurrent updates (there is no global epoch), but a
+ *    quiescent registry snapshots deterministically: same ops, same
+ *    bytes (tests/test_metrics.cc).
+ *
+ * Metric names are dotted paths (`mscd.requests.run`); the Prometheus
+ * renderer maps every non-[a-zA-Z0-9_] byte to '_'. The JSON snapshot
+ * is the versioned `msc.metrics` schema v1:
+ *
+ *   {"schema": "msc.metrics", "schema_version": 1,
+ *    "counters":   {"name": <uint>, ...},
+ *    "gauges":     {"name": <int>, ...},
+ *    "histograms": {"name": {"count", "sum",
+ *                            "buckets": [{"le", "count"}, ...]}, ...}}
+ *
+ * Histogram bucket counts are cumulative (Prometheus semantics): each
+ * bucket counts observations <= its upper bound `le`; the last bucket
+ * has `le: "+Inf"` and equals `count`.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+
+namespace msc {
+namespace obs {
+
+/** `msc.metrics` schema version (bump on any field rename). */
+constexpr int METRICS_SCHEMA_VERSION = 1;
+
+/** Schema identifier emitted as `schema`. */
+constexpr const char *METRICS_SCHEMA_NAME = "msc.metrics";
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void inc(uint64_t n = 1)
+    {
+        _v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const
+    {
+        return _v.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> _v{0};
+};
+
+/** Instantaneous level (queue depth, busy workers); can go down. */
+class Gauge
+{
+  public:
+    void set(int64_t v) { _v.store(v, std::memory_order_relaxed); }
+    void add(int64_t d) { _v.fetch_add(d, std::memory_order_relaxed); }
+
+    int64_t value() const
+    {
+        return _v.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> _v{0};
+};
+
+/**
+ * Fixed-bucket histogram. Bounds are strictly increasing upper
+ * bounds fixed at registration; an implicit +Inf bucket catches the
+ * overflow. observe(v) lands in the FIRST bucket whose bound >= v —
+ * a value exactly on a boundary belongs to that boundary's bucket
+ * (`le` semantics, tested edge-by-edge in tests/test_metrics.cc).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<uint64_t> bounds);
+
+    void observe(uint64_t value);
+
+    const std::vector<uint64_t> &bounds() const { return _bounds; }
+
+    /** Per-bucket (NON-cumulative) count; index bounds().size() is
+     *  the +Inf bucket. */
+    uint64_t bucketCount(size_t i) const
+    {
+        return _counts[i].load(std::memory_order_relaxed);
+    }
+
+    uint64_t count() const
+    {
+        return _count.load(std::memory_order_relaxed);
+    }
+
+    uint64_t sum() const
+    {
+        return _sum.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<uint64_t> _bounds;
+    std::unique_ptr<std::atomic<uint64_t>[]> _counts;
+    std::atomic<uint64_t> _count{0};
+    std::atomic<uint64_t> _sum{0};
+};
+
+/**
+ * The process-wide metric namespace. One registry per served process
+ * (the Server owns it); tests build their own. All methods are
+ * thread-safe; returned references are stable for the registry's
+ * lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Returns the counter named @p name, creating it on first use. */
+    Counter &counter(const std::string &name);
+
+    /** Returns the gauge named @p name, creating it on first use. */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Returns the histogram named @p name, creating it with @p bounds
+     * on first use. Later calls return the existing histogram and
+     * IGNORE @p bounds (compute-once: the first registration wins);
+     * empty bounds default to latencyBucketsUs().
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<uint64_t> bounds = {});
+
+    /**
+     * Registers a gauge whose value is computed by @p read at
+     * snapshot time — for levels owned elsewhere (e.g. the session
+     * pool's cumulative cache counters). @p read must stay callable
+     * until the registry is destroyed or the callback re-registered;
+     * re-registering a name replaces the callback.
+     */
+    void gaugeCallback(const std::string &name,
+                       std::function<int64_t()> read);
+
+    /** Snapshot as the `msc.metrics` v1 document (schema above).
+     *  Names iterate sorted, so output is deterministic. */
+    report::Json toJson() const;
+
+    /** Snapshot in the Prometheus text exposition format (metric
+     *  names sanitized, histogram buckets cumulative with a final
+     *  le="+Inf", plus _sum/_count series). */
+    std::string toPrometheus() const;
+
+    /** Default latency bucket upper bounds in microseconds: 100us ..
+     *  10s roughly geometrically, covering sub-ms cache hits through
+     *  multi-second paper-scale sweeps. */
+    static const std::vector<uint64_t> &latencyBucketsUs();
+
+  private:
+    mutable std::mutex _mu;
+    // std::map keeps snapshots name-sorted; unique_ptr keeps metric
+    // addresses stable across registrations.
+    std::map<std::string, std::unique_ptr<Counter>> _counters;
+    std::map<std::string, std::unique_ptr<Gauge>> _gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> _histograms;
+    std::map<std::string, std::function<int64_t()>> _callbacks;
+};
+
+} // namespace obs
+} // namespace msc

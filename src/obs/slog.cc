@@ -1,0 +1,40 @@
+#include "obs/slog.h"
+
+namespace msc {
+namespace obs {
+
+void
+JsonLogger::event(const char *event, report::Json fields)
+{
+    if (!_enabled)
+        return;
+
+    auto now = std::chrono::steady_clock::now();
+    uint64_t t_us = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now - _start)
+            .count());
+    uint64_t ts_ms = uint64_t(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+
+    // `ev` leads the line for grep-ability; the caller's fields keep
+    // their insertion order after the stamps.
+    report::Json line = report::Json::object();
+    line["ev"] = event;
+    line["ts_ms"] = ts_ms;
+    line["t_us"] = t_us;
+    if (fields.kind() == report::Json::Kind::Object)
+        for (const auto &[k, v] : fields.members())
+            line[k] = v;
+
+    std::string text = line.dump();
+    text.push_back('\n');
+    std::lock_guard<std::mutex> lock(_mu);
+    std::fwrite(text.data(), 1, text.size(), _out);
+    std::fflush(_out);
+}
+
+} // namespace obs
+} // namespace msc

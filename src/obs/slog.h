@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Request-scoped structured logging for the host service: one compact
+ * JSON object per lifecycle event, one line each, on a stream that is
+ * NOT stdout (docs/OBSERVABILITY.md documents the line format).
+ *
+ * The logger is opt-in (`mscd --log-json`) and deliberately dumb: the
+ * caller builds the event's field object, the logger stamps it with
+ * the event name, a wall-clock timestamp (`ts_ms`, Unix epoch
+ * milliseconds) and a monotonic offset (`t_us`, microseconds since
+ * logger construction), serializes compactly, and writes the line
+ * under a mutex so concurrent request threads never interleave bytes.
+ *
+ * A disabled logger (the default) reduces every call to one branch —
+ * the structured-result byte-determinism contract is unaffected
+ * either way because log lines never go to stdout.
+ *
+ * Events are correlated by `rid`, the server-minted per-frame
+ * RequestId ("r1", "r2", ... in arrival order on the process), which
+ * callers thread through dispatcher and worker threads; the client's
+ * own `id` field travels alongside as `req`.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "report/json.h"
+
+namespace msc {
+namespace obs {
+
+class JsonLogger
+{
+  public:
+    /** @p out is borrowed, not owned (stderr in the daemon). */
+    explicit JsonLogger(bool enabled = false, std::FILE *out = stderr)
+        : _enabled(enabled), _out(out),
+          _start(std::chrono::steady_clock::now())
+    {}
+
+    JsonLogger(const JsonLogger &) = delete;
+    JsonLogger &operator=(const JsonLogger &) = delete;
+
+    bool enabled() const { return _enabled; }
+
+    /**
+     * Emits one line: @p fields (an object; moved from) extended with
+     * `ev` = @p event, `ts_ms`, and `t_us`. No-op when disabled.
+     */
+    void event(const char *event, report::Json fields);
+
+  private:
+    bool _enabled;
+    std::FILE *_out;
+    std::chrono::steady_clock::time_point _start;
+    std::mutex _mu;
+};
+
+} // namespace obs
+} // namespace msc

@@ -1,6 +1,9 @@
 #include "serve/dispatch.h"
 
+#include <chrono>
+
 #include "pipeline/hash.h"
+#include "runtime/error.h"
 #include "workloads/workload.h"
 
 namespace msc {
@@ -44,6 +47,32 @@ readyFuture(report::RunRecord rec)
 
 Dispatcher::Dispatcher(Config cfg) : _pool(std::move(cfg.session))
 {
+    _log = cfg.log;
+    if (cfg.metrics) {
+        // Pre-registered so the worker/submit hot paths touch stable
+        // atomics, never the registry mutex.
+        _queueDepth = &cfg.metrics->gauge("mscd.dispatch.queue_depth");
+        _workersBusy =
+            &cfg.metrics->gauge("mscd.dispatch.workers_busy");
+        _cellsInflight =
+            &cfg.metrics->gauge("mscd.dispatch.cells_inflight");
+        _cellsSubmitted =
+            &cfg.metrics->counter("mscd.dispatch.cells_submitted");
+        _dedupHits = &cfg.metrics->counter("mscd.dispatch.dedup_hits");
+        // Cache traffic is owned by the pool's KeyedCaches; surface
+        // it as snapshot-time callback gauges so the `stats` verb and
+        // the summary frame can never drift apart on meaning.
+        cfg.metrics->gaugeCallback("mscd.cache.computed", [this] {
+            return int64_t(_pool.stats().computed());
+        });
+        cfg.metrics->gaugeCallback("mscd.cache.hits", [this] {
+            return int64_t(_pool.stats().hits());
+        });
+        cfg.metrics->gaugeCallback("mscd.cache.disk_hits", [this] {
+            return int64_t(_pool.stats().diskHits());
+        });
+    }
+
     unsigned n = cfg.jobs;
     if (n == 0) {
         n = std::thread::hardware_concurrency();
@@ -80,7 +109,13 @@ Dispatcher::workerLoop()
             job = std::move(_queue.front());
             _queue.pop_front();
         }
+        if (_queueDepth)
+            _queueDepth->add(-1);
+        if (_workersBusy)
+            _workersBusy->add(1);
         job();
+        if (_workersBusy)
+            _workersBusy->add(-1);
     }
 }
 
@@ -104,7 +139,8 @@ Dispatcher::executeCell(pipeline::Session &session,
 
 std::shared_future<report::RunRecord>
 Dispatcher::submit(const report::RunSpec &spec,
-                   const runtime::CancelToken *cancel)
+                   const runtime::CancelToken *cancel,
+                   const std::string &rid)
 {
     // Resolve the cell's identity: the Session's own simulate-stage
     // key (program bytes + every option field any stage reads) plus
@@ -128,6 +164,8 @@ Dispatcher::submit(const report::RunSpec &spec,
     } catch (...) {
         std::lock_guard<std::mutex> lock(_mu);
         ++_stats.cellsSubmitted;
+        if (_cellsSubmitted)
+            _cellsSubmitted->inc();
         return readyFuture(
             errorRecord(spec, std::current_exception()));
     }
@@ -136,24 +174,57 @@ Dispatcher::submit(const report::RunSpec &spec,
     {
         std::lock_guard<std::mutex> lock(_mu);
         ++_stats.cellsSubmitted;
+        if (_cellsSubmitted)
+            _cellsSubmitted->inc();
         auto it = _inflight.find(key);
         if (it != _inflight.end()) {
             ++_stats.dedupHits;
+            if (_dedupHits)
+                _dedupHits->inc();
             return it->second.future;
         }
         auto prom =
             std::make_shared<std::promise<report::RunRecord>>();
         fut = prom->get_future().share();
         _inflight.emplace(key, InFlight{fut});
-        _queue.push_back([this, prom, session, spec, cancel, key] {
+        if (_cellsInflight)
+            _cellsInflight->add(1);
+        _queue.push_back([this, prom, session, spec, cancel, key,
+                          rid] {
+            if (_log && _log->enabled()) {
+                report::Json f = report::Json::object();
+                f["rid"] = rid;
+                f["run"] = spec.id;
+                _log->event("cell.start", std::move(f));
+            }
+            auto t0 = std::chrono::steady_clock::now();
             report::RunRecord rec =
                 executeCell(*session, spec, cancel);
             {
                 std::lock_guard<std::mutex> lk(_mu);
                 _inflight.erase(key);
             }
+            if (_cellsInflight)
+                _cellsInflight->add(-1);
+            if (_log && _log->enabled()) {
+                report::Json f = report::Json::object();
+                f["rid"] = rid;
+                f["run"] = spec.id;
+                f["status"] = rec.ok() ? "ok" : "error";
+                if (!rec.ok())
+                    f["error_kind"] =
+                        runtime::errorKindId(rec.error.kind);
+                f["dur_us"] = uint64_t(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+                _log->event("cell.done", std::move(f));
+            }
             prom->set_value(std::move(rec));
         });
+        if (_queueDepth)
+            _queueDepth->add(1);
     }
     _cv.notify_one();
     return fut;
@@ -193,6 +264,19 @@ Dispatcher::stats() const
 {
     std::lock_guard<std::mutex> lock(_mu);
     return _stats;
+}
+
+ServiceSnapshot
+Dispatcher::snapshot() const
+{
+    // _mu freezes submit/dedup/complete bookkeeping while the pool's
+    // cache counters are read (lock order _mu -> pool._mu, the same
+    // order submit's callers establish; nothing takes them reversed).
+    std::lock_guard<std::mutex> lock(_mu);
+    ServiceSnapshot s;
+    s.dispatch = _stats;
+    s.cache = _pool.stats();
+    return s;
 }
 
 } // namespace serve

@@ -44,6 +44,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/slog.h"
 #include "pipeline/pool.h"
 #include "report/record.h"
 #include "runtime/budget.h"
@@ -59,6 +61,21 @@ struct DispatchStats
     uint64_t dedupHits = 0;       ///< Coalesced onto an in-flight cell.
 };
 
+/** The dispatcher-side counters of a summary frame, captured by one
+ *  Dispatcher::snapshot() call instead of two racy reads: dedup
+ *  counters freeze under the dispatcher lock (no submit or completion
+ *  can slip between the two members), then the pool's cumulative
+ *  cache counters are read under that same lock. Cells already
+ *  *executing* may still move cache counters mid-snapshot — stopping
+ *  the world is not worth it for telemetry — but the
+ *  submit/complete/dedup bookkeeping and the cache totals can no
+ *  longer disagree about which cells exist. */
+struct ServiceSnapshot
+{
+    pipeline::CacheStats cache;
+    DispatchStats dispatch;
+};
+
 class Dispatcher
 {
   public:
@@ -70,6 +87,17 @@ class Dispatcher
         /** Session configuration (on-disk cache dir) shared by every
          *  request. */
         pipeline::SessionConfig session;
+
+        /** Telemetry registry (nullable = the no-op fast path: no
+         *  gauge/counter traffic on the submit or worker paths). Must
+         *  outlive the dispatcher; the dispatcher registers cache-
+         *  counter callback gauges reading its own pool, so the
+         *  registry must not be snapshotted after the dispatcher is
+         *  destroyed. */
+        obs::MetricsRegistry *metrics = nullptr;
+
+        /** Structured request-lifecycle logger (nullable). */
+        obs::JsonLogger *log = nullptr;
     };
 
     explicit Dispatcher(Config cfg);
@@ -85,12 +113,17 @@ class Dispatcher
     /**
      * Schedules @p spec on the worker pool and returns the future
      * record. @p cancel (nullable, must outlive the returned future's
-     * completion) is polled by the cell's Governor. Never throws;
-     * failures resolve to error records with the workload attributed.
+     * completion) is polled by the cell's Governor. @p rid is the
+     * server-minted RequestId of the submitting request, threaded to
+     * the worker thread for cell-lifecycle log lines (a deduped cell
+     * keeps the FIRST submitter's rid, matching whose cancel token it
+     * runs under). Never throws; failures resolve to error records
+     * with the workload attributed.
      */
     std::shared_future<report::RunRecord>
     submit(const report::RunSpec &spec,
-           const runtime::CancelToken *cancel);
+           const runtime::CancelToken *cancel,
+           const std::string &rid = {});
 
     /// @name Cancellation registry (request id -> token).
     /// @{
@@ -106,10 +139,15 @@ class Dispatcher
     bool cancelRequest(const std::string &id);
     /// @}
 
-    /** The shared session pool (stats() for summary frames). */
+    /** The shared session pool. */
     pipeline::SessionPool &pool() { return _pool; }
 
     DispatchStats stats() const;
+
+    /** One-call consistent capture of the summary-frame counters
+     *  (see ServiceSnapshot) — use this, not stats() + pool().stats()
+     *  back to back. */
+    ServiceSnapshot snapshot() const;
 
   private:
     struct InFlight
@@ -118,13 +156,22 @@ class Dispatcher
     };
 
     void workerLoop();
-    void enqueue(std::function<void()> job);
 
     static report::RunRecord
     executeCell(pipeline::Session &session, report::RunSpec spec,
                 const runtime::CancelToken *cancel);
 
     pipeline::SessionPool _pool;
+
+    /// @name Telemetry (null in the uninstrumented fast path).
+    /// @{
+    obs::JsonLogger *_log = nullptr;
+    obs::Gauge *_queueDepth = nullptr;
+    obs::Gauge *_workersBusy = nullptr;
+    obs::Gauge *_cellsInflight = nullptr;
+    obs::Counter *_cellsSubmitted = nullptr;
+    obs::Counter *_dedupHits = nullptr;
+    /// @}
 
     mutable std::mutex _mu;
     std::deque<std::function<void()>> _queue;

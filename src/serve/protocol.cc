@@ -147,6 +147,20 @@ parseImpl(const std::string &payload, const RequestDefaults &defaults)
                 "most 256 bytes");
         return req;
     }
+    if (kind == "stats") {
+        req.kind = RequestKind::Stats;
+        const report::Json *fmt = doc.find("format");
+        if (fmt) {
+            if (fmt->kind() != report::Json::Kind::String ||
+                (fmt->asString() != "json" &&
+                 fmt->asString() != "prometheus"))
+                bad("field \"format\" must be \"json\" or "
+                    "\"prometheus\"");
+            if (fmt->asString() == "prometheus")
+                req.statsFormat = StatsFormat::Prometheus;
+        }
+        return req;
+    }
 
     bool sweep = kind == "sweep";
     if (kind == "run") {
@@ -157,8 +171,8 @@ parseImpl(const std::string &payload, const RequestDefaults &defaults)
         req.kind = RequestKind::Trace;
         req.includeTrace = boolField(doc, "include_trace", false);
     } else {
-        bad("unknown request kind \"" +
-            kind.substr(0, 64) + "\" (expected run|sweep|trace|cancel)");
+        bad("unknown request kind \"" + kind.substr(0, 64) +
+            "\" (expected run|sweep|trace|cancel|stats)");
     }
 
     // Grid axes. Single-cell kinds take scalar fields (workload,
@@ -232,6 +246,19 @@ parseImpl(const std::string &payload, const RequestDefaults &defaults)
 }
 
 } // anonymous namespace
+
+const char *
+verbName(RequestKind k)
+{
+    switch (k) {
+      case RequestKind::Run: return "run";
+      case RequestKind::Sweep: return "sweep";
+      case RequestKind::Trace: return "trace";
+      case RequestKind::Cancel: return "cancel";
+      case RequestKind::Stats: return "stats";
+    }
+    return "unknown";
+}
 
 bool
 utf8Valid(const std::string &s)
@@ -373,6 +400,30 @@ cancelResultFrame(const std::string &id, const std::string &target,
     f["kind"] = "cancel";
     f["target"] = target;
     f["found"] = found;
+    return f;
+}
+
+report::Json
+statsResultFrame(const std::string &id, report::Json metrics)
+{
+    report::Json f = report::Json::object();
+    f["id"] = id;
+    f["type"] = "result";
+    f["kind"] = "stats";
+    f["protocol_version"] = PROTOCOL_VERSION;
+    f["metrics"] = std::move(metrics);
+    return f;
+}
+
+report::Json
+statsResultFramePrometheus(const std::string &id, std::string text)
+{
+    report::Json f = report::Json::object();
+    f["id"] = id;
+    f["type"] = "result";
+    f["kind"] = "stats";
+    f["protocol_version"] = PROTOCOL_VERSION;
+    f["prometheus"] = std::move(text);
     return f;
 }
 

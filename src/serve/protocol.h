@@ -7,7 +7,7 @@
  *
  * Requests are one JSON object per frame:
  *
- *   {"id": "...", "kind": "run|sweep|trace|cancel", ...params}
+ *   {"id": "...", "kind": "run|sweep|trace|cancel|stats", ...params}
  *
  * Every malformed payload — not UTF-8, not JSON, not an object,
  * wrong field types, unknown kind, out-of-range values — throws
@@ -45,8 +45,9 @@
 namespace msc {
 namespace serve {
 
-/** Protocol revision emitted in summary/result frames. */
-constexpr int PROTOCOL_VERSION = 1;
+/** Protocol revision emitted in summary/result frames (v2 added the
+ *  `stats` verb; every v1 request remains valid). */
+constexpr int PROTOCOL_VERSION = 2;
 
 enum class RequestKind : uint8_t
 {
@@ -54,6 +55,19 @@ enum class RequestKind : uint8_t
     Sweep,   ///< workload x strategy x PU grid, streamed per cell.
     Trace,   ///< One cell with Perfetto timeline + task profile.
     Cancel,  ///< Cancel an in-flight request by id.
+    Stats,   ///< Live telemetry snapshot (`msc.metrics` document).
+};
+
+/** Stable lower-case verb name for @p k ("run", "sweep", ...), as
+ *  used in request payloads and per-verb metric names. */
+const char *verbName(RequestKind k);
+
+/** Rendering of a `stats` result requested via the optional `format`
+ *  field (default json). */
+enum class StatsFormat : uint8_t
+{
+    Json,        ///< `metrics`: the msc.metrics v1 document.
+    Prometheus,  ///< `prometheus`: text exposition as one string.
 };
 
 /** Upper bound on cells in one sweep request (DoS containment). */
@@ -75,6 +89,9 @@ struct Request
 
     /** Cancel: the id of the request to cancel. */
     std::string target;
+
+    /** Stats: how to render the snapshot in the result frame. */
+    StatsFormat statsFormat = StatsFormat::Json;
 };
 
 /** Server-side defaults merged into every parsed request. */
@@ -123,6 +140,16 @@ report::Json cancelResultFrame(const std::string &id,
 report::Json traceResultFrame(const std::string &id, report::Json run,
                               report::Json taskprof,
                               report::Json trace);
+
+/** `stats` result carrying the msc.metrics document (StatsFormat::
+ *  Json) — the `metrics` member is the document verbatim. */
+report::Json statsResultFrame(const std::string &id,
+                              report::Json metrics);
+
+/** `stats` result carrying the Prometheus text exposition
+ *  (StatsFormat::Prometheus) as the `prometheus` string member. */
+report::Json statsResultFramePrometheus(const std::string &id,
+                                        std::string text);
 /// @}
 
 /** True when @p s is well-formed UTF-8 (request payloads must be;

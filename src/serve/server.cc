@@ -14,14 +14,74 @@
 #include "obs/perfetto.h"
 #include "obs/taskprof.h"
 #include "obs/tracesink.h"
+#include "runtime/error.h"
 #include "workloads/workload.h"
 
 namespace msc {
 namespace serve {
 
+namespace {
+
+/** The server's registry/logger are injected into the dispatcher
+ *  config before the dispatcher is constructed. */
+Dispatcher::Config
+withTelemetry(Dispatcher::Config cfg, obs::MetricsRegistry *metrics,
+              obs::JsonLogger *log)
+{
+    cfg.metrics = metrics;
+    cfg.log = log;
+    return cfg;
+}
+
+} // anonymous namespace
+
 Server::Server(ServerConfig cfg)
-    : _cfg(std::move(cfg)), _dispatch(_cfg.dispatch)
-{}
+    : _cfg(std::move(cfg)), _log(_cfg.logJson),
+      _dispatch(withTelemetry(_cfg.dispatch, &_metrics, &_log))
+{
+    registerMetrics();
+}
+
+void
+Server::registerMetrics()
+{
+    _framesIn = &_metrics.counter("mscd.frames.in");
+    _framesOut = &_metrics.counter("mscd.frames.out");
+    _framesTruncated = &_metrics.counter("mscd.frames.truncated");
+    _framesOversize = &_metrics.counter("mscd.frames.oversize");
+    _reqMalformed = &_metrics.counter("mscd.requests.malformed");
+    _connAccepted = &_metrics.counter("mscd.connections.accepted");
+    _connClosed = &_metrics.counter("mscd.connections.closed");
+    _connErrors = &_metrics.counter("mscd.connections.errors");
+    _requestsInflight = &_metrics.gauge("mscd.requests.inflight");
+
+    static constexpr RequestKind verbs[] = {
+        RequestKind::Run, RequestKind::Sweep, RequestKind::Trace,
+        RequestKind::Cancel, RequestKind::Stats};
+    for (RequestKind k : verbs) {
+        VerbMetrics &vm = verbMetrics(k);
+        std::string verb = verbName(k);
+        vm.requests = &_metrics.counter("mscd.requests." + verb);
+        std::string base = "mscd.latency." + verb + ".";
+        bool pooled =
+            k == RequestKind::Run || k == RequestKind::Sweep;
+        if (pooled)
+            vm.dispatchUs = &_metrics.histogram(base + "dispatch_us");
+        if (pooled || k == RequestKind::Trace)
+            vm.firstFrameUs =
+                &_metrics.histogram(base + "first_frame_us");
+        vm.doneUs = &_metrics.histogram(base + "done_us");
+    }
+}
+
+uint64_t
+Server::sinceUs(Clock::time_point t0)
+{
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - t0)
+            .count());
+}
 
 void
 Server::sendFrame(Conn &conn, const report::Json &frame)
@@ -29,6 +89,7 @@ Server::sendFrame(Conn &conn, const report::Json &frame)
     std::string payload = frame.dump();
     std::lock_guard<std::mutex> lock(conn.mu);
     writeFrame(conn.t, payload);
+    _framesOut->inc();
 }
 
 void
@@ -44,16 +105,35 @@ Server::sendError(Conn &conn, const std::string &id,
 
 void
 Server::runRequest(Conn &conn, const Request &req,
-                   const std::shared_ptr<runtime::CancelToken> &token)
+                   const std::shared_ptr<runtime::CancelToken> &token,
+                   const std::string &rid, Clock::time_point t0)
 {
+    VerbMetrics &vm = verbMetrics(req.kind);
     try {
         if (req.kind == RequestKind::Trace) {
-            runTrace(conn, req, token);
+            runTrace(conn, req, token, t0);
+            vm.doneUs->observe(sinceUs(t0));
+            if (_log.enabled()) {
+                report::Json f = report::Json::object();
+                f["rid"] = rid;
+                f["status"] = "ok";
+                f["dur_us"] = sinceUs(t0);
+                _log.event("request.done", std::move(f));
+            }
         } else {
             std::vector<std::shared_future<report::RunRecord>> futs;
             futs.reserve(req.specs.size());
             for (const auto &spec : req.specs)
-                futs.push_back(_dispatch.submit(spec, token.get()));
+                futs.push_back(
+                    _dispatch.submit(spec, token.get(), rid));
+            vm.dispatchUs->observe(sinceUs(t0));
+            if (_log.enabled()) {
+                report::Json f = report::Json::object();
+                f["rid"] = rid;
+                f["cells"] = uint64_t(futs.size());
+                f["dur_us"] = sinceUs(t0);
+                _log.event("request.dispatch", std::move(f));
+            }
 
             // Stream cells in input order (the same order msctool
             // sweep prints and serializes) regardless of completion
@@ -66,19 +146,53 @@ Server::runRequest(Conn &conn, const Request &req,
                 sendFrame(conn,
                           cellFrame(req.id, i, futs.size(),
                                     report::runToJson(rec)));
+                if (i == 0) {
+                    vm.firstFrameUs->observe(sinceUs(t0));
+                    if (_log.enabled()) {
+                        report::Json f = report::Json::object();
+                        f["rid"] = rid;
+                        f["dur_us"] = sinceUs(t0);
+                        _log.event("request.first_frame",
+                                   std::move(f));
+                    }
+                }
                 records.push_back(std::move(rec));
             }
-            sendFrame(conn, summaryFrame(req.id, records,
-                                         _dispatch.pool().stats(),
-                                         _dispatch.stats().dedupHits));
+            // One consistent capture for the summary counters — not
+            // two sequential reads racing concurrent requests.
+            ServiceSnapshot snap = _dispatch.snapshot();
+            sendFrame(conn, summaryFrame(req.id, records, snap.cache,
+                                         snap.dispatch.dedupHits));
+            vm.doneUs->observe(sinceUs(t0));
+            if (_log.enabled()) {
+                int exit_code = report::sweepExitCode(records);
+                report::Json f = report::Json::object();
+                f["rid"] = rid;
+                f["status"] = report::sweepStatusName(exit_code);
+                f["cells"] = uint64_t(records.size());
+                f["dur_us"] = sinceUs(t0);
+                _log.event("request.done", std::move(f));
+            }
         }
     } catch (const runtime::StageError &e) {
+        if (_log.enabled()) {
+            report::Json f = report::Json::object();
+            f["rid"] = rid;
+            f["error_kind"] = runtime::errorKindId(e.info().kind);
+            _log.event("request.error", std::move(f));
+        }
         try {
             sendFrame(conn, errorFrame(req.id, e.info()));
         } catch (...) {
             // Write end is gone; nothing left to report to.
         }
     } catch (const std::exception &e) {
+        if (_log.enabled()) {
+            report::Json f = report::Json::object();
+            f["rid"] = rid;
+            f["error_kind"] = "internal";
+            _log.event("request.error", std::move(f));
+        }
         try {
             sendError(conn, req.id, runtime::ErrorKind::Internal,
                       e.what());
@@ -86,11 +200,13 @@ Server::runRequest(Conn &conn, const Request &req,
         }
     }
     _dispatch.unregisterRequest(req.id);
+    _requestsInflight->add(-1);
 }
 
 void
 Server::runTrace(Conn &conn, const Request &req,
-                 const std::shared_ptr<runtime::CancelToken> &token)
+                 const std::shared_ptr<runtime::CancelToken> &token,
+                 Clock::time_point t0)
 {
     // Trace cells bypass the worker pool and dedup: a sink is a side
     // effect, so pipeline::Session already bypasses the simulate
@@ -116,6 +232,8 @@ Server::runTrace(Conn &conn, const Request &req,
     report::Json trace;
     if (req.includeTrace)
         trace = writer.toJson();
+    verbMetrics(RequestKind::Trace)
+        .firstFrameUs->observe(sinceUs(t0));
     sendFrame(conn,
               traceResultFrame(
                   req.id, report::runToJson(rec),
@@ -127,14 +245,29 @@ Server::runTrace(Conn &conn, const Request &req,
 void
 Server::serveConnection(Transport &t)
 {
-    Conn conn{t};
+    Conn conn{t, _connSeq.fetch_add(1) + 1};
+    _connAccepted->inc();
+    if (_log.enabled()) {
+        report::Json f = report::Json::object();
+        f["conn"] = conn.id;
+        _log.event("conn.open", std::move(f));
+    }
+
     std::vector<std::thread> inflight;
 
     while (true) {
         FrameResult fr = readFrame(t, _cfg.maxFrame);
+        Clock::time_point t0 = Clock::now();
         if (fr.status == FrameStatus::Eof)
             break;
         if (fr.status == FrameStatus::Truncated) {
+            _framesTruncated->inc();
+            if (_log.enabled()) {
+                report::Json f = report::Json::object();
+                f["conn"] = conn.id;
+                f["kind"] = "truncated";
+                _log.event("frame.error", std::move(f));
+            }
             // The peer still gets a structured reply before the
             // (already half-closed) connection winds down.
             try {
@@ -146,20 +279,55 @@ Server::serveConnection(Transport &t)
             break;
         }
         if (fr.status == FrameStatus::Oversize) {
+            _framesOversize->inc();
+            if (_log.enabled()) {
+                report::Json f = report::Json::object();
+                f["conn"] = conn.id;
+                f["kind"] = "oversize";
+                f["declared"] = fr.declared;
+                _log.event("frame.error", std::move(f));
+            }
             sendError(conn, "", runtime::ErrorKind::InvalidInput,
                       "frame length " + std::to_string(fr.declared) +
                           " exceeds maximum " +
                           std::to_string(_cfg.maxFrame));
             continue;
         }
+        _framesIn->inc();
 
         Request req;
         try {
             req = parseRequest(fr.payload, _cfg.defaults);
         } catch (const runtime::StageError &e) {
+            _reqMalformed->inc();
+            if (_log.enabled()) {
+                report::Json f = report::Json::object();
+                f["conn"] = conn.id;
+                f["kind"] = "malformed";
+                _log.event("frame.error", std::move(f));
+            }
             sendFrame(conn, errorFrame(extractRequestId(fr.payload),
                                        e.info()));
             continue;
+        }
+
+        // The RequestId: minted per well-formed frame, in arrival
+        // order, before any handling — so per-verb counters are
+        // deterministic with respect to a later stats snapshot on
+        // the same connection.
+        std::string rid =
+            "r" + std::to_string(_reqSeq.fetch_add(1) + 1);
+        VerbMetrics &vm = verbMetrics(req.kind);
+        vm.requests->inc();
+        if (_log.enabled()) {
+            report::Json f = report::Json::object();
+            f["conn"] = conn.id;
+            f["rid"] = rid;
+            f["req"] = req.id;
+            f["verb"] = verbName(req.kind);
+            if (!req.specs.empty())
+                f["cells"] = uint64_t(req.specs.size());
+            _log.event("request.start", std::move(f));
         }
 
         if (req.kind == RequestKind::Cancel) {
@@ -168,6 +336,36 @@ Server::serveConnection(Transport &t)
             bool found = _dispatch.cancelRequest(req.target);
             sendFrame(conn,
                       cancelResultFrame(req.id, req.target, found));
+            vm.doneUs->observe(sinceUs(t0));
+            if (_log.enabled()) {
+                report::Json f = report::Json::object();
+                f["rid"] = rid;
+                f["target"] = req.target;
+                f["found"] = found;
+                f["dur_us"] = sinceUs(t0);
+                _log.event("request.done", std::move(f));
+            }
+            continue;
+        }
+
+        if (req.kind == RequestKind::Stats) {
+            // Inline too: a telemetry probe must not queue behind the
+            // work it observes. The verb counter above is already
+            // incremented, so the snapshot counts this request —
+            // deterministic for byte-exact test assertions.
+            sendFrame(conn,
+                      req.statsFormat == StatsFormat::Prometheus
+                          ? statsResultFramePrometheus(
+                                req.id, _metrics.toPrometheus())
+                          : statsResultFrame(req.id,
+                                             _metrics.toJson()));
+            vm.doneUs->observe(sinceUs(t0));
+            if (_log.enabled()) {
+                report::Json f = report::Json::object();
+                f["rid"] = rid;
+                f["dur_us"] = sinceUs(t0);
+                _log.event("request.done", std::move(f));
+            }
             continue;
         }
 
@@ -180,14 +378,22 @@ Server::serveConnection(Transport &t)
                           "\" is already in flight");
             continue;
         }
+        _requestsInflight->add(1);
         inflight.emplace_back(
-            [this, &conn, req = std::move(req), token] {
-                runRequest(conn, req, token);
+            [this, &conn, req = std::move(req), token, rid, t0] {
+                runRequest(conn, req, token, rid, t0);
             });
     }
 
     for (auto &th : inflight)
         th.join();
+
+    _connClosed->inc();
+    if (_log.enabled()) {
+        report::Json f = report::Json::object();
+        f["conn"] = conn.id;
+        _log.event("conn.close", std::move(f));
+    }
 }
 
 int
@@ -207,6 +413,7 @@ Server::serveListener(int listen_fd)
             try {
                 serveConnection(t);
             } catch (const std::exception &e) {
+                _connErrors->inc();
                 std::fprintf(stderr, "mscd: connection error: %s\n",
                              e.what());
             }

@@ -13,8 +13,10 @@
  * scripted StringTransports in-process. Per connection, a reader
  * loop decodes frames and dispatches:
  *
- *  - `cancel` is handled inline on the reader thread, so it can
- *    reach a request in flight on the same connection;
+ *  - `cancel` and `stats` are handled inline on the reader thread —
+ *    cancel so it can reach a request in flight on the same
+ *    connection, stats because a telemetry snapshot must not queue
+ *    behind the work it is meant to observe;
  *  - `run`/`sweep`/`trace` execute on a per-request thread that
  *    submits cells to the worker pool and streams response frames
  *    (cells in input order, then one summary) under the connection's
@@ -23,6 +25,18 @@
  *  - every malformed frame or payload produces exactly one `error`
  *    frame and the connection stays usable (frame.h documents the
  *    resync rules; tests/test_mscd.cc is the conformance suite).
+ *
+ * Telemetry (docs/OBSERVABILITY.md): the Server owns the process's
+ * obs::MetricsRegistry. The reader loop counts frames, per-verb
+ * requests, and malformed payloads in arrival order; request threads
+ * observe parse->dispatch/first-frame/done latency histograms; the
+ * Dispatcher keeps queue-depth/busy/in-flight gauges. The `stats`
+ * verb serves a snapshot of all of it as a `msc.metrics` v1 document
+ * — values only move on stderr or in stats results, so sweep
+ * documents on stdout remain byte-identical to `msctool sweep`.
+ * With ServerConfig::logJson, each request additionally emits
+ * structured JSON log lines (rid-correlated, one per lifecycle
+ * event) on stderr.
  *
  * Nothing a peer sends can crash the process or leak a worker: cell
  * failures become error records (dispatch.h), protocol failures
@@ -33,10 +47,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/slog.h"
 #include "serve/dispatch.h"
 #include "serve/frame.h"
 #include "serve/protocol.h"
@@ -53,6 +70,10 @@ struct ServerConfig
 
     /** Inbound frame-size cap. */
     uint32_t maxFrame = DEFAULT_MAX_FRAME;
+
+    /** Emit one structured JSON log line per request lifecycle event
+     *  on stderr (`mscd --log-json`; docs/OBSERVABILITY.md). */
+    bool logJson = false;
 };
 
 class Server
@@ -82,25 +103,72 @@ class Server
 
     Dispatcher &dispatcher() { return _dispatch; }
 
+    /** The process's telemetry registry (what the `stats` verb
+     *  snapshots); valid for the Server's lifetime. */
+    obs::MetricsRegistry &metrics() { return _metrics; }
+
   private:
+    using Clock = std::chrono::steady_clock;
+
     /** One connection's shared write end (frames must not tear). */
     struct Conn
     {
-        explicit Conn(Transport &tr) : t(tr) {}
+        Conn(Transport &tr, uint64_t n) : t(tr), id(n) {}
         Transport &t;
+        uint64_t id;  ///< Process-wide connection sequence (logs).
         std::mutex mu;
     };
+
+    /** Pre-registered per-verb instruments (hot path never takes the
+     *  registry mutex). Null members = not meaningful for the verb
+     *  (e.g. dispatch latency for inline verbs). */
+    struct VerbMetrics
+    {
+        obs::Counter *requests = nullptr;
+        obs::Histogram *dispatchUs = nullptr;
+        obs::Histogram *firstFrameUs = nullptr;
+        obs::Histogram *doneUs = nullptr;
+    };
+
+    void registerMetrics();
+    VerbMetrics &verbMetrics(RequestKind k)
+    {
+        return _verb[size_t(k)];
+    }
 
     void sendFrame(Conn &conn, const report::Json &frame);
     void sendError(Conn &conn, const std::string &id,
                    runtime::ErrorKind kind, const std::string &detail);
     void runRequest(Conn &conn, const Request &req,
-                    const std::shared_ptr<runtime::CancelToken> &token);
+                    const std::shared_ptr<runtime::CancelToken> &token,
+                    const std::string &rid, Clock::time_point t0);
     void runTrace(Conn &conn, const Request &req,
-                  const std::shared_ptr<runtime::CancelToken> &token);
+                  const std::shared_ptr<runtime::CancelToken> &token,
+                  Clock::time_point t0);
     int serveListener(int listen_fd);
 
+    /** Microseconds from @p t0 to now (histogram fodder). */
+    static uint64_t sinceUs(Clock::time_point t0);
+
     ServerConfig _cfg;
+
+    // Telemetry before _dispatch: the dispatcher registers callback
+    // gauges into _metrics and both must outlive it.
+    obs::MetricsRegistry _metrics;
+    obs::JsonLogger _log;
+    VerbMetrics _verb[5];
+    obs::Counter *_framesIn = nullptr;
+    obs::Counter *_framesOut = nullptr;
+    obs::Counter *_framesTruncated = nullptr;
+    obs::Counter *_framesOversize = nullptr;
+    obs::Counter *_reqMalformed = nullptr;
+    obs::Counter *_connAccepted = nullptr;
+    obs::Counter *_connClosed = nullptr;
+    obs::Counter *_connErrors = nullptr;
+    obs::Gauge *_requestsInflight = nullptr;
+    std::atomic<uint64_t> _reqSeq{0};
+    std::atomic<uint64_t> _connSeq{0};
+
     Dispatcher _dispatch;
     std::atomic<int> _listenFd{-1};
     std::atomic<bool> _stop{false};

@@ -20,7 +20,13 @@
  *     fuel budget exits msctool with 3 (partial) and produces an mscd
  *     summary with the same exit_code/status — and the same bytes;
  *  5. lifecycle: `mscd --unix` serves a connection over a real
- *     socket, shuts down cleanly on SIGTERM, and unlinks its socket.
+ *     socket, shuts down cleanly on SIGTERM, and unlinks its socket;
+ *  6. telemetry: `msctool stats --stdio` queried mid-connection
+ *     against the live daemon returns a `msc.metrics` document whose
+ *     request counters match exactly the work this test performed,
+ *     and `msctool stats --unix` round-trips over the socket;
+ *  7. versioning: `mscd --version` and `msctool version` exit 0 and
+ *     advertise the msc.metrics schema.
  *
  * All scratch state lives in one mkdtemp directory removed on every
  * exit path (success, CHECK failure, or exception); child daemons
@@ -164,6 +170,59 @@ run(Scratch &scratch, const std::vector<std::string> &argv)
     return waitExit(c.pid);
 }
 
+/** Runs a child to completion, returning its captured stdout (stdin
+ *  is closed immediately). */
+std::string
+runCapture(Scratch &scratch, const std::vector<std::string> &argv,
+           int *exit_code)
+{
+    Child c = spawn(scratch, argv, true);
+    ::close(c.in);
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(c.out, buf, sizeof buf)) > 0)
+        out.append(buf, size_t(n));
+    ::close(c.out);
+    *exit_code = waitExit(c.pid);
+    return out;
+}
+
+/** Spawns `msctool stats --stdio --json` wired onto the live stdio
+ *  daemon @p d (the tool's fd0/fd1 ARE the wire), returning the
+ *  metrics document it renders on stderr. The parent touches neither
+ *  pipe meanwhile, so the daemon connection stays frame-aligned for
+ *  whatever the test sends next. */
+std::string
+statsOverStdio(Scratch &scratch, const std::string &msctool, Child &d)
+{
+    int errp[2];
+    CHECK(::pipe(errp) == 0);
+    pid_t pid = ::fork();
+    CHECK(pid >= 0);
+    if (pid == 0) {
+        ::dup2(d.out, 0);  // daemon stdout -> tool stdin
+        ::dup2(d.in, 1);   // tool stdout -> daemon stdin
+        ::dup2(errp[1], 2);
+        ::close(errp[0]);
+        ::close(errp[1]);
+        const char *args[] = {msctool.c_str(), "stats", "--stdio",
+                              "--json", nullptr};
+        ::execv(args[0], const_cast<char **>(args));
+        ::_exit(127);
+    }
+    ::close(errp[1]);
+    scratch.children.push_back(pid);
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(errp[0], buf, sizeof buf)) > 0)
+        out.append(buf, size_t(n));
+    ::close(errp[0]);
+    CHECK(waitExit(pid) == 0);
+    return out;
+}
+
 std::string
 slurp(const std::string &path)
 {
@@ -240,6 +299,18 @@ main(int argc, char **argv)
     try {
         Scratch scratch;
 
+        // ---- 0. Version flags: both binaries advertise the
+        //         protocol and every schema, including msc.metrics.
+        int rc = -1;
+        std::string v = runCapture(scratch, {mscd, "--version"}, &rc);
+        CHECK(rc == 0);
+        CHECK(v.find("protocol") != std::string::npos);
+        CHECK(v.find("msc.sweep") != std::string::npos);
+        CHECK(v.find("msc.metrics") != std::string::npos);
+        v = runCapture(scratch, {msctool, "version"}, &rc);
+        CHECK(rc == 0);
+        CHECK(v.find("msc.metrics") != std::string::npos);
+
         // ---- 1. Byte-identity against msctool sweep --json.
         std::string ref = scratch.path("ref.json");
         CHECK(run(scratch,
@@ -311,6 +382,27 @@ main(int argc, char **argv)
         CHECK(sum4.get("partial").asBool());
         CHECK(reassemble(fourth, "s4") == slurp(ref2));
 
+        // ---- 6a. Live telemetry mid-connection: msctool stats
+        //          --stdio against this very daemon. The counters
+        //          must match exactly the work performed above.
+        report::Json m = report::Json::parse(
+            statsOverStdio(scratch, msctool, d));
+        CHECK(m.get("schema").asString() == "msc.metrics");
+        const report::Json &ctr = m.get("counters");
+        CHECK(ctr.get("mscd.requests.sweep").asUInt() == 3);  // s1 s2 s4
+        CHECK(ctr.get("mscd.requests.run").asUInt() == 1);    // s3
+        CHECK(ctr.get("mscd.requests.stats").asUInt() == 1);  // itself
+        CHECK(ctr.get("mscd.requests.malformed").asUInt() == 1);
+        // s1: 4 cells, s2: 4, s3: 1, s4: 2 — all submitted, none
+        // concurrent, so no in-flight coalescing.
+        CHECK(ctr.get("mscd.dispatch.cells_submitted").asUInt() == 11);
+        CHECK(ctr.get("mscd.dispatch.dedup_hits").asUInt() == 0);
+        CHECK(ctr.get("mscd.connections.accepted").asUInt() == 1);
+        // The callback gauge reads the same pool counters the s4
+        // summary reported — the two surfaces cannot disagree.
+        CHECK(m.get("gauges").get("mscd.cache.computed").asUInt() ==
+              sum4.get("cache").get("computed").asUInt());
+
         // End-of-stream: the --stdio daemon exits 0.
         ::close(d.in);
         ::close(d.out);
@@ -348,6 +440,21 @@ main(int argc, char **argv)
                   .get("status")
                   .asString() == "ok");
         ::close(fd);
+
+        // ---- 6b. msctool stats over the Unix socket: a second
+        //          connection querying the same daemon's registry.
+        std::string stats_out = runCapture(
+            scratch, {msctool, "stats", "--unix", sock, "--json"},
+            &rc);
+        CHECK(rc == 0);
+        report::Json um = report::Json::parse(stats_out);
+        CHECK(um.get("counters").get("mscd.requests.run").asUInt() ==
+              1);
+        CHECK(um.get("counters").get("mscd.requests.stats").asUInt() ==
+              1);
+        CHECK(um.get("counters")
+                  .get("mscd.connections.accepted")
+                  .asUInt() == 2);
 
         CHECK(::kill(u.pid, SIGTERM) == 0);
         CHECK(waitExit(u.pid) == 0);

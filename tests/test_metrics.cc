@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit suite for the obs::MetricsRegistry service-telemetry layer
+ * (docs/OBSERVABILITY.md):
+ *
+ *  - registration is compute-once and thread-safe: N threads racing
+ *    counter("x") all receive the same object and no increment is
+ *    lost;
+ *  - histogram bucket assignment at the boundaries: observe(v) lands
+ *    in the first bucket whose upper bound `le` >= v, the implicit
+ *    +Inf bucket catches overflow, and the JSON buckets are
+ *    cumulative with `"+Inf"` last;
+ *  - snapshots are deterministic: the same operations produce the
+ *    same bytes, twice, from both renderers;
+ *  - the Prometheus renderer sanitizes dotted names and emits the
+ *    `_bucket`/`_sum`/`_count` series with TYPE headers;
+ *  - callback gauges read externally-owned values at snapshot time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+using namespace msc;
+using obs::MetricsRegistry;
+using report::Json;
+
+TEST(Metrics, CounterAndGaugeBasics)
+{
+    MetricsRegistry reg;
+    obs::Counter &c = reg.counter("a.count");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Same name, same object.
+    EXPECT_EQ(&reg.counter("a.count"), &c);
+
+    obs::Gauge &g = reg.gauge("a.level");
+    g.set(7);
+    g.add(-10);
+    EXPECT_EQ(g.value(), -3);
+    EXPECT_EQ(&reg.gauge("a.level"), &g);
+}
+
+TEST(Metrics, RegistrationIsComputeOnceUnderContention)
+{
+    MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kIncs = 1000;
+    std::atomic<obs::Counter *> first{nullptr};
+    std::atomic<int> mismatches{0};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            obs::Counter &c = reg.counter("contended");
+            obs::Counter *expected = nullptr;
+            if (!first.compare_exchange_strong(expected, &c) &&
+                expected != &c)
+                mismatches.fetch_add(1);
+            obs::Histogram &h = reg.histogram("contended.h");
+            for (int i = 0; i < kIncs; ++i) {
+                c.inc();
+                h.observe(uint64_t(i));
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+
+    // Every thread saw the one true counter, and no update was lost.
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(reg.counter("contended").value(),
+              uint64_t(kThreads) * kIncs);
+    EXPECT_EQ(reg.histogram("contended.h").count(),
+              uint64_t(kThreads) * kIncs);
+}
+
+TEST(Metrics, HistogramBucketBoundaries)
+{
+    obs::Histogram h({10, 100});
+    // A value exactly on a bound belongs to that bound's bucket
+    // (le semantics); one past it falls through to the next.
+    h.observe(0);    // le=10
+    h.observe(10);   // le=10 (boundary)
+    h.observe(11);   // le=100
+    h.observe(100);  // le=100 (boundary)
+    h.observe(101);  // +Inf
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);  // the implicit +Inf bucket
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 101);
+}
+
+TEST(Metrics, HistogramRejectsNonIncreasingBounds)
+{
+    EXPECT_THROW(obs::Histogram({10, 10}), std::invalid_argument);
+    EXPECT_THROW(obs::Histogram({100, 10}), std::invalid_argument);
+}
+
+TEST(Metrics, JsonSnapshotShape)
+{
+    MetricsRegistry reg;
+    reg.counter("c.one").inc(3);
+    reg.gauge("g.depth").set(2);
+    obs::Histogram &h = reg.histogram("lat", {10, 100});
+    h.observe(5);
+    h.observe(50);
+    h.observe(500);
+
+    Json doc = reg.toJson();
+    EXPECT_EQ(doc.get("schema").asString(),
+              obs::METRICS_SCHEMA_NAME);
+    EXPECT_EQ(doc.get("schema_version").asInt(),
+              obs::METRICS_SCHEMA_VERSION);
+    EXPECT_EQ(doc.get("counters").get("c.one").asUInt(), 3u);
+    EXPECT_EQ(doc.get("gauges").get("g.depth").asInt(), 2);
+
+    const Json &hist = doc.get("histograms").get("lat");
+    EXPECT_EQ(hist.get("count").asUInt(), 3u);
+    EXPECT_EQ(hist.get("sum").asUInt(), 555u);
+    const Json &buckets = hist.get("buckets");
+    ASSERT_EQ(buckets.size(), 3u);
+    // Cumulative counts, +Inf last and equal to the total.
+    EXPECT_EQ(buckets.at(0).get("le").asUInt(), 10u);
+    EXPECT_EQ(buckets.at(0).get("count").asUInt(), 1u);
+    EXPECT_EQ(buckets.at(1).get("le").asUInt(), 100u);
+    EXPECT_EQ(buckets.at(1).get("count").asUInt(), 2u);
+    EXPECT_EQ(buckets.at(2).get("le").asString(), "+Inf");
+    EXPECT_EQ(buckets.at(2).get("count").asUInt(), 3u);
+}
+
+TEST(Metrics, SnapshotsAreDeterministic)
+{
+    // Two registries fed the same operations render the same bytes,
+    // and a quiescent registry renders the same bytes twice.
+    auto build = [] {
+        auto reg = std::make_unique<MetricsRegistry>();
+        reg->gauge("z.last").set(9);
+        reg->counter("a.first").inc(2);
+        reg->histogram("m.lat", {10, 100}).observe(42);
+        reg->counter("b.second").inc(1);
+        return reg;
+    };
+    auto r1 = build();
+    auto r2 = build();
+    EXPECT_EQ(r1->toJson().dump(), r2->toJson().dump());
+    EXPECT_EQ(r1->toJson().dump(), r1->toJson().dump());
+    EXPECT_EQ(r1->toPrometheus(), r2->toPrometheus());
+
+    // Registration order doesn't leak into the snapshot: names
+    // iterate sorted.
+    Json doc = r1->toJson();
+    const Json &counters = doc.get("counters");
+    EXPECT_EQ(counters.members().at(0).first, "a.first");
+    EXPECT_EQ(counters.members().at(1).first, "b.second");
+}
+
+TEST(Metrics, PrometheusRendering)
+{
+    MetricsRegistry reg;
+    reg.counter("mscd.requests.run").inc(4);
+    reg.gauge("mscd.queue-depth").set(1);
+    obs::Histogram &h = reg.histogram("mscd.lat.us", {10, 100});
+    h.observe(7);
+    h.observe(70);
+    h.observe(700);
+
+    std::string text = reg.toPrometheus();
+    // Dotted (and dashed) names sanitize to underscores.
+    EXPECT_NE(text.find("# TYPE mscd_requests_run counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("mscd_requests_run 4"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE mscd_queue_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("mscd_queue_depth 1"), std::string::npos);
+    // Histogram series: cumulative buckets, +Inf, _sum and _count.
+    EXPECT_NE(text.find("# TYPE mscd_lat_us histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("mscd_lat_us_bucket{le=\"10\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("mscd_lat_us_bucket{le=\"100\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("mscd_lat_us_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("mscd_lat_us_sum 777"), std::string::npos);
+    EXPECT_NE(text.find("mscd_lat_us_count 3"), std::string::npos);
+}
+
+TEST(Metrics, CallbackGaugesReadAtSnapshotTime)
+{
+    MetricsRegistry reg;
+    int64_t level = 5;
+    reg.gaugeCallback("external.level", [&] { return level; });
+
+    EXPECT_EQ(reg.toJson().get("gauges").get("external.level").asInt(),
+              5);
+    level = 11;  // no re-registration needed
+    EXPECT_EQ(reg.toJson().get("gauges").get("external.level").asInt(),
+              11);
+}
+
+TEST(Metrics, DefaultLatencyBuckets)
+{
+    const std::vector<uint64_t> &b =
+        MetricsRegistry::latencyBucketsUs();
+    ASSERT_FALSE(b.empty());
+    for (size_t i = 1; i < b.size(); ++i)
+        EXPECT_LT(b[i - 1], b[i]);
+    // Empty bounds at registration mean "the default latency layout".
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.histogram("lat.us").bounds().size(), b.size());
+}

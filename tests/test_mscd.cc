@@ -506,6 +506,154 @@ TEST(MscdServer, CacheWriteFaultUnderLoadIsInvisibleToClients)
     EXPECT_EQ(c1.get("run").dump(), c2.get("run").dump());
 }
 
+// ------------------------------------------------ the stats verb
+
+TEST(MscdStats, StatsVerbReturnsMetricsDocument)
+{
+    std::vector<report::Json> frames =
+        serveScript(frameBytes("{\"id\":\"s1\",\"kind\":\"stats\"}"));
+    ASSERT_EQ(frames.size(), 1u);
+    const report::Json &res = findFrame(frames, "s1", "result");
+    EXPECT_EQ(res.get("kind").asString(), "stats");
+    EXPECT_EQ(res.get("protocol_version").asInt(), PROTOCOL_VERSION);
+
+    const report::Json &m = res.get("metrics");
+    EXPECT_EQ(m.get("schema").asString(), "msc.metrics");
+    EXPECT_EQ(m.get("schema_version").asInt(), 1);
+    // The verb counter is incremented before the snapshot is taken,
+    // so a stats request observes itself — deterministically.
+    EXPECT_EQ(m.get("counters").get("mscd.requests.stats").asUInt(),
+              1u);
+    EXPECT_EQ(m.get("counters").get("mscd.frames.in").asUInt(), 1u);
+    EXPECT_EQ(
+        m.get("counters").get("mscd.connections.accepted").asUInt(),
+        1u);
+    // Latency histograms are pre-registered, present even untouched.
+    EXPECT_TRUE(
+        m.get("histograms").has("mscd.latency.sweep.done_us"));
+    EXPECT_TRUE(m.get("gauges").has("mscd.dispatch.queue_depth"));
+    EXPECT_TRUE(m.get("gauges").has("mscd.cache.computed"));
+}
+
+TEST(MscdStats, StatsVerbPrometheusFormat)
+{
+    std::vector<report::Json> frames = serveScript(frameBytes(
+        "{\"id\":\"p1\",\"kind\":\"stats\","
+        "\"format\":\"prometheus\"}"));
+    const report::Json &res = findFrame(frames, "p1", "result");
+    EXPECT_FALSE(res.has("metrics"));
+    const std::string &text = res.get("prometheus").asString();
+    EXPECT_NE(text.find("# TYPE mscd_requests_stats counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("mscd_requests_stats 1"), std::string::npos);
+    EXPECT_NE(
+        text.find("mscd_latency_stats_done_us_bucket{le=\"+Inf\"}"),
+        std::string::npos);
+
+    // `"format":"json"` is the explicit spelling of the default.
+    std::vector<report::Json> jf = serveScript(frameBytes(
+        "{\"id\":\"j1\",\"kind\":\"stats\",\"format\":\"json\"}"));
+    EXPECT_TRUE(findFrame(jf, "j1", "result").has("metrics"));
+}
+
+TEST(MscdStats, StatsVerbMalformedPayloads)
+{
+    // One error frame per malformed payload, connection stays usable,
+    // and the failures are themselves visible in the final snapshot.
+    std::vector<report::Json> frames = serveScript(
+        frameBytes("{\"kind\":\"stats\"}") +               // no id
+        frameBytes("{\"id\":\"b1\",\"kind\":\"stats\","
+                   "\"format\":\"xml\"}") +                // bad format
+        frameBytes("{\"id\":\"ok\",\"kind\":\"stats\"}"));
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].get("type").asString(), "error");
+    EXPECT_EQ(frames[1].get("type").asString(), "error");
+    EXPECT_EQ(frames[1].get("id").asString(), "b1");
+    EXPECT_NE(frames[1].get("error").get("detail").asString().find(
+                  "format"),
+              std::string::npos);
+
+    const report::Json &m =
+        findFrame(frames, "ok", "result").get("metrics");
+    EXPECT_EQ(
+        m.get("counters").get("mscd.requests.malformed").asUInt(),
+        2u);
+    // Malformed stats payloads never count as stats requests.
+    EXPECT_EQ(m.get("counters").get("mscd.requests.stats").asUInt(),
+              1u);
+}
+
+TEST(MscdStats, ServerCountersAfterConnectionCloses)
+{
+    // The registry outlives the connection: assert the whole ledger
+    // through Server::metrics() once serveConnection has returned
+    // (all request threads joined — every deterministic counter and
+    // gauge has settled).
+    ServerConfig cfg;
+    cfg.dispatch.jobs = 2;
+    Server server(std::move(cfg));
+    StringTransport t(
+        frameBytes(runPayload("r1", "compress")) +
+        frameBytes("{bad json") +
+        frameBytes("{\"id\":\"s\",\"kind\":\"stats\"}"));
+    server.serveConnection(t);
+
+    obs::MetricsRegistry &m = server.metrics();
+    EXPECT_EQ(m.counter("mscd.connections.accepted").value(), 1u);
+    EXPECT_EQ(m.counter("mscd.connections.closed").value(), 1u);
+    EXPECT_EQ(m.counter("mscd.frames.in").value(), 3u);
+    EXPECT_EQ(m.counter("mscd.requests.run").value(), 1u);
+    EXPECT_EQ(m.counter("mscd.requests.malformed").value(), 1u);
+    EXPECT_EQ(m.counter("mscd.requests.stats").value(), 1u);
+    EXPECT_EQ(m.counter("mscd.dispatch.cells_submitted").value(), 1u);
+    EXPECT_EQ(m.counter("mscd.dispatch.dedup_hits").value(), 0u);
+    // r1: cell + summary; malformed: error; stats: result.
+    EXPECT_EQ(m.counter("mscd.frames.out").value(), 4u);
+    EXPECT_EQ(m.gauge("mscd.dispatch.queue_depth").value(), 0);
+    EXPECT_EQ(m.gauge("mscd.dispatch.cells_inflight").value(), 0);
+    EXPECT_EQ(m.gauge("mscd.requests.inflight").value(), 0);
+    // The run's full latency chain was observed exactly once.
+    EXPECT_EQ(m.histogram("mscd.latency.run.dispatch_us").count(),
+              1u);
+    EXPECT_EQ(m.histogram("mscd.latency.run.first_frame_us").count(),
+              1u);
+    EXPECT_EQ(m.histogram("mscd.latency.run.done_us").count(), 1u);
+}
+
+TEST(MscdStats, DispatcherSnapshotConsistent)
+{
+    // snapshot() captures dispatch bookkeeping and cache counters in
+    // one consistent read — and dedup'd submits are visible in it.
+    obs::MetricsRegistry reg;
+    Dispatcher::Config cfg;
+    cfg.jobs = 1;
+    cfg.metrics = &reg;
+    Dispatcher d(std::move(cfg));
+
+    // The single worker is busy with the blocker while the identical
+    // submits arrive, so the second is a guaranteed in-flight hit.
+    auto blocker = d.submit(smallSpec("compress", "bb", 2), nullptr);
+    auto f1 = d.submit(smallSpec("compress", "cf", 2), nullptr);
+    auto f2 = d.submit(smallSpec("compress", "cf", 2), nullptr);
+    (void)blocker.get();
+    f1.get();
+    f2.get();
+    EXPECT_EQ(f1.get().spec.id, f2.get().spec.id);
+
+    ServiceSnapshot s = d.snapshot();
+    EXPECT_EQ(s.dispatch.cellsSubmitted, 3u);
+    EXPECT_EQ(s.dispatch.dedupHits, 1u);
+    EXPECT_EQ(s.cache.computed(), d.pool().stats().computed());
+    EXPECT_GE(s.cache.computed(), 1u);
+    // The registry mirrors of the same counters agree.
+    EXPECT_EQ(reg.counter("mscd.dispatch.cells_submitted").value(),
+              3u);
+    EXPECT_EQ(reg.counter("mscd.dispatch.dedup_hits").value(), 1u);
+    report::Json doc = reg.toJson();
+    EXPECT_EQ(doc.get("gauges").get("mscd.cache.computed").asUInt(),
+              s.cache.computed());
+}
+
 // ---------------------------------------- cancellation over a pipe
 
 TEST(MscdServer, CancelReachesARequestMidSweep)
@@ -583,6 +731,36 @@ TEST(MscdServer, CancelReachesARequestMidSweep)
                   .get("status")
                   .asString(),
               "ok");
+
+    // Satellite: a stats snapshot taken after the cancelled sweep is
+    // internally consistent — the cancellation is fully accounted and
+    // no queue depth or in-flight cell leaked.
+    writeFrame(client, "{\"id\":\"st\",\"kind\":\"stats\"}");
+    FrameResult sf = readFrame(client);
+    ASSERT_EQ(sf.status, FrameStatus::Ok);
+    report::Json stats = report::Json::parse(sf.payload);
+    EXPECT_EQ(stats.get("type").asString(), "result");
+    const report::Json &counters = stats.get("metrics").get("counters");
+    EXPECT_EQ(counters.get("mscd.requests.cancel").asUInt(), 1u);
+    EXPECT_EQ(counters.get("mscd.requests.sweep").asUInt(), 1u);
+    // The duplicate-id run and c3 both parsed as run requests.
+    EXPECT_EQ(counters.get("mscd.requests.run").asUInt(), 2u);
+    EXPECT_EQ(counters.get("mscd.requests.stats").asUInt(), 1u);
+    EXPECT_EQ(counters.get("mscd.requests.malformed").asUInt(), 0u);
+    // c1's fuelbomb cell + c3's run cell; the duplicate id was
+    // rejected before submission.
+    EXPECT_EQ(counters.get("mscd.dispatch.cells_submitted").asUInt(),
+              2u);
+    const report::Json &gauges = stats.get("metrics").get("gauges");
+    EXPECT_EQ(gauges.get("mscd.dispatch.queue_depth").asInt(), 0);
+    EXPECT_EQ(gauges.get("mscd.dispatch.cells_inflight").asInt(), 0);
+    // The cancel's latency was observed on its own histogram.
+    EXPECT_EQ(stats.get("metrics")
+                  .get("histograms")
+                  .get("mscd.latency.cancel.done_us")
+                  .get("count")
+                  .asUInt(),
+              1u);
 
     ::close(to_server[1]);
     srv.join();
