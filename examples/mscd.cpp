@@ -11,17 +11,28 @@
  *       replaced; the socket is unlinked on clean shutdown).
  *   mscd --tcp PORT [options]
  *       Listen on 127.0.0.1:PORT.
+ *   mscd --router --shard EP [--shard EP ...] (--stdio|--unix|--tcp)
+ *       Shard mode (docs/DAEMON.md#sharding): serve the same
+ *       protocol, but execute nothing locally — fan sweep cells out
+ *       to the shard daemons at the given endpoints by content-key
+ *       hash, reassemble, and degrade to `partial` summaries when a
+ *       shard is lost. Endpoints use the src/client grammar:
+ *       unix:/path, tcp:host:port, tcp:port.
  *
  * Options:
  *   --jobs N         Worker threads executing cells (default:
- *                    hardware concurrency).
+ *                    hardware concurrency; single-daemon mode only).
  *   --log-json       Emit one structured JSON log line per request
  *                    lifecycle event on stderr
  *                    (docs/OBSERVABILITY.md).
  *   --cache-dir DIR  Persist stage artifacts on disk, shared by every
  *                    request (same format as `msctool sweep
- *                    --cache-dir`).
+ *                    --cache-dir`; single-daemon mode only — shard
+ *                    caches belong to the shards).
  *   --max-frame N    Inbound frame-size cap in bytes (default 16 MiB).
+ *   --max-inflight N Per-connection backpressure bound: pooled
+ *                    requests past N are refused with a structured
+ *                    `busy` error frame (default 0 = unlimited).
  *   --timeout-ms N / --max-fuel N / --max-cycles N
  *                    Default per-cell ExecBudget; a request's
  *                    `budget` object overrides per field.
@@ -41,9 +52,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "client/endpoint.h"
 #include "obs/taskprof.h"
 #include "report/record.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 using namespace msc;
@@ -51,6 +65,7 @@ using namespace msc;
 namespace {
 
 serve::Server *g_server = nullptr;
+serve::Router *g_router = nullptr;
 
 extern "C" void
 onSignal(int)
@@ -58,6 +73,8 @@ onSignal(int)
     // requestStop is async-signal-safe: atomics + close().
     if (g_server)
         g_server->requestStop();
+    if (g_router)
+        g_router->requestStop();
 }
 
 int
@@ -67,12 +84,16 @@ usage()
         stderr,
         "usage: mscd --stdio | --unix PATH | --tcp PORT\n"
         "            [--jobs N] [--cache-dir DIR] [--max-frame N]\n"
+        "            [--max-inflight N]\n"
         "            [--timeout-ms N] [--max-fuel N] [--max-cycles N]\n"
         "            [--log-json]\n"
+        "       mscd --router --shard ENDPOINT [--shard ENDPOINT ...]\n"
+        "            (--stdio | --unix PATH | --tcp PORT) [options]\n"
         "       mscd --version\n"
         "\n"
         "Serve msc pipeline requests over a length-prefixed JSON\n"
-        "protocol (docs/DAEMON.md).\n");
+        "protocol (docs/DAEMON.md). --router fans cells out to shard\n"
+        "daemons (unix:/path | tcp:host:port | tcp:port endpoints).\n");
     return 1;
 }
 
@@ -98,8 +119,11 @@ main(int argc, char **argv)
     enum class Mode { None, Stdio, Unix, Tcp } mode = Mode::None;
     std::string unix_path;
     long tcp_port = 0;
+    bool router = false;
+    std::vector<client::Endpoint> shards;
 
     serve::ServerConfig cfg;
+    unsigned max_inflight = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -116,6 +140,8 @@ main(int argc, char **argv)
             return printVersion("mscd");
         } else if (a == "--stdio") {
             mode = Mode::Stdio;
+        } else if (a == "--router") {
+            router = true;
         } else if (a == "--log-json") {
             cfg.logJson = true;
         } else if (const char *v = arg("--unix")) {
@@ -128,12 +154,29 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "mscd: bad port %s\n", v1);
                 return 1;
             }
+        } else if (const char *vs = arg("--shard")) {
+            try {
+                client::Endpoint ep = client::parseEndpoint(vs);
+                if (ep.kind == client::Endpoint::Kind::Stdio) {
+                    std::fprintf(
+                        stderr,
+                        "mscd: --shard cannot be stdio (a shard "
+                        "needs its own listener)\n");
+                    return 1;
+                }
+                shards.push_back(std::move(ep));
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "mscd: %s\n", e.what());
+                return 1;
+            }
         } else if (const char *v2 = arg("--jobs")) {
             cfg.dispatch.jobs = unsigned(atoi(v2));
         } else if (const char *v3 = arg("--cache-dir")) {
             cfg.dispatch.session.cacheDir = v3;
         } else if (const char *v4 = arg("--max-frame")) {
             cfg.maxFrame = uint32_t(atoll(v4));
+        } else if (const char *v8 = arg("--max-inflight")) {
+            max_inflight = unsigned(atoll(v8));
         } else if (const char *v5 = arg("--timeout-ms")) {
             cfg.defaults.budget.wallMs = uint32_t(atoll(v5));
         } else if (const char *v6 = arg("--max-fuel")) {
@@ -148,12 +191,51 @@ main(int argc, char **argv)
     }
     if (mode == Mode::None)
         return usage();
+    if (router && shards.empty()) {
+        std::fprintf(stderr,
+                     "mscd: --router needs at least one --shard\n");
+        return 1;
+    }
+    if (!router && !shards.empty()) {
+        std::fprintf(stderr, "mscd: --shard requires --router\n");
+        return 1;
+    }
 
     // A client that disconnects mid-stream must not kill the daemon:
     // writes then fail with EPIPE (a structured Io StageError that
     // tears down only that connection), not SIGPIPE.
     std::signal(SIGPIPE, SIG_IGN);
 
+    if (router) {
+        serve::RouterConfig rcfg;
+        rcfg.shards = std::move(shards);
+        rcfg.defaults = cfg.defaults;
+        rcfg.maxFrame = cfg.maxFrame;
+        rcfg.maxInflight = max_inflight;
+        rcfg.logJson = cfg.logJson;
+
+        serve::Router rt(std::move(rcfg));
+        g_router = &rt;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+
+        switch (mode) {
+          case Mode::Stdio: {
+            serve::FdTransport t(0, 1);
+            rt.serveConnection(t);
+            return 0;
+          }
+          case Mode::Unix:
+            return rt.serveUnix(unix_path);
+          case Mode::Tcp:
+            return rt.serveTcp(uint16_t(tcp_port));
+          case Mode::None:
+            break;
+        }
+        return usage();
+    }
+
+    cfg.maxInflight = max_inflight;
     serve::Server server(std::move(cfg));
     g_server = &server;
     std::signal(SIGINT, onSignal);

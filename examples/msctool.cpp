@@ -45,21 +45,33 @@
  *       msc.taskprof attribution profile, print the hot-tasks table
  *       (docs/TRACING.md). --check re-parses the emitted trace and
  *       verifies the span-vs-SimStats accounting invariant.
- *   msctool stats (--unix PATH | --tcp PORT | --stdio)
+ *   msctool stats (--connect EP | --unix PATH | --tcp PORT | --stdio)
  *               [--json | --prom]
  *       Query a live mscd for its telemetry snapshot via the `stats`
  *       protocol verb (docs/OBSERVABILITY.md): counters, gauges, and
  *       latency histograms as a table, the raw `msc.metrics` JSON
  *       document (--json), or Prometheus text exposition (--prom).
- *       With --stdio the wire is the stdin/stdout pair (for piping
- *       through a spawned `mscd --stdio`), so the rendering goes to
- *       stderr instead of stdout.
+ *   msctool cancel <request-id> --connect EP
+ *       Ask a live daemon to cancel the in-flight request whose id is
+ *       <request-id>; prints whether the target was found.
  *   msctool version
  *       Print the daemon protocol version and the schema versions of
  *       every structured document this build emits.
  *
+ * Remote execution: `run`, `sweep`, `trace`, `stats`, and `cancel`
+ * all accept `--connect unix:/path | tcp:host:port | tcp:port |
+ * stdio` (src/client endpoint grammar, docs/API.md). With --connect
+ * the work happens in the daemon at that endpoint — which may be a
+ * `mscd --router` front-end — and the tool becomes a thin protocol
+ * client rendering the streamed frames. With `stdio` the wire owns
+ * this process's stdin/stdout (for piping through a spawned `mscd
+ * --stdio`), so all rendering moves to stderr. Host-side flags
+ * (--cache-dir, --jobs, --check, --phase-times) and `.mir` files
+ * don't travel over the wire and are rejected with --connect.
+ *
  * Files with a `.mir` extension are parsed with ir::parseProgram, so
- * hand-written programs work everywhere a workload name does.
+ * hand-written programs work everywhere a workload name does
+ * (locally).
  */
 
 #include <cstdio>
@@ -69,12 +81,8 @@
 #include <string>
 #include <vector>
 
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include "arch/stats.h"
+#include "client/client.h"
 #include "fuzz/campaign.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -109,6 +117,113 @@ loadProgram(const std::string &spec)
         return ir::parseProgram(ss.str());
     }
     return workloads::buildWorkload(spec, workloads::Scale::Small);
+}
+
+// ---------------------------------------------------------------------------
+// Remote execution (--connect): every daemon-facing verb rides the
+// src/client API; nothing below hand-rolls sockets or frames.
+
+/** The parsed `--connect ENDPOINT` state of one invocation. */
+struct Remote
+{
+    std::string spec;  ///< Raw endpoint text; empty = run locally.
+
+    bool enabled() const { return !spec.empty(); }
+
+    client::Endpoint endpoint() const
+    {
+        return client::parseEndpoint(spec);
+    }
+
+    /** Rendering stream: with a stdio endpoint the wire owns stdout,
+     *  so human output moves to stderr. */
+    std::FILE *out() const
+    {
+        return endpoint().kind == client::Endpoint::Kind::Stdio
+                   ? stderr
+                   : stdout;
+    }
+
+    /** Guards host-side flags that cannot travel over the wire. */
+    void reject(bool present, const char *what) const
+    {
+        if (enabled() && present)
+            throw std::runtime_error(std::string(what) +
+                                     " is host-side; drop it or drop "
+                                     "--connect");
+    }
+};
+
+/** One sweep-table row from a wire `run` object (msc.sweep schema —
+ *  the same row cmdSweep prints for a local RunRecord). */
+void
+printRunRow(std::FILE *out, const report::Json &run)
+{
+    const std::string &id = run.get("id").asString();
+    if (run.get("status").asString() == "ok") {
+        const report::Json &m = run.get("metrics");
+        std::fprintf(out, "%-28s %8.3f %9llu %7llu %7.2f %8.0f\n",
+                     id.c_str(), m.get("ipc").asDouble(),
+                     (unsigned long long)m.get("cycles").asUInt(),
+                     (unsigned long long)
+                         m.get("tasks").get("dyn_tasks").asUInt(),
+                     m.get("prediction")
+                         .get("task_mispredict_pct")
+                         .asDouble(),
+                     m.get("window_span").get("measured").asDouble());
+    } else {
+        const report::Json &e = run.get("error");
+        std::fprintf(out, "%-28s ERROR %s: %s: %s\n", id.c_str(),
+                     e.get("stage").asString().c_str(),
+                     e.get("kind").asString().c_str(),
+                     e.get("detail").asString().c_str());
+    }
+}
+
+/** Streams one run/sweep request over @p remote: rows print as cell
+ *  frames arrive, @p json_path (optional) receives the reassembled
+ *  msc.sweep document, and the daemon summary maps straight onto the
+ *  local sweep exit-code contract (0 clean / 1 all failed /
+ *  3 partial). */
+int
+streamRemoteSweep(const Remote &remote,
+                  const client::RequestBuilder &req,
+                  const std::string &json_path)
+{
+    std::FILE *out = remote.out();
+    client::ClientConn conn(remote.endpoint());
+    std::fprintf(out, "%-28s %8s %9s %7s %7s %8s\n", "run", "IPC",
+                 "cycles", "tasks", "tpred%", "span");
+    client::ClientConn::SweepOutcome sw = conn.collectSweep(
+        req, [&](const client::ResponseFrame &f) {
+            if (f.type == client::ResponseFrame::Type::Cell) {
+                printRunRow(out, f.run);
+                std::fflush(out);  // rows stream even through a pipe
+            }
+        });
+    if (!sw.ok()) {
+        std::fprintf(stderr, "msctool: request failed: %s\n",
+                     sw.last.error.render().c_str());
+        return 1;
+    }
+    if (sw.last.via == "router")
+        std::fprintf(stderr, "sweep: routed across %zu shards\n",
+                     sw.last.shards.size());
+    if (sw.last.errors)
+        std::fprintf(stderr,
+                     "sweep: %llu of %llu runs failed (results are "
+                     "partial)\n",
+                     (unsigned long long)sw.last.errors,
+                     (unsigned long long)sw.last.runs);
+    if (!json_path.empty()) {
+        size_t n = sw.runs.size();
+        report::writeFile(
+            json_path,
+            report::sweepDocFromRuns(std::move(sw.runs)).dump(2));
+        std::fprintf(stderr, "sweep: wrote %zu runs to %s\n", n,
+                     json_path.c_str());
+    }
+    return sw.last.exitCode;
 }
 
 int
@@ -152,6 +267,7 @@ cmdRun(int argc, char **argv)
     std::string cache_dir;
     runtime::ExecBudget budget;
     arch::CoreMode core = arch::CoreMode::Event;
+    Remote remote;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -186,6 +302,8 @@ cmdRun(int argc, char **argv)
             if (!arch::parseCoreMode(v9, core))
                 throw std::runtime_error("bad --core value " +
                                          std::string(v9));
+        } else if (const char *v10 = arg("--connect")) {
+            remote.spec = v10;
         } else if (a == "--in-order") {
             ooo = false;
         } else if (a == "--size") {
@@ -193,6 +311,24 @@ cmdRun(int argc, char **argv)
         } else {
             throw std::runtime_error("unknown flag " + a);
         }
+    }
+    if (remote.enabled()) {
+        remote.reject(!cache_dir.empty(), "--cache-dir");
+        remote.reject(spec.size() > 4 && spec.compare(spec.size() - 4,
+                                                      4, ".mir") == 0,
+                      "a .mir file");
+        client::RequestBuilder req =
+            client::RequestBuilder::run("run-cli", spec);
+        req.strategy(report::strategyId(sel.strategy))
+            .pusCount(pus)
+            .smallScale(true)  // local `run` builds Scale::Small too
+            .insts(trace_insts)
+            .targets(sel.maxTargets)
+            .inOrder(!ooo)
+            .sizeHeuristic(sel.taskSizeHeuristic)
+            .core(arch::coreModeName(core))
+            .budget(budget);
+        return streamRemoteSweep(remote, req, "");
     }
     pipeline::StageOptions o = pipeline::StageOptions::fromSelection(sel);
     o.trace.traceInsts = trace_insts;
@@ -264,6 +400,7 @@ cmdSweep(int argc, char **argv)
     std::string json_path, csv_path, cache_dir;
     runtime::ExecBudget budget;
     arch::CoreMode core = arch::CoreMode::Event;
+    Remote remote;
 
     for (int i = 0; i < argc; ++i) {
         std::string a = argv[i];
@@ -303,6 +440,8 @@ cmdSweep(int argc, char **argv)
             if (!arch::parseCoreMode(v12, core))
                 throw std::runtime_error("bad --core value " +
                                          std::string(v12));
+        } else if (const char *v13 = arg("--connect")) {
+            remote.spec = v13;
         } else if (a == "--in-order") {
             ooo = false;
         } else if (a == "--size") {
@@ -314,6 +453,25 @@ cmdSweep(int argc, char **argv)
         } else {
             names.push_back(a);
         }
+    }
+    if (remote.enabled()) {
+        remote.reject(!cache_dir.empty(), "--cache-dir");
+        remote.reject(jobs != 0, "--jobs");
+        remote.reject(!csv_path.empty(), "--csv");
+        client::RequestBuilder req =
+            client::RequestBuilder::sweep("sweep-cli");
+        if (!names.empty())
+            req.workloads(names);  // else: server default = all
+        req.strategies(strategies)
+            .pus(pus)
+            .smallScale(scale == workloads::Scale::Small)
+            .insts(insts)
+            .targets(targets)
+            .inOrder(!ooo)
+            .sizeHeuristic(size_heur)
+            .core(arch::coreModeName(core))
+            .budget(budget);
+        return streamRemoteSweep(remote, req, json_path);
     }
     if (names.empty())
         for (const auto &w : workloads::allWorkloads())
@@ -389,6 +547,7 @@ cmdTrace(int argc, char **argv)
     unsigned top_n = 10;
     bool phase_spans = false, check = false;
     arch::CoreMode core = arch::CoreMode::Event;
+    Remote remote;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -414,6 +573,8 @@ cmdTrace(int argc, char **argv)
             prof_path = v6;
         } else if (const char *v7 = arg("--top")) {
             top_n = unsigned(atoi(v7));
+        } else if (const char *v9 = arg("--connect")) {
+            remote.spec = v9;
         } else if (const char *v8 = arg("--core")) {
             if (!arch::parseCoreMode(v8, core))
                 throw std::runtime_error("bad --core value " +
@@ -429,6 +590,50 @@ cmdTrace(int argc, char **argv)
         } else {
             throw std::runtime_error("unknown flag " + a);
         }
+    }
+    if (remote.enabled()) {
+        remote.reject(check, "--check");
+        remote.reject(phase_spans, "--phase-times");
+        remote.reject(spec.size() > 4 && spec.compare(spec.size() - 4,
+                                                      4, ".mir") == 0,
+                      "a .mir file");
+        client::RequestBuilder req =
+            client::RequestBuilder::trace("trace-cli", spec);
+        req.strategy(report::strategyId(sel.strategy))
+            .pusCount(pus)
+            .smallScale(true)
+            .insts(trace_insts)
+            .targets(sel.maxTargets)
+            .inOrder(!ooo)
+            .sizeHeuristic(sel.taskSizeHeuristic)
+            .core(arch::coreModeName(core))
+            .includeTrace(!out_path.empty());
+        client::ClientConn conn(remote.endpoint());
+        client::ResponseFrame last = conn.call(req);
+        if (last.type == client::ResponseFrame::Type::Error) {
+            std::fprintf(stderr, "msctool: trace failed: %s\n",
+                         last.error.render().c_str());
+            return 1;
+        }
+        std::FILE *out = remote.out();
+        std::fprintf(out, "%-28s %8s %9s %7s %7s %8s\n", "run", "IPC",
+                     "cycles", "tasks", "tpred%", "span");
+        printRunRow(out, last.raw.get("run"));
+        if (!out_path.empty()) {
+            report::writeFile(out_path,
+                              last.raw.get("trace").dump());
+            std::fprintf(stderr, "trace: wrote %s\n",
+                         out_path.c_str());
+        }
+        if (!prof_path.empty()) {
+            report::writeFile(prof_path,
+                              last.raw.get("taskprof").dump(2));
+            std::fprintf(stderr, "trace: wrote %s\n",
+                         prof_path.c_str());
+        }
+        // The hot-task table stays host-side (it needs the partition
+        // object); the taskprof file carries the per-task data.
+        return 0;
     }
     pipeline::StageOptions o = pipeline::StageOptions::fromSelection(sel);
     o.trace.traceInsts = trace_insts;
@@ -641,9 +846,8 @@ renderStatsTable(std::FILE *out, const report::Json &m)
 int
 cmdStats(int argc, char **argv)
 {
-    std::string unix_path;
-    long tcp_port = 0;
-    bool stdio = false, raw_json = false, prom = false;
+    Remote remote;
+    bool raw_json = false, prom = false;
 
     for (int i = 0; i < argc; ++i) {
         std::string a = argv[i];
@@ -655,15 +859,15 @@ cmdStats(int argc, char **argv)
                                          " needs a value");
             return argv[++i];
         };
+        // Legacy spellings desugar onto the endpoint grammar.
         if (const char *v = arg("--unix")) {
-            unix_path = v;
+            remote.spec = std::string("unix:") + v;
         } else if (const char *v2 = arg("--tcp")) {
-            tcp_port = atol(v2);
-            if (tcp_port < 1 || tcp_port > 65535)
-                throw std::runtime_error("bad --tcp port " +
-                                         std::string(v2));
+            remote.spec = std::string("tcp:") + v2;
+        } else if (const char *v3 = arg("--connect")) {
+            remote.spec = v3;
         } else if (a == "--stdio") {
-            stdio = true;
+            remote.spec = "stdio";
         } else if (a == "--json") {
             raw_json = true;
         } else if (a == "--prom") {
@@ -672,92 +876,64 @@ cmdStats(int argc, char **argv)
             throw std::runtime_error("unknown flag " + a);
         }
     }
-    if (int(stdio) + int(!unix_path.empty()) + int(tcp_port != 0) != 1)
+    if (!remote.enabled())
         throw std::runtime_error(
-            "stats needs exactly one of --unix PATH, --tcp PORT, "
-            "--stdio");
+            "stats needs one of --connect ENDPOINT, --unix PATH, "
+            "--tcp PORT, --stdio");
 
-    int sock = -1, fd_in = 0, fd_out = 1;
-    if (!unix_path.empty()) {
-        sockaddr_un addr{};
-        if (unix_path.size() >= sizeof addr.sun_path)
-            throw std::runtime_error("socket path too long: " +
-                                     unix_path);
-        sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        if (sock < 0)
-            throw std::runtime_error("socket() failed");
-        addr.sun_family = AF_UNIX;
-        std::memcpy(addr.sun_path, unix_path.c_str(),
-                    unix_path.size() + 1);
-        if (::connect(sock, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof addr) < 0) {
-            ::close(sock);
-            throw std::runtime_error("cannot connect to " + unix_path);
-        }
-        fd_in = fd_out = sock;
-    } else if (tcp_port) {
-        sock = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (sock < 0)
-            throw std::runtime_error("socket() failed");
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_port = htons(uint16_t(tcp_port));
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        if (::connect(sock, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof addr) < 0) {
-            ::close(sock);
-            throw std::runtime_error(
-                "cannot connect to 127.0.0.1:" +
-                std::to_string(tcp_port));
-        }
-        fd_in = fd_out = sock;
-    }
-    // With --stdio the wire owns stdout, so the rendering must not
-    // corrupt it.
-    std::FILE *out = stdio ? stderr : stdout;
-
-    report::Json req = report::Json::object();
-    req["id"] = "stats-cli";
-    req["kind"] = "stats";
+    std::FILE *out = remote.out();
+    client::ClientConn conn(remote.endpoint());
+    client::RequestBuilder req =
+        client::RequestBuilder::stats("stats-cli");
     if (prom)
-        req["format"] = "prometheus";
+        req.format("prometheus");
 
-    int rc = 1;
-    serve::FdTransport t(fd_in, fd_out);
-    serve::writeFrame(t, req.dump());
-    while (true) {
-        serve::FrameResult fr = serve::readFrame(t);
-        if (fr.status != serve::FrameStatus::Ok) {
-            std::fprintf(stderr, "msctool: connection closed before a "
-                                 "stats result arrived\n");
-            break;
-        }
-        report::Json doc = report::Json::parse(fr.payload);
-        const report::Json *id = doc.find("id");
-        if (!id || *id != report::Json("stats-cli"))
-            continue;  // a frame from some other in-flight request
-        const std::string &type = doc.get("type").asString();
-        if (type == "error") {
-            std::fprintf(stderr, "msctool: stats failed: %s\n",
-                         doc.dump().c_str());
-            break;
-        }
-        if (type != "result")
-            continue;
-        if (prom)
-            std::fprintf(out, "%s",
-                         doc.get("prometheus").asString().c_str());
-        else if (raw_json)
-            std::fprintf(out, "%s\n",
-                         doc.get("metrics").dump(2).c_str());
-        else
-            renderStatsTable(out, doc.get("metrics"));
-        rc = 0;
-        break;
+    client::ResponseFrame last = conn.call(req);
+    if (last.type != client::ResponseFrame::Type::Result) {
+        std::fprintf(stderr, "msctool: stats failed: %s\n",
+                     last.error.render().c_str());
+        return 1;
     }
-    if (sock >= 0)
-        ::close(sock);
-    return rc;
+    if (prom)
+        std::fprintf(out, "%s",
+                     last.raw.get("prometheus").asString().c_str());
+    else if (raw_json)
+        std::fprintf(out, "%s\n",
+                     last.raw.get("metrics").dump(2).c_str());
+    else
+        renderStatsTable(out, last.raw.get("metrics"));
+    return 0;
+}
+
+int
+cmdCancel(int argc, char **argv)
+{
+    std::string target = argv[0];
+    Remote remote;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--connect" && i + 1 < argc) {
+            remote.spec = argv[++i];
+        } else {
+            throw std::runtime_error("unknown flag " + a);
+        }
+    }
+    if (!remote.enabled())
+        throw std::runtime_error("cancel needs --connect ENDPOINT");
+
+    client::ClientConn conn(remote.endpoint());
+    client::ResponseFrame last =
+        conn.call(client::RequestBuilder::cancel("cancel-cli", target));
+    if (last.type != client::ResponseFrame::Type::Result) {
+        std::fprintf(stderr, "msctool: cancel failed: %s\n",
+                     last.error.render().c_str());
+        return 1;
+    }
+    bool found = last.raw.get("found").asBool();
+    std::fprintf(remote.out(), "cancel %s: %s\n", target.c_str(),
+                 found ? "delivered" : "no such in-flight request");
+    return found ? 0 : 1;
 }
 
 } // anonymous namespace
@@ -782,6 +958,8 @@ main(int argc, char **argv)
             return cmdTrace(argc - 2, argv + 2);
         if (argc >= 2 && std::strcmp(argv[1], "stats") == 0)
             return cmdStats(argc - 2, argv + 2);
+        if (argc >= 3 && std::strcmp(argv[1], "cancel") == 0)
+            return cmdCancel(argc - 2, argv + 2);
         if (argc >= 2 && std::strcmp(argv[1], "version") == 0)
             return cmdVersion();
     } catch (const std::exception &e) {
@@ -816,8 +994,14 @@ main(int argc, char **argv)
                  "              [--in-order] [--size] [--targets N]\n"
                  "              [--insts N] [--top N] [--phase-times]\n"
                  "              [--check] [--core cycle|event]\n"
-                 "       msctool stats  (--unix PATH | --tcp PORT |\n"
-                 "              --stdio) [--json | --prom]\n"
-                 "       msctool version\n");
+                 "       msctool stats  (--connect EP | --unix PATH |\n"
+                 "              --tcp PORT | --stdio) [--json | --prom]\n"
+                 "       msctool cancel <request-id> --connect EP\n"
+                 "       msctool version\n"
+                 "\n"
+                 "run/sweep/trace/stats/cancel accept --connect\n"
+                 "(unix:/path | tcp:host:port | tcp:port | stdio) to\n"
+                 "execute in a live mscd or mscd --router instead of\n"
+                 "in-process.\n");
     return 2;
 }

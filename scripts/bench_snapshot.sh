@@ -5,9 +5,11 @@
 #   scripts/bench_snapshot.sh [--out FILE] [--jobs N] [--reps N]
 #                             [--baseline-bin PATH] [--full]
 #       Runs bench_figure5 under both cores, the quiescent
-#       micro-benchmark, and bench_smoke; checks the byte-identity
-#       contract along the way; writes a BENCH_*.json snapshot
-#       (default BENCH_pr7.json in the repo root).
+#       micro-benchmark, bench_smoke, and the bench_daemon serving
+#       load generator (direct vs routed topology,
+#       docs/DAEMON.md#sharding); checks the byte-identity contract
+#       along the way; writes a BENCH_*.json snapshot (default
+#       BENCH_pr10.json in the repo root).
 #
 #   scripts/bench_snapshot.sh --verify
 #       Fast gate for scripts/check.sh: bench_smoke must produce
@@ -27,7 +29,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_pr7.json
+OUT=BENCH_pr10.json
 JOBS=4
 REPS=3
 BASELINE_BIN=""
@@ -49,7 +51,7 @@ export MSC_SMALL=$SMALL
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target \
-    bench_figure5 bench_smoke bench_micro >/dev/null
+    bench_figure5 bench_smoke bench_micro bench_daemon >/dev/null
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -138,6 +140,10 @@ best_of 3 smoke_event ./build/bench/bench_smoke --jobs 2 \
 cmp -s "$TMP/smoke_cycle.json" "$TMP/smoke_event.json" ||
     { echo "FAIL: bench_smoke JSON differs between cores" >&2; exit 1; }
 
+echo "== bench_daemon serving overhead (direct vs routed)"
+./build/bench/bench_daemon --requests 64 --shards 4 --jobs 2 \
+    --json "$TMP/daemon.json"
+
 python3 - "$TMP" "$OUT" "$JOBS" "$REPS" "$SMALL" \
     "$f5_cycle_runs" "$f5_cycle_best" "$f5_event_runs" \
     "$f5_event_best" "$BASE_RUNS" "$BASE_BEST" \
@@ -185,7 +191,7 @@ def git(*args):
 fc, fe = int(fc_best), int(fe_best)
 doc = {
     "schema": "msc.bench_snapshot",
-    "schema_version": 1,
+    "schema_version": 2,
     "commit": git("rev-parse", "HEAD"),
     "host": {
         "uname": " ".join(platform.uname()),
@@ -215,6 +221,10 @@ doc = {
         "event_wall_ms_best": int(smoke_e),
         "json_byte_identical": True,
     },
+    # bench_daemon's own msc.bench_daemon document, verbatim: warm
+    # request latency through a direct daemon vs the 4-shard router
+    # (docs/DAEMON.md#sharding).
+    "daemon": json.load(open(os.path.join(tmp, "daemon.json"))),
 }
 if base_best:
     doc["baseline"] = {

@@ -8,7 +8,9 @@
 # standalone UBSan build where the governor's unsigned accounting is
 # most likely to trip. The daemon conformance suite (label `daemon`,
 # docs/DAEMON.md) gets the same explicit gate: framing/protocol edge
-# cases plus the daemon_smoke end-to-end byte-identity check, rerun
+# cases plus the daemon_smoke end-to-end byte-identity check (which
+# now covers the 4-shard router topology), the src/client unit suite
+# (test_client), and the in-process router suite (test_router), rerun
 # under ASan (threaded dispatcher) and UBSan. The telemetry suite
 # (label `metrics`, docs/OBSERVABILITY.md) gates the same way: the
 # registry unit tests plus the stats-verb conformance and live
@@ -43,9 +45,10 @@ fi
 run ctest --test-dir build -L robust --output-on-failure
 daemon_count=$(ctest --test-dir build -L daemon -N 2>/dev/null |
     sed -n 's/^Total Tests: //p')
-if [[ -z "$daemon_count" || "$daemon_count" -lt 2 ]]; then
+if [[ -z "$daemon_count" || "$daemon_count" -lt 4 ]]; then
     echo "error: daemon label matches ${daemon_count:-0} tests" \
-         "(expected >= 2) — check tests/CMakeLists.txt labels" >&2
+         "(expected >= 4: protocol, client, router, smoke) —" \
+         "check tests/CMakeLists.txt labels" >&2
     exit 1
 fi
 run ctest --test-dir build -L daemon --output-on-failure

@@ -1,0 +1,154 @@
+#include "client/endpoint.h"
+
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "runtime/error.h"
+
+namespace msc {
+namespace client {
+
+namespace {
+
+[[noreturn]] void
+badSpec(const std::string &detail)
+{
+    throw runtime::StageError(runtime::ErrorKind::InvalidInput,
+                              "endpoint", detail);
+}
+
+[[noreturn]] void
+ioError(const std::string &detail)
+{
+    throw runtime::StageError(runtime::ErrorKind::Io, "endpoint",
+                              detail);
+}
+
+/** Parses a decimal port; returns 0 on anything out of [1, 65535]. */
+uint16_t
+parsePort(const std::string &s)
+{
+    if (s.empty() || s.size() > 5)
+        return 0;
+    long v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return 0;
+        v = v * 10 + (c - '0');
+    }
+    return (v >= 1 && v <= 65535) ? uint16_t(v) : 0;
+}
+
+} // anonymous namespace
+
+Endpoint
+parseEndpoint(const std::string &spec)
+{
+    Endpoint ep;
+    if (spec == "stdio") {
+        ep.kind = Endpoint::Kind::Stdio;
+        return ep;
+    }
+    if (spec.rfind("unix:", 0) == 0) {
+        ep.kind = Endpoint::Kind::Unix;
+        ep.path = spec.substr(5);
+        if (ep.path.empty())
+            badSpec("unix endpoint needs a path: unix:/path/to.sock");
+        if (ep.path.size() >= sizeof(sockaddr_un{}.sun_path))
+            badSpec("unix socket path too long (" +
+                    std::to_string(ep.path.size()) + " bytes)");
+        return ep;
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+        ep.kind = Endpoint::Kind::Tcp;
+        std::string rest = spec.substr(4);
+        size_t colon = rest.rfind(':');
+        if (colon == std::string::npos) {
+            // tcp:PORT shorthand for loopback.
+            ep.port = parsePort(rest);
+        } else {
+            ep.host = rest.substr(0, colon);
+            ep.port = parsePort(rest.substr(colon + 1));
+            if (ep.host.empty())
+                badSpec("tcp endpoint needs a host: tcp:host:port");
+        }
+        if (ep.port == 0)
+            badSpec("tcp endpoint needs a port in [1, 65535]: \"" +
+                    spec.substr(0, 64) + "\"");
+        return ep;
+    }
+    badSpec("unknown endpoint \"" + spec.substr(0, 64) +
+            "\" (expected unix:PATH, tcp:host:port, tcp:port, or "
+            "stdio)");
+}
+
+std::string
+formatEndpoint(const Endpoint &ep)
+{
+    switch (ep.kind) {
+      case Endpoint::Kind::Stdio:
+        return "stdio";
+      case Endpoint::Kind::Unix:
+        return "unix:" + ep.path;
+      case Endpoint::Kind::Tcp:
+        return "tcp:" + ep.host + ":" + std::to_string(ep.port);
+    }
+    return "?";
+}
+
+int
+connectEndpoint(const Endpoint &ep)
+{
+    if (ep.kind == Endpoint::Kind::Stdio)
+        badSpec("stdio endpoints cannot be connected; wrap the "
+                "stdin/stdout pair directly");
+
+    if (ep.kind == Endpoint::Kind::Unix) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, ep.path.c_str(),
+                    ep.path.size() + 1);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            ioError("socket() failed");
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) < 0) {
+            ::close(fd);
+            ioError("cannot connect to " + formatEndpoint(ep));
+        }
+        return fd;
+    }
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    std::string port = std::to_string(ep.port);
+    if (::getaddrinfo(ep.host.c_str(), port.c_str(), &hints, &res) !=
+            0 ||
+        !res)
+        ioError("cannot resolve host \"" + ep.host + "\"");
+    int fd = -1;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        ioError("cannot connect to " + formatEndpoint(ep));
+    return fd;
+}
+
+} // namespace client
+} // namespace msc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Connection endpoints for the mscd protocol.
+ *
+ * One grammar names every way to reach a daemon, shared by all
+ * clients (`msctool --connect`), the router's `--shard` flags, and
+ * tests:
+ *
+ *   unix:/path/to/socket     Unix-domain stream socket
+ *   tcp:host:port            TCP (numeric IP or hostname)
+ *   tcp:port                 TCP shorthand for 127.0.0.1:port
+ *   stdio                    the process's stdin/stdout pair
+ *
+ * parseEndpoint validates eagerly (throws runtime::StageError with
+ * ErrorKind::InvalidInput on malformed specs) so CLI flag errors
+ * surface before any connection attempt; formatEndpoint returns the
+ * canonical spelling (parse(format(e)) == e).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msc {
+namespace client {
+
+struct Endpoint
+{
+    enum class Kind : uint8_t
+    {
+        Unix,   ///< `unix:PATH`
+        Tcp,    ///< `tcp:HOST:PORT` / `tcp:PORT`
+        Stdio,  ///< `stdio` — the caller's fd 0/1 pair.
+    };
+
+    Kind kind = Kind::Stdio;
+    std::string path;              ///< Unix: socket path.
+    std::string host = "127.0.0.1";  ///< Tcp: host name or address.
+    uint16_t port = 0;             ///< Tcp: port.
+
+    bool operator==(const Endpoint &o) const
+    {
+        return kind == o.kind && path == o.path && host == o.host &&
+               port == o.port;
+    }
+};
+
+/** Parses the endpoint grammar above; throws runtime::StageError
+ *  (ErrorKind::InvalidInput, stage "endpoint") on malformed input. */
+Endpoint parseEndpoint(const std::string &spec);
+
+/** Canonical textual form ("unix:/run/mscd.sock", "tcp:host:port",
+ *  "stdio") — round-trips through parseEndpoint. */
+std::string formatEndpoint(const Endpoint &ep);
+
+/**
+ * Connects to a Unix or TCP endpoint and returns the socket fd
+ * (caller owns/closes it). Throws runtime::StageError (ErrorKind::Io,
+ * stage "endpoint") when the connection cannot be established, and
+ * ErrorKind::InvalidInput for Stdio endpoints (there is nothing to
+ * connect; wrap fds 0/1 directly).
+ */
+int connectEndpoint(const Endpoint &ep);
+
+} // namespace client
+} // namespace msc

@@ -19,8 +19,22 @@ errorKindId(ErrorKind k)
       case ErrorKind::Deadline:      return "deadline";
       case ErrorKind::Cancelled:     return "cancelled";
       case ErrorKind::OracleFailure: return "oracle-failure";
+      case ErrorKind::Busy:          return "busy";
     }
     return "unknown";
+}
+
+bool
+errorKindFromId(const std::string &id, ErrorKind &out)
+{
+    for (uint8_t k = uint8_t(ErrorKind::None);
+         k <= uint8_t(ErrorKind::Busy); ++k) {
+        if (id == errorKindId(ErrorKind(k))) {
+            out = ErrorKind(k);
+            return true;
+        }
+    }
+    return false;
 }
 
 bool

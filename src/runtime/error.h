@@ -43,11 +43,18 @@ enum class ErrorKind : uint8_t
     Deadline,       ///< ExecBudget::wallMs wall-clock deadline passed.
     Cancelled,      ///< CancelToken observed mid-stage.
     OracleFailure,  ///< Differential oracle divergence (fuzzing).
+    Busy,           ///< Connection over its in-flight bound (mscd
+                    ///  backpressure; retry after a terminal frame).
 };
 
 /** Stable kebab-case identifier ("budget-fuel", "invalid-input", ...)
  *  emitted in msc.sweep v2 documents. */
 const char *errorKindId(ErrorKind k);
+
+/** Reverse of errorKindId: decodes a kind identifier from a wire
+ *  document. Returns false (leaving @p out untouched) on an unknown
+ *  id, so clients degrade gracefully across protocol revisions. */
+bool errorKindFromId(const std::string &id, ErrorKind &out);
 
 /** True for the three deterministic budget kinds plus Deadline — the
  *  kinds a sweep reports with `budget_exhausted: true`. */

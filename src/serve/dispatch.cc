@@ -15,8 +15,16 @@ namespace {
  *  per-stage tags in pipeline/session.cc). */
 constexpr uint64_t TAG_CELL = 0x6d73636463656c6cull;  // "mscdcell"
 
-/** Turns an escaping exception into the cell's error record, exactly
- *  as report::SweepRunner classifies sweep-cell failures. */
+std::shared_future<report::RunRecord>
+readyFuture(report::RunRecord rec)
+{
+    std::promise<report::RunRecord> p;
+    p.set_value(std::move(rec));
+    return p.get_future().share();
+}
+
+} // anonymous namespace
+
 report::RunRecord
 errorRecord(const report::RunSpec &spec, std::exception_ptr ep)
 {
@@ -34,16 +42,6 @@ errorRecord(const report::RunSpec &spec, std::exception_ptr ep)
         rec.error.workload = spec.workload;
     return rec;
 }
-
-std::shared_future<report::RunRecord>
-readyFuture(report::RunRecord rec)
-{
-    std::promise<report::RunRecord> p;
-    p.set_value(std::move(rec));
-    return p.get_future().share();
-}
-
-} // anonymous namespace
 
 Dispatcher::Dispatcher(Config cfg) : _pool(std::move(cfg.session))
 {

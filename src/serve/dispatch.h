@@ -53,6 +53,14 @@
 namespace msc {
 namespace serve {
 
+/** Turns an escaping exception into a cell's error record, exactly
+ *  as report::SweepRunner classifies sweep-cell failures. Shared by
+ *  the Dispatcher (worker/submit failures) and the Router (shard
+ *  loss, forwarding failures), so both paths emit records with the
+ *  same shape and attribution. */
+report::RunRecord errorRecord(const report::RunSpec &spec,
+                              std::exception_ptr ep);
+
 /** Dispatcher-level counters (cache traffic lives in
  *  pipeline::CacheStats; these count request coalescing). */
 struct DispatchStats

@@ -338,7 +338,7 @@ extractRequestId(const std::string &payload)
 
 report::Json
 cellFrame(const std::string &id, size_t index, size_t total,
-          report::Json run)
+          report::Json run, int shard)
 {
     report::Json f = report::Json::object();
     f["id"] = id;
@@ -346,6 +346,8 @@ cellFrame(const std::string &id, size_t index, size_t total,
     f["index"] = uint64_t(index);
     f["total"] = uint64_t(total);
     f["run"] = std::move(run);
+    if (shard >= 0)
+        f["shard"] = uint64_t(shard);
     return f;
 }
 
@@ -377,6 +379,40 @@ summaryFrame(const std::string &id,
     c["disk_hits"] = cache.diskHits();
     f["cache"] = std::move(c);
     f["dedup_hits"] = dedup_hits;
+    return f;
+}
+
+report::Json
+routedSummaryFrame(const std::string &id,
+                   const std::vector<std::string> &statuses,
+                   const report::Json &cache, uint64_t dedup_hits,
+                   const std::vector<uint64_t> &shard_cells)
+{
+    size_t failed = 0;
+    for (const auto &s : statuses)
+        failed += s != "ok";
+    int exit_code = report::EXIT_SWEEP_CLEAN;
+    if (failed == statuses.size() && failed != 0)
+        exit_code = report::EXIT_SWEEP_FAILED;
+    else if (failed != 0)
+        exit_code = report::EXIT_SWEEP_PARTIAL;
+
+    report::Json f = report::Json::object();
+    f["id"] = id;
+    f["type"] = "summary";
+    f["protocol_version"] = PROTOCOL_VERSION;
+    f["status"] = report::sweepStatusName(exit_code);
+    f["exit_code"] = exit_code;
+    f["partial"] = failed != 0;
+    f["errors"] = uint64_t(failed);
+    f["runs"] = uint64_t(statuses.size());
+    f["cache"] = cache;
+    f["dedup_hits"] = dedup_hits;
+    f["via"] = "router";
+    report::Json shards = report::Json::array();
+    for (uint64_t n : shard_cells)
+        shards.push(n);
+    f["shards"] = std::move(shards);
     return f;
 }
 

@@ -46,8 +46,10 @@ namespace msc {
 namespace serve {
 
 /** Protocol revision emitted in summary/result frames (v2 added the
- *  `stats` verb; every v1 request remains valid). */
-constexpr int PROTOCOL_VERSION = 2;
+ *  `stats` verb; v3 added optional router provenance — `via`/`shards`
+ *  on summaries, `shard` on relayed cells. Every v1/v2 request
+ *  remains valid: v3 changed no request field.) */
+constexpr int PROTOCOL_VERSION = 3;
 
 enum class RequestKind : uint8_t
 {
@@ -122,13 +124,33 @@ std::string extractRequestId(const std::string &payload);
 /// object; the server serializes with dump(0) (compact) — the
 /// determinism of cell frames follows from report::Json determinism.
 /// @{
+/** @p shard >= 0 appends the owning shard's index (protocol v3;
+ *  router-relayed cells only — direct daemons omit the field). The
+ *  `run` object is identical either way: provenance rides on the
+ *  frame envelope, never inside the byte-determinism contract. */
 report::Json cellFrame(const std::string &id, size_t index,
-                       size_t total, report::Json run);
+                       size_t total, report::Json run,
+                       int shard = -1);
 
 report::Json summaryFrame(const std::string &id,
                           const std::vector<report::RunRecord> &records,
                           const pipeline::CacheStats &cache,
                           uint64_t dedup_hits);
+
+/**
+ * The router's synthesized summary (protocol v3). Identical member
+ * set and order to summaryFrame — status/exit_code derive from
+ * @p statuses (the per-cell `status` strings of the relayed run
+ * objects) through the same sweepExitCode mapping — plus two
+ * provenance members: `via: "router"` and `shards`, the per-shard
+ * relayed-cell counts. @p cache/@p dedup_hits aggregate the shards'
+ * summary counters (like the direct counters, outside the
+ * byte-determinism contract).
+ */
+report::Json routedSummaryFrame(
+    const std::string &id, const std::vector<std::string> &statuses,
+    const report::Json &cache, uint64_t dedup_hits,
+    const std::vector<uint64_t> &shard_cells);
 
 report::Json errorFrame(const std::string &id,
                         const runtime::StageErrorInfo &info);

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Shard-mode mscd: the hash-partitioning router front-end.
+ *
+ * A Router accepts the ordinary mscd protocol — same frames, same
+ * verbs, same validation — and executes nothing itself. Each sweep
+ * cell is forwarded as a single-cell `run` request to one of N
+ * downstream shard daemons, chosen by the cell's content-addressed
+ * identity: `Session::stageKey(Simulate, opts) % N`, the exact key
+ * the shards' dispatchers dedup on. Identical cells therefore always
+ * land on the same shard, so in-flight coalescing and the on-disk
+ * artifact caches stay shard-local and hot — the router needs no
+ * cache of its own (cf. hierarchical task dispatch in Myrmics, and
+ * BDDT-SCC's explicit division of the keyspace across non-shared
+ * workers; PAPERS.md).
+ *
+ * Reassembly: relayed cell frames carry the shard's `run` object
+ * verbatim (plus a `shard` provenance field, protocol v3) and are
+ * streamed to the client in grid order, so a routed sweep reassembles
+ * into a `msc.sweep` document byte-identical to a single daemon's.
+ * The summary is synthesized from the relayed statuses through the
+ * same exit-code mapping, with `via: "router"` + per-shard cell
+ * counts appended and the shards' cache counters aggregated.
+ *
+ * Failure containment mirrors the single daemon's: a shard that
+ * cannot be reached (connect retry with backoff exhausted) or dies
+ * mid-sweep fails only the cells assigned to it — each becomes an
+ * `io` error record, the sweep completes `partial` with exit code 3,
+ * and the other shards' cells are unaffected. Connection-level
+ * backpressure (ServerConfig::maxInflight semantics) refuses pooled
+ * requests past the bound with structured `busy` error frames.
+ *
+ * Telemetry: the router owns its own MetricsRegistry (`router.*`
+ * names, per-shard `router.shard.N.*` — docs/OBSERVABILITY.md); its
+ * `stats` verb serves that registry, while each shard's `stats` verb
+ * still serves the shard's own.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "client/endpoint.h"
+#include "obs/metrics.h"
+#include "obs/slog.h"
+#include "pipeline/pool.h"
+#include "serve/frame.h"
+#include "serve/listen.h"
+#include "serve/protocol.h"
+
+namespace msc {
+namespace serve {
+
+struct RouterConfig
+{
+    /** Downstream shard daemons, in shard-index order. */
+    std::vector<client::Endpoint> shards;
+
+    /** Per-request defaults (budget) merged during parsing, then
+     *  propagated explicitly to shards — a shard's own defaults never
+     *  leak into routed cells. */
+    RequestDefaults defaults;
+
+    /** Inbound frame-size cap (client side; shard links always use
+     *  the protocol default). */
+    uint32_t maxFrame = DEFAULT_MAX_FRAME;
+
+    /** Per-connection pooled-request bound; 0 = unlimited (same
+     *  semantics as ServerConfig::maxInflight). */
+    unsigned maxInflight = 0;
+
+    /** Structured JSON request logs on stderr (docs/OBSERVABILITY.md). */
+    bool logJson = false;
+
+    /** Connect retry policy per shard: up to @p connectAttempts
+     *  attempts, sleeping attempt * connectBackoffMs between them.
+     *  After a fully failed round, the link fails fast (one attempt
+     *  per later cell) until a connect succeeds again. */
+    unsigned connectAttempts = 5;
+    unsigned connectBackoffMs = 20;
+};
+
+class Router
+{
+  public:
+    explicit Router(RouterConfig cfg);
+
+    /** Joins every shard link's reader thread. */
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /** Serves one client connection until end-of-stream; blocking.
+     *  Safe to call from multiple threads (one per connection). */
+    void serveConnection(Transport &t);
+
+    /// @name Listener front-ends (serve/listen.h shapes).
+    /// @{
+    int serveUnix(const std::string &path);
+    int serveTcp(uint16_t port);
+    void requestStop();
+    /// @}
+
+    size_t shardCount() const { return _links.size(); }
+
+    /** The router's own telemetry registry (what its `stats` verb
+     *  snapshots). */
+    obs::MetricsRegistry &metrics() { return _metrics; }
+
+    /** Cancellation bookkeeping for one pooled client request:
+     *  cells currently in flight on shards, so a `cancel` verb can be
+     *  fanned out to exactly the shards holding them. */
+    struct RouterRequest
+    {
+        std::atomic<bool> cancelled{false};
+        std::mutex mu;
+        /** router-minted cell id -> shard index. */
+        std::vector<std::pair<std::string, unsigned>> outstanding;
+    };
+
+  private:
+    class ShardLink;
+
+    /** One client connection's shared write end + backpressure state
+     *  (the Server::Conn shape). */
+    struct Conn
+    {
+        Conn(Transport &tr, uint64_t n) : t(tr), id(n) {}
+        Transport &t;
+        uint64_t id;
+        std::mutex mu;
+        std::atomic<unsigned> active{0};
+    };
+
+    void registerMetrics();
+    void sendFrame(Conn &conn, const report::Json &frame);
+    void sendError(Conn &conn, const std::string &id,
+                   runtime::ErrorKind kind, const std::string &stage,
+                   const std::string &detail);
+
+    /** Shard index for @p spec: Simulate stageKey % N (budget
+     *  excluded — artifacts are budget-independent, so budget
+     *  variants of a cell still colocate). Unroutable specs (unknown
+     *  workload: there is no program to key) fall back to a stable
+     *  name hash; every shard reports the identical error record. */
+    unsigned shardOf(const report::RunSpec &spec);
+
+    void runForward(Conn &conn, const Request &req,
+                    const std::shared_ptr<RouterRequest> &rr,
+                    const std::string &rid);
+    void runTraceForward(Conn &conn, const Request &req,
+                         const std::shared_ptr<RouterRequest> &rr);
+    void handleCancel(Conn &conn, const Request &req);
+
+    std::shared_ptr<RouterRequest>
+    registerRequest(const std::string &id);
+    void unregisterRequest(const std::string &id);
+
+    RouterConfig _cfg;
+    obs::MetricsRegistry _metrics;
+    obs::JsonLogger _log;
+
+    obs::Counter *_framesIn = nullptr;
+    obs::Counter *_framesOut = nullptr;
+    obs::Counter *_reqMalformed = nullptr;
+    obs::Counter *_reqBusy = nullptr;
+    obs::Counter *_connAccepted = nullptr;
+    obs::Counter *_connClosed = nullptr;
+    obs::Counter *_connErrors = nullptr;
+    obs::Counter *_verbRequests[5] = {};
+    obs::Counter *_cellsForwarded = nullptr;
+    obs::Counter *_cellsFailed = nullptr;
+    obs::Counter *_cancelsForwarded = nullptr;
+    obs::Gauge *_requestsInflight = nullptr;
+
+    std::atomic<uint64_t> _reqSeq{0};
+    std::atomic<uint64_t> _connSeq{0};
+    std::atomic<uint64_t> _cellSeq{0};
+
+    /** Key-only pool: Sessions here just build + print the workload
+     *  program to derive stage keys; no stage ever *runs* on the
+     *  router, and SessionConfig{} means no disk cache. */
+    pipeline::SessionPool _keys;
+
+    std::vector<std::unique_ptr<ShardLink>> _links;
+
+    std::mutex _reqMu;
+    std::map<std::string, std::shared_ptr<RouterRequest>> _requests;
+
+    AcceptLoop _accept;
+};
+
+} // namespace serve
+} // namespace msc

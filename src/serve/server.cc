@@ -1,14 +1,9 @@
 #include "serve/server.h"
 
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <thread>
 #include <vector>
 
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "obs/perfetto.h"
@@ -50,6 +45,7 @@ Server::registerMetrics()
     _framesTruncated = &_metrics.counter("mscd.frames.truncated");
     _framesOversize = &_metrics.counter("mscd.frames.oversize");
     _reqMalformed = &_metrics.counter("mscd.requests.malformed");
+    _reqBusy = &_metrics.counter("mscd.requests.busy");
     _connAccepted = &_metrics.counter("mscd.connections.accepted");
     _connClosed = &_metrics.counter("mscd.connections.closed");
     _connErrors = &_metrics.counter("mscd.connections.errors");
@@ -201,6 +197,7 @@ Server::runRequest(Conn &conn, const Request &req,
     }
     _dispatch.unregisterRequest(req.id);
     _requestsInflight->add(-1);
+    conn.active.fetch_sub(1);
 }
 
 void
@@ -369,6 +366,32 @@ Server::serveConnection(Transport &t)
             continue;
         }
 
+        // Backpressure: refuse (never drop) pooled requests past the
+        // per-connection bound. `active` only moves on this thread or
+        // downward in runRequest, so a peer that waits for terminal
+        // frames is never spuriously refused.
+        if (_cfg.maxInflight &&
+            conn.active.load() >= _cfg.maxInflight) {
+            _reqBusy->inc();
+            if (_log.enabled()) {
+                report::Json f = report::Json::object();
+                f["rid"] = rid;
+                f["inflight"] = uint64_t(conn.active.load());
+                _log.event("request.busy", std::move(f));
+            }
+            runtime::StageErrorInfo info;
+            info.kind = runtime::ErrorKind::Busy;
+            info.stage = "server";
+            info.detail =
+                "connection has " +
+                std::to_string(conn.active.load()) +
+                " requests in flight (bound " +
+                std::to_string(_cfg.maxInflight) +
+                "); retry after a terminal frame";
+            sendFrame(conn, errorFrame(req.id, info));
+            continue;
+        }
+
         // Register before spawning: a cancel frame that follows this
         // one on the wire is guaranteed to see the id.
         auto token = _dispatch.registerRequest(req.id);
@@ -379,6 +402,7 @@ Server::serveConnection(Transport &t)
             continue;
         }
         _requestsInflight->add(1);
+        conn.active.fetch_add(1);
         inflight.emplace_back(
             [this, &conn, req = std::move(req), token, rid, t0] {
                 runRequest(conn, req, token, rid, t0);
@@ -399,61 +423,25 @@ Server::serveConnection(Transport &t)
 int
 Server::serveListener(int listen_fd)
 {
-    _listenFd.store(listen_fd);
-    std::vector<std::thread> conns;
-    while (!_stop.load()) {
-        int c = ::accept(listen_fd, nullptr, nullptr);
-        if (c < 0) {
-            if (errno == EINTR)
-                continue;
-            break;  // requestStop closed the listener (or hard error)
+    return _accept.run(listen_fd, [this](int c) {
+        FdTransport t(c, c);
+        try {
+            serveConnection(t);
+        } catch (const std::exception &e) {
+            _connErrors->inc();
+            std::fprintf(stderr, "mscd: connection error: %s\n",
+                         e.what());
         }
-        conns.emplace_back([this, c] {
-            FdTransport t(c, c);
-            try {
-                serveConnection(t);
-            } catch (const std::exception &e) {
-                _connErrors->inc();
-                std::fprintf(stderr, "mscd: connection error: %s\n",
-                             e.what());
-            }
-            ::close(c);
-        });
-    }
-    // Whoever wins the exchange closes — requestStop() may already
-    // have claimed (and closed) the descriptor.
-    int fd = _listenFd.exchange(-1);
-    if (fd >= 0)
-        ::close(fd);
-    for (auto &th : conns)
-        th.join();
-    return 0;
+        ::close(c);
+    });
 }
 
 int
 Server::serveUnix(const std::string &path)
 {
-    sockaddr_un addr{};
-    if (path.size() >= sizeof addr.sun_path) {
-        std::fprintf(stderr, "mscd: socket path too long: %s\n",
-                     path.c_str());
+    int fd = bindUnix(path, "mscd");
+    if (fd < 0)
         return 1;
-    }
-    ::unlink(path.c_str());  // replace a stale socket from a crash
-    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        std::perror("mscd: socket");
-        return 1;
-    }
-    addr.sun_family = AF_UNIX;
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
-            0 ||
-        ::listen(fd, 64) < 0) {
-        std::perror("mscd: bind/listen");
-        ::close(fd);
-        return 1;
-    }
     int rc = serveListener(fd);
     ::unlink(path.c_str());
     return rc;
@@ -462,38 +450,16 @@ Server::serveUnix(const std::string &path)
 int
 Server::serveTcp(uint16_t port)
 {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-        std::perror("mscd: socket");
+    int fd = bindTcp(port, "mscd");
+    if (fd < 0)
         return 1;
-    }
-    int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
-            0 ||
-        ::listen(fd, 64) < 0) {
-        std::perror("mscd: bind/listen");
-        ::close(fd);
-        return 1;
-    }
     return serveListener(fd);
 }
 
 void
 Server::requestStop()
 {
-    _stop.store(true);
-    int fd = _listenFd.exchange(-1);
-    if (fd >= 0) {
-        // shutdown() wakes a blocked accept() on Linux; close()
-        // releases the descriptor. Both are async-signal-safe.
-        ::shutdown(fd, SHUT_RDWR);
-        ::close(fd);
-    }
+    _accept.requestStop();
 }
 
 } // namespace serve

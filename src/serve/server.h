@@ -56,6 +56,7 @@
 #include "obs/slog.h"
 #include "serve/dispatch.h"
 #include "serve/frame.h"
+#include "serve/listen.h"
 #include "serve/protocol.h"
 
 namespace msc {
@@ -70,6 +71,14 @@ struct ServerConfig
 
     /** Inbound frame-size cap. */
     uint32_t maxFrame = DEFAULT_MAX_FRAME;
+
+    /** Connection-level backpressure: maximum pooled requests
+     *  (run/sweep/trace) in flight per connection. A request past the
+     *  bound is refused with a structured `busy` error frame — the
+     *  connection stays usable and no frame is lost. Inline verbs
+     *  (cancel/stats) are exempt, so a saturated peer can still
+     *  cancel or observe. 0 = unlimited (`mscd --max-inflight`). */
+    unsigned maxInflight = 0;
 
     /** Emit one structured JSON log line per request lifecycle event
      *  on stderr (`mscd --log-json`; docs/OBSERVABILITY.md). */
@@ -117,6 +126,12 @@ class Server
         Transport &t;
         uint64_t id;  ///< Process-wide connection sequence (logs).
         std::mutex mu;
+
+        /** Pooled requests in flight on this connection. Incremented
+         *  on the reader thread *before* the next frame is read, so
+         *  the backpressure bound is deterministic with respect to
+         *  frame arrival order (tests rely on this). */
+        std::atomic<unsigned> active{0};
     };
 
     /** Pre-registered per-verb instruments (hot path never takes the
@@ -162,6 +177,7 @@ class Server
     obs::Counter *_framesTruncated = nullptr;
     obs::Counter *_framesOversize = nullptr;
     obs::Counter *_reqMalformed = nullptr;
+    obs::Counter *_reqBusy = nullptr;
     obs::Counter *_connAccepted = nullptr;
     obs::Counter *_connClosed = nullptr;
     obs::Counter *_connErrors = nullptr;
@@ -170,8 +186,7 @@ class Server
     std::atomic<uint64_t> _connSeq{0};
 
     Dispatcher _dispatch;
-    std::atomic<int> _listenFd{-1};
-    std::atomic<bool> _stop{false};
+    AcceptLoop _accept;
 };
 
 } // namespace serve

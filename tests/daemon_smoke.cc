@@ -26,7 +26,18 @@
  *     request counters match exactly the work this test performed,
  *     and `msctool stats --unix` round-trips over the socket;
  *  7. versioning: `mscd --version` and `msctool version` exit 0 and
- *     advertise the msc.metrics schema.
+ *     advertise the msc.metrics schema;
+ *  8. sharding (the PR acceptance path, docs/DAEMON.md#sharding): a
+ *     `mscd --router` fronting four shard daemons serves the
+ *     Figure-5 sweep byte-identically to a single `mscd --stdio`
+ *     daemon — the same `msctool sweep --connect` invocation against
+ *     either produces the same msc.sweep document, and the routed one
+ *     reports its shard provenance;
+ *  9. degradation: SIGKILLing a shard mid-sweep yields a partial
+ *     sweep — the surviving shards' rows still stream, the dead
+ *     shard's cells become io error rows, and msctool exits 3;
+ * 10. TCP: mscd binds an ephemeral port (retrying past collisions)
+ *     and `msctool --connect tcp:PORT` round-trips stats and a run.
  *
  * All scratch state lives in one mkdtemp directory removed on every
  * exit path (success, CHECK failure, or exception); child daemons
@@ -188,13 +199,15 @@ runCapture(Scratch &scratch, const std::vector<std::string> &argv,
     return out;
 }
 
-/** Spawns `msctool stats --stdio --json` wired onto the live stdio
- *  daemon @p d (the tool's fd0/fd1 ARE the wire), returning the
- *  metrics document it renders on stderr. The parent touches neither
- *  pipe meanwhile, so the daemon connection stays frame-aligned for
- *  whatever the test sends next. */
-std::string
-statsOverStdio(Scratch &scratch, const std::string &msctool, Child &d)
+/** Runs msctool with the live --stdio daemon @p d as its wire: the
+ *  tool's fd0/fd1 ARE the daemon connection, so with `--connect
+ *  stdio` it renders on stderr, captured into @p err. The parent
+ *  touches neither pipe meanwhile, so the daemon connection stays
+ *  frame-aligned for whatever the test sends next. Returns the
+ *  tool's exit code. */
+int
+runToolOverStdio(Scratch &scratch, const std::vector<std::string> &argv,
+                 Child &d, std::string *err)
 {
     int errp[2];
     CHECK(::pipe(errp) == 0);
@@ -206,21 +219,45 @@ statsOverStdio(Scratch &scratch, const std::string &msctool, Child &d)
         ::dup2(errp[1], 2);
         ::close(errp[0]);
         ::close(errp[1]);
-        const char *args[] = {msctool.c_str(), "stats", "--stdio",
-                              "--json", nullptr};
-        ::execv(args[0], const_cast<char **>(args));
+        std::vector<char *> args;
+        for (const auto &a : argv)
+            args.push_back(const_cast<char *>(a.c_str()));
+        args.push_back(nullptr);
+        ::execv(args[0], args.data());
         ::_exit(127);
     }
     ::close(errp[1]);
     scratch.children.push_back(pid);
-    std::string out;
+    err->clear();
     char buf[4096];
     ssize_t n;
     while ((n = ::read(errp[0], buf, sizeof buf)) > 0)
-        out.append(buf, size_t(n));
+        err->append(buf, size_t(n));
     ::close(errp[0]);
-    CHECK(waitExit(pid) == 0);
+    return waitExit(pid);
+}
+
+std::string
+statsOverStdio(Scratch &scratch, const std::string &msctool, Child &d)
+{
+    std::string out;
+    CHECK(runToolOverStdio(scratch,
+                           {msctool, "stats", "--stdio", "--json"}, d,
+                           &out) == 0);
     return out;
+}
+
+/** Waits for @p path to appear on disk (a daemon finishing its
+ *  bind — both Unix sockets and regular files). */
+void
+waitForFile(const std::string &path)
+{
+    for (int i = 0; i < 200; ++i) {
+        if (fs::exists(path))
+            return;
+        ::usleep(25'000);
+    }
+    throw std::runtime_error("timed out waiting for " + path);
 }
 
 std::string
@@ -459,6 +496,163 @@ main(int argc, char **argv)
         CHECK(::kill(u.pid, SIGTERM) == 0);
         CHECK(waitExit(u.pid) == 0);
         CHECK(!fs::exists(sock));
+
+        // ---- 8. Shard mode: a 4-shard router serves the Figure-5
+        //         sweep byte-identically to one mscd --stdio daemon.
+        //         Both documents come out of the very same `msctool
+        //         sweep --connect` code path — only the transport
+        //         and the daemon topology differ.
+        std::vector<Child> shard_procs;
+        std::vector<std::string> router_argv = {mscd, "--router"};
+        for (int i = 0; i < 4; ++i) {
+            std::string ssock = scratch.path(
+                ("shard" + std::to_string(i) + ".sock").c_str());
+            shard_procs.push_back(spawn(
+                scratch, {mscd, "--unix", ssock, "--jobs", "1"},
+                false));
+            router_argv.push_back("--shard");
+            router_argv.push_back("unix:" + ssock);
+        }
+        std::string rsock = scratch.path("router.sock");
+        router_argv.push_back("--unix");
+        router_argv.push_back(rsock);
+        Child router = spawn(scratch, router_argv, false);
+        for (int i = 0; i < 4; ++i)
+            waitForFile(scratch.path(
+                ("shard" + std::to_string(i) + ".sock").c_str()));
+        waitForFile(rsock);
+
+        std::string routed = scratch.path("routed.json");
+        std::string f5_out = runCapture(
+            scratch,
+            {msctool, "sweep", "--small", "--strategy", "bb,cf",
+             "--pus", "4", "--insts", "20000", "--connect",
+             "unix:" + rsock, "--json", routed},
+            &rc);
+        CHECK(rc == 0);
+
+        Child sref = spawn(scratch, {mscd, "--stdio"}, true);
+        std::string ref5 = scratch.path("figure5.json");
+        std::string render;
+        CHECK(runToolOverStdio(
+                  scratch,
+                  {msctool, "sweep", "--small", "--strategy", "bb,cf",
+                   "--pus", "4", "--insts", "20000", "--connect",
+                   "stdio", "--json", ref5},
+                  sref, &render) == 0);
+        CHECK(render.find("routed") == std::string::npos);
+        ::close(sref.in);
+        ::close(sref.out);
+        CHECK(waitExit(sref.pid) == 0);
+
+        CHECK(slurp(routed) == slurp(ref5));
+
+        // The router advertises its topology over the stats verb.
+        std::string rstats = runCapture(
+            scratch,
+            {msctool, "stats", "--connect", "unix:" + rsock, "--json"},
+            &rc);
+        CHECK(rc == 0);
+        report::Json rm = report::Json::parse(rstats);
+        CHECK(rm.get("counters")
+                  .get("router.requests.sweep")
+                  .asUInt() == 1);
+        CHECK(rm.get("counters")
+                  .get("router.cells.failed")
+                  .asUInt() == 0);
+
+        // ---- 9. Kill a shard mid-sweep: surviving rows stream, the
+        //         dead shard's cells become io error rows, msctool
+        //         exits with the partial code.
+        Child deg = spawn(scratch,
+                          {msctool, "sweep", "--small", "--strategy",
+                           "bb,cf", "--pus", "2", "--insts", "50000",
+                           "--connect", "unix:" + rsock},
+                          true);
+        ::close(deg.in);
+        std::string table;
+        {   // A few rows prove the sweep is underway (each row is
+            // flushed as its cell frame arrives) — then the kill
+            // lands while most of the grid is still in flight.
+            size_t newlines = 0;
+            char buf[512];
+            while (newlines < 4) {
+                ssize_t n = ::read(deg.out, buf, sizeof buf);
+                CHECK(n > 0);
+                for (ssize_t k = 0; k < n; ++k)
+                    newlines += buf[k] == '\n';
+                table.append(buf, size_t(n));
+            }
+        }
+        CHECK(::kill(shard_procs[2].pid, SIGKILL) == 0);
+        ::waitpid(shard_procs[2].pid, nullptr, 0);
+        {
+            char buf[4096];
+            ssize_t n;
+            while ((n = ::read(deg.out, buf, sizeof buf)) > 0)
+                table.append(buf, size_t(n));
+        }
+        ::close(deg.out);
+        CHECK(waitExit(deg.pid) == 3);
+        CHECK(table.find("ERROR") != std::string::npos);
+        CHECK(table.find(" io: ") != std::string::npos);
+
+        // Router outlives the dead shard and shuts down cleanly; so
+        // do the surviving shards.
+        CHECK(::kill(router.pid, SIGTERM) == 0);
+        CHECK(waitExit(router.pid) == 0);
+        CHECK(!fs::exists(rsock));
+        for (int i = 0; i < 4; ++i) {
+            if (i == 2)
+                continue;
+            CHECK(::kill(shard_procs[i].pid, SIGTERM) == 0);
+            CHECK(waitExit(shard_procs[i].pid) == 0);
+        }
+
+        // ---- 10. TCP: retry-bind an ephemeral port (SO_REUSEADDR +
+        //          a fresh candidate per collision), then round-trip
+        //          stats and a run over --connect tcp:PORT.
+        bool tcp_ok = false;
+        for (int attempt = 0; attempt < 8 && !tcp_ok; ++attempt) {
+            int port =
+                33000 + int((::getpid() * 7 + attempt * 101) % 20000);
+            std::string pspec = "tcp:" + std::to_string(port);
+            Child td = spawn(
+                scratch, {mscd, "--tcp", std::to_string(port)},
+                false);
+            for (int i = 0; i < 40; ++i) {
+                int src = -1;
+                std::string so = runCapture(scratch,
+                                            {msctool, "stats",
+                                             "--connect", pspec,
+                                             "--json"},
+                                            &src);
+                if (src == 0) {
+                    report::Json tm = report::Json::parse(so);
+                    CHECK(tm.get("counters")
+                              .get("mscd.requests.stats")
+                              .asUInt() >= 1);
+                    tcp_ok = true;
+                    break;
+                }
+                if (::waitpid(td.pid, nullptr, WNOHANG) == td.pid)
+                    break;  // port taken: next candidate
+                ::usleep(50'000);
+            }
+            if (!tcp_ok)
+                continue;
+            std::string row = runCapture(
+                scratch,
+                {msctool, "run", "compress", "--insts", "20000",
+                 "--pus", "2", "--strategy", "bb", "--connect",
+                 pspec},
+                &rc);
+            CHECK(rc == 0);
+            CHECK(row.find("compress") != std::string::npos);
+            CHECK(::kill(td.pid, SIGTERM) == 0);
+            CHECK(waitExit(td.pid) == 0);
+        }
+        CHECK(tcp_ok);
 
         std::printf("daemon_smoke: all checks passed\n");
         return 0;
